@@ -1,0 +1,48 @@
+//! Whole-cluster epoch benchmark: one controller optimization period end
+//! to end (consolidate → sample network → simulate 16 ISNs → account).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_topo::AggregationLevel;
+use std::hint::black_box;
+
+fn bench_epoch(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let mut g = c.benchmark_group("cluster_epoch");
+    g.sample_size(10);
+    for (name, spec) in [
+        ("all_on", ConsolidationSpec::AllOn),
+        ("agg3", ConsolidationSpec::Level(AggregationLevel::Agg3)),
+        ("greedy_k2", ConsolidationSpec::GreedyK(2.0)),
+    ] {
+        let run = ClusterRun {
+            scheme: ServerScheme::EpronsServer,
+            consolidation: spec,
+            server_utilization: 0.3,
+            background_util: 0.2,
+            duration_s: 3.0,
+            warmup_s: 0.0,
+            seed: 99,
+        };
+        g.bench_with_input(BenchmarkId::new("eprons_3s", name), &run, |b, run| {
+            b.iter(|| run_cluster(black_box(&cfg), black_box(run)).unwrap())
+        });
+    }
+    // The model-free baseline for comparison (no convolutions at all).
+    let run = ClusterRun {
+        scheme: ServerScheme::NoPowerManagement,
+        consolidation: ConsolidationSpec::AllOn,
+        server_utilization: 0.3,
+        background_util: 0.2,
+        duration_s: 3.0,
+        warmup_s: 0.0,
+        seed: 99,
+    };
+    g.bench_with_input(BenchmarkId::new("no_pm_3s", "all_on"), &run, |b, run| {
+        b.iter(|| run_cluster(black_box(&cfg), black_box(run)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

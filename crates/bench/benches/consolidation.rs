@@ -1,0 +1,83 @@
+//! Consolidation scalability: exact MILP vs. the greedy heuristic.
+//!
+//! Paper anchor (§IV-B): "the computation time of the linear programming
+//! model can be more than 42 min on our platform, with 3000 flows in a
+//! 4-ary Fat-tree topology. In real deployment, we design the heuristic
+//! algorithm … to accelerate the latency-aware traffic consolidation."
+//! This bench shows the same scaling gap in miniature: MILP solve time
+//! explodes with the flow count while greedy stays near-linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_net::consolidate::path::build_path_model;
+use eprons_net::flow::FlowSet;
+use eprons_net::{
+    ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator, PathMilpConsolidator,
+};
+use eprons_sim::SimRng;
+use eprons_topo::FatTree;
+use std::hint::black_box;
+
+fn random_flows(ft: &FatTree, n: usize, seed: u64) -> FlowSet {
+    let hosts = ft.hosts().to_vec();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut fs = FlowSet::new();
+    for _ in 0..n {
+        let a = rng.index(hosts.len());
+        let mut b = rng.index(hosts.len());
+        while b == a {
+            b = rng.index(hosts.len());
+        }
+        let sensitive = rng.bernoulli(0.7);
+        let demand = if sensitive {
+            rng.uniform_range(5.0, 30.0)
+        } else {
+            rng.uniform_range(50.0, 250.0)
+        };
+        fs.add(
+            hosts[a],
+            hosts[b],
+            demand,
+            if sensitive {
+                FlowClass::LatencySensitive
+            } else {
+                FlowClass::LatencyTolerant
+            },
+        );
+    }
+    fs
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let ft = FatTree::new(4, 1000.0);
+    let cfg = ConsolidationConfig::with_k(2.0);
+    let mut g = c.benchmark_group("greedy");
+    g.sample_size(20);
+    for n in [10usize, 50, 200, 1000] {
+        let flows = random_flows(&ft, n, 7);
+        g.bench_with_input(BenchmarkId::new("flows", n), &flows, |b, flows| {
+            b.iter(|| GreedyConsolidator.consolidate(black_box(&ft), black_box(flows), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let ft = FatTree::new(4, 1000.0);
+    let cfg = ConsolidationConfig::with_k(2.0);
+    let mut g = c.benchmark_group("path_milp");
+    g.sample_size(10);
+    for n in [3usize, 6, 10] {
+        let flows = random_flows(&ft, n, 7);
+        g.bench_with_input(BenchmarkId::new("solve", n), &flows, |b, flows| {
+            let milp = PathMilpConsolidator::default();
+            b.iter(|| milp.consolidate(black_box(&ft), black_box(flows), &cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("build_model", n), &flows, |b, flows| {
+            b.iter(|| build_path_model(black_box(&ft), black_box(flows), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_milp);
+criterion_main!(benches);

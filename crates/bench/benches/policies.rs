@@ -1,0 +1,57 @@
+//! Policy ablation bench: per-request DVFS cost of each scheme on the
+//! same arrival trace (the simulator-throughput view of Fig. 12's lines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::{
+    coresim::poisson_trace, simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig,
+    MaxFreqPolicy, MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+};
+use eprons_sim::SimRng;
+use std::hint::black_box;
+
+fn fixture() -> (ServiceModel, Vec<ArrivalSpec>) {
+    let mut rng = SimRng::seed_from_u64(5);
+    let service = ServiceModel::synthetic_xapian(&mut rng, 20_000, 160);
+    let mean = service.mean_service_time(2.7);
+    let mut trng = SimRng::seed_from_u64(6);
+    let arrivals = poisson_trace(&mut trng, 0.3 / mean, 10.0, 25.0e-3);
+    (service, arrivals)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (service, arrivals) = fixture();
+    let cfg = CoreSimConfig::default();
+    let mut g = c.benchmark_group("core_simulation");
+    g.sample_size(10);
+    type PolicyFactory = fn(usize, f64) -> Box<dyn DvfsPolicy>;
+    let cases: Vec<(&str, PolicyFactory)> = vec![
+        ("no_pm", |_, _| Box::new(MaxFreqPolicy)),
+        ("rubik", |_, _| Box::new(MaxVpPolicy::rubik())),
+        ("timetrader", |n, t| Box::new(TimeTraderPolicy::new(t, n))),
+        ("eprons", |_, _| Box::new(AvgVpPolicy::eprons())),
+    ];
+    for (name, make) in cases {
+        g.bench_with_input(
+            BenchmarkId::new("10s_trace", name),
+            &arrivals,
+            |b, arrivals| {
+                b.iter(|| {
+                    let mut policy = make(cfg.ladder.len(), 30.0e-3);
+                    let mut engine = VpEngine::new(service.clone());
+                    simulate_core(
+                        policy.as_mut(),
+                        &mut engine,
+                        black_box(arrivals),
+                        &cfg,
+                        11,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! LP/MILP solver benchmarks: dense simplex scaling and branch-and-bound
+//! on knapsack-style binary programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_lp::standard::solve_lp;
+use eprons_lp::{solve_milp, Cmp, MilpOptions, Model, Sense};
+use std::hint::black_box;
+
+/// A dense feasible LP: min Σcᵢxᵢ s.t. random ≥ rows, box bounds.
+fn random_lp(nvars: usize, nrows: usize, seed: u64) -> Model {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..nvars)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, 10.0, 0.1 + next()))
+        .collect();
+    for r in 0..nrows {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, next() * 2.0)).collect();
+        m.add_constraint(format!("r{r}"), terms, Cmp::Ge, 1.0 + next() * 3.0);
+    }
+    m
+}
+
+/// A binary knapsack with `n` items.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(format!("x{i}"), ((i * 7) % 13 + 1) as f64))
+        .collect();
+    let terms: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 5) % 9 + 1) as f64))
+        .collect();
+    m.add_constraint("cap", terms, Cmp::Le, (2 * n) as f64);
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    g.sample_size(20);
+    for (nvars, nrows) in [(10, 8), (30, 20), (80, 60), (150, 100)] {
+        let m = random_lp(nvars, nrows, 42);
+        g.bench_with_input(
+            BenchmarkId::new("lp", format!("{nvars}x{nrows}")),
+            &m,
+            |b, m| b.iter(|| solve_lp(black_box(m)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp");
+    g.sample_size(15);
+    for n in [8usize, 16, 24] {
+        let m = knapsack(n);
+        g.bench_with_input(BenchmarkId::new("knapsack", n), &m, |b, m| {
+            b.iter(|| solve_milp(black_box(m), &MilpOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp);
+criterion_main!(benches);

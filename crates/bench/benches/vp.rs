@@ -1,0 +1,74 @@
+//! Violation-probability engine benchmarks.
+//!
+//! Paper anchors (§III-C): equivalent distributions are cached at
+//! departure instants; arrival instants pay n fresh convolutions; "the
+//! time it takes to determine the operating frequency is shortened by
+//! applying binary search on the average VP … it takes less than 30 µs".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::vp::InflightHead;
+use eprons_server::{AvgVpPolicy, FreqLadder, ServiceModel, VpEngine};
+use eprons_sim::SimRng;
+use std::hint::black_box;
+
+fn service() -> ServiceModel {
+    let mut rng = SimRng::seed_from_u64(3);
+    ServiceModel::synthetic_xapian(&mut rng, 20_000, 160)
+}
+
+fn bench_decision_departure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_departure");
+    g.sample_size(40);
+    for depth in [1usize, 2, 4, 8] {
+        let mut engine = VpEngine::new(service());
+        // Warm the cache like a running server would.
+        let _ = engine.equivalent(depth);
+        let deadlines: Vec<f64> = (0..depth).map(|i| 10.0e-3 + 3.0e-3 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("queue", depth), &depth, |b, _| {
+            b.iter(|| engine.decision(black_box(0.0), None, black_box(&deadlines)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decision_arrival(c: &mut Criterion) {
+    // Arrival instants condition the in-flight head and convolve fresh —
+    // the expensive path the paper describes.
+    let mut g = c.benchmark_group("decision_arrival");
+    g.sample_size(40);
+    for depth in [1usize, 2, 4, 8] {
+        let mut engine = VpEngine::new(service());
+        let _ = engine.equivalent(depth);
+        let head = InflightHead {
+            done_work_gc: engine.service().work_pmf().mean() / 2.0,
+            rem_fixed_s: 0.0,
+        };
+        let deadlines: Vec<f64> = (0..=depth).map(|i| 10.0e-3 + 3.0e-3 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("queue", depth), &depth, |b, _| {
+            b.iter(|| engine.decision(black_box(0.0), Some(head), black_box(&deadlines)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_frequency_selection(c: &mut Criterion) {
+    // The paper's "<30 µs" step: binary search over the ladder given a
+    // prepared decision.
+    let mut engine = VpEngine::new(service());
+    let deadlines = [9.0e-3, 12.0e-3, 15.0e-3, 20.0e-3];
+    let decision = engine.decision(0.0, None, &deadlines);
+    let ladder = FreqLadder::paper_default();
+    let mut policy = AvgVpPolicy::eprons();
+    c.bench_function("frequency_selection/avg_vp_binary_search", |b| {
+        b.iter(|| policy.choose_frequency(0.0, black_box(&decision), &ladder))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decision_departure,
+    bench_decision_arrival,
+    bench_frequency_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5 — violation probability of equivalent requests vs. work done
+//! by the deadline ω(D).
+//!
+//! The paper plots the CCDF of three equivalent distributions (R1e, R2e,
+//! R3e): "finding the VP is simply finding the corresponding y on a line
+//! given the x" (eq. 1 + CCDF). Deeper queue positions shift the curves
+//! right (more total work ahead of the deadline).
+
+use eprons_bench::{banner, BASE_SEED};
+use eprons_core::report::Table;
+use eprons_server::{ServiceModel, VpEngine};
+use eprons_sim::SimRng;
+
+fn main() {
+    banner("Fig. 5", "CCDF of equivalent work distributions R1e/R2e/R3e");
+    let mut rng = SimRng::seed_from_u64(BASE_SEED);
+    let service = ServiceModel::synthetic_xapian(&mut rng, 30_000, 160);
+    let mut engine = VpEngine::new(service);
+
+    let r1 = engine.equivalent(1).clone();
+    let r2 = engine.equivalent(2).clone();
+    let r3 = engine.equivalent(3).clone();
+
+    // Express ω(D) in "cycles at f_max for X ms" units for readability.
+    let mut t = Table::new(
+        "violation probability (%) vs work done at deadline ω(D)",
+        &["omega (ms @ 2.7GHz)", "R1e", "R2e", "R3e"],
+    );
+    for ms in [2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0, 30.0, 40.0] {
+        let omega = 2.7 * ms * 1.0e-3; // giga-cycles
+        t.row(&[
+            format!("{ms:.0}"),
+            format!("{:.2}", r1.ccdf(omega) * 100.0),
+            format!("{:.2}", r2.ccdf(omega) * 100.0),
+            format!("{:.2}", r3.ccdf(omega) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "means: R1e={:.1} R2e={:.1} R3e={:.1} ms of work @ f_max (paper shape: curves shift right with queue depth)",
+        r1.mean() / 2.7 * 1.0e3,
+        r2.mean() / 2.7 * 1.0e3,
+        r3.mean() / 2.7 * 1.0e3
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 8 — switch power vs. link utilization (HPE E3800 J9574A).
+//!
+//! Paper measurement: 97.5 W idle; the increase from 0 → 100 % utilization
+//! is only 0.59 W (≈0.6 % of idle), whether 2 or 4 ports are active — the
+//! justification for the constant-power-when-on switch model used
+//! everywhere else.
+
+use eprons_bench::banner;
+use eprons_core::report::Table;
+use eprons_net::power::hpe_e3800_power_w;
+
+fn main() {
+    banner("Fig. 8", "measured HPE switch power vs link utilization");
+    let mut t = Table::new(
+        "switch power (W) vs utilization",
+        &["util%", "2-ports", "4-ports"],
+    );
+    for pct in (0..=100).step_by(10) {
+        let u = pct as f64 / 100.0;
+        t.row(&[
+            format!("{pct}"),
+            format!("{:.2}", hpe_e3800_power_w(u, 2)),
+            format!("{:.2}", hpe_e3800_power_w(u, 4)),
+        ]);
+    }
+    println!("{t}");
+    let idle = hpe_e3800_power_w(0.0, 2);
+    let full = hpe_e3800_power_w(1.0, 2);
+    println!(
+        "idle {idle:.2} W; full-load delta {:.2} W ({:.2}% of idle) — paper: 97.5 W idle, +0.59 W (0.6%)",
+        full - idle,
+        (full - idle) / idle * 100.0
+    );
+}

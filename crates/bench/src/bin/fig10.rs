@@ -1,0 +1,68 @@
+//! Figure 10 — query network latency under different degrees of
+//! aggregation.
+//!
+//! (a) 20 % background traffic: average / 95th / 99th-percentile network
+//!     latency per aggregation level (paper: 99th grows from 5.64 ms at
+//!     aggregation 0 to 25.74 ms at aggregation 3);
+//! (b) 95th-percentile tail per level for background traffic 5–50 %.
+//!
+//! Network latency is per *query* (max over the 15 ISNs of request+reply —
+//! the partition–aggregate straggler).
+
+use eprons_bench::{banner, sweep_duration_s, BASE_SEED};
+use eprons_core::report::{ms, Table};
+use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_topo::AggregationLevel;
+
+fn run(level: AggregationLevel, bg: f64) -> eprons_core::ClusterRunResult {
+    let cfg = ClusterConfig::default();
+    run_cluster(
+        &cfg,
+        &ClusterRun {
+            scheme: ServerScheme::NoPowerManagement, // Fig. 10 measures the network only
+            consolidation: ConsolidationSpec::Level(level),
+            server_utilization: 0.3,
+            background_util: bg,
+            duration_s: sweep_duration_s(),
+            warmup_s: 0.0,
+            seed: BASE_SEED,
+        },
+    )
+    .expect("aggregation routing always places flows")
+}
+
+fn main() {
+    banner("Fig. 10", "query network latency vs aggregation level");
+
+    let mut a = Table::new(
+        "(a) network latency at 20% background traffic (ms)",
+        &["aggregation", "avg", "p95", "p99"],
+    );
+    for level in AggregationLevel::ALL {
+        let r = run(level, 0.2);
+        a.row(&[
+            format!("{}", level.index()),
+            ms(r.net_latency.mean_s),
+            ms(r.net_latency.p95_s),
+            ms(r.net_latency.p99_s),
+        ]);
+    }
+    println!("{a}");
+    println!("paper anchors (a): 99th grows ≈5.64 ms (agg 0) → ≈25.74 ms (agg 3)\n");
+
+    let mut b = Table::new(
+        "(b) 95th-percentile network latency (ms) vs background traffic",
+        &["aggregation", "5%", "10%", "20%", "30%", "50%"],
+    );
+    for level in AggregationLevel::ALL {
+        let mut cells = vec![format!("{}", level.index())];
+        for bg in [0.05, 0.10, 0.20, 0.30, 0.50] {
+            let r = run(level, bg);
+            cells.push(ms(r.net_latency.p95_s));
+        }
+        b.row(&cells);
+    }
+    println!("{b}");
+    println!("paper shape (b): the 95th tail rises with aggregation at every background level,");
+    println!("and rises with background traffic at every aggregation level");
+}

@@ -1,0 +1,87 @@
+//! Figure 11 — the scale factor K as the network's latency/power knob.
+//!
+//! (a) K vs. 95th-percentile network tail latency (one line per background
+//!     load; larger K → smaller tail);
+//! (b) K vs. number of active switches (larger K → more switches on;
+//!     paper: at 50 % background, K=4 turns on 6 more switches and drops
+//!     the tail to ≈4.75 ms);
+//! (c) active switches vs. tail latency — the trade-off frontier whose
+//!     origin-closest point is the optimal K.
+
+use eprons_bench::{banner, sweep_duration_s, BASE_SEED};
+use eprons_core::report::{ms, Table};
+use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
+
+const BACKGROUNDS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.50];
+const KS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+fn run(k: f64, bg: f64) -> Option<eprons_core::ClusterRunResult> {
+    let cfg = ClusterConfig::default();
+    run_cluster(
+        &cfg,
+        &ClusterRun {
+            scheme: ServerScheme::NoPowerManagement,
+            consolidation: ConsolidationSpec::GreedyK(k),
+            server_utilization: 0.3,
+            background_util: bg,
+            duration_s: sweep_duration_s(),
+            warmup_s: 0.0,
+            seed: BASE_SEED,
+        },
+    )
+    .ok()
+}
+
+fn main() {
+    banner("Fig. 11", "scale factor K vs tail latency and active switches");
+
+    let results: Vec<Vec<Option<eprons_core::ClusterRunResult>>> = BACKGROUNDS
+        .iter()
+        .map(|&bg| KS.iter().map(|&k| run(k, bg)).collect())
+        .collect();
+
+    let mut a = Table::new(
+        "(a) 95th-percentile network tail latency (ms) vs K",
+        &["bg%", "K=1", "K=2", "K=3", "K=4", "K=5"],
+    );
+    let mut b = Table::new(
+        "(b) active switches vs K",
+        &["bg%", "K=1", "K=2", "K=3", "K=4", "K=5"],
+    );
+    for (bi, &bg) in BACKGROUNDS.iter().enumerate() {
+        let mut ra = vec![format!("{:.0}", bg * 100.0)];
+        let mut rb = vec![format!("{:.0}", bg * 100.0)];
+        for cell in &results[bi] {
+            match cell {
+                Some(r) => {
+                    ra.push(ms(r.net_latency.p95_s));
+                    rb.push(format!("{}", r.active_switches));
+                }
+                None => {
+                    ra.push("infeas".into());
+                    rb.push("infeas".into());
+                }
+            }
+        }
+        a.row(&ra);
+        b.row(&rb);
+    }
+    println!("{a}");
+    println!("{b}");
+
+    let mut c = Table::new(
+        "(c) frontier at 50% background: active switches vs tail latency",
+        &["K", "switches", "p95-ms"],
+    );
+    for (ki, &k) in KS.iter().enumerate() {
+        if let Some(r) = &results[BACKGROUNDS.len() - 1][ki] {
+            c.row(&[
+                format!("{k:.0}"),
+                format!("{}", r.active_switches),
+                ms(r.net_latency.p95_s),
+            ]);
+        }
+    }
+    println!("{c}");
+    println!("paper shape: larger K → lower tail, more active switches; K trades the two off");
+}

@@ -1,0 +1,43 @@
+//! Figure 14 — the 24-hour diurnal traces (search load and background
+//! traffic) that drive the Fig. 15 experiment.
+//!
+//! Paper: both traces span one 24 h period and follow a diurnal pattern
+//! (search load ≈20–100 % of peak; background ≈10–50 % of bandwidth).
+
+use eprons_bench::{banner, BASE_SEED};
+use eprons_core::report::Table;
+use eprons_sim::SimRng;
+use eprons_workload::diurnal::DiurnalProfile;
+
+fn main() {
+    banner("Fig. 14", "diurnal search-load and background-traffic traces");
+    let mut rng = SimRng::seed_from_u64(BASE_SEED);
+    let search = DiurnalProfile::search_load().sample_day(&mut rng);
+    let bg = DiurnalProfile::background_traffic().sample_day(&mut SimRng::seed_from_u64(BASE_SEED + 1));
+
+    let mut t = Table::new(
+        "hourly trace values",
+        &["hour", "search-load-%of-peak", "background-%of-bw"],
+    );
+    for h in 0..24 {
+        let m = h * 60 + 30;
+        t.row(&[
+            format!("{h:02}:30"),
+            format!("{:.0}", search[m] * 100.0),
+            format!("{:.0}", bg[m] * 100.0),
+        ]);
+    }
+    println!("{t}");
+    let min = search.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = search.iter().cloned().fold(0.0, f64::max);
+    let bmin = bg.iter().cloned().fold(f64::INFINITY, f64::min);
+    let bmax = bg.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "search swing {:.0}%–{:.0}% of peak; background {:.0}%–{:.0}% of bandwidth",
+        min * 100.0,
+        max * 100.0,
+        bmin * 100.0,
+        bmax * 100.0
+    );
+    println!("paper shape: diurnal swing with trough at night and peak in the afternoon/evening");
+}

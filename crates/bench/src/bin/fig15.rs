@@ -1,0 +1,98 @@
+//! Figure 15 — total system power over the diurnal day and average
+//! savings: the paper's headline result.
+//!
+//! (a) the power timeline for no-PM / TimeTrader / EPRONS (EPRONS's DCN
+//!     power follows the diurnal pattern; TimeTrader's does not);
+//! (b) average and peak savings. Paper: EPRONS saves ≈25 % on average and
+//!     up to 31.25 % (at night); TimeTrader ≈8 % average, ≤12.5 % peak;
+//!     EPRONS's *server-side* saving alone beats TimeTrader's by ≈2 %.
+
+use eprons_bench::{banner, quick, BASE_SEED};
+use eprons_core::controller::{day_average, DayConfig};
+use eprons_core::optimizer::aggregation_candidates;
+use eprons_core::report::{pct, Table};
+use eprons_core::{simulate_day, ClusterConfig, DayStrategy};
+
+fn main() {
+    banner("Fig. 15", "diurnal total-power timeline and average savings");
+    let cfg = ClusterConfig::default();
+    let day = DayConfig {
+        epoch_minutes: if quick() { 120 } else { 30 },
+        sim_seconds: if quick() { 8.0 } else { 20.0 },
+        peak_utilization: 0.5,
+        seed: BASE_SEED,
+    };
+
+    let nopm = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
+    let tt = simulate_day(&cfg, &DayStrategy::TimeTrader, &day);
+    let eprons = simulate_day(
+        &cfg,
+        &DayStrategy::Eprons {
+            candidates: aggregation_candidates(),
+        },
+        &day,
+    );
+
+    let mut a = Table::new(
+        "(a) total system power (W) over the day",
+        &[
+            "minute",
+            "search%",
+            "no-pm",
+            "timetrader",
+            "eprons",
+            "eprons-netW",
+            "eprons-switches",
+        ],
+    );
+    for i in 0..nopm.len() {
+        a.row(&[
+            format!("{:.0}", nopm[i].minute),
+            format!("{:.0}", nopm[i].search_load * 100.0),
+            format!("{:.0}", nopm[i].breakdown.total_w()),
+            format!("{:.0}", tt[i].breakdown.total_w()),
+            format!("{:.0}", eprons[i].breakdown.total_w()),
+            format!("{:.0}", eprons[i].breakdown.network_w),
+            format!("{}", eprons[i].active_switches),
+        ]);
+    }
+    println!("{a}");
+
+    let base = day_average(&nopm);
+    let tt_avg = day_average(&tt);
+    let ep_avg = day_average(&eprons);
+    let tt_sav = tt_avg.saving_vs(&base);
+    let ep_sav = ep_avg.saving_vs(&base);
+
+    let peak_saving = |recs: &[eprons_core::DayRecord]| {
+        recs.iter()
+            .zip(&nopm)
+            .map(|(r, b)| (b.breakdown.total_w() - r.breakdown.total_w()) / b.breakdown.total_w())
+            .fold(0.0f64, f64::max)
+    };
+
+    let mut b = Table::new(
+        "(b) savings vs no-power-management (%)",
+        &["scheme", "server", "network", "total-avg", "total-peak"],
+    );
+    b.row(&[
+        "timetrader".into(),
+        pct(tt_sav.server),
+        pct(tt_sav.network),
+        pct(tt_sav.total),
+        pct(peak_saving(&tt)),
+    ]);
+    b.row(&[
+        "eprons".into(),
+        pct(ep_sav.server),
+        pct(ep_sav.network),
+        pct(ep_sav.total),
+        pct(peak_saving(&eprons)),
+    ]);
+    println!("{b}");
+    println!("paper anchors: EPRONS ≈25% avg / ≤31.25% peak total saving (peak at night);");
+    println!("TimeTrader ≈8% avg / ≤12.5% peak, with zero network saving;");
+    println!("EPRONS total saving ≥ 2× TimeTrader's; EPRONS server-side saving alone beats TimeTrader");
+    let feas = eprons.iter().filter(|r| r.feasible).count();
+    println!("EPRONS feasible epochs: {feas}/{}", eprons.len());
+}

@@ -1,0 +1,57 @@
+//! SLA validation: does the measured miss rate track the VP target?
+//!
+//! The paper's core guarantee (§III): "EPRONS-Server can guarantee that
+//! the average tail latency of services meets the latency constraints."
+//! The mechanism sets the per-decision *average* violation probability to
+//! the miss budget; this harness sweeps the budget and checks that the
+//! *measured* miss rate lands at or below it (the model is conservative
+//! between decision instants), at several loads.
+
+use eprons_bench::{banner, quick, BASE_SEED};
+use eprons_core::report::Table;
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::{
+    coresim::poisson_trace, simulate_core, AvgVpPolicy, CoreSimConfig, MaxVpPolicy,
+    ServiceModel, VpEngine,
+};
+use eprons_sim::SimRng;
+
+fn main() {
+    banner("Validation", "measured miss rate vs VP target (the §III guarantee)");
+    let mut rng = SimRng::seed_from_u64(BASE_SEED);
+    let service = ServiceModel::synthetic_xapian(&mut rng, 30_000, 160);
+    let mean_t = service.mean_service_time(2.7);
+    let cfg = CoreSimConfig::default();
+    let dur = if quick() { 60.0 } else { 240.0 };
+
+    let mut t = Table::new(
+        "measured miss rate (%) vs VP target, 25 ms budget",
+        &["target%", "scheme", "util=20%", "util=35%", "util=50%"],
+    );
+    for target in [0.01, 0.05, 0.10] {
+        for (label, is_avg) in [("avg-vp (eprons)", true), ("max-vp (rubik)", false)] {
+            let mut row = vec![format!("{:.0}", target * 100.0), label.to_string()];
+            for util in [0.2, 0.35, 0.5] {
+                let mut trng = SimRng::seed_from_u64(BASE_SEED + 7);
+                let arrivals = poisson_trace(&mut trng, util / mean_t, dur, 25.0e-3);
+                let mut engine = VpEngine::new(service.clone());
+                let mut policy: Box<dyn DvfsPolicy> = if is_avg {
+                    Box::new(AvgVpPolicy { target, edf: true })
+                } else {
+                    Box::new(MaxVpPolicy {
+                        target,
+                        label: "max-vp",
+                    })
+                };
+                let r = simulate_core(policy.as_mut(), &mut engine, &arrivals, &cfg, 9);
+                row.push(format!("{:.2}", r.miss_rate().unwrap() * 100.0));
+            }
+            t.row(&row);
+        }
+    }
+    println!("{t}");
+    println!("expected: measured miss tracks the target, with avg-vp closer to it than");
+    println!("max-vp — that closeness is exactly the energy EPRONS-Server recovers.");
+    println!("At tight targets and high load both schemes saturate f_max on bursts and");
+    println!("overshoot together (no frequency can honor a 1% tail at 50% load).");
+}

@@ -1,0 +1,66 @@
+//! Shared plumbing for the EPRONS figure-regeneration harness.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin/`
+//! (`fig01` … `fig15`) that regenerates its rows/series with this crate's
+//! simulators. Conventions:
+//!
+//! * pass `--quick` (or set `EPRONS_QUICK=1`) for a shorter, noisier run;
+//! * output goes through `eprons_core::report::Table` so EXPERIMENTS.md
+//!   can quote it verbatim;
+//! * all runs are deterministic from [`BASE_SEED`].
+
+use eprons_core::config::ClusterConfig;
+
+/// Master seed shared by the harness binaries.
+pub const BASE_SEED: u64 = 2018;
+
+/// `true` when the caller asked for a fast, lower-fidelity run.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("EPRONS_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Simulated seconds of query arrivals per sweep point.
+pub fn sweep_duration_s() -> f64 {
+    if quick() {
+        5.0
+    } else {
+        20.0
+    }
+}
+
+/// The default cluster configuration with the SLA total replaced
+/// (constraint sweeps keep the 5 ms network budget and move the server
+/// budget, like the paper's Figs. 12b/13).
+pub fn cfg_with_total_ms(total_ms: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.sla = cfg.sla.with_total(total_ms * 1.0e-3);
+    cfg
+}
+
+/// Standard harness banner.
+pub fn banner(fig: &str, what: &str) {
+    println!("== EPRONS reproduction: {fig} — {what} ==");
+    println!(
+        "   (seed {BASE_SEED}, {} mode)\n",
+        if quick() { "quick" } else { "full" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_duration_modes() {
+        // Not running with --quick in the test harness.
+        assert!(sweep_duration_s() > 0.0);
+    }
+
+    #[test]
+    fn cfg_with_total_keeps_network_budget() {
+        let cfg = cfg_with_total_ms(22.0);
+        assert!((cfg.sla.total_s() - 22.0e-3).abs() < 1e-9);
+        assert!((cfg.sla.network_budget_s - 5.0e-3).abs() < 1e-12);
+    }
+}

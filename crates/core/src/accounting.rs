@@ -1,0 +1,93 @@
+//! Power breakdowns and savings arithmetic (Fig. 15b's bars).
+
+use serde::Serialize;
+
+/// A total-power snapshot split into its two layers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerBreakdown {
+    /// All servers (static + CPU), watts.
+    pub server_w: f64,
+    /// DCN (switches + links), watts.
+    pub network_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total watts.
+    pub fn total_w(&self) -> f64 {
+        self.server_w + self.network_w
+    }
+
+    /// Fractional saving of `self` relative to a baseline (positive =
+    /// saving). Returns per-layer and total savings.
+    pub fn saving_vs(&self, baseline: &PowerBreakdown) -> Savings {
+        let frac = |ours: f64, base: f64| {
+            if base > 0.0 {
+                (base - ours) / base
+            } else {
+                0.0
+            }
+        };
+        Savings {
+            server: frac(self.server_w, baseline.server_w),
+            network: frac(self.network_w, baseline.network_w),
+            total: frac(self.total_w(), baseline.total_w()),
+        }
+    }
+}
+
+/// Fractional savings per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Savings {
+    /// Server-layer saving fraction.
+    pub server: f64,
+    /// Network-layer saving fraction.
+    pub network: f64,
+    /// Total saving fraction.
+    pub total: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_savings() {
+        let base = PowerBreakdown {
+            server_w: 1000.0,
+            network_w: 600.0,
+        };
+        let ours = PowerBreakdown {
+            server_w: 800.0,
+            network_w: 300.0,
+        };
+        assert_eq!(base.total_w(), 1600.0);
+        let s = ours.saving_vs(&base);
+        assert!((s.server - 0.2).abs() < 1e-12);
+        assert!((s.network - 0.5).abs() < 1e-12);
+        assert!((s.total - 500.0 / 1600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        let base = PowerBreakdown {
+            server_w: 0.0,
+            network_w: 0.0,
+        };
+        let ours = base;
+        let s = ours.saving_vs(&base);
+        assert_eq!(s.total, 0.0);
+    }
+
+    #[test]
+    fn negative_saving_when_worse() {
+        let base = PowerBreakdown {
+            server_w: 100.0,
+            network_w: 100.0,
+        };
+        let worse = PowerBreakdown {
+            server_w: 150.0,
+            network_w: 100.0,
+        };
+        assert!(worse.saving_vs(&base).server < 0.0);
+    }
+}

@@ -1,0 +1,627 @@
+//! The end-to-end cluster simulator (paper §V-A's platform).
+//!
+//! One run reproduces the paper's MiniNet experiment: a 4-ary fat-tree
+//! carrying background elephants plus partition–aggregate search queries
+//! (a random aggregator broadcasts sub-queries to the other 15 ISNs), with
+//!
+//! 1. traffic consolidation choosing the active subgraph and flow paths,
+//! 2. per-sub-query network latencies sampled from the utilization→latency
+//!    model along the assigned paths,
+//! 3. per-ISN DVFS simulation under the selected server scheme, with the
+//!    request network slack transferred into each request's compute budget
+//!    for the slack-aware schemes, and
+//! 4. power and tail-latency accounting across both layers.
+
+use std::collections::HashMap;
+
+use eprons_net::flow::FlowSet;
+use eprons_net::{
+    Assignment, ConsolidationConfig, ConsolidationError, Consolidator, FlowClass, FlowId,
+    GreedyConsolidator,
+};
+use eprons_net::consolidate::AggregationRouter;
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::{
+    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, DeepSleepPolicy, MaxFreqPolicy,
+    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+};
+use eprons_server::request::budget_with_network_slack;
+use eprons_sim::SimRng;
+use eprons_topo::{AggregationLevel, FatTree};
+use eprons_workload::{xapian_like_samples, QueryGenerator};
+use eprons_workload::background::background_flows;
+
+use crate::accounting::PowerBreakdown;
+use crate::config::ClusterConfig;
+
+/// The server power-management scheme under test (Fig. 12's lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerScheme {
+    /// Always `f_max`.
+    NoPowerManagement,
+    /// Max-VP criterion, no network slack.
+    Rubik,
+    /// Max-VP criterion with per-request network slack.
+    RubikPlus,
+    /// 5 s feedback on the measured tail; whole network budget when the
+    /// DCN is uncongested.
+    TimeTrader,
+    /// EPRONS-Server: average-VP criterion, EDF, per-request slack.
+    EpronsServer,
+    /// Extension: deep idle sleep + max-VP DVFS with per-request slack
+    /// (the DynSleep/SleepScale direction; not one of the paper's
+    /// baselines, hence excluded from [`ServerScheme::ALL`]).
+    DeepSleep,
+}
+
+impl ServerScheme {
+    /// Every scheme, baseline first.
+    pub const ALL: [ServerScheme; 5] = [
+        ServerScheme::NoPowerManagement,
+        ServerScheme::Rubik,
+        ServerScheme::TimeTrader,
+        ServerScheme::RubikPlus,
+        ServerScheme::EpronsServer,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerScheme::NoPowerManagement => "no-power-management",
+            ServerScheme::Rubik => "rubik",
+            ServerScheme::RubikPlus => "rubik+",
+            ServerScheme::TimeTrader => "timetrader",
+            ServerScheme::EpronsServer => "eprons-server",
+            ServerScheme::DeepSleep => "deep-sleep",
+        }
+    }
+
+    /// Whether per-request network slack extends this scheme's deadlines.
+    fn uses_request_slack(&self) -> bool {
+        matches!(
+            self,
+            ServerScheme::RubikPlus | ServerScheme::EpronsServer | ServerScheme::DeepSleep
+        )
+    }
+}
+
+/// How the network layer is configured for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConsolidationSpec {
+    /// Everything on, ECMP-balanced — the "no network power management"
+    /// baseline (also TimeTrader's network, which saves no DCN power).
+    AllOn,
+    /// A fixed Fig. 9 aggregation preset.
+    Level(AggregationLevel),
+    /// Greedy latency-aware consolidation with scale factor `K`.
+    GreedyK(f64),
+}
+
+/// Parameters of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Server scheme.
+    pub scheme: ServerScheme,
+    /// Network configuration.
+    pub consolidation: ConsolidationSpec,
+    /// Target per-ISN utilization (drives the query rate).
+    pub server_utilization: f64,
+    /// Background traffic as a fraction of link capacity (0 disables).
+    pub background_util: f64,
+    /// Simulated seconds of query arrivals *measured*.
+    pub duration_s: f64,
+    /// Warmup seconds simulated before measurement starts (lets the 5 s
+    /// TimeTrader control loop settle; model-based per-request schemes are
+    /// stationary from the first request and need none).
+    pub warmup_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterRun {
+    fn default() -> Self {
+        ClusterRun {
+            scheme: ServerScheme::EpronsServer,
+            consolidation: ConsolidationSpec::AllOn,
+            server_utilization: 0.3,
+            background_util: 0.2,
+            duration_s: 20.0,
+            warmup_s: 0.0,
+            seed: 2018,
+        }
+    }
+}
+
+/// Everything a run measures.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// Power split (servers incl. static; network switches + links).
+    pub breakdown: PowerBreakdown,
+    /// CPU-only power across all servers, watts (Fig. 12's y-axis).
+    pub cpu_power_w: f64,
+    /// Active switches after consolidation.
+    pub active_switches: usize,
+    /// Node indices of the active switches (for churn accounting).
+    pub active_switch_ids: Vec<usize>,
+    /// Peak link utilization (actual carried load).
+    pub max_link_utilization: f64,
+    /// Number of queries issued.
+    pub query_count: usize,
+    /// Per-query network latency (max over ISNs of request+reply, the
+    /// partition–aggregate straggler effect of Figs. 10–11), seconds.
+    pub net_latency: LatencySummary,
+    /// Per-sub-query server latency, seconds.
+    pub server_latency: LatencySummary,
+    /// Per-sub-request end-to-end latency (request + server + reply —
+    /// the SLA currency of Figs. 12–13), seconds.
+    pub e2e_latency: LatencySummary,
+    /// Per-query end-to-end latency (max over ISNs), seconds.
+    pub query_e2e_latency: LatencySummary,
+    /// Fraction of sub-requests whose end-to-end latency exceeded the
+    /// SLA total.
+    pub e2e_miss_rate: f64,
+    /// Fraction of sub-queries whose server latency exceeded their own
+    /// budget.
+    pub server_miss_rate: f64,
+}
+
+/// Mean and tail percentiles of a latency population.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Arithmetic mean, seconds.
+    pub mean_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(samples: &[f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                mean_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+            };
+        }
+        LatencySummary {
+            mean_s: samples.iter().sum::<f64>() / samples.len() as f64,
+            p95_s: eprons_num::quantile::percentile(samples, 0.95),
+            p99_s: eprons_num::quantile::percentile(samples, 0.99),
+        }
+    }
+}
+
+impl ClusterRunResult {
+    /// Whether this configuration met the end-to-end SLA (with a small
+    /// simulation-noise margin on the miss budget).
+    pub fn is_feasible(&self, cfg: &ClusterConfig) -> bool {
+        self.e2e_miss_rate <= cfg.sla.miss_budget() + 0.03
+    }
+}
+
+/// Run failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The consolidator could not place the offered traffic.
+    Consolidation(ConsolidationError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Consolidation(e) => write!(f, "consolidation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Runs one cluster experiment.
+///
+/// ```
+/// use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ServerScheme, ConsolidationSpec};
+/// let cfg = ClusterConfig::default();
+/// let run = ClusterRun {
+///     scheme: ServerScheme::EpronsServer,
+///     consolidation: ConsolidationSpec::GreedyK(2.0),
+///     server_utilization: 0.2,
+///     background_util: 0.1,
+///     duration_s: 1.0,
+///     warmup_s: 0.0,
+///     seed: 1,
+/// };
+/// let r = run_cluster(&cfg, &run).unwrap();
+/// assert!(r.breakdown.total_w() > 0.0);
+/// assert!(r.active_switches <= 20);
+/// ```
+pub fn run_cluster(
+    cfg: &ClusterConfig,
+    run: &ClusterRun,
+) -> Result<ClusterRunResult, ClusterError> {
+    let mut master = SimRng::seed_from_u64(run.seed);
+    let mut service_rng = master.fork(1);
+    let mut query_rng = master.fork(2);
+    let mut bg_rng = master.fork(3);
+    let mut net_rng = master.fork(4);
+    let mut server_seed_rng = master.fork(5);
+
+    let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
+    let n = cfg.num_servers();
+    let hosts = ft.hosts().to_vec();
+
+    // --- Service-time model (the measured Xapian log, §V-A). ---
+    let samples = xapian_like_samples(&mut service_rng, cfg.service_log_samples);
+    let service = ServiceModel::from_time_samples(
+        &samples,
+        0.2,
+        cfg.ladder.max(),
+        cfg.work_pmf_bins,
+    );
+    let mean_t = service.mean_service_time(cfg.ladder.max());
+
+    // --- Query workload (warmup + measured window). ---
+    let warmup = run.warmup_s.max(0.0);
+    let horizon = warmup + run.duration_s;
+    let rate = cfg.query_rate_for_utilization(run.server_utilization, mean_t);
+    let generator = QueryGenerator::new(n);
+    let queries = generator.generate(&mut query_rng, rate, horizon);
+
+    // --- Flows and consolidation. ---
+    let mut flows = FlowSet::new();
+    if run.background_util > 0.0 {
+        for bf in background_flows(&ft, &mut bg_rng, run.background_util, cfg.link_capacity_mbps)
+        {
+            flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
+        }
+    }
+    // One latency-sensitive flow per ordered host pair (any server may
+    // aggregate, so query traffic exists between every pair).
+    let mut pair_flow: HashMap<(usize, usize), FlowId> = HashMap::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                let id = flows.add(
+                    hosts[a],
+                    hosts[b],
+                    cfg.query_flow_mbps,
+                    FlowClass::LatencySensitive,
+                );
+                pair_flow.insert((a, b), id);
+            }
+        }
+    }
+    let ccfg = ConsolidationConfig {
+        scale_k: match run.consolidation {
+            ConsolidationSpec::GreedyK(k) => k,
+            _ => 1.0,
+        },
+        safety_margin_mbps: cfg.safety_margin_mbps,
+        power: cfg.net_power.clone(),
+    };
+    let assignment: Assignment = match run.consolidation {
+        ConsolidationSpec::AllOn => AggregationRouter::for_level(&ft, AggregationLevel::Agg0)
+            .consolidate(&ft, &flows, &ccfg),
+        ConsolidationSpec::Level(l) => {
+            AggregationRouter::for_level(&ft, l).consolidate(&ft, &flows, &ccfg)
+        }
+        ConsolidationSpec::GreedyK(_) => GreedyConsolidator.consolidate(&ft, &flows, &ccfg),
+    }
+    .map_err(ClusterError::Consolidation)?;
+
+    let max_util = assignment.max_utilization(&ft);
+    let congested = max_util > cfg.congestion_threshold;
+
+    // --- Per-sub-query network latencies. ---
+    let state = assignment.state();
+    // (ISN, request, reply) latency per query.
+    let mut net_lat: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); queries.len()];
+    for q in &queries {
+        for s in 0..n {
+            if s == q.aggregator {
+                continue;
+            }
+            let req_path = assignment.path(pair_flow[&(q.aggregator, s)]);
+            let rep_path = assignment.path(pair_flow[&(s, q.aggregator)]);
+            let req_utils = state.path_utilizations(ft.topology(), req_path);
+            let rep_utils = state.path_utilizations(ft.topology(), rep_path);
+            let req_lat =
+                cfg.latency.sample_path_latency_us(&mut net_rng, &req_utils) * 1.0e-6;
+            let rep_lat =
+                cfg.latency.sample_path_latency_us(&mut net_rng, &rep_utils) * 1.0e-6;
+            net_lat[q.id as usize].push((s, req_lat, rep_lat));
+        }
+    }
+
+    // TimeTrader borrows whatever network budget its congestion monitor
+    // shows to be unused: target = server budget + max(0, network budget −
+    // observed round-trip p95). A congested subnet (ECN/queue build-up)
+    // withdraws the slack entirely — the over-conservatism the paper
+    // criticizes (§I).
+    let timetrader_target = if run.scheme == ServerScheme::TimeTrader {
+        let round_trips: Vec<f64> = net_lat
+            .iter()
+            .flatten()
+            .map(|&(_, req, rep)| req + rep)
+            .collect();
+        let net_p95 = if round_trips.is_empty() || congested {
+            cfg.sla.network_budget_s
+        } else {
+            eprons_num::quantile::percentile(&round_trips, 0.95)
+        };
+        cfg.sla.server_budget_s + (cfg.sla.network_budget_s - net_p95).max(0.0)
+    } else {
+        cfg.sla.server_budget_s
+    };
+
+    // --- Server arrival traces with per-request budgets. ---
+    let mut per_server: Vec<Vec<ArrivalSpec>> = vec![Vec::new(); n];
+    for q in &queries {
+        for &(s, req_lat, _rep) in &net_lat[q.id as usize] {
+            let budget = if run.scheme.uses_request_slack() {
+                budget_with_network_slack(
+                    cfg.sla.server_budget_s,
+                    cfg.sla.request_budget_s(),
+                    req_lat,
+                )
+            } else if run.scheme == ServerScheme::TimeTrader {
+                timetrader_target
+            } else {
+                cfg.sla.server_budget_s
+            };
+            per_server[s].push(ArrivalSpec {
+                arrival_s: q.time_s + req_lat,
+                budget_s: budget,
+                tag: q.id,
+            });
+        }
+    }
+
+    // --- Per-ISN DVFS simulation. ---
+    let core_cfg = CoreSimConfig {
+        ladder: cfg.ladder.clone(),
+        power: cfg.cpu.clone(),
+        decision_overhead_s: 30.0e-6,
+        measure_from_s: warmup,
+    };
+    let mut cpu_power_w = 0.0;
+    let mut server_w = 0.0;
+    let mut server_latencies: Vec<f64> = Vec::new();
+    let mut server_misses = 0usize;
+    let mut server_completions = 0usize;
+    // server latency per (server, query id).
+    let mut lat_of: HashMap<(usize, u64), f64> = HashMap::new();
+    for (s, arrivals) in per_server.iter_mut().enumerate() {
+        arrivals.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("finite times")
+        });
+        let mut engine = VpEngine::new(service.clone());
+        let mut policy: Box<dyn DvfsPolicy> = match run.scheme {
+            ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
+            ServerScheme::Rubik => Box::new(MaxVpPolicy::rubik()),
+            ServerScheme::RubikPlus => Box::new(MaxVpPolicy::rubik_plus()),
+            ServerScheme::TimeTrader => {
+                Box::new(TimeTraderPolicy::new(timetrader_target, cfg.ladder.len()))
+            }
+            ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
+            ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
+        };
+        let seed = server_seed_rng.fork(s as u64).uniform().to_bits();
+        let r = simulate_core(policy.as_mut(), &mut engine, arrivals, &core_cfg, seed);
+        let end = r.sim_end_s.max(horizon);
+        let span = end - warmup;
+        let trailing_idle_w = policy
+            .idle_power_w()
+            .unwrap_or_else(|| cfg.cpu.core_idle_w());
+        let avg_core_w = if span > 0.0 {
+            // Integrate idle power through any trailing idle time too.
+            (r.energy_j + (end - r.sim_end_s) * trailing_idle_w) / span
+        } else {
+            trailing_idle_w
+        };
+        cpu_power_w += cfg.cpu.cores as f64 * avg_core_w;
+        server_w += cfg.cpu.server_w(avg_core_w);
+        for ((&lat, &tag), &budget) in r
+            .latencies
+            .iter()
+            .zip(&r.tags)
+            .zip(&r.budgets)
+        {
+            server_latencies.push(lat);
+            server_completions += 1;
+            if lat > budget {
+                server_misses += 1;
+            }
+            lat_of.insert((s, tag), lat);
+        }
+    }
+
+    // --- Query- and request-level assembly. ---
+    let mut query_net: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut query_e2e: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut e2e: Vec<f64> = Vec::with_capacity(queries.len() * n);
+    for q in &queries {
+        if q.time_s < warmup {
+            continue; // warmup queries are simulated but not scored
+        }
+        let mut worst_net: f64 = 0.0;
+        let mut worst_e2e: f64 = 0.0;
+        for &(s, req, rep) in &net_lat[q.id as usize] {
+            let srv = lat_of
+                .get(&(s, q.id))
+                .copied()
+                .expect("every sub-query completes");
+            worst_net = worst_net.max(req + rep);
+            worst_e2e = worst_e2e.max(req + srv + rep);
+            e2e.push(req + srv + rep);
+        }
+        query_net.push(worst_net);
+        query_e2e.push(worst_e2e);
+    }
+    let e2e_misses = e2e.iter().filter(|&&l| l > cfg.sla.total_s()).count();
+
+    let network_w = assignment.network_power_w(&ft, &cfg.net_power);
+    let active_switch_ids: Vec<usize> = ft
+        .topology()
+        .switches()
+        .into_iter()
+        .filter(|&n| assignment.state().node_on(n))
+        .map(|n| n.0)
+        .collect();
+    Ok(ClusterRunResult {
+        breakdown: PowerBreakdown {
+            server_w,
+            network_w,
+        },
+        cpu_power_w,
+        active_switches: assignment.active_switch_count(&ft),
+        active_switch_ids,
+        max_link_utilization: max_util,
+        query_count: query_net.len(),
+        net_latency: LatencySummary::from_samples(&query_net),
+        server_latency: LatencySummary::from_samples(&server_latencies),
+        e2e_latency: LatencySummary::from_samples(&e2e),
+        query_e2e_latency: LatencySummary::from_samples(&query_e2e),
+        e2e_miss_rate: if e2e.is_empty() {
+            0.0
+        } else {
+            e2e_misses as f64 / e2e.len() as f64
+        },
+        server_miss_rate: if server_completions == 0 {
+            0.0
+        } else {
+            server_misses as f64 / server_completions as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_run() -> ClusterRun {
+        ClusterRun {
+            scheme: ServerScheme::EpronsServer,
+            consolidation: ConsolidationSpec::Level(AggregationLevel::Agg0),
+            server_utilization: 0.3,
+            background_util: 0.2,
+            duration_s: 5.0,
+            warmup_s: 0.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn smoke_run_produces_sane_numbers() {
+        let cfg = ClusterConfig::default();
+        let r = run_cluster(&cfg, &base_run()).unwrap();
+        assert!(r.query_count > 100, "queries: {}", r.query_count);
+        // 16 servers: static 320 W + CPU in [16×12×1.4, 16×12×4.4].
+        assert!(r.breakdown.server_w > 320.0 + 16.0 * 12.0 * 1.3);
+        assert!(r.breakdown.server_w < 320.0 + 16.0 * 12.0 * 4.5);
+        // Full network on Agg0.
+        assert_eq!(r.active_switches, 20);
+        assert!(r.net_latency.p95_s > 0.0);
+        // Per-request e2e includes the server; per-query metrics dominate
+        // their per-request counterparts (max over 15 ISNs).
+        assert!(r.e2e_latency.p95_s >= r.server_latency.p95_s);
+        assert!(r.query_e2e_latency.p95_s >= r.e2e_latency.p95_s);
+        assert!(r.net_latency.p95_s >= 0.8e-3, "6-hop base ≈ 0.8 ms");
+        assert!(r.max_link_utilization > 0.1 && r.max_link_utilization < 1.5);
+    }
+
+    #[test]
+    fn eprons_saves_cpu_power_vs_no_pm() {
+        let cfg = ClusterConfig::default();
+        let mut run = base_run();
+        let eprons = run_cluster(&cfg, &run).unwrap();
+        run.scheme = ServerScheme::NoPowerManagement;
+        let nopm = run_cluster(&cfg, &run).unwrap();
+        assert!(
+            eprons.cpu_power_w < nopm.cpu_power_w,
+            "eprons {} vs no-pm {}",
+            eprons.cpu_power_w,
+            nopm.cpu_power_w
+        );
+        // And stays feasible.
+        assert!(eprons.is_feasible(&cfg), "miss {}", eprons.e2e_miss_rate);
+    }
+
+    #[test]
+    fn aggregation_trades_network_power_for_latency() {
+        let cfg = ClusterConfig::default();
+        let mut run = base_run();
+        let agg0 = run_cluster(&cfg, &run).unwrap();
+        run.consolidation = ConsolidationSpec::Level(AggregationLevel::Agg3);
+        let agg3 = run_cluster(&cfg, &run).unwrap();
+        assert!(agg3.breakdown.network_w < agg0.breakdown.network_w);
+        assert!(agg3.active_switches == 13 && agg0.active_switches == 20);
+        assert!(
+            agg3.net_latency.p95_s > agg0.net_latency.p95_s,
+            "consolidation must raise the network tail: {} vs {}",
+            agg3.net_latency.p95_s,
+            agg0.net_latency.p95_s
+        );
+    }
+
+    #[test]
+    fn network_slack_helps_rubik_plus() {
+        let cfg = ClusterConfig::default();
+        let mut run = base_run();
+        run.scheme = ServerScheme::Rubik;
+        let rubik = run_cluster(&cfg, &run).unwrap();
+        run.scheme = ServerScheme::RubikPlus;
+        let plus = run_cluster(&cfg, &run).unwrap();
+        assert!(
+            plus.cpu_power_w <= rubik.cpu_power_w + 1.0,
+            "rubik+ {} should not exceed rubik {}",
+            plus.cpu_power_w,
+            rubik.cpu_power_w
+        );
+    }
+
+    #[test]
+    fn greedy_consolidation_turns_switches_off() {
+        let cfg = ClusterConfig::default();
+        let mut run = base_run();
+        run.consolidation = ConsolidationSpec::GreedyK(1.0);
+        let r = run_cluster(&cfg, &run).unwrap();
+        assert!(
+            r.active_switches < 20,
+            "greedy should power down unused switches, kept {}",
+            r.active_switches
+        );
+    }
+
+    #[test]
+    fn deep_sleep_extension_saves_most_at_low_load() {
+        let cfg = ClusterConfig::default();
+        let mut run = base_run();
+        run.server_utilization = 0.05;
+        run.scheme = ServerScheme::DeepSleep;
+        let sleep = run_cluster(&cfg, &run).unwrap();
+        run.scheme = ServerScheme::EpronsServer;
+        let eprons = run_cluster(&cfg, &run).unwrap();
+        assert!(
+            sleep.cpu_power_w < eprons.cpu_power_w,
+            "at 5% load sleeping ({}) must beat DVFS ({})",
+            sleep.cpu_power_w,
+            eprons.cpu_power_w
+        );
+        assert!(sleep.is_feasible(&cfg), "miss {}", sleep.e2e_miss_rate);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ClusterConfig::default();
+        let run = base_run();
+        let a = run_cluster(&cfg, &run).unwrap();
+        let b = run_cluster(&cfg, &run).unwrap();
+        assert_eq!(a.cpu_power_w, b.cpu_power_w);
+        assert_eq!(a.e2e_latency.p95_s, b.e2e_latency.p95_s);
+        assert_eq!(a.query_count, b.query_count);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cluster-wide configuration: every calibrated constant in one place.
+
+use eprons_net::{LatencyModel, NetworkPowerModel};
+use eprons_server::{CpuPowerModel, FreqLadder};
+
+/// The SLA split between network and servers (paper §V-B2: "30 ms
+/// constraint (25 ms server budget and 5 ms network budget)").
+#[derive(Debug, Clone)]
+pub struct SlaConfig {
+    /// Server compute budget, seconds.
+    pub server_budget_s: f64,
+    /// Network budget, seconds (request + reply combined).
+    pub network_budget_s: f64,
+    /// Fraction of the network budget attributed to the request direction
+    /// (only request slack is transferred to the server, §IV-C).
+    pub request_fraction: f64,
+    /// SLA percentile (0.95).
+    pub percentile: f64,
+}
+
+impl Default for SlaConfig {
+    fn default() -> Self {
+        SlaConfig {
+            server_budget_s: 25.0e-3,
+            network_budget_s: 5.0e-3,
+            request_fraction: 0.5,
+            percentile: 0.95,
+        }
+    }
+}
+
+impl SlaConfig {
+    /// The end-to-end tail-latency constraint.
+    pub fn total_s(&self) -> f64 {
+        self.server_budget_s + self.network_budget_s
+    }
+
+    /// Miss-rate budget implied by the percentile (5 % at p95).
+    pub fn miss_budget(&self) -> f64 {
+        1.0 - self.percentile
+    }
+
+    /// Network budget for the request direction.
+    pub fn request_budget_s(&self) -> f64 {
+        self.network_budget_s * self.request_fraction
+    }
+
+    /// An SLA with the same structure but a different total constraint:
+    /// the network budget keeps its size, the server gets the rest
+    /// (how Figs. 12b and 13 sweep the constraint).
+    pub fn with_total(&self, total_s: f64) -> SlaConfig {
+        SlaConfig {
+            server_budget_s: (total_s - self.network_budget_s).max(1.0e-3),
+            ..self.clone()
+        }
+    }
+}
+
+/// Everything the cluster simulator needs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Fat-tree arity (4 → 16 servers, 20 switches).
+    pub fat_tree_k: usize,
+    /// Link capacity, Mbps (1 Gbps).
+    pub link_capacity_mbps: f64,
+    /// Safety margin subtracted from usable link capacity, Mbps.
+    pub safety_margin_mbps: f64,
+    /// Per-(aggregator, ISN) query-traffic demand, Mbps.
+    pub query_flow_mbps: f64,
+    /// SLA split.
+    pub sla: SlaConfig,
+    /// DVFS ladder.
+    pub ladder: FreqLadder,
+    /// CPU power model.
+    pub cpu: CpuPowerModel,
+    /// Network power model.
+    pub net_power: NetworkPowerModel,
+    /// Utilization→latency model.
+    pub latency: LatencyModel,
+    /// Link-utilization threshold above which TimeTrader's congestion
+    /// signal (ECN/queue build-up) withdraws its network slack.
+    pub congestion_threshold: f64,
+    /// Service-time log size used to fit the work PMF.
+    pub service_log_samples: usize,
+    /// Work-PMF resolution (bins).
+    pub work_pmf_bins: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            fat_tree_k: 4,
+            link_capacity_mbps: 1000.0,
+            safety_margin_mbps: 50.0,
+            query_flow_mbps: 10.0,
+            sla: SlaConfig::default(),
+            ladder: FreqLadder::paper_default(),
+            cpu: CpuPowerModel::default(),
+            net_power: NetworkPowerModel::default(),
+            latency: LatencyModel::default(),
+            congestion_threshold: 0.7,
+            service_log_samples: 30_000,
+            work_pmf_bins: 160,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Number of servers (fat-tree hosts).
+    pub fn num_servers(&self) -> usize {
+        let half = self.fat_tree_k / 2;
+        self.fat_tree_k * half * half
+    }
+
+    /// The cluster-wide query rate that produces a target per-ISN
+    /// utilization, given the mean service time at `f_max`.
+    ///
+    /// Each query occupies every server except its aggregator, so the
+    /// per-server arrival rate is `rate × (n−1)/n`.
+    pub fn query_rate_for_utilization(&self, util: f64, mean_service_s: f64) -> f64 {
+        let n = self.num_servers() as f64;
+        util / mean_service_s * n / (n - 1.0)
+    }
+
+    /// "No power management" total power: every switch/link on, every core
+    /// busy-equivalent power at the measured average — used as the savings
+    /// baseline denominator in Fig. 15(b). The *measured* no-PM run is
+    /// preferred where available; this is the static budget bound.
+    pub fn peak_total_power_w(&self) -> f64 {
+        let servers = self.num_servers() as f64 * self.cpu.server_peak_w(self.ladder.max());
+        // Full network: computed by callers with the topology at hand;
+        // here we only account servers. See accounting::PowerBreakdown.
+        servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.num_servers(), 16);
+        assert!((c.sla.total_s() - 30.0e-3).abs() < 1e-12);
+        assert!((c.sla.miss_budget() - 0.05).abs() < 1e-12);
+        assert!((c.sla.request_budget_s() - 2.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_total_preserves_network_budget() {
+        let sla = SlaConfig::default().with_total(22.0e-3);
+        assert!((sla.network_budget_s - 5.0e-3).abs() < 1e-12);
+        assert!((sla.server_budget_s - 17.0e-3).abs() < 1e-12);
+        assert!((sla.total_s() - 22.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_rate_accounts_for_aggregator_exclusion() {
+        let c = ClusterConfig::default();
+        // 30% util at 5 ms mean: per-server rate 60/s; cluster rate
+        // 60 × 16/15 = 64/s.
+        let r = c.query_rate_for_utilization(0.3, 5.0e-3);
+        assert!((r - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_power_scale() {
+        let c = ClusterConfig::default();
+        // 16 servers × 72.8 W = 1164.8 W of server budget.
+        assert!((c.peak_total_power_w() - 1164.8).abs() < 0.1);
+    }
+}

@@ -1,0 +1,382 @@
+//! The SDN-controller day loop (paper Fig. 7 + Fig. 15).
+//!
+//! The centralized controller gathers traffic statistics, predicts the next
+//! epoch's demand (90th percentile of the last epoch, §II), re-runs the
+//! optimizer every 10 minutes (§IV-B), and reconfigures paths/switch
+//! states. [`simulate_day`] replays a 24-hour diurnal day (Fig. 14) through
+//! that loop and records the power timeline of Fig. 15.
+
+use eprons_net::transition::{Churn, TransitionModel};
+use eprons_net::DemandPredictor;
+use eprons_net::flow::FlowId;
+use eprons_sim::SimRng;
+use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
+
+use crate::cluster::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
+use crate::config::ClusterConfig;
+use crate::optimizer::optimize_total_power;
+use crate::accounting::PowerBreakdown;
+use crate::parallel::parallel_map;
+
+/// The three Fig. 15 contenders.
+#[derive(Debug, Clone)]
+pub enum DayStrategy {
+    /// No power management anywhere.
+    NoPowerManagement,
+    /// TimeTrader on the servers; the DCN stays fully on ("TimeTrader
+    /// doesn't save any DCN power", §V-B3).
+    TimeTrader,
+    /// Full EPRONS: EPRONS-Server plus per-epoch joint optimization over
+    /// the given candidate network configurations.
+    Eprons {
+        /// Candidate network configurations for the joint optimizer.
+        candidates: Vec<ConsolidationSpec>,
+    },
+}
+
+impl DayStrategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DayStrategy::NoPowerManagement => "no-power-management",
+            DayStrategy::TimeTrader => "timetrader",
+            DayStrategy::Eprons { .. } => "eprons",
+        }
+    }
+}
+
+/// One epoch's record in the day timeline.
+#[derive(Debug, Clone)]
+pub struct DayRecord {
+    /// Epoch midpoint, minutes since midnight.
+    pub minute: f64,
+    /// Search load as a fraction of peak.
+    pub search_load: f64,
+    /// Background traffic fraction used (the *predicted* value the
+    /// controller acted on).
+    pub background_util: f64,
+    /// Measured power split.
+    pub breakdown: PowerBreakdown,
+    /// Active switches chosen for this epoch.
+    pub active_switches: usize,
+    /// Identities of the active switches (node indices), for churn
+    /// accounting across epochs.
+    pub active_switch_ids: Vec<usize>,
+    /// Measured end-to-end p95, seconds.
+    pub e2e_p95_s: f64,
+    /// Whether the epoch met the SLA.
+    pub feasible: bool,
+}
+
+/// Day-simulation knobs.
+#[derive(Debug, Clone)]
+pub struct DayConfig {
+    /// Optimization period in minutes (10 in the paper).
+    pub epoch_minutes: usize,
+    /// Simulated seconds of queries per epoch evaluation.
+    pub sim_seconds: f64,
+    /// Per-ISN utilization at peak search load.
+    pub peak_utilization: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DayConfig {
+    fn default() -> Self {
+        DayConfig {
+            epoch_minutes: 10,
+            sim_seconds: 4.0,
+            peak_utilization: 0.5,
+            seed: 2018,
+        }
+    }
+}
+
+/// Replays one diurnal day under a strategy; returns one record per epoch.
+pub fn simulate_day(
+    cfg: &ClusterConfig,
+    strategy: &DayStrategy,
+    day: &DayConfig,
+) -> Vec<DayRecord> {
+    let mut rng = SimRng::seed_from_u64(day.seed);
+    let search = DiurnalProfile::search_load().sample_day(&mut rng.fork(1));
+    let background = DiurnalProfile::background_traffic().sample_day(&mut rng.fork(2));
+    let epochs = MINUTES_PER_DAY / day.epoch_minutes;
+
+    // The controller predicts each epoch's background demand as the 90th
+    // percentile of the previous epoch's per-minute observations (§II).
+    let mut predictor = DemandPredictor::paper_default(1);
+    let mut predicted_bg: Vec<f64> = Vec::with_capacity(epochs);
+    for e in 0..epochs {
+        let start = e * day.epoch_minutes;
+        // Act on the last epoch's prediction (first epoch: observe only).
+        let predicted = predictor
+            .predict(FlowId(0))
+            .unwrap_or(background[start]);
+        predicted_bg.push(predicted.clamp(0.01, 0.95));
+        for &obs in &background[start..start + day.epoch_minutes] {
+            predictor.observe(FlowId(0), obs);
+        }
+        predictor.roll_epoch();
+    }
+
+    // Epochs are independent given their inputs: evaluate in parallel.
+    let inputs: Vec<(usize, f64, f64)> = (0..epochs)
+        .map(|e| {
+            let mid = (e * day.epoch_minutes) as f64 + day.epoch_minutes as f64 / 2.0;
+            let load = search[(mid as usize).min(MINUTES_PER_DAY - 1)];
+            (e, mid, load)
+        })
+        .collect();
+
+    parallel_map(&inputs, |&(e, minute, load)| {
+        let bg = predicted_bg[e];
+        let util = (day.peak_utilization * load).max(0.02);
+        let template = ClusterRun {
+            scheme: ServerScheme::EpronsServer,
+            consolidation: ConsolidationSpec::AllOn,
+            server_utilization: util,
+            background_util: bg,
+            duration_s: day.sim_seconds,
+            warmup_s: 0.0,
+            seed: day.seed ^ (e as u64).wrapping_mul(0x9E37_79B9),
+        };
+        match strategy {
+            DayStrategy::NoPowerManagement => {
+                let run = ClusterRun {
+                    scheme: ServerScheme::NoPowerManagement,
+                    ..template
+                };
+                let r = run_cluster(cfg, &run).expect("all-on never fails");
+                DayRecord {
+                    minute,
+                    search_load: load,
+                    background_util: bg,
+                    breakdown: r.breakdown,
+                    active_switches: r.active_switches,
+                    active_switch_ids: r.active_switch_ids.clone(),
+                    e2e_p95_s: r.e2e_latency.p95_s,
+                    feasible: r.is_feasible(cfg),
+                }
+            }
+            DayStrategy::TimeTrader => {
+                let run = ClusterRun {
+                    scheme: ServerScheme::TimeTrader,
+                    // Let the 5 s feedback loop settle before scoring.
+                    warmup_s: 60.0,
+                    ..template
+                };
+                let r = run_cluster(cfg, &run).expect("all-on never fails");
+                DayRecord {
+                    minute,
+                    search_load: load,
+                    background_util: bg,
+                    breakdown: r.breakdown,
+                    active_switches: r.active_switches,
+                    active_switch_ids: r.active_switch_ids.clone(),
+                    e2e_p95_s: r.e2e_latency.p95_s,
+                    feasible: r.is_feasible(cfg),
+                }
+            }
+            DayStrategy::Eprons { candidates } => {
+                let choice = optimize_total_power(cfg, &template, candidates)
+                    .expect("at least one candidate evaluates");
+                DayRecord {
+                    minute,
+                    search_load: load,
+                    background_util: bg,
+                    breakdown: choice.result.breakdown,
+                    active_switches: choice.result.active_switches,
+                    active_switch_ids: choice.result.active_switch_ids.clone(),
+                    e2e_p95_s: choice.result.e2e_latency.p95_s,
+                    feasible: choice.feasible,
+                }
+            }
+        }
+    })
+}
+
+/// Reconfiguration churn between consecutive epochs of a day timeline.
+pub fn day_churn(records: &[DayRecord]) -> Vec<Churn> {
+    records
+        .windows(2)
+        .map(|w| Churn::between(&w[0].active_switch_ids, &w[1].active_switch_ids))
+        .collect()
+}
+
+/// Total transition energy (joules) a day timeline pays under the given
+/// switch transition model (§IV-B's deferred cost: 72.52 s power-on per
+/// HPE switch). The paper ignores this with software switches; this
+/// accounting quantifies what hardware would add.
+pub fn day_transition_energy_j(records: &[DayRecord], model: &TransitionModel) -> f64 {
+    day_churn(records)
+        .iter()
+        .map(|c| model.transition_energy_j(c))
+        .sum()
+}
+
+/// Writes a day timeline as CSV (for external plotting): one row per
+/// epoch with minute, loads, power split, switches, tail, feasibility.
+pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        w,
+        "minute,search_load,background_util,server_w,network_w,total_w,active_switches,e2e_p95_ms,feasible"
+    )?;
+    for r in records {
+        writeln!(
+            w,
+            "{:.1},{:.4},{:.4},{:.2},{:.2},{:.2},{},{:.3},{}",
+            r.minute,
+            r.search_load,
+            r.background_util,
+            r.breakdown.server_w,
+            r.breakdown.network_w,
+            r.breakdown.total_w(),
+            r.active_switches,
+            r.e2e_p95_s * 1.0e3,
+            r.feasible
+        )?;
+    }
+    w.flush()
+}
+
+/// Average power breakdown over a day timeline.
+pub fn day_average(records: &[DayRecord]) -> PowerBreakdown {
+    let n = records.len().max(1) as f64;
+    PowerBreakdown {
+        server_w: records.iter().map(|r| r.breakdown.server_w).sum::<f64>() / n,
+        network_w: records.iter().map(|r| r.breakdown.network_w).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::aggregation_candidates;
+
+    fn quick_day() -> DayConfig {
+        DayConfig {
+            epoch_minutes: 240, // 6 epochs only, for test speed
+            sim_seconds: 2.0,
+            peak_utilization: 0.5,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn day_produces_one_record_per_epoch() {
+        let cfg = ClusterConfig::default();
+        let recs = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &quick_day());
+        assert_eq!(recs.len(), 6);
+        assert!(recs.windows(2).all(|w| w[0].minute < w[1].minute));
+        // Full network all day.
+        assert!(recs.iter().all(|r| r.active_switches == 20));
+    }
+
+    #[test]
+    fn eprons_day_saves_power_vs_no_pm() {
+        let cfg = ClusterConfig::default();
+        let day = quick_day();
+        let nopm = day_average(&simulate_day(
+            &cfg,
+            &DayStrategy::NoPowerManagement,
+            &day,
+        ));
+        let eprons = day_average(&simulate_day(
+            &cfg,
+            &DayStrategy::Eprons {
+                candidates: aggregation_candidates(),
+            },
+            &day,
+        ));
+        let saving = eprons.saving_vs(&nopm);
+        assert!(
+            saving.total > 0.05,
+            "EPRONS should save total power, got {:.1}%",
+            saving.total * 100.0
+        );
+        assert!(saving.network > 0.0, "EPRONS must save DCN power");
+    }
+
+    #[test]
+    fn timetrader_day_saves_servers_but_not_network() {
+        let cfg = ClusterConfig::default();
+        // TimeTrader only moves once per 5 s control period, so the epoch
+        // sims must span several periods for it to act at all.
+        let day = DayConfig {
+            epoch_minutes: 480, // 3 epochs
+            sim_seconds: 40.0,
+            ..quick_day()
+        };
+        let nopm = day_average(&simulate_day(
+            &cfg,
+            &DayStrategy::NoPowerManagement,
+            &day,
+        ));
+        let tt = day_average(&simulate_day(&cfg, &DayStrategy::TimeTrader, &day));
+        let saving = tt.saving_vs(&nopm);
+        assert!(saving.server > 0.0, "TimeTrader saves server power");
+        assert!(
+            saving.network.abs() < 1e-9,
+            "TimeTrader saves no DCN power (got {:.2}%)",
+            saving.network * 100.0
+        );
+    }
+
+    #[test]
+    fn churn_accounting_over_a_day() {
+        let cfg = ClusterConfig::default();
+        let day = quick_day();
+        // The all-on strategies never reconfigure.
+        let nopm = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
+        let churn = day_churn(&nopm);
+        assert!(churn.iter().all(|c| c.is_empty()), "all-on must not flap");
+        assert_eq!(
+            day_transition_energy_j(&nopm, &TransitionModel::default()),
+            0.0
+        );
+        // EPRONS reconfigures as load swings; transition energy is finite
+        // and small when amortized (the §IV-B discussion).
+        let eprons = simulate_day(
+            &cfg,
+            &DayStrategy::Eprons {
+                candidates: aggregation_candidates(),
+            },
+            &day,
+        );
+        let e = day_transition_energy_j(&eprons, &TransitionModel::default());
+        assert!(e >= 0.0);
+        // Even a switch-over every epoch stays below a few watts amortized
+        // over the day (6 epochs × 4 h here).
+        let day_seconds = 24.0 * 3600.0;
+        assert!(e / day_seconds < 20.0, "amortized churn power too high");
+    }
+
+    #[test]
+    fn day_csv_round_trips_through_disk() {
+        let cfg = ClusterConfig::default();
+        let recs = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &quick_day());
+        let mut path = std::env::temp_dir();
+        path.push(format!("eprons-day-{}.csv", std::process::id()));
+        save_day_csv(&recs, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), recs.len() + 1, "header + one row per epoch");
+        assert!(lines[0].starts_with("minute,"));
+        assert!(lines[1].contains(','));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn diurnal_load_shows_in_power_timeline() {
+        let cfg = ClusterConfig::default();
+        let recs = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &quick_day());
+        // Load varies across epochs, so (CPU) power must vary too.
+        let powers: Vec<f64> = recs.iter().map(|r| r.breakdown.server_w).collect();
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 5.0, "diurnal swing should move power: {powers:?}");
+    }
+}

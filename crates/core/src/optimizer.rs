@@ -1,0 +1,216 @@
+//! The joint server+network power optimizer (paper §IV).
+//!
+//! EPRONS "minimizes the entire data center's power consumption through
+//! dynamically searching the optimal parameter K … while guaranteeing the
+//! latency constraints". Concretely: evaluate each candidate network
+//! configuration (scale factor `K` or aggregation preset), keep those that
+//! meet the end-to-end SLA, and choose the one with the lowest *total*
+//! power. When nothing is feasible the optimizer "turns on a minimal
+//! number of additional network links and switches": it falls back to the
+//! candidate with the lowest measured tail latency.
+
+use crate::cluster::{run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec};
+use crate::config::ClusterConfig;
+use crate::parallel::parallel_map;
+
+/// The optimizer's selection.
+#[derive(Debug, Clone)]
+pub struct JointChoice {
+    /// The chosen network configuration.
+    pub spec: ConsolidationSpec,
+    /// Its measured run.
+    pub result: ClusterRunResult,
+    /// Whether the choice met the SLA (false = least-bad fallback).
+    pub feasible: bool,
+}
+
+/// Evaluates `candidates` (in parallel) under the given run template and
+/// returns the minimum-total-power feasible choice, or the lowest-latency
+/// candidate if none is feasible. Returns `None` only if every candidate
+/// fails outright (e.g. consolidation cannot place the traffic anywhere).
+pub fn optimize_total_power(
+    cfg: &ClusterConfig,
+    template: &ClusterRun,
+    candidates: &[ConsolidationSpec],
+) -> Option<JointChoice> {
+    let results = parallel_map(candidates, |spec| {
+        let mut run = template.clone();
+        run.consolidation = *spec;
+        run_cluster(cfg, &run).ok().map(|r| (*spec, r))
+    });
+    let ok: Vec<(ConsolidationSpec, ClusterRunResult)> =
+        results.into_iter().flatten().collect();
+    if ok.is_empty() {
+        return None;
+    }
+    // Feasible set → min total power.
+    let feasible = ok
+        .iter()
+        .filter(|(_, r)| r.is_feasible(cfg))
+        .min_by(|a, b| {
+            a.1.breakdown
+                .total_w()
+                .partial_cmp(&b.1.breakdown.total_w())
+                .expect("power is finite")
+        });
+    if let Some((spec, result)) = feasible {
+        return Some(JointChoice {
+            spec: *spec,
+            result: result.clone(),
+            feasible: true,
+        });
+    }
+    // Fallback: least-bad latency (most generous network).
+    let (spec, result) = ok
+        .iter()
+        .min_by(|a, b| {
+            a.1.e2e_latency
+                .p95_s
+                .partial_cmp(&b.1.e2e_latency.p95_s)
+                .expect("latency is finite")
+        })
+        .expect("non-empty");
+    Some(JointChoice {
+        spec: *spec,
+        result: result.clone(),
+        feasible: false,
+    })
+}
+
+/// The paper's candidate ladder: the four Fig. 9 aggregation presets.
+pub fn aggregation_candidates() -> Vec<ConsolidationSpec> {
+    eprons_topo::AggregationLevel::ALL
+        .iter()
+        .map(|&l| ConsolidationSpec::Level(l))
+        .collect()
+}
+
+/// A scale-factor ladder for `K`-based consolidation (Fig. 11's sweep).
+pub fn scale_factor_candidates(k_max: usize) -> Vec<ConsolidationSpec> {
+    (1..=k_max)
+        .map(|k| ConsolidationSpec::GreedyK(k as f64))
+        .collect()
+}
+
+/// The §II feedback variant: "latency-aware traffic consolidation
+/// dynamically adjusts the scale factor K to control the network latency".
+/// Starting at `K = 1` (maximum consolidation, minimum DCN power), the
+/// controller raises K — reserving more headroom and thereby activating
+/// more switches — until the measured end-to-end tail meets the SLA, and
+/// returns the first feasible configuration. Unlike
+/// [`optimize_total_power`] it does not evaluate the whole ladder, so it
+/// converges with fewer measurements at the cost of possibly stopping one
+/// step early on non-monotone instances.
+pub fn adaptive_k(
+    cfg: &ClusterConfig,
+    template: &ClusterRun,
+    k_max: usize,
+) -> Option<JointChoice> {
+    let mut best_fallback: Option<(f64, JointChoice)> = None;
+    for k in 1..=k_max {
+        let mut run = template.clone();
+        run.consolidation = ConsolidationSpec::GreedyK(k as f64);
+        let Ok(result) = run_cluster(cfg, &run) else {
+            continue; // K too large for the capacity: skip
+        };
+        let feasible = result.is_feasible(cfg);
+        let choice = JointChoice {
+            spec: run.consolidation,
+            result: result.clone(),
+            feasible,
+        };
+        if feasible {
+            return Some(choice);
+        }
+        let tail = result.e2e_latency.p95_s;
+        if best_fallback.as_ref().is_none_or(|(t, _)| tail < *t) {
+            best_fallback = Some((tail, choice));
+        }
+    }
+    best_fallback.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ServerScheme;
+
+    fn template() -> ClusterRun {
+        ClusterRun {
+            scheme: ServerScheme::EpronsServer,
+            consolidation: ConsolidationSpec::AllOn, // overwritten per candidate
+            server_utilization: 0.3,
+            background_util: 0.1,
+            duration_s: 4.0,
+            warmup_s: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn picks_a_feasible_minimum_power_candidate() {
+        let cfg = ClusterConfig::default();
+        let choice =
+            optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
+        assert!(choice.feasible, "30 ms SLA at light load must be feasible");
+        // With light background and a 30 ms SLA, an aggressive aggregation
+        // should win (fewer switches than Agg0's 20).
+        assert!(
+            choice.result.active_switches < 20,
+            "expected consolidation to pay off, kept {}",
+            choice.result.active_switches
+        );
+    }
+
+    #[test]
+    fn tight_sla_forces_more_switches_on() {
+        let mut cfg = ClusterConfig::default();
+        let loose = optimize_total_power(&cfg, &template(), &aggregation_candidates())
+            .unwrap();
+        // Tighten the SLA drastically: the optimizer must react by
+        // selecting a configuration with at least as many switches.
+        cfg.sla = cfg.sla.with_total(9.0e-3);
+        let tight = optimize_total_power(&cfg, &template(), &aggregation_candidates())
+            .unwrap();
+        assert!(
+            tight.result.active_switches >= loose.result.active_switches,
+            "tight SLA kept {} switches, loose kept {}",
+            tight.result.active_switches,
+            loose.result.active_switches
+        );
+    }
+
+    #[test]
+    fn candidate_builders() {
+        assert_eq!(aggregation_candidates().len(), 4);
+        let ks = scale_factor_candidates(5);
+        assert_eq!(ks.len(), 5);
+        assert!(matches!(ks[0], ConsolidationSpec::GreedyK(k) if k == 1.0));
+        assert!(matches!(ks[4], ConsolidationSpec::GreedyK(k) if k == 5.0));
+    }
+
+    #[test]
+    fn adaptive_k_finds_a_feasible_configuration() {
+        let cfg = ClusterConfig::default();
+        let choice = adaptive_k(&cfg, &template(), 5).unwrap();
+        assert!(choice.feasible, "30 ms SLA at light load must be reachable");
+        assert!(matches!(choice.spec, ConsolidationSpec::GreedyK(_)));
+        // Feedback stops at the first feasible K — the most consolidated
+        // network that meets the SLA.
+        assert!(choice.result.active_switches <= 20);
+    }
+
+    #[test]
+    fn adaptive_k_falls_back_to_least_bad_when_impossible() {
+        let mut cfg = ClusterConfig::default();
+        cfg.sla = cfg.sla.with_total(7.0e-3); // nothing meets 7 ms
+        let choice = adaptive_k(&cfg, &template(), 3).unwrap();
+        assert!(!choice.feasible);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let cfg = ClusterConfig::default();
+        assert!(optimize_total_power(&cfg, &template(), &[]).is_none());
+    }
+}

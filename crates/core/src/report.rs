@@ -1,0 +1,127 @@
+//! Plain-text table output shared by the figure harnesses.
+//!
+//! Every `fig*` binary prints its series through [`Table`] so the output
+//! format (aligned columns, one header row, optional caption) is uniform
+//! and easy to diff against EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a caption and column headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: formats each cell with `Display`.
+    pub fn row_display(&mut self, cells: &[&dyn fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "# {}", self.caption)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:>w$}", h, w = widths[i] + 2)?;
+        }
+        writeln!(f)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for i in 0..cols {
+                write!(f, "{:>w$}", row[i], w = widths[i] + 2)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a watts value with 1 decimal.
+pub fn watts(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a milliseconds value (input seconds) with 2 decimals.
+pub fn ms(v_s: f64) -> String {
+    format!("{:.2}", v_s * 1.0e3)
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.row(&["1".into(), "10.0".into()]);
+        t.row(&["200".into(), "3.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("value"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(watts(12.345), "12.3");
+        assert_eq!(ms(0.02574), "25.74");
+        assert_eq!(pct(0.3125), "31.2");
+    }
+}

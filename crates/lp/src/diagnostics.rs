@@ -1,0 +1,120 @@
+//! Solution diagnostics: constraint activity and binding analysis.
+//!
+//! When a consolidation model comes back with a surprising active set, the
+//! first question is *which capacity constraints are binding*. These
+//! helpers evaluate a solution against a model row by row.
+
+use crate::model::{Cmp, Model};
+use crate::standard::Solution;
+
+/// One constraint's evaluation at a solution point.
+#[derive(Debug, Clone)]
+pub struct ConstraintActivity {
+    /// Constraint name (as given to [`Model::add_constraint`]).
+    pub name: String,
+    /// Left-hand-side value `Σ aᵢxᵢ`.
+    pub lhs: f64,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Slack toward the constraint boundary: non-negative when satisfied;
+    /// `rhs − lhs` for `≤`, `lhs − rhs` for `≥`, `−|lhs − rhs|` for `=`
+    /// deviations.
+    pub slack: f64,
+    /// Whether the constraint is active (slack within `tol`).
+    pub binding: bool,
+}
+
+/// Evaluates every constraint of `model` at `solution`.
+pub fn constraint_activity(model: &Model, solution: &Solution, tol: f64) -> Vec<ConstraintActivity> {
+    model
+        .constraints()
+        .iter()
+        .map(|c| {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, a)| a * solution.values[v.index()])
+                .sum();
+            let slack = match c.cmp {
+                Cmp::Le => c.rhs - lhs,
+                Cmp::Ge => lhs - c.rhs,
+                Cmp::Eq => -(lhs - c.rhs).abs(),
+            };
+            ConstraintActivity {
+                name: c.name.clone(),
+                lhs,
+                rhs: c.rhs,
+                slack,
+                binding: slack.abs() <= tol,
+            }
+        })
+        .collect()
+}
+
+/// The names of the binding constraints at a solution (the bottlenecks).
+pub fn binding_constraints(model: &Model, solution: &Solution, tol: f64) -> Vec<String> {
+    constraint_activity(model, solution, tol)
+        .into_iter()
+        .filter(|a| a.binding)
+        .map(|a| a.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::standard::solve_lp;
+
+    #[test]
+    fn identifies_the_binding_row() {
+        // max 3x + 2y s.t. x + y <= 4 (binding), x + 3y <= 6 (slack).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint("sum", vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint("weighted", vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let sol = solve_lp(&m).unwrap(); // x=4, y=0
+        let act = constraint_activity(&m, &sol, 1e-9);
+        assert_eq!(act.len(), 2);
+        assert!(act[0].binding, "x+y=4 is tight");
+        assert!(!act[1].binding, "x+3y=4 < 6 has slack");
+        assert!((act[1].slack - 2.0).abs() < 1e-9);
+        assert_eq!(binding_constraints(&m, &sol, 1e-9), vec!["sum".to_string()]);
+    }
+
+    #[test]
+    fn equality_deviation_is_negative_slack() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        m.add_constraint("fix", vec![(x, 1.0)], Cmp::Eq, 3.0);
+        let sol = solve_lp(&m).unwrap();
+        let act = constraint_activity(&m, &sol, 1e-9);
+        assert!(act[0].binding);
+        assert!(act[0].slack.abs() < 1e-9);
+        // A point violating the equality shows negative slack.
+        let fake = Solution {
+            objective: 5.0,
+            values: vec![5.0],
+        };
+        let act = constraint_activity(&m, &fake, 1e-9);
+        assert!(act[0].slack < -1.9);
+        assert!(!act[0].binding);
+    }
+
+    #[test]
+    fn ge_slack_orientation() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        m.add_constraint("atleast", vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let sol = solve_lp(&m).unwrap(); // x = 2 (binding)
+        let act = constraint_activity(&m, &sol, 1e-6);
+        assert!(act[0].binding);
+        let loose = Solution {
+            objective: 7.0,
+            values: vec![7.0],
+        };
+        let act = constraint_activity(&m, &loose, 1e-6);
+        assert!((act[0].slack - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Linear-programming substrate for the EPRONS reproduction, built from
+//! scratch.
+//!
+//! The paper formulates latency-aware traffic consolidation as a linear
+//! program (eqs. 2–9) and solves it with CPLEX (§IV-B). Mature LP crates
+//! being unavailable in this environment (see DESIGN.md), this crate
+//! provides the solver substrate in-house:
+//!
+//! * [`model`] — a problem builder: variables with bounds (continuous or
+//!   integer/binary), linear constraints, minimize/maximize objective.
+//! * [`standard`] — conversion to standard form (`min c·x`, `Ax = b`,
+//!   `x ≥ 0`) with slack/surplus variables and bound shifting.
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's
+//!   anti-cycling rule.
+//! * [`milp`] — branch-and-bound over the integer variables (the paper's
+//!   X/Y/Z on-off indicators are binary), with most-fractional branching
+//!   and incumbent pruning.
+//! * [`diagnostics`] — constraint-activity analysis (which capacities
+//!   bind at the optimum).
+//!
+//! The solver is deliberately dense and simple: the paper's own data point
+//! is that the exact model is *slow* (42 min for 3000 flows on CPLEX) and a
+//! greedy heuristic is used in deployment — reproduced in
+//! `eprons-net::consolidate`.
+
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod milp;
+pub mod model;
+pub mod simplex;
+pub mod standard;
+
+pub use milp::{solve_milp, MilpOptions};
+pub use model::{Cmp, Model, Sense, VarId};
+pub use simplex::SolveError;
+pub use standard::Solution;

@@ -1,0 +1,153 @@
+//! Property-based tests for the simplex / branch-and-bound substrate.
+//!
+//! The key invariants: returned solutions are feasible; LP optima are at
+//! least as good as any feasible point we can construct; MILP optima are
+//! integral, feasible, and bounded by the LP relaxation.
+
+use eprons_lp::standard::solve_lp;
+use eprons_lp::{solve_milp, Cmp, MilpOptions, Model, Sense, SolveError};
+use proptest::prelude::*;
+
+/// A random bounded minimization LP:
+/// `min c·x` s.t. `A x ≥ lo_i` (row sums force non-trivial solutions),
+/// `0 ≤ x ≤ u`.
+fn random_lp(
+    nvars: usize,
+    nrows: usize,
+) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(0.1..5.0f64, nvars),           // c >= 0.1: bounded below
+        prop::collection::vec(prop::collection::vec(0.0..3.0f64, nvars), nrows),
+        prop::collection::vec(0.5..4.0f64, nrows),            // rhs
+        prop::collection::vec(1.0..10.0f64, nvars),           // upper bounds
+    )
+}
+
+fn build_model(
+    c: &[f64],
+    a: &[Vec<f64>],
+    rhs: &[f64],
+    ub: &[f64],
+    integer: bool,
+) -> (Model, Vec<eprons_lp::VarId>) {
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = c
+        .iter()
+        .zip(ub)
+        .enumerate()
+        .map(|(i, (&ci, &ui))| {
+            if integer {
+                m.add_int_var(format!("x{i}"), 0.0, ui, ci)
+            } else {
+                m.add_var(format!("x{i}"), 0.0, ui, ci)
+            }
+        })
+        .collect();
+    for (r, (row, &b)) in a.iter().zip(rhs).enumerate() {
+        // Skip all-zero rows (they'd be infeasible with b > 0).
+        if row.iter().sum::<f64>() < 1e-9 {
+            continue;
+        }
+        let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &coef)| (v, coef)).collect();
+        m.add_constraint(format!("r{r}"), terms, Cmp::Ge, b);
+    }
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solutions_are_feasible((c, a, rhs, ub) in random_lp(4, 3)) {
+        let (m, _) = build_model(&c, &a, &rhs, &ub, false);
+        match solve_lp(&m) {
+            Ok(sol) => {
+                prop_assert!(m.is_feasible(&sol.values, 1e-6),
+                    "infeasible LP 'solution': {:?}", sol.values);
+                prop_assert!((m.objective_value(&sol.values) - sol.objective).abs() < 1e-6);
+            }
+            Err(SolveError::Infeasible) => {
+                // Acceptable: rows may genuinely exceed the box. Verify the
+                // box's corner u cannot satisfy all rows.
+                let corner: Vec<f64> = ub.clone();
+                prop_assert!(!m.is_feasible(&corner, 1e-9),
+                    "solver claimed infeasible but the upper corner works");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_optimum_beats_random_feasible_points(
+        (c, a, rhs, ub) in random_lp(4, 3),
+        fracs in prop::collection::vec(0.0..1.0f64, 4)
+    ) {
+        let (m, _) = build_model(&c, &a, &rhs, &ub, false);
+        if let Ok(sol) = solve_lp(&m) {
+            // Construct a candidate point and, if feasible, check the
+            // solver's objective is no worse.
+            let candidate: Vec<f64> = ub.iter().zip(&fracs).map(|(&u, &f)| u * f).collect();
+            if m.is_feasible(&candidate, 1e-9) {
+                let cand_obj = m.objective_value(&candidate);
+                prop_assert!(sol.objective <= cand_obj + 1e-6,
+                    "optimum {} beaten by candidate {}", sol.objective, cand_obj);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_solutions_are_integral_and_bounded_by_relaxation(
+        (c, a, rhs, ub) in random_lp(3, 2)
+    ) {
+        let (mi, _) = build_model(&c, &a, &rhs, &ub, true);
+        let (ml, _) = build_model(&c, &a, &rhs, &ub, false);
+        match solve_milp(&mi, &MilpOptions::default()) {
+            Ok(sol) => {
+                prop_assert!(mi.is_feasible(&sol.values, 1e-6));
+                for &v in &sol.values {
+                    prop_assert!((v - v.round()).abs() < 1e-6, "non-integral {v}");
+                }
+                // Relaxation is a lower bound for minimization.
+                if let Ok(rel) = solve_lp(&ml) {
+                    prop_assert!(sol.objective >= rel.objective - 1e-6,
+                        "MILP {} below LP bound {}", sol.objective, rel.objective);
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                // Then rounding the LP point up must also fail or the LP
+                // itself must be infeasible — weak sanity check only: the
+                // all-up corner must violate something.
+                let corner: Vec<f64> = ub.iter().map(|u| u.ceil()).collect();
+                let _ = corner; // integral corners may still be feasible in
+                                // pathological float cases; skip hard check.
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn maximization_mirrors_minimization((c, a, rhs, ub) in random_lp(3, 2)) {
+        // max c·x ≡ -min (-c)·x on the same feasible set.
+        let neg: Vec<f64> = c.iter().map(|x| -x).collect();
+        let (mn, _) = build_model(&neg, &a, &rhs, &ub, false);
+        // Build the Maximize twin directly.
+        let mx = {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = c.iter().zip(&ub).enumerate()
+                .map(|(i, (&ci, &ui))| m.add_var(format!("x{i}"), 0.0, ui, ci))
+                .collect();
+            for (r, (row, &b)) in a.iter().zip(&rhs).enumerate() {
+                if row.iter().sum::<f64>() < 1e-9 { continue; }
+                let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &co)| (v, co)).collect();
+                m.add_constraint(format!("r{r}"), terms, Cmp::Ge, b);
+            }
+            m
+        };
+        match (solve_lp(&mx), solve_lp(&mn)) {
+            (Ok(a_), Ok(b_)) => prop_assert!((a_.objective + b_.objective).abs() < 1e-6),
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (Err(SolveError::Unbounded), _) | (_, Err(SolveError::Unbounded)) => {}
+            (x, y) => prop_assert!(false, "asymmetric outcomes {x:?} vs {y:?}"),
+        }
+    }
+}

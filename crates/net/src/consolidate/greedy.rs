@@ -1,0 +1,264 @@
+//! Greedy bin-packing consolidation — the paper's deployable heuristic
+//! (§IV-B, "similar to the greedy bin-packing algorithm in \[2\]"
+//! i.e. ElasticTree).
+//!
+//! Flows are placed largest-scaled-demand first. For each flow, the
+//! candidate path chosen is the one that (1) fits the scaled demand under
+//! every link's usable capacity, (2) activates the fewest *new* switches,
+//! and (3) among ties prefers the leftmost (lowest-index) candidate — the
+//! deterministic bias that concentrates traffic on a minimal subtree.
+
+use eprons_topo::{MultipathTopology, Path};
+
+use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator};
+use crate::flow::FlowSet;
+
+/// Greedy first-fit-decreasing consolidator.
+///
+/// ```
+/// use eprons_net::flow::FlowSet;
+/// use eprons_net::{ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator};
+/// use eprons_topo::FatTree;
+///
+/// let ft = FatTree::new(4, 1000.0);
+/// let mut flows = FlowSet::new();
+/// flows.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 200.0, FlowClass::LatencySensitive);
+/// let cfg = ConsolidationConfig::with_k(2.0); // reserve 2× headroom
+/// let a = GreedyConsolidator.consolidate(&ft, &flows, &cfg).unwrap();
+/// // One cross-pod flow: 2 edges + 2 aggs + 1 core active.
+/// assert_eq!(a.active_switch_count(&ft), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GreedyConsolidator;
+
+impl Consolidator for GreedyConsolidator {
+    fn consolidate(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+    ) -> Result<Assignment, ConsolidationError> {
+        let topo = net.topology();
+        // Largest scaled demand first; ties broken by flow id so the
+        // placement is deterministic.
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = flows.flows()[a].scaled_demand(cfg.scale_k);
+            let db = flows.flows()[b].scaled_demand(cfg.scale_k);
+            db.partial_cmp(&da)
+                .expect("demands are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut reserved = vec![0.0; topo.num_links() * 2];
+        let mut switch_active = vec![false; topo.num_nodes()];
+        let mut chosen: Vec<Option<Path>> = vec![None; flows.len()];
+
+        for &fi in &order {
+            let flow = &flows.flows()[fi];
+            let demand = flow.scaled_demand(cfg.scale_k);
+            let candidates = net.candidate_paths(flow.src, flow.dst);
+            let mut best: Option<(usize, usize)> = None; // (new_switches, idx)
+            for (idx, p) in candidates.iter().enumerate() {
+                let fits = p.hops().all(|(from, _, l)| {
+                    let usable = cfg.usable_capacity(topo.link(l).capacity_mbps);
+                    let dir = crate::links::direction_from(topo, l, from);
+                    reserved[l.0 * 2 + dir] + demand <= usable + 1e-9
+                });
+                if !fits {
+                    continue;
+                }
+                let new_switches = p
+                    .interior()
+                    .iter()
+                    .filter(|&&n| !switch_active[n.0])
+                    .count();
+                let key = (new_switches, idx);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, idx)) = best else {
+                return Err(ConsolidationError::NoFeasiblePath { flow: fi });
+            };
+            let p = candidates.into_iter().nth(idx).expect("index valid");
+            for (from, _, l) in p.hops() {
+                let dir = crate::links::direction_from(topo, l, from);
+                reserved[l.0 * 2 + dir] += demand;
+            }
+            for &n in &p.nodes {
+                switch_active[n.0] = true;
+            }
+            chosen[fi] = Some(p);
+        }
+
+        let paths: Vec<Path> = chosen
+            .into_iter()
+            .map(|p| p.expect("every flow placed"))
+            .collect();
+        Ok(Assignment::from_paths(net, flows, paths))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowClass, FlowId, FlowSet};
+    use eprons_topo::FatTree;
+
+    /// The paper's Fig. 2 scenario: 1 Gbps links, 50 Mbps margin, one
+    /// 900 Mbps elephant plus two 20 Mbps latency-sensitive flows.
+    fn fig2_flows(ft: &FatTree) -> FlowSet {
+        let mut fs = FlowSet::new();
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            900.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(1, 0, 1),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.host(0, 1, 0),
+            ft.host(1, 1, 0),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        fs
+    }
+
+    #[test]
+    fn fig2_k1_minimal_switches() {
+        // K=1: 900 + 20 + 20 = 940 <= 950 — everything shares one path
+        // tree; minimal active switches (Fig. 2a).
+        let ft = FatTree::new(4, 1000.0);
+        let fs = fig2_flows(&ft);
+        let a = GreedyConsolidator
+            .consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
+            .unwrap();
+        a.validate(&ft, &fs, &ConsolidationConfig::with_k(1.0)).unwrap();
+        // src edges: edge(0,0) and edge(0,1); dst edges: edge(1,0), edge(1,1);
+        // plus 1 agg per pod + 1 core = 7 switches minimum.
+        assert_eq!(a.active_switch_count(&ft), 7);
+        // The inter-pod links carry all three flows → shared core.
+        let core_of = |f: usize| a.path(FlowId(f)).nodes[3];
+        assert_eq!(core_of(0), core_of(1));
+    }
+
+    #[test]
+    fn fig2_k2_splits_one_query_off() {
+        // K=2: sensitive flows reserve 40 each; 900+40+40 = 980 > 950, so
+        // at least one query flow moves to a new path (Fig. 2b).
+        let ft = FatTree::new(4, 1000.0);
+        let fs = fig2_flows(&ft);
+        let cfg = ConsolidationConfig::with_k(2.0);
+        let a = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+        a.validate(&ft, &fs, &cfg).unwrap();
+        let k1 = GreedyConsolidator
+            .consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
+            .unwrap();
+        assert!(
+            a.active_switch_count(&ft) > k1.active_switch_count(&ft),
+            "K=2 must activate more switches than K=1"
+        );
+    }
+
+    #[test]
+    fn fig2_k3_splits_both_queries_off() {
+        // K=3: each query reserves 60; 900+60 = 960 > 950, so *neither*
+        // query can share the elephant's links (Fig. 2c).
+        let ft = FatTree::new(4, 1000.0);
+        let fs = fig2_flows(&ft);
+        let cfg = ConsolidationConfig::with_k(3.0);
+        let a = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+        a.validate(&ft, &fs, &cfg).unwrap();
+        let elephant = a.path(FlowId(0));
+        for f in [1usize, 2] {
+            let q = a.path(FlowId(f));
+            assert!(
+                q.links.iter().all(|l| !elephant.links.contains(l)),
+                "flow {f} still shares a link with the elephant at K=3"
+            );
+        }
+        let k2 = GreedyConsolidator
+            .consolidate(&ft, &fs, &ConsolidationConfig::with_k(2.0))
+            .unwrap();
+        assert!(a.active_switch_count(&ft) >= k2.active_switch_count(&ft));
+    }
+
+    #[test]
+    fn active_switches_grow_monotonically_with_k() {
+        let ft = FatTree::new(4, 1000.0);
+        let fs = fig2_flows(&ft);
+        let mut prev = 0usize;
+        for k in [1.0, 2.0, 3.0] {
+            let a = GreedyConsolidator
+                .consolidate(&ft, &fs, &ConsolidationConfig::with_k(k))
+                .unwrap();
+            let n = a.active_switch_count(&ft);
+            assert!(n >= prev, "K={k}: switches decreased");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn infeasible_when_demand_exceeds_capacity() {
+        let ft = FatTree::new(4, 1000.0);
+        let mut fs = FlowSet::new();
+        // Two 600 Mbps flows from one host: its single uplink can't hold
+        // 1200 Mbps.
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(2, 0, 0),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
+        let r = GreedyConsolidator.consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0));
+        assert!(matches!(r, Err(ConsolidationError::NoFeasiblePath { .. })));
+    }
+
+    #[test]
+    fn many_flows_consolidate_to_subtree() {
+        // 16 small cross-pod flows, K=1: all fit on a minimal subtree of
+        // shared switches rather than spreading across all cores.
+        let ft = FatTree::new(4, 1000.0);
+        let mut fs = FlowSet::new();
+        for p in 0..4usize {
+            for i in 0..2 {
+                for h in 0..2 {
+                    let src = ft.host(p, i, h);
+                    let dst = ft.host((p + 1) % 4, i, h);
+                    fs.add(src, dst, 10.0, FlowClass::LatencySensitive);
+                }
+            }
+        }
+        let cfg = ConsolidationConfig::with_k(1.0);
+        let a = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+        a.validate(&ft, &fs, &cfg).unwrap();
+        // All 8 edges stay active (flows originate everywhere), but only
+        // one agg per pod and one core are needed: 8 + 4 + 1 = 13.
+        assert_eq!(a.active_switch_count(&ft), 13);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ft = FatTree::new(4, 1000.0);
+        let fs = fig2_flows(&ft);
+        let cfg = ConsolidationConfig::with_k(2.0);
+        let a = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+        let b = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+        for f in 0..fs.len() {
+            assert_eq!(a.path(FlowId(f)).nodes, b.path(FlowId(f)).nodes);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Latency-aware traffic consolidation (paper §II and §IV-B).
+//!
+//! A *consolidator* maps a flow set onto paths of the fat-tree so that the
+//! active subgraph (and hence DCN power) is minimal while every flow's
+//! **scaled** demand — latency-sensitive flows inflated by the factor `K` —
+//! fits under each link's usable capacity (capacity minus safety margin).
+//!
+//! Three interchangeable implementations:
+//!
+//! * [`arc::ArcMilpConsolidator`] — the faithful arc-based MILP of paper
+//!   eqs. 2–9 (exact, small instances only — the paper itself reports
+//!   42 min for 3000 flows on CPLEX);
+//! * [`path::PathMilpConsolidator`] — an equivalent path-based MILP over
+//!   ECMP candidate paths (exact on fat-trees, far fewer binaries);
+//! * [`greedy::GreedyConsolidator`] — the deployable greedy bin-packing
+//!   heuristic (the paper's §IV-B accelerated design, after \[2\]).
+//!
+//! [`AggregationRouter`] additionally routes on a *fixed* aggregation level
+//! (Fig. 9 presets) for the sensitivity experiments of Figs. 10 and 13.
+
+pub mod arc;
+pub mod greedy;
+pub mod path;
+
+use eprons_topo::{FatTree, MultipathTopology, NodeId, Path};
+
+use crate::flow::FlowSet;
+use crate::links::NetworkState;
+use crate::power::NetworkPowerModel;
+
+/// Consolidation parameters.
+#[derive(Debug, Clone)]
+pub struct ConsolidationConfig {
+    /// The scale factor `K ≥ 1` applied to latency-sensitive demands.
+    pub scale_k: f64,
+    /// Safety margin subtracted from every link capacity (50 Mbps in the
+    /// paper's Fig. 2 example).
+    pub safety_margin_mbps: f64,
+    /// Power model used in optimization objectives.
+    pub power: NetworkPowerModel,
+}
+
+impl Default for ConsolidationConfig {
+    fn default() -> Self {
+        ConsolidationConfig {
+            scale_k: 1.0,
+            safety_margin_mbps: 50.0,
+            power: NetworkPowerModel::default(),
+        }
+    }
+}
+
+impl ConsolidationConfig {
+    /// Convenience: the paper's defaults with a given `K`.
+    pub fn with_k(scale_k: f64) -> Self {
+        ConsolidationConfig {
+            scale_k,
+            ..Default::default()
+        }
+    }
+
+    /// Usable capacity of a link after the safety margin.
+    pub fn usable_capacity(&self, capacity_mbps: f64) -> f64 {
+        (capacity_mbps - self.safety_margin_mbps).max(0.0)
+    }
+}
+
+/// Consolidation failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsolidationError {
+    /// No candidate path had enough residual capacity for a flow.
+    NoFeasiblePath {
+        /// Index of the offending flow.
+        flow: usize,
+    },
+    /// The optimization model is infeasible (demands exceed the topology).
+    Infeasible,
+    /// The underlying solver failed (iteration/node limit).
+    SolverFailed(String),
+}
+
+impl std::fmt::Display for ConsolidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsolidationError::NoFeasiblePath { flow } => {
+                write!(f, "no feasible path for flow {flow}")
+            }
+            ConsolidationError::Infeasible => write!(f, "consolidation model infeasible"),
+            ConsolidationError::SolverFailed(m) => write!(f, "solver failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConsolidationError {}
+
+/// The result of consolidation: one path per flow plus the implied active
+/// subgraph and (unscaled) link loads.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    paths: Vec<Path>,
+    state: NetworkState,
+}
+
+impl Assignment {
+    /// Builds an assignment from chosen paths: switches on a path are
+    /// activated, links used by at least one flow are activated, and each
+    /// flow's *actual* (unscaled) demand is added along its path.
+    pub fn from_paths(net: &dyn MultipathTopology, flows: &FlowSet, paths: Vec<Path>) -> Self {
+        assert_eq!(paths.len(), flows.len(), "one path per flow");
+        let topo = net.topology();
+        let mut state = NetworkState::with_active_switches(topo, &[]);
+        // Activate path switches.
+        for p in &paths {
+            for &n in &p.nodes {
+                state.set_node(n, true);
+            }
+        }
+        state.refresh_links(topo);
+        // Only links actually carrying traffic stay on.
+        let mut used = vec![false; topo.num_links()];
+        for p in &paths {
+            for &l in &p.links {
+                used[l.0] = true;
+            }
+        }
+        for (id, _) in topo.links() {
+            if !used[id.0] {
+                // refresh_links turned on every link between active nodes;
+                // power down the unused ones.
+                state.set_link(id, false);
+            }
+        }
+        for (flow, p) in flows.flows().iter().zip(&paths) {
+            state.add_path_load(topo, p, flow.demand_mbps);
+        }
+        Assignment { paths, state }
+    }
+
+    /// The chosen path of a flow.
+    #[inline]
+    pub fn path(&self, flow: crate::flow::FlowId) -> &Path {
+        &self.paths[flow.0]
+    }
+
+    /// All paths, flow-id order.
+    #[inline]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The resulting network state (active sets + loads).
+    #[inline]
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Mutable network state (for simulators adding transient load).
+    #[inline]
+    pub fn state_mut(&mut self) -> &mut NetworkState {
+        &mut self.state
+    }
+
+    /// Number of active switches.
+    pub fn active_switch_count(&self, net: &dyn MultipathTopology) -> usize {
+        self.state.active_switch_count(net.topology())
+    }
+
+    /// DCN power under a power model.
+    pub fn network_power_w(&self, net: &dyn MultipathTopology, model: &NetworkPowerModel) -> f64 {
+        model.power_w(net.topology(), &self.state)
+    }
+
+    /// Highest link utilization (actual loads).
+    pub fn max_utilization(&self, net: &dyn MultipathTopology) -> f64 {
+        net.topology()
+            .links()
+            .map(|(id, _)| self.state.utilization(id))
+            .fold(0.0, f64::max)
+    }
+
+    /// Verifies that scaled demands respect usable per-direction
+    /// capacities and that every path is available. Returns a description
+    /// of the first violation, if any.
+    pub fn validate(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+    ) -> Result<(), String> {
+        let topo = net.topology();
+        let mut reserved = vec![0.0; topo.num_links() * 2];
+        for (flow, p) in flows.flows().iter().zip(&self.paths) {
+            if p.src() != flow.src || p.dst() != flow.dst {
+                return Err(format!("flow {:?} routed between wrong endpoints", flow.id));
+            }
+            if !p.is_consistent(topo) {
+                return Err(format!("flow {:?} has an inconsistent path", flow.id));
+            }
+            if !self.state.path_available(p) {
+                return Err(format!("flow {:?} uses a powered-off element", flow.id));
+            }
+            for (from, _, l) in p.hops() {
+                let dir = crate::links::direction_from(topo, l, from);
+                reserved[l.0 * 2 + dir] += flow.scaled_demand(cfg.scale_k);
+            }
+        }
+        for (id, l) in topo.links() {
+            let usable = cfg.usable_capacity(l.capacity_mbps);
+            for dir in 0..2 {
+                if reserved[id.0 * 2 + dir] > usable + 1e-6 {
+                    return Err(format!(
+                        "link {:?} dir {} over-reserved: {} > {} Mbps",
+                        id,
+                        dir,
+                        reserved[id.0 * 2 + dir],
+                        usable
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Assignment {
+    /// Repairs the assignment after a switch failure: every flow whose
+    /// path crosses `failed` is re-routed onto its best surviving
+    /// candidate path (fewest newly-activated switches, then lowest
+    /// bottleneck), activating additional switches if needed — the
+    /// runtime counterpart of §IV-B's "backup paths" mitigation.
+    ///
+    /// Returns the indices of re-routed flows, or an error naming the
+    /// first flow that has no surviving path.
+    pub fn repair_after_switch_failure(
+        &mut self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        failed: NodeId,
+    ) -> Result<Vec<usize>, ConsolidationError> {
+        let topo = net.topology();
+        let mut rerouted = Vec::new();
+        // Which flows cross the failed switch?
+        let victims: Vec<usize> = (0..flows.len())
+            .filter(|&i| self.paths[i].nodes.contains(&failed))
+            .collect();
+        if victims.is_empty() {
+            // Still mark the switch down.
+            self.state.set_node(failed, false);
+            self.state.refresh_links(topo);
+            return Ok(rerouted);
+        }
+        // Remove the victims' load, then mark the switch down.
+        for &i in &victims {
+            let demand = flows.flows()[i].demand_mbps;
+            self.state.remove_path_load(topo, &self.paths[i], demand);
+        }
+        self.state.set_node(failed, false);
+        self.state.refresh_links(topo);
+
+        for &i in &victims {
+            let flow = &flows.flows()[i];
+            let candidates = net.candidate_paths(flow.src, flow.dst);
+            let mut best: Option<(usize, f64, usize)> = None; // (new switches, bottleneck, idx)
+            for (idx, p) in candidates.iter().enumerate() {
+                if p.nodes.contains(&failed) {
+                    continue;
+                }
+                let new_switches = p
+                    .interior()
+                    .iter()
+                    .filter(|&&n| !self.state.node_on(n))
+                    .count();
+                let bottleneck = self
+                    .state
+                    .path_utilizations(topo, p)
+                    .into_iter()
+                    .fold(0.0, f64::max);
+                let key = (new_switches, bottleneck, idx);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, idx)) = best else {
+                return Err(ConsolidationError::NoFeasiblePath { flow: i });
+            };
+            let p = candidates.into_iter().nth(idx).expect("index valid");
+            for &n in &p.nodes {
+                if n != failed {
+                    self.state.set_node(n, true);
+                }
+            }
+            self.state.refresh_links(topo);
+            for &l in &p.links {
+                self.state.set_link(l, true);
+            }
+            self.state.add_path_load(topo, &p, flow.demand_mbps);
+            self.paths[i] = p;
+            rerouted.push(i);
+        }
+        Ok(rerouted)
+    }
+}
+
+/// The interface every consolidation strategy implements. Strategies are
+/// topology-generic (§IV-B: "our optimization model is independent of the
+/// network topology"): any [`MultipathTopology`] — fat-tree, leaf–spine —
+/// can be consolidated.
+pub trait Consolidator {
+    /// Chooses a path per flow, minimizing DCN power subject to scaled
+    /// demands fitting under usable link capacities.
+    fn consolidate(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+    ) -> Result<Assignment, ConsolidationError>;
+}
+
+/// Routes flows on a *fixed* active topology (an aggregation level of
+/// Fig. 9), balancing load by picking, per flow, the available candidate
+/// path whose most-loaded link ends up least loaded. Unlike the optimizing
+/// consolidators it never powers anything down below the preset and does
+/// not enforce capacity (overload shows up as latency, which is exactly the
+/// effect Figs. 10 and 13 study).
+#[derive(Debug, Clone)]
+pub struct AggregationRouter {
+    /// Switches allowed to carry traffic.
+    pub active: Vec<NodeId>,
+}
+
+impl AggregationRouter {
+    /// Router restricted to an aggregation level's active set.
+    pub fn for_level(ft: &FatTree, level: eprons_topo::AggregationLevel) -> Self {
+        AggregationRouter {
+            active: level.active_switches(ft),
+        }
+    }
+}
+
+impl Consolidator for AggregationRouter {
+    fn consolidate(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+    ) -> Result<Assignment, ConsolidationError> {
+        let topo = net.topology();
+        let allowed = |n: NodeId| !topo.node(n).kind.is_switch() || self.active.contains(&n);
+        let mut reserved = vec![0.0; topo.num_links() * 2];
+        let mut chosen: Vec<Path> = Vec::with_capacity(flows.len());
+        for flow in flows.flows() {
+            let demand = flow.scaled_demand(cfg.scale_k);
+            let mut best: Option<(f64, usize)> = None;
+            let candidates = net.candidate_paths(flow.src, flow.dst);
+            for (idx, p) in candidates.iter().enumerate() {
+                if !p.nodes.iter().all(|&n| allowed(n)) {
+                    continue;
+                }
+                // Bottleneck directional reservation if this path were
+                // chosen (full-duplex links: only the traversal direction
+                // contends).
+                let bottleneck = p
+                    .hops()
+                    .map(|(from, _, l)| {
+                        let dir = crate::links::direction_from(topo, l, from);
+                        reserved[l.0 * 2 + dir] + demand
+                    })
+                    .fold(0.0, f64::max);
+                if best.is_none_or(|(b, _)| bottleneck < b - 1e-9) {
+                    best = Some((bottleneck, idx));
+                }
+            }
+            let Some((_, idx)) = best else {
+                return Err(ConsolidationError::NoFeasiblePath {
+                    flow: flow.id.0,
+                });
+            };
+            let p = candidates.into_iter().nth(idx).expect("index valid");
+            for (from, _, l) in p.hops() {
+                let dir = crate::links::direction_from(topo, l, from);
+                reserved[l.0 * 2 + dir] += demand;
+            }
+            chosen.push(p);
+        }
+        // The preset keeps its whole active set powered (that is the point
+        // of the Fig. 10/13 experiments), so build state from the preset,
+        // not from used paths.
+        let mut assignment = Assignment::from_paths(net, flows, chosen);
+        for &s in &self.active {
+            assignment.state.set_node(s, true);
+        }
+        assignment.state.refresh_links(topo);
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowClass;
+    use eprons_topo::AggregationLevel;
+
+    fn three_flow_setup() -> (FatTree, FlowSet) {
+        let ft = FatTree::new(4, 1000.0);
+        let mut fs = FlowSet::new();
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            900.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(2, 0, 0),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.host(0, 1, 0),
+            ft.host(3, 0, 0),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        (ft, fs)
+    }
+
+    #[test]
+    fn aggregation_router_stays_on_active_set() {
+        let (ft, fs) = three_flow_setup();
+        let router = AggregationRouter::for_level(&ft, AggregationLevel::Agg3);
+        let cfg = ConsolidationConfig::with_k(1.0);
+        let a = router.consolidate(&ft, &fs, &cfg).unwrap();
+        let active = AggregationLevel::Agg3.active_switches(&ft);
+        for p in a.paths() {
+            for &n in p.interior() {
+                assert!(active.contains(&n), "path used inactive switch");
+            }
+        }
+        assert_eq!(a.active_switch_count(&ft), 13);
+    }
+
+    #[test]
+    fn aggregation_router_balances_on_agg0() {
+        let (ft, fs) = three_flow_setup();
+        let router = AggregationRouter::for_level(&ft, AggregationLevel::Agg0);
+        let cfg = ConsolidationConfig::with_k(1.0);
+        let a = router.consolidate(&ft, &fs, &cfg).unwrap();
+        // With everything on, the two query flows should avoid the
+        // elephant's bottleneck links.
+        let elephant = a.path(crate::flow::FlowId(0));
+        let q1 = a.path(crate::flow::FlowId(1));
+        let shared: Vec<_> = q1
+            .links
+            .iter()
+            .filter(|l| elephant.links.contains(l))
+            .collect();
+        assert!(
+            shared.is_empty(),
+            "load-balanced routing should separate the query from the elephant"
+        );
+    }
+
+    #[test]
+    fn assignment_loads_are_unscaled() {
+        let (ft, fs) = three_flow_setup();
+        let router = AggregationRouter::for_level(&ft, AggregationLevel::Agg3);
+        let cfg = ConsolidationConfig::with_k(3.0);
+        let a = router.consolidate(&ft, &fs, &cfg).unwrap();
+        // Total load across host uplinks equals total unscaled demand on
+        // the sending side.
+        let src_up = ft.host_uplink(ft.host(0, 0, 0));
+        assert!((a.state().load(src_up) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_over_reservation() {
+        let ft = FatTree::new(4, 1000.0);
+        let mut fs = FlowSet::new();
+        // Two 600 Mbps elephants from the same host pair: any single path
+        // over-reserves (1200 > 950).
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(0, 0, 1),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(0, 0, 1),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
+        let router = AggregationRouter::for_level(&ft, AggregationLevel::Agg0);
+        let cfg = ConsolidationConfig::with_k(1.0);
+        // Same-edge pairs have exactly one path, so the router must pack
+        // both onto it; validation flags the over-reservation.
+        let a = router.consolidate(&ft, &fs, &cfg).unwrap();
+        assert!(a.validate(&ft, &fs, &cfg).is_err());
+    }
+
+    #[test]
+    fn usable_capacity_applies_margin() {
+        let cfg = ConsolidationConfig::default();
+        assert_eq!(cfg.usable_capacity(1000.0), 950.0);
+        assert_eq!(cfg.usable_capacity(20.0), 0.0);
+    }
+}

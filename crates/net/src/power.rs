@@ -1,0 +1,131 @@
+//! Network power accounting.
+//!
+//! Two models appear in the paper:
+//!
+//! * the **measured HPE E3800** curve of Fig. 8 — 97.5 W idle, +0.59 W from
+//!   0 → 100 % link utilization (≈0.6 % of idle), *independent of the number
+//!   of active ports* — which justifies treating switch power as constant
+//!   when on;
+//! * the **36 W constant-power switch** from reference \[23\], used for the
+//!   scaled total-system-power results (Figs. 13 and 15).
+//!
+//! [`NetworkPowerModel`] is the accounting model (constant power per active
+//! switch plus per active link); [`hpe_e3800_power_w`] reproduces the
+//! measured curve for Fig. 8.
+
+use eprons_topo::Topology;
+
+use crate::links::NetworkState;
+
+/// Constant-power-when-on network power model.
+#[derive(Debug, Clone)]
+pub struct NetworkPowerModel {
+    /// Watts per active switch (36 W in the paper's scaled results).
+    pub switch_w: f64,
+    /// Watts per active link — the `l(u,v)` term of objective eq. 2. The
+    /// paper folds port power into the switch for its scaled results, so
+    /// the default is a small per-link cost that only breaks ties.
+    pub link_w: f64,
+}
+
+impl Default for NetworkPowerModel {
+    fn default() -> Self {
+        NetworkPowerModel {
+            switch_w: 36.0,
+            link_w: 1.0,
+        }
+    }
+}
+
+impl NetworkPowerModel {
+    /// Total DCN power for a given active set.
+    pub fn power_w(&self, topo: &Topology, state: &NetworkState) -> f64 {
+        self.power_w_for_counts(state.active_switch_count(topo), state.active_link_count())
+    }
+
+    /// Total DCN power given counts directly.
+    pub fn power_w_for_counts(&self, switches: usize, links: usize) -> f64 {
+        switches as f64 * self.switch_w + links as f64 * self.link_w
+    }
+
+    /// The power of the fully-on network (every switch and link active) —
+    /// the "no power management" DCN baseline.
+    pub fn full_power_w(&self, topo: &Topology) -> f64 {
+        self.power_w_for_counts(topo.switches().len(), topo.num_links())
+    }
+}
+
+/// The measured HPE E3800 J9574A switch power in watts at a given aggregate
+/// link utilization (Fig. 8): 97.5 W idle, rising by only 0.59 W at full
+/// load. `ports` (2 or 4 in the paper's measurement) barely matters; a
+/// per-port epsilon is included so the duplex/simplex curves of Fig. 8 are
+/// distinguishable.
+pub fn hpe_e3800_power_w(utilization: f64, active_ports: usize) -> f64 {
+    let u = utilization.clamp(0.0, 1.0);
+    97.5 + 0.59 * u + 0.01 * active_ports as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eprons_topo::{AggregationLevel, FatTree};
+
+    #[test]
+    fn full_fat_tree_power() {
+        let ft = FatTree::new(4, 1000.0);
+        let m = NetworkPowerModel::default();
+        // 20 switches * 36 + 48 links * 1 = 768 W
+        assert_eq!(m.full_power_w(ft.topology()), 768.0);
+    }
+
+    #[test]
+    fn aggregation_levels_save_power_monotonically() {
+        let ft = FatTree::new(4, 1000.0);
+        let m = NetworkPowerModel::default();
+        let mut prev = f64::INFINITY;
+        for level in AggregationLevel::ALL {
+            let st = NetworkState::with_active_switches(
+                ft.topology(),
+                &level.active_switches(&ft),
+            );
+            let p = m.power_w(ft.topology(), &st);
+            assert!(p < prev, "{level:?} must reduce power");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn agg3_power_matches_hand_count() {
+        let ft = FatTree::new(4, 1000.0);
+        let m = NetworkPowerModel::default();
+        let st = NetworkState::with_active_switches(
+            ft.topology(),
+            &AggregationLevel::Agg3.active_switches(&ft),
+        );
+        // 13 switches; links: 16 host-edge + 8 edge-agg(1 per edge... each
+        // edge connects to the single active agg in its pod: 8) + 4 agg-core
+        // (agg0 of each pod to core(0,0)) = 28.
+        assert_eq!(st.active_link_count(), 28);
+        assert_eq!(m.power_w(ft.topology(), &st), 13.0 * 36.0 + 28.0);
+    }
+
+    #[test]
+    fn hpe_curve_is_nearly_flat() {
+        let idle = hpe_e3800_power_w(0.0, 2);
+        let full = hpe_e3800_power_w(1.0, 2);
+        assert!((idle - 97.52).abs() < 1e-9);
+        assert!((full - idle - 0.59).abs() < 1e-9);
+        // The increase is ~0.6% of idle power — the paper's justification
+        // for the constant-power model.
+        assert!((full - idle) / idle < 0.01);
+    }
+
+    #[test]
+    fn counts_based_power() {
+        let m = NetworkPowerModel {
+            switch_w: 36.0,
+            link_w: 0.0,
+        };
+        assert_eq!(m.power_w_for_counts(14, 100), 14.0 * 36.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! A packet-level M/M/1 link-queue simulator — the validation substrate
+//! behind the analytic latency model.
+//!
+//! The paper measures the utilization→latency curve of Fig. 1 on real
+//! switches; [`crate::LatencyModel`] reproduces the curve analytically
+//! (deterministic base + exponential queueing with mean `coeff·u/(1−u)`).
+//! This module closes the loop the way the paper's measurement did: it
+//! *simulates* a link as an M/M/1 queue with the discrete-event kernel and
+//! verifies that the measured sojourn times reproduce the analytic knee —
+//! mean `1/(μ−λ)`, exponential tails, explosion near saturation.
+
+use eprons_sim::{EventQueue, SimRng};
+
+/// Result of simulating one link queue.
+#[derive(Debug, Clone)]
+pub struct QueueSimResult {
+    /// Sojourn (queueing + service) time per packet, seconds, completion
+    /// order.
+    pub sojourn_s: Vec<f64>,
+    /// Offered utilization `λ/μ`.
+    pub utilization: f64,
+}
+
+impl QueueSimResult {
+    /// Mean sojourn time.
+    pub fn mean_s(&self) -> f64 {
+        if self.sojourn_s.is_empty() {
+            0.0
+        } else {
+            self.sojourn_s.iter().sum::<f64>() / self.sojourn_s.len() as f64
+        }
+    }
+
+    /// Sojourn percentile.
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        eprons_num::quantile::percentile(&self.sojourn_s, p)
+    }
+}
+
+/// Events in the single-queue simulation.
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+/// Simulates an M/M/1 queue: Poisson arrivals at `lambda` packets/s,
+/// exponential service at `mu` packets/s, for `n_packets` completed
+/// packets. FIFO, infinite buffer.
+///
+/// # Panics
+/// Panics unless `0 < lambda < mu`.
+pub fn simulate_mm1(lambda: f64, mu: f64, n_packets: usize, seed: u64) -> QueueSimResult {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu for stability");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut q = EventQueue::new();
+    q.schedule(rng.exponential(lambda), Ev::Arrival);
+
+    // FIFO arrival timestamps of waiting + in-service packets.
+    let mut backlog: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    let mut in_service = false;
+    let mut sojourn = Vec::with_capacity(n_packets);
+
+    while sojourn.len() < n_packets {
+        let (now, ev) = q.pop().expect("event stream never drains");
+        match ev {
+            Ev::Arrival => {
+                backlog.push_back(now);
+                if !in_service {
+                    in_service = true;
+                    q.schedule(now + rng.exponential(mu), Ev::Departure);
+                }
+                q.schedule(now + rng.exponential(lambda), Ev::Arrival);
+            }
+            Ev::Departure => {
+                let arrived = backlog.pop_front().expect("departure without packet");
+                sojourn.push(now - arrived);
+                if backlog.is_empty() {
+                    in_service = false;
+                } else {
+                    q.schedule(now + rng.exponential(mu), Ev::Departure);
+                }
+            }
+        }
+    }
+    QueueSimResult {
+        sojourn_s: sojourn,
+        utilization: lambda / mu,
+    }
+}
+
+/// Simulates a link of `capacity_mbps` carrying `utilization` worth of
+/// packets of `packet_bits` each, returning per-packet latency in
+/// **microseconds** — directly comparable to
+/// [`crate::LatencyModel::per_hop_mean_us`].
+pub fn simulate_link_latency_us(
+    capacity_mbps: f64,
+    utilization: f64,
+    packet_bits: f64,
+    n_packets: usize,
+    seed: u64,
+) -> QueueSimResult {
+    assert!((0.0..1.0).contains(&utilization) && utilization > 0.0);
+    // Service rate: packets per second the link can drain.
+    let mu = capacity_mbps * 1.0e6 / packet_bits;
+    let lambda = utilization * mu;
+    let mut r = simulate_mm1(lambda, mu, n_packets, seed);
+    for s in r.sojourn_s.iter_mut() {
+        *s *= 1.0e6; // seconds → µs
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+
+    #[test]
+    fn mm1_mean_matches_theory() {
+        // E[T] = 1/(μ−λ).
+        let (lambda, mu) = (60.0, 100.0);
+        let r = simulate_mm1(lambda, mu, 200_000, 7);
+        let expect = 1.0 / (mu - lambda);
+        let got = r.mean_s();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "mean sojourn {got} vs theory {expect}"
+        );
+    }
+
+    #[test]
+    fn mm1_sojourn_is_exponential() {
+        // For M/M/1 the sojourn time is Exp(μ−λ): p95 ≈ 3·mean.
+        let r = simulate_mm1(30.0, 100.0, 200_000, 8);
+        let ratio = r.percentile_s(0.95) / r.mean_s();
+        assert!(
+            (ratio - 3.0).abs() < 0.2,
+            "p95/mean {ratio} should be ≈ln(20)≈3.0"
+        );
+    }
+
+    #[test]
+    fn knee_appears_in_simulation() {
+        // Latency must explode superlinearly as u → 1: the Fig. 1 knee.
+        let at = |u: f64| simulate_mm1(u * 100.0, 100.0, 100_000, 9).mean_s();
+        let low = at(0.2);
+        let mid = at(0.7);
+        let high = at(0.95);
+        assert!(mid > 2.0 * low, "mid {mid} vs low {low}");
+        assert!(high > 4.0 * mid, "high {high} vs mid {mid}");
+    }
+
+    #[test]
+    fn simulated_link_validates_the_analytic_model() {
+        // Calibrate a LatencyModel to the simulated link's parameters and
+        // check the queueing *growth* agrees within sampling error.
+        // Link: 1 Gbps, 1500-byte packets → service time 12 µs.
+        let service_us = 12.0;
+        let model = LatencyModel {
+            base_us: service_us,
+            queue_coeff_us: service_us,
+            max_utilization: 0.99,
+        };
+        for u in [0.3, 0.6, 0.8] {
+            let sim = simulate_link_latency_us(1000.0, u, 12_000.0, 150_000, 10);
+            let analytic = model.per_hop_mean_us(u);
+            let measured = sim.mean_s();
+            assert!(
+                (measured - analytic).abs() / analytic < 0.08,
+                "u={u}: simulated {measured} µs vs analytic {analytic} µs"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_recorded() {
+        let r = simulate_mm1(25.0, 100.0, 1000, 11);
+        assert!((r.utilization - 0.25).abs() < 1e-12);
+        assert_eq!(r.sojourn_s.len(), 1000);
+        assert!(r.sojourn_s.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_queue_rejected() {
+        simulate_mm1(100.0, 100.0, 10, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Topology independence: the same consolidators run on a leaf–spine
+//! fabric (paper §IV-B: "our optimization model is independent of the
+//! network topology").
+
+use eprons_net::flow::FlowSet;
+use eprons_net::{
+    ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator, NetworkPowerModel,
+    PathMilpConsolidator,
+};
+use eprons_topo::LeafSpine;
+
+fn fabric() -> LeafSpine {
+    LeafSpine::new(4, 3, 4, 1000.0) // 16 hosts, 4 leaves, 3 spines
+}
+
+fn small_flows(ls: &LeafSpine) -> FlowSet {
+    let mut fs = FlowSet::new();
+    fs.add(ls.host(0, 0), ls.host(1, 0), 800.0, FlowClass::LatencyTolerant);
+    fs.add(ls.host(0, 1), ls.host(2, 0), 20.0, FlowClass::LatencySensitive);
+    fs.add(ls.host(3, 0), ls.host(1, 1), 20.0, FlowClass::LatencySensitive);
+    fs.add(ls.host(2, 1), ls.host(2, 2), 50.0, FlowClass::LatencySensitive);
+    fs
+}
+
+#[test]
+fn greedy_consolidates_to_minimal_spines() {
+    let ls = fabric();
+    let fs = small_flows(&ls);
+    let cfg = ConsolidationConfig::with_k(1.0);
+    let a = GreedyConsolidator.consolidate(&ls, &fs, &cfg).unwrap();
+    a.validate(&ls, &fs, &cfg).unwrap();
+    // All cross-leaf traffic fits through one spine: 4 leaves + 1 spine on.
+    // (The same-leaf flow activates no spine.)
+    assert_eq!(a.active_switch_count(&ls), 5);
+}
+
+#[test]
+fn k_scaling_activates_more_spines() {
+    let ls = fabric();
+    let fs = small_flows(&ls);
+    // At K=15 the 20 Mbps flows reserve 300 each: 800+300 > 950 usable,
+    // so they must leave the elephant's spine.
+    let k1 = GreedyConsolidator
+        .consolidate(&ls, &fs, &ConsolidationConfig::with_k(1.0))
+        .unwrap();
+    let k15 = GreedyConsolidator
+        .consolidate(&ls, &fs, &ConsolidationConfig::with_k(15.0))
+        .unwrap();
+    assert!(
+        k15.active_switch_count(&ls) > k1.active_switch_count(&ls),
+        "larger K must open more spines: {} vs {}",
+        k15.active_switch_count(&ls),
+        k1.active_switch_count(&ls)
+    );
+}
+
+#[test]
+fn milp_matches_or_beats_greedy_on_leafspine() {
+    let ls = fabric();
+    let fs = small_flows(&ls);
+    let power = NetworkPowerModel::default();
+    for k in [1.0, 5.0, 15.0] {
+        let cfg = ConsolidationConfig::with_k(k);
+        let exact = PathMilpConsolidator::default()
+            .consolidate(&ls, &fs, &cfg)
+            .unwrap();
+        exact.validate(&ls, &fs, &cfg).unwrap();
+        let heur = GreedyConsolidator.consolidate(&ls, &fs, &cfg).unwrap();
+        assert!(
+            exact.network_power_w(&ls, &power) <= heur.network_power_w(&ls, &power) + 1e-6,
+            "K={k}: MILP must not lose to greedy on leaf-spine"
+        );
+    }
+}
+
+#[test]
+fn same_leaf_traffic_needs_no_spine() {
+    let ls = fabric();
+    let mut fs = FlowSet::new();
+    fs.add(ls.host(1, 0), ls.host(1, 3), 500.0, FlowClass::LatencyTolerant);
+    let cfg = ConsolidationConfig::with_k(1.0);
+    let a = GreedyConsolidator.consolidate(&ls, &fs, &cfg).unwrap();
+    // One leaf switch only.
+    assert_eq!(a.active_switch_count(&ls), 1);
+    for &sp in ls.spines() {
+        assert!(!a.state().node_on(sp), "spine should stay dark");
+    }
+}

@@ -1,0 +1,154 @@
+//! Convolution of non-negative real sequences.
+//!
+//! Convolution is how EPRONS-Server forms *equivalent requests* (§III-A of
+//! the paper): the work distribution of the n-th queued request is the
+//! convolution of its own work PMF with the PMFs of all requests ahead of
+//! it. Small sequences use the direct O(n·m) algorithm; longer ones switch
+//! to FFT convolution (the paper's implementation choice, ≈20 µs per
+//! convolution).
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
+
+/// Length above which [`convolve`] switches from the direct algorithm to
+/// FFT. Chosen empirically; the crossover is benchmarked in
+/// `bench/benches/numerics.rs`.
+pub const FFT_THRESHOLD: usize = 96;
+
+/// Direct (schoolbook) linear convolution: `out[k] = Σ_i a[i]·b[k-i]`.
+///
+/// Returns a vector of length `a.len() + b.len() - 1` (empty if either
+/// input is empty).
+pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    // Iterate the shorter sequence on the outside for better locality.
+    let (outer, inner) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    for (i, &x) in outer.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in inner.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution with the same contract as
+/// [`convolve_direct`].
+///
+/// Negative floating-point dust (tiny values produced by round-off where the
+/// true result is zero or positive) is clamped to `0.0` so probability mass
+/// functions stay valid.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let mut fa: Vec<Complex> = Vec::with_capacity(n);
+    fa.extend(a.iter().map(|&x| Complex::from_real(x)));
+    fa.resize(n, Complex::ZERO);
+    let mut fb: Vec<Complex> = Vec::with_capacity(n);
+    fb.extend(b.iter().map(|&x| Complex::from_real(x)));
+    fb.resize(n, Complex::ZERO);
+    fft_in_place(&mut fa);
+    fft_in_place(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ifft_in_place(&mut fa);
+    fa.truncate(out_len);
+    fa.into_iter().map(|z| z.re.max(0.0)).collect()
+}
+
+/// Convolution that picks the direct or FFT algorithm based on input size.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.len().min(b.len()) < 2 || a.len() + b.len() < FFT_THRESHOLD {
+        convolve_direct(a, b)
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn direct_matches_by_hand() {
+        // (1 + 2x)(3 + 4x) = 3 + 10x + 8x²
+        assert_close(
+            &convolve_direct(&[1.0, 2.0], &[3.0, 4.0]),
+            &[3.0, 10.0, 8.0],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn identity_element() {
+        let a = [0.25, 0.5, 0.25];
+        assert_close(&convolve_direct(&a, &[1.0]), &a, 1e-12);
+        assert_close(&convolve_fft(&a, &[1.0]), &a, 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty() {
+        assert!(convolve_direct(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+        assert!(convolve(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn fft_matches_direct_on_random_sequences() {
+        // Deterministic pseudo-random input (LCG) — no rand dep needed here.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for (la, lb) in [(5, 7), (64, 64), (100, 3), (130, 257)] {
+            let a: Vec<f64> = (0..la).map(|_| next()).collect();
+            let b: Vec<f64> = (0..lb).map(|_| next()).collect();
+            let d = convolve_direct(&a, &b);
+            let f = convolve_fft(&a, &b);
+            assert_close(&d, &f, 1e-8);
+        }
+    }
+
+    #[test]
+    fn convolution_preserves_total_mass() {
+        // For PMFs: sum of convolution = product of sums = 1.
+        let a = [0.2, 0.3, 0.5];
+        let b = [0.1, 0.4, 0.4, 0.1];
+        let c = convolve(&a, &b);
+        let total: f64 = c.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, 0.25];
+        assert_close(&convolve(&a, &b), &convolve(&b, &a), 1e-12);
+    }
+
+    #[test]
+    fn fft_clamps_negative_dust() {
+        let a = vec![1e-30; 200];
+        let b = vec![1e-30; 200];
+        for v in convolve_fft(&a, &b) {
+            assert!(v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Empirical distributions built from raw samples.
+//!
+//! The paper obtains per-request service-time distributions by logging 100 K
+//! Xapian queries (§V-A). [`Empirical`] is the container for such logs: it
+//! keeps the sorted samples and answers quantile / CCDF / sampling queries.
+
+/// An empirical distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from samples (need not be sorted).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        assert!(
+            samples.iter().all(|s| !s.is_nan()),
+            "samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Empirical { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` iff there are no samples (never, post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    #[inline]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Minimum sample.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Quantile with linear interpolation between order statistics
+    /// (the "type 7" estimator used by most statistics packages).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        crate::quantile::percentile_of_sorted(&self.sorted, p)
+    }
+
+    /// Empirical `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point returns the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical `P(X > x)`.
+    #[inline]
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Inverse-transform sampling from a uniform(0,1) draw.
+    pub fn sample_with(&self, u: f64) -> f64 {
+        self.quantile(u.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_on_construction() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.sorted(), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Empirical::new(vec![0.0, 10.0]);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn cdf_counts_correctly() {
+        let e = Empirical::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(100.0), 1.0);
+        assert!((e.ccdf(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_sample_mean() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_spans_support() {
+        let e = Empirical::new((0..=100).map(|i| i as f64).collect());
+        assert_eq!(e.sample_with(0.0), 0.0);
+        assert_eq!(e.sample_with(1.0), 100.0);
+        let mid = e.sample_with(0.5);
+        assert!((mid - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_rejected() {
+        let _ = Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Empirical::new(vec![1.0, f64::NAN]);
+    }
+}

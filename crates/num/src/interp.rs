@@ -1,0 +1,151 @@
+//! Piecewise-linear lookup tables.
+//!
+//! EPRONS parameterizes several measured curves: the link-utilization →
+//! latency curve (paper Fig. 1), the CPU frequency → power curve (§V-A),
+//! and the trained K → tail-latency model (§IV-A). [`LinearTable`] is the
+//! common representation: monotone-x knots with linear interpolation and
+//! clamped extrapolation.
+
+/// A piecewise-linear function defined by `(x, y)` knots with strictly
+/// increasing `x`. Queries outside the knot range clamp to the end values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Builds a table from knots.
+    ///
+    /// # Panics
+    /// Panics if fewer than one knot is given or `x` values are not
+    /// strictly increasing / finite.
+    pub fn new(knots: &[(f64, f64)]) -> Self {
+        assert!(!knots.is_empty(), "LinearTable needs at least one knot");
+        let mut xs = Vec::with_capacity(knots.len());
+        let mut ys = Vec::with_capacity(knots.len());
+        for &(x, y) in knots {
+            assert!(x.is_finite() && y.is_finite(), "knots must be finite");
+            if let Some(&last) = xs.last() {
+                assert!(x > last, "knot x values must be strictly increasing");
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        LinearTable { xs, ys }
+    }
+
+    /// The knot x-coordinates.
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot y-coordinates.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Evaluates the function at `x` (clamped extrapolation).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Index of the first knot with xs[i] > x; the segment is [i-1, i].
+        let i = self.xs.partition_point(|&k| k <= x);
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Inverse lookup for monotonically *increasing* tables: smallest `x`
+    /// with `eval(x) >= y`, or `None` if `y` exceeds the table's maximum.
+    pub fn inverse_increasing(&self, y: f64) -> Option<f64> {
+        let n = self.xs.len();
+        if y <= self.ys[0] {
+            return Some(self.xs[0]);
+        }
+        if y > self.ys[n - 1] {
+            return None;
+        }
+        for i in 1..n {
+            if self.ys[i] >= y {
+                let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+                let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+                if (y1 - y0).abs() < f64::EPSILON {
+                    return Some(x0);
+                }
+                return Some(x0 + (x1 - x0) * (y - y0) / (y1 - y0));
+            }
+        }
+        Some(self.xs[n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_linearly() {
+        let t = LinearTable::new(&[(0.0, 0.0), (10.0, 100.0)]);
+        assert_eq!(t.eval(0.0), 0.0);
+        assert_eq!(t.eval(5.0), 50.0);
+        assert_eq!(t.eval(10.0), 100.0);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = LinearTable::new(&[(1.0, 2.0), (2.0, 4.0)]);
+        assert_eq!(t.eval(0.0), 2.0);
+        assert_eq!(t.eval(3.0), 4.0);
+    }
+
+    #[test]
+    fn multi_segment() {
+        let t = LinearTable::new(&[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        assert_eq!(t.eval(0.5), 0.5);
+        assert_eq!(t.eval(1.5), 2.5);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let t = LinearTable::new(&[(5.0, 42.0)]);
+        assert_eq!(t.eval(-100.0), 42.0);
+        assert_eq!(t.eval(5.0), 42.0);
+        assert_eq!(t.eval(100.0), 42.0);
+    }
+
+    #[test]
+    fn inverse_of_increasing_table() {
+        let t = LinearTable::new(&[(0.0, 10.0), (1.0, 20.0), (2.0, 40.0)]);
+        assert_eq!(t.inverse_increasing(10.0), Some(0.0));
+        assert_eq!(t.inverse_increasing(15.0), Some(0.5));
+        assert_eq!(t.inverse_increasing(30.0), Some(1.5));
+        assert_eq!(t.inverse_increasing(40.0), Some(2.0));
+        assert_eq!(t.inverse_increasing(41.0), None);
+        assert_eq!(t.inverse_increasing(5.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone_knots() {
+        let _ = LinearTable::new(&[(0.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn eval_inverse_round_trip() {
+        let t = LinearTable::new(&[(0.0, 1.0), (2.0, 3.0), (5.0, 9.0)]);
+        for k in 0..=20 {
+            let x = k as f64 * 0.25;
+            let y = t.eval(x);
+            let xi = t.inverse_increasing(y).unwrap();
+            assert!((t.eval(xi) - y).abs() < 1e-9);
+        }
+    }
+}

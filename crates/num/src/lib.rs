@@ -1,0 +1,38 @@
+//! Numerics substrate for the EPRONS reproduction.
+//!
+//! This crate provides everything number-shaped the rest of the workspace
+//! needs, built from scratch so the reproduction has no opaque numerical
+//! dependencies:
+//!
+//! * [`complex`] — a minimal `Complex` type used by the FFT.
+//! * [`fft`] — an iterative radix-2 Cooley–Tukey FFT (the paper reports
+//!   ~20 µs per convolution using FFT; see `bench/benches/numerics.rs`).
+//! * [`conv`] — direct and FFT-based convolution of non-negative sequences,
+//!   the core operation behind *equivalent request* distributions (§III-B).
+//! * [`pmf`] — gridded discrete probability mass functions: the
+//!   representation of per-request **work** distributions, with CDF/CCDF
+//!   queries and convolution.
+//! * [`empirical`] — empirical distributions built from raw samples
+//!   (service-time logs, latency logs) with quantile queries and sampling.
+//! * [`quantile`] — exact quantiles and a P² streaming estimator for
+//!   on-line tail-latency monitoring.
+//! * [`stats`] — small descriptive-statistics helpers.
+//! * [`interp`] — piecewise-linear lookup tables (utilization→latency
+//!   curve, frequency→power curve).
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod conv;
+pub mod empirical;
+pub mod fft;
+pub mod interp;
+pub mod pmf;
+pub mod quantile;
+pub mod stats;
+
+pub use complex::Complex;
+pub use empirical::Empirical;
+pub use interp::LinearTable;
+pub use pmf::Pmf;
+pub use quantile::{percentile, percentile_of_sorted, P2Quantile};

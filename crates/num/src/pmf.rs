@@ -1,0 +1,499 @@
+//! Gridded discrete probability mass functions.
+//!
+//! EPRONS-Server models each request's **work** (in giga-cycles) as a PMF on
+//! a uniform grid. The violation probability of a request under frequency
+//! `f` and deadline `D` is the CCDF of its *equivalent* work distribution at
+//! `ω(D) = f · (D − T_start)` (paper eq. 1); equivalent distributions are
+//! formed by [`Pmf::convolve`].
+
+use crate::conv;
+
+/// Relative tolerance when checking that two PMFs share a grid step.
+const STEP_TOL: f64 = 1e-9;
+
+/// A probability mass function on the uniform grid
+/// `value(i) = origin + i · step`.
+///
+/// ```
+/// use eprons_num::Pmf;
+/// // A fair die, and the sum of two dice by convolution.
+/// let die = Pmf::from_masses(1.0, 1.0, vec![1.0; 6]);
+/// let two = die.convolve(&die);
+/// assert!((two.mean() - 7.0).abs() < 1e-12);
+/// // Violation probability at a "deadline" of 10 pips:
+/// assert!((two.ccdf(10.0) - 3.0 / 36.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    origin: f64,
+    step: f64,
+    mass: Vec<f64>,
+}
+
+impl Pmf {
+    /// Builds a PMF from raw (non-negative) masses, normalizing them to sum
+    /// to one.
+    ///
+    /// # Panics
+    /// Panics if `step <= 0`, `mass` is empty, any mass is negative/NaN, or
+    /// the total mass is zero.
+    pub fn from_masses(origin: f64, step: f64, mass: Vec<f64>) -> Self {
+        assert!(step > 0.0, "PMF step must be positive");
+        assert!(!mass.is_empty(), "PMF must have at least one bin");
+        assert!(
+            mass.iter().all(|&m| m >= 0.0 && m.is_finite()),
+            "PMF masses must be non-negative and finite"
+        );
+        let total: f64 = mass.iter().sum();
+        assert!(total > 0.0, "PMF must have positive total mass");
+        let mass = mass.into_iter().map(|m| m / total).collect();
+        Pmf { origin, step, mass }
+    }
+
+    /// A degenerate PMF: all mass at `value` (represented on a grid of the
+    /// given `step`).
+    pub fn delta(value: f64, step: f64) -> Self {
+        Pmf::from_masses(value, step, vec![1.0])
+    }
+
+    /// Histograms `samples` into bins of width `step` and returns the
+    /// resulting PMF. Bin centers are aligned so the minimum sample falls at
+    /// the center of bin 0.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or `step <= 0`.
+    pub fn from_samples(samples: &[f64], step: f64) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        assert!(step > 0.0, "PMF step must be positive");
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let nbins = (((max - min) / step).floor() as usize) + 1;
+        let mut mass = vec![0.0; nbins];
+        for &s in samples {
+            let idx = (((s - min) / step).round() as usize).min(nbins - 1);
+            mass[idx] += 1.0;
+        }
+        Pmf::from_masses(min, step, mass)
+    }
+
+    /// The grid step.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Value of the first bin center.
+    #[inline]
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// `true` iff the PMF has no bins (never true for a constructed PMF).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// The masses, indexed by bin.
+    #[inline]
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Value at bin `i`.
+    #[inline]
+    pub fn value_at(&self, i: usize) -> f64 {
+        self.origin + i as f64 * self.step
+    }
+
+    /// Largest grid value carrying mass.
+    #[inline]
+    pub fn max_value(&self) -> f64 {
+        self.value_at(self.mass.len() - 1)
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| m * self.value_at(i))
+            .sum()
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let d = self.value_at(i) - mu;
+                m * d * d
+            })
+            .sum()
+    }
+
+    /// `P(X <= x)`, piecewise-linear between bin centers (so that the CCDF —
+    /// and therefore the violation probability as a function of frequency —
+    /// is continuous, which the paper's Fig. 5 depicts and which makes the
+    /// binary search over frequencies well behaved).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.origin {
+            return 0.0;
+        }
+        if x >= self.max_value() {
+            return 1.0;
+        }
+        let pos = (x - self.origin) / self.step;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        // cumulative mass up to and including bin i, plus a linear share of
+        // bin i+1's mass.
+        let mut cum = 0.0;
+        for &m in &self.mass[..=i] {
+            cum += m;
+        }
+        cum + frac * self.mass.get(i + 1).copied().unwrap_or(0.0)
+    }
+
+    /// `P(X > x)` — the violation probability when `x = ω(D)`.
+    #[inline]
+    pub fn ccdf(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).clamp(0.0, 1.0)
+    }
+
+    /// Smallest grid value `v` with `P(X <= v) >= p` (a staircase quantile).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile level must be in [0,1]");
+        let mut cum = 0.0;
+        for (i, &m) in self.mass.iter().enumerate() {
+            cum += m;
+            if cum >= p - 1e-12 {
+                return self.value_at(i);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Convolution: the distribution of the sum of two independent
+    /// variables. Both PMFs must share the same grid step.
+    ///
+    /// # Panics
+    /// Panics if the steps differ by more than a relative `1e-9`.
+    pub fn convolve(&self, other: &Pmf) -> Pmf {
+        assert!(
+            (self.step - other.step).abs() <= STEP_TOL * self.step.max(other.step),
+            "convolving PMFs requires identical grid steps ({} vs {})",
+            self.step,
+            other.step
+        );
+        let mass = conv::convolve(&self.mass, &other.mass);
+        Pmf::from_masses(self.origin + other.origin, self.step, mass)
+    }
+
+    /// Shifts every value by `dx` (e.g. adding a deterministic overhead to a
+    /// work distribution).
+    pub fn shift(&self, dx: f64) -> Pmf {
+        Pmf {
+            origin: self.origin + dx,
+            step: self.step,
+            mass: self.mass.clone(),
+        }
+    }
+
+    /// Drops leading/trailing bins whose cumulative mass is below `eps` and
+    /// renormalizes. Keeps equivalent-request distributions from growing
+    /// unboundedly as convolutions accumulate.
+    pub fn truncated(&self, eps: f64) -> Pmf {
+        let mut lo = 0usize;
+        let mut cum = 0.0;
+        while lo + 1 < self.mass.len() && cum + self.mass[lo] < eps / 2.0 {
+            cum += self.mass[lo];
+            lo += 1;
+        }
+        let mut hi = self.mass.len();
+        cum = 0.0;
+        while hi > lo + 1 && cum + self.mass[hi - 1] < eps / 2.0 {
+            cum += self.mass[hi - 1];
+            hi -= 1;
+        }
+        Pmf::from_masses(
+            self.value_at(lo),
+            self.step,
+            self.mass[lo..hi].to_vec(),
+        )
+    }
+
+    /// Samples a value using the provided uniform(0,1) draw, with linear
+    /// jitter inside the chosen bin. Deterministic in `u`.
+    pub fn sample_with(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let mut cum = 0.0;
+        for (i, &m) in self.mass.iter().enumerate() {
+            if u < cum + m {
+                let frac = if m > 0.0 { (u - cum) / m } else { 0.5 };
+                return self.value_at(i) + (frac - 0.5) * self.step;
+            }
+            cum += m;
+        }
+        self.max_value()
+    }
+
+    /// Builds a PMF by histogramming an [`crate::Empirical`] distribution
+    /// into `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn from_empirical(emp: &crate::Empirical, bins: usize) -> Pmf {
+        assert!(bins > 0, "need at least one bin");
+        let span = (emp.max() - emp.min()).max(f64::MIN_POSITIVE);
+        let step = span / bins as f64;
+        Pmf::from_samples(emp.sorted(), step)
+    }
+
+    /// Weighted mixture of PMFs sharing a grid step: the distribution of a
+    /// draw from component `i` with probability `wᵢ/Σw` (e.g. the fast/slow
+    /// query mix of a search service).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty, weights are not positive, or grid steps
+    /// differ.
+    pub fn mixture(parts: &[(f64, Pmf)]) -> Pmf {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let step = parts[0].1.step();
+        for (w, p) in parts {
+            assert!(*w > 0.0, "mixture weights must be positive");
+            assert!(
+                (p.step() - step).abs() <= STEP_TOL * step,
+                "mixture components must share a grid step"
+            );
+        }
+        // Common grid: min origin, max top.
+        let origin = parts
+            .iter()
+            .map(|(_, p)| p.origin())
+            .fold(f64::INFINITY, f64::min);
+        let top = parts
+            .iter()
+            .map(|(_, p)| p.max_value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let nbins = ((top - origin) / step).round() as usize + 1;
+        let mut mass = vec![0.0; nbins];
+        for (w, p) in parts {
+            let offset = ((p.origin() - origin) / step).round() as usize;
+            for (i, &m) in p.masses().iter().enumerate() {
+                mass[offset + i] += w * m;
+            }
+        }
+        Pmf::from_masses(origin, step, mass)
+    }
+
+    /// Conditional distribution of the *remaining* value given that at least
+    /// `done` has already been consumed: `P(X - done = v | X > done)`.
+    ///
+    /// This is the paper's request-arrival-instance model (§III-B): when a
+    /// request arrives while `R0` is mid-service, the in-flight request is
+    /// replaced by `R0e`, whose distribution is the work left of `R0`.
+    ///
+    /// Returns `None` if `P(X > done)` is (numerically) zero.
+    pub fn remaining_given_done(&self, done: f64) -> Option<Pmf> {
+        if done <= self.origin {
+            // All mass already lies above `done`: no conditioning needed.
+            return Some(self.shift(-done));
+        }
+        // First bin index with value strictly greater than `done`.
+        let start = (((done - self.origin) / self.step).floor() as usize) + 1;
+        if start >= self.mass.len() {
+            return None;
+        }
+        let tail: Vec<f64> = self.mass[start..].to_vec();
+        if tail.iter().sum::<f64>() <= 0.0 {
+            return None;
+        }
+        Some(Pmf::from_masses(
+            self.value_at(start) - done,
+            self.step,
+            tail,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Pmf {
+        // Fair six-sided die on values 1..=6 with step 1.
+        Pmf::from_masses(1.0, 1.0, vec![1.0; 6])
+    }
+
+    #[test]
+    fn normalizes_on_construction() {
+        let p = Pmf::from_masses(0.0, 0.5, vec![2.0, 6.0]);
+        assert!((p.masses()[0] - 0.25).abs() < 1e-12);
+        assert!((p.masses()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn die_moments() {
+        let d = die();
+        assert!((d.mean() - 3.5).abs() < 1e-12);
+        assert!((d.variance() - 35.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_dice_convolution() {
+        let two = die().convolve(&die());
+        assert_eq!(two.len(), 11);
+        assert!((two.origin() - 2.0).abs() < 1e-12);
+        assert!((two.mean() - 7.0).abs() < 1e-12);
+        // P(sum = 7) = 6/36
+        assert!((two.masses()[5] - 6.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_ccdf_are_complementary_and_monotone() {
+        let d = die();
+        let mut prev = -1.0;
+        for k in 0..=70 {
+            let x = k as f64 * 0.1;
+            let c = d.cdf(x);
+            assert!((c + d.ccdf(x) - 1.0).abs() < 1e-12);
+            assert!(c + 1e-12 >= prev, "CDF must be monotone");
+            prev = c;
+        }
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(6.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_of_die() {
+        let d = die();
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0 / 6.0), 1.0);
+        assert_eq!(d.quantile(0.5), 3.0);
+        assert_eq!(d.quantile(1.0), 6.0);
+    }
+
+    #[test]
+    fn delta_behaviour() {
+        let p = Pmf::delta(2.5, 0.1);
+        assert_eq!(p.mean(), 2.5);
+        assert_eq!(p.ccdf(2.4), 1.0);
+        assert_eq!(p.ccdf(2.5), 0.0);
+    }
+
+    #[test]
+    fn from_samples_centers_on_min() {
+        let p = Pmf::from_samples(&[1.0, 1.0, 2.0, 3.0], 1.0);
+        assert_eq!(p.origin(), 1.0);
+        assert_eq!(p.len(), 3);
+        assert!((p.masses()[0] - 0.5).abs() < 1e-12);
+        assert!((p.mean() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_moves_support() {
+        let d = die().shift(10.0);
+        assert!((d.mean() - 13.5).abs() < 1e-12);
+        assert_eq!(d.quantile(0.0), 11.0);
+    }
+
+    #[test]
+    fn truncation_drops_negligible_tails() {
+        let mut mass = vec![1e-15; 100];
+        mass[50] = 1.0;
+        let p = Pmf::from_masses(0.0, 1.0, mass).truncated(1e-9);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.origin(), 50.0);
+    }
+
+    #[test]
+    fn truncation_preserves_bulk_statistics() {
+        let d = die().convolve(&die()).convolve(&die());
+        let t = d.truncated(1e-12);
+        assert!((d.mean() - t.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_with_hits_support() {
+        let d = die();
+        for k in 0..100 {
+            let u = k as f64 / 100.0;
+            let v = d.sample_with(u);
+            assert!((0.5..=6.5).contains(&v), "sample {v} outside support");
+        }
+        // CDF inversion sanity: low u → low values, high u → high values.
+        assert!(d.sample_with(0.01) < d.sample_with(0.99));
+    }
+
+    #[test]
+    fn remaining_given_done_conditional() {
+        let d = die();
+        // Given X > 3, remaining X-3 is uniform on {1,2,3}.
+        let r = d.remaining_given_done(3.0).unwrap();
+        assert_eq!(r.origin(), 1.0);
+        assert_eq!(r.len(), 3);
+        for m in r.masses() {
+            assert!((m - 1.0 / 3.0).abs() < 1e-12);
+        }
+        // Nothing remains past the maximum.
+        assert!(d.remaining_given_done(6.0).is_none());
+        // Zero work done returns the original distribution.
+        let full = d.remaining_given_done(0.0).unwrap();
+        assert!((full.mean() - d.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_empirical_matches_statistics() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.618).fract() * 10.0).collect();
+        let emp = crate::Empirical::new(samples.clone());
+        let p = Pmf::from_empirical(&emp, 64);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((p.mean() - mean).abs() < 0.2, "pmf mean {} vs {}", p.mean(), mean);
+    }
+
+    #[test]
+    fn mixture_combines_mass_and_mean() {
+        let fast = Pmf::delta(1.0, 1.0);
+        let slow = Pmf::delta(5.0, 1.0);
+        let mix = Pmf::mixture(&[(3.0, fast), (1.0, slow)]);
+        // Mean = 0.75·1 + 0.25·5 = 2.0; total mass 1.
+        assert!((mix.mean() - 2.0).abs() < 1e-12);
+        let total: f64 = mix.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((mix.ccdf(1.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a grid step")]
+    fn mixture_rejects_mismatched_steps() {
+        let a = Pmf::delta(1.0, 1.0);
+        let b = Pmf::delta(1.0, 0.5);
+        let _ = Pmf::mixture(&[(1.0, a), (1.0, b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical grid steps")]
+    fn convolve_rejects_mismatched_steps() {
+        let a = Pmf::from_masses(0.0, 1.0, vec![1.0]);
+        let b = Pmf::from_masses(0.0, 0.5, vec![1.0]);
+        let _ = a.convolve(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let _ = Pmf::from_masses(0.0, 0.0, vec![1.0]);
+    }
+}

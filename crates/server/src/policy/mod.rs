@@ -1,0 +1,72 @@
+//! DVFS policies: EPRONS-Server and the paper's baselines.
+//!
+//! | policy | criterion | network slack | granularity |
+//! |---|---|---|---|
+//! | [`MaxFreqPolicy`] | always `f_max` | — | — ("no power management") |
+//! | [`MaxVpPolicy`] | max VP ≤ target | Rubik: no / Rubik+: yes (via deadlines) | per request |
+//! | [`AvgVpPolicy`] | **average** VP ≤ target, EDF reordering | yes (via deadlines) | per request (EPRONS-Server) |
+//! | [`TimeTraderPolicy`] | measured tail feedback | whole budget when uncongested | 5 s control period |
+//! | [`DeepSleepPolicy`] | max VP + deep idle sleep | yes (via deadlines) | per request (DynSleep-style extension) |
+//!
+//! Whether a scheme *sees* network slack is decided by the deadlines the
+//! simulator feeds it (Rubik vs. Rubik+ run the same `MaxVpPolicy` with
+//! different deadline inputs — exactly the paper's "network-aware version
+//! of Rubik" construction, §V-B2).
+
+mod avg_vp;
+mod max_freq;
+mod max_vp;
+mod sleep;
+mod timetrader;
+
+pub use avg_vp::AvgVpPolicy;
+pub use max_freq::MaxFreqPolicy;
+pub use max_vp::MaxVpPolicy;
+pub use sleep::DeepSleepPolicy;
+pub use timetrader::TimeTraderPolicy;
+
+use crate::freq::FreqLadder;
+use crate::vp::Decision;
+
+/// A frequency-selection policy invoked at every request arrival and
+/// departure instant (and free to ignore the model-based `Decision`, as
+/// the feedback-based TimeTrader does).
+pub trait DvfsPolicy {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `false` if this policy never consults the model-based [`Decision`]
+    /// (feedback or fixed-frequency policies): the simulator then skips
+    /// building the equivalent distributions entirely.
+    fn needs_model(&self) -> bool {
+        true
+    }
+
+    /// `true` if the simulator should order the waiting queue
+    /// earliest-deadline-first for this policy (EPRONS-Server "reorders
+    /// requests based on their deadlines", §V-B2).
+    fn reorders_edf(&self) -> bool {
+        false
+    }
+
+    /// Watts one core draws while this policy has it idle. `None` uses the
+    /// power model's default (DVFS floor). Sleep-state policies override
+    /// this with a deep-sleep draw.
+    fn idle_power_w(&self) -> Option<f64> {
+        None
+    }
+
+    /// Extra seconds the first request of a busy period pays when this
+    /// policy let the core sleep (deep-sleep wake latency). Zero for pure
+    /// DVFS policies.
+    fn wake_latency_s(&self) -> f64 {
+        0.0
+    }
+
+    /// Completion callback: measured server latency and the request's
+    /// budget (used by feedback policies).
+    fn on_completion(&mut self, _now: f64, _latency_s: f64, _budget_s: f64) {}
+
+    /// Chooses the operating frequency at a decision instant.
+    fn choose_frequency(&mut self, now: f64, decision: &Decision, ladder: &FreqLadder) -> f64;
+}

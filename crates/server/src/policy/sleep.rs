@@ -1,0 +1,166 @@
+//! A DynSleep-style deep-sleep extension policy.
+//!
+//! The paper's related work (§I) contrasts DVFS schemes with *sleeping*
+//! schemes: "DynSleep \[11\] and SleepScale \[12\] postpone the servicing of
+//! requests and cause a longer idle period so that servers can enter into
+//! their deepest sleep states." The paper evaluates only DVFS baselines;
+//! this policy is the natural extension: idle cores drop into a deep sleep
+//! state (near-zero draw) and pay a wake latency on the first request of
+//! each busy period, with Rubik-style max-VP frequency selection while
+//! awake. The wake latency flows into the VP model as extra
+//! frequency-independent time, so deadlines keep being honored
+//! statistically.
+//!
+//! At low loads sleeping beats pure DVFS (idle dominates); at high loads
+//! the wake penalty and the higher awake frequency erode the win — the
+//! classic sleep-vs-scale crossover that SleepScale studies.
+
+use crate::freq::FreqLadder;
+use crate::vp::Decision;
+
+use super::DvfsPolicy;
+
+/// Deep sleep while idle + max-VP DVFS while busy.
+#[derive(Debug, Clone)]
+pub struct DeepSleepPolicy {
+    /// SLA miss budget (0.05 for a 95th-percentile SLA).
+    pub target: f64,
+    /// Core draw in the deep sleep state, watts (PowerNap-class ≈0.1 W).
+    pub sleep_power_w: f64,
+    /// Wake latency charged to the first request of a busy period.
+    pub wake_latency: f64,
+}
+
+impl DeepSleepPolicy {
+    /// Defaults: 5 % miss budget, 0.15 W sleeping, 1 ms wake.
+    pub fn new() -> Self {
+        DeepSleepPolicy {
+            target: 0.05,
+            sleep_power_w: 0.15,
+            wake_latency: 1.0e-3,
+        }
+    }
+}
+
+impl Default for DeepSleepPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DvfsPolicy for DeepSleepPolicy {
+    fn name(&self) -> &'static str {
+        "deep-sleep"
+    }
+
+    fn idle_power_w(&self) -> Option<f64> {
+        Some(self.sleep_power_w)
+    }
+
+    fn wake_latency_s(&self) -> f64 {
+        self.wake_latency
+    }
+
+    fn choose_frequency(&mut self, _now: f64, decision: &Decision, ladder: &FreqLadder) -> f64 {
+        if decision.is_empty() {
+            return ladder.min();
+        }
+        ladder.lowest_satisfying(|f| decision.max_vp(f) <= self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coresim::{simulate_core, CoreSimConfig};
+    use crate::policy::MaxVpPolicy;
+    use crate::request::ArrivalSpec;
+    use crate::service::ServiceModel;
+    use crate::vp::VpEngine;
+    use eprons_sim::SimRng;
+
+    fn service() -> ServiceModel {
+        let mut rng = SimRng::seed_from_u64(60);
+        ServiceModel::synthetic_xapian(&mut rng, 15_000, 128)
+    }
+
+    fn sparse_trace(n: usize, gap_s: f64, budget: f64) -> Vec<ArrivalSpec> {
+        (0..n)
+            .map(|i| ArrivalSpec {
+                arrival_s: i as f64 * gap_s,
+                budget_s: budget,
+                tag: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sleeping_beats_dvfs_at_low_load() {
+        let svc = service();
+        let cfg = CoreSimConfig::default();
+        // Very sparse arrivals: the core is idle most of the time.
+        let arrivals = sparse_trace(40, 0.5, 30.0e-3);
+        let mut engine1 = VpEngine::new(svc.clone());
+        let mut sleep = DeepSleepPolicy::new();
+        let rs = simulate_core(&mut sleep, &mut engine1, &arrivals, &cfg, 61);
+        let mut engine2 = VpEngine::new(svc);
+        let mut dvfs = MaxVpPolicy::rubik();
+        let rd = simulate_core(&mut dvfs, &mut engine2, &arrivals, &cfg, 61);
+        assert!(
+            rs.energy_j < rd.energy_j,
+            "sleeping ({:.1} J) must beat DVFS ({:.1} J) at ~1% load",
+            rs.energy_j,
+            rd.energy_j
+        );
+    }
+
+    #[test]
+    fn wake_latency_shows_up_in_isolated_requests() {
+        let svc = service();
+        let cfg = CoreSimConfig::default();
+        let arrivals = sparse_trace(20, 1.0, 30.0e-3);
+        let run = |wake: f64, seed: u64| {
+            let mut engine = VpEngine::new(svc.clone());
+            let mut p = DeepSleepPolicy {
+                wake_latency: wake,
+                ..DeepSleepPolicy::new()
+            };
+            simulate_core(&mut p, &mut engine, &arrivals, &cfg, seed)
+                .mean_latency()
+                .unwrap()
+        };
+        let without = run(0.0, 62);
+        let with = run(5.0e-3, 62);
+        // Every request is a busy-period head here, so the mean shifts by
+        // the full wake latency.
+        assert!(
+            (with - without - 5.0e-3).abs() < 0.5e-3,
+            "wake penalty not applied: {without} vs {with}"
+        );
+    }
+
+    #[test]
+    fn deadlines_still_met_with_wake_penalty() {
+        let svc = service();
+        let cfg = CoreSimConfig::default();
+        let arrivals = sparse_trace(200, 0.02, 30.0e-3);
+        let mut engine = VpEngine::new(svc);
+        let mut p = DeepSleepPolicy::new();
+        let r = simulate_core(&mut p, &mut engine, &arrivals, &cfg, 63);
+        assert!(
+            r.miss_rate().unwrap() <= 0.08,
+            "miss rate {} too high",
+            r.miss_rate().unwrap()
+        );
+    }
+
+    #[test]
+    fn dvfs_policies_report_no_sleep_hooks() {
+        let p = MaxVpPolicy::rubik();
+        assert_eq!(p.idle_power_w(), None);
+        assert_eq!(p.wake_latency_s(), 0.0);
+        let s = DeepSleepPolicy::new();
+        assert_eq!(s.idle_power_w(), Some(0.15));
+        assert!(s.wake_latency_s() > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Requests with variable per-request deadlines.
+//!
+//! Unlike prior work that assumes one fixed deadline for every request, the
+//! EPRONS deadline is *variable*: the server compute budget plus the
+//! request's measured network slack ("EPRONS-Server module adds the
+//! different network slack of each search request to its compute budget",
+//! §IV-C; only request-direction slack is used, conservatively).
+
+/// One entry of an arrival trace fed to the core simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Absolute arrival time at the server, seconds.
+    pub arrival_s: f64,
+    /// Compute budget for this request: server latency budget plus any
+    /// network-provided slack (seconds). The absolute deadline is
+    /// `arrival_s + budget_s`.
+    pub budget_s: f64,
+    /// Caller-defined identity carried through to the results (e.g. the
+    /// query a sub-request belongs to). Not interpreted by the simulator.
+    pub tag: u64,
+}
+
+impl ArrivalSpec {
+    /// The absolute server-side deadline.
+    #[inline]
+    pub fn deadline(&self) -> f64 {
+        self.arrival_s + self.budget_s
+    }
+}
+
+/// Builds a deadline budget from the SLA split and a measured request-path
+/// network latency: `server_budget + max(0, network_budget − measured)`.
+/// This is the slack transfer at the heart of EPRONS (§IV).
+pub fn budget_with_network_slack(
+    server_budget_s: f64,
+    network_budget_s: f64,
+    measured_request_latency_s: f64,
+) -> f64 {
+    server_budget_s + (network_budget_s - measured_request_latency_s).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_arrival_plus_budget() {
+        let a = ArrivalSpec {
+            arrival_s: 10.0,
+            budget_s: 0.025,
+            tag: 7,
+        };
+        assert!((a.deadline() - 10.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_network_grants_slack() {
+        // 25 ms server + 5 ms network budget; request took 1 ms in the
+        // network → 4 ms slack lands on the server budget.
+        let b = budget_with_network_slack(25.0e-3, 5.0e-3, 1.0e-3);
+        assert!((b - 29.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_network_grants_no_negative_slack() {
+        // Network overshot its budget: the server budget is *not* reduced
+        // ("to be more conservative, we only use the request slack").
+        let b = budget_with_network_slack(25.0e-3, 5.0e-3, 9.0e-3);
+        assert!((b - 25.0e-3).abs() < 1e-12);
+    }
+}

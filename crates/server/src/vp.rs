@@ -1,0 +1,341 @@
+//! The violation-probability (VP) engine (paper §III-B).
+//!
+//! For a request with absolute deadline `D` processed at frequency `f`, the
+//! cycles available before the deadline are `ω(D) = f · (D − T_start)`
+//! (eq. 1), and the violation probability is the CCDF of the request's
+//! *equivalent* work distribution at `ω(D)` — the equivalent distribution
+//! of the n-th queued request being the convolution of its own work PMF
+//! with those of all requests ahead of it (Fig. 5).
+//!
+//! Two refinements from the paper are implemented faithfully:
+//!
+//! * **departure instants** reuse cached self-convolutions of the work PMF
+//!   ("the equivalent distributions can be reused once computed", §III-C);
+//! * **arrival instants** condition the in-flight request on the cycles it
+//!   has already received (`R0e` with "the distribution of the work left",
+//!   §III-B) and then pay the `n` fresh convolutions the paper describes.
+//!
+//! The frequency-independent part of service (`t_fixed` per request) is
+//! handled by shrinking the time budget before converting to cycles, per
+//! the footnote-1 model.
+
+use eprons_num::Pmf;
+
+use crate::service::ServiceModel;
+
+/// Tail mass below which equivalent distributions are truncated to keep
+/// convolution lengths bounded.
+const TRUNC_EPS: f64 = 1e-10;
+
+/// Description of the head (in-service) request at a decision instant.
+#[derive(Debug, Clone, Copy)]
+pub struct InflightHead {
+    /// Cycles (giga-cycles) already executed on the head request.
+    pub done_work_gc: f64,
+    /// Seconds of its frequency-independent part still outstanding.
+    pub rem_fixed_s: f64,
+}
+
+/// Cached-convolution VP engine.
+#[derive(Debug, Clone)]
+pub struct VpEngine {
+    service: ServiceModel,
+    /// `equiv[n-1]` = n-fold self-convolution of the work PMF.
+    equiv: Vec<Pmf>,
+}
+
+impl VpEngine {
+    /// Creates an engine for a service model.
+    pub fn new(service: ServiceModel) -> Self {
+        let base = service.work_pmf().clone();
+        VpEngine {
+            service,
+            equiv: vec![base],
+        }
+    }
+
+    /// The underlying service model.
+    #[inline]
+    pub fn service(&self) -> &ServiceModel {
+        &self.service
+    }
+
+    /// The cached n-fold self-convolution (n ≥ 1).
+    pub fn equivalent(&mut self, n: usize) -> &Pmf {
+        assert!(n >= 1, "equivalent distribution needs at least one request");
+        while self.equiv.len() < n {
+            let next = self.equiv.last().expect("non-empty").convolve(&self.equiv[0]);
+            self.equiv.push(next.truncated(TRUNC_EPS));
+        }
+        &self.equiv[n - 1]
+    }
+
+    /// Builds the per-position distributions for one decision instant.
+    ///
+    /// `head` describes the in-flight request, if the core is busy;
+    /// `deadlines` are the absolute deadlines of all pending requests in
+    /// processing order (head first when in-flight). `now` is the decision
+    /// time.
+    pub fn decision(&mut self, now: f64, head: Option<InflightHead>, deadlines: &[f64]) -> Decision {
+        let fixed = self.service.fixed_s();
+        let mut items: Vec<DecisionItem> = Vec::with_capacity(deadlines.len());
+        match head {
+            Some(h) => {
+                // Remaining distribution of the head, conditioned on done
+                // cycles. If the head has (numerically) exhausted its
+                // support it is about to finish: treat remaining work as a
+                // half-bin delta.
+                let step = self.service.work_pmf().step();
+                let head_rem = self
+                    .service
+                    .work_pmf()
+                    .remaining_given_done(h.done_work_gc)
+                    .unwrap_or_else(|| Pmf::delta(step / 2.0, step));
+                for (i, &d) in deadlines.iter().enumerate() {
+                    let dist = if i == 0 {
+                        head_rem.clone()
+                    } else {
+                        // The paper's arrival-instant cost: one convolution
+                        // per queued request behind the head.
+                        head_rem.convolve(self.equivalent(i)).truncated(TRUNC_EPS)
+                    };
+                    items.push(DecisionItem {
+                        dist,
+                        budget_s: d - now - (h.rem_fixed_s + i as f64 * fixed),
+                    });
+                }
+            }
+            None => {
+                for (i, &d) in deadlines.iter().enumerate() {
+                    let dist = self.equivalent(i + 1).clone();
+                    items.push(DecisionItem {
+                        dist,
+                        budget_s: d - now - (i + 1) as f64 * fixed,
+                    });
+                }
+            }
+        }
+        Decision { items }
+    }
+}
+
+/// One pending request's equivalent distribution and its time budget
+/// (seconds until its deadline, net of all frequency-independent time that
+/// must elapse first).
+#[derive(Debug, Clone)]
+struct DecisionItem {
+    dist: Pmf,
+    budget_s: f64,
+}
+
+/// The frozen state of one decision instant: query VPs at any frequency.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    items: Vec<DecisionItem>,
+}
+
+impl Decision {
+    /// Number of pending requests considered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the queue was empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Violation probability of pending request `i` at frequency `f_ghz`:
+    /// `P(equivalent work > f · budget)` (eq. 1 + CCDF). A non-positive
+    /// budget yields VP 1 unless the equivalent work is zero.
+    pub fn vp(&self, i: usize, f_ghz: f64) -> f64 {
+        let it = &self.items[i];
+        if it.budget_s <= 0.0 {
+            return 1.0;
+        }
+        it.dist.ccdf(f_ghz * it.budget_s)
+    }
+
+    /// Maximum VP across pending requests (Rubik's criterion).
+    pub fn max_vp(&self, f_ghz: f64) -> f64 {
+        (0..self.items.len())
+            .map(|i| self.vp(i, f_ghz))
+            .fold(0.0, f64::max)
+    }
+
+    /// Average VP across pending requests (the EPRONS-Server criterion:
+    /// "we simply need the average VP of all queued requests to be 5%").
+    pub fn avg_vp(&self, f_ghz: f64) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        (0..self.items.len()).map(|i| self.vp(i, f_ghz)).sum::<f64>() / self.items.len() as f64
+    }
+
+    /// Index of the *limiting request* at frequency `f_ghz` — the request
+    /// with the highest VP, i.e. the one that dictates Rubik's frequency
+    /// ("the frequency setting is then determined by the request with the
+    /// least latency slack", §III). `None` when the queue is empty.
+    pub fn limiting_index(&self, f_ghz: f64) -> Option<usize> {
+        (0..self.items.len()).max_by(|&a, &b| {
+            self.vp(a, f_ghz)
+                .partial_cmp(&self.vp(b, f_ghz))
+                .expect("VPs are finite")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic work: exactly 2.7e-3 Gcycles per request (1 ms at
+    /// 2.7 GHz), no fixed part.
+    fn deterministic_engine() -> VpEngine {
+        VpEngine::new(ServiceModel::new(Pmf::delta(2.7e-3, 1.0e-5), 0.0))
+    }
+
+    /// Two-point work: 1 ms or 2 ms at f_max, with equal probability.
+    fn bimodal_engine() -> VpEngine {
+        let pmf = Pmf::from_masses(2.7e-3, 2.7e-3, vec![0.5, 0.5]);
+        VpEngine::new(ServiceModel::new(pmf, 0.0))
+    }
+
+    #[test]
+    fn deterministic_vp_is_a_step() {
+        let mut e = deterministic_engine();
+        // One fresh request, deadline 2 ms away.
+        let d = e.decision(0.0, None, &[2.0e-3]);
+        // At 2.7 GHz: ω = 5.4e-3 Gc > 2.7e-3 needed → VP 0.
+        assert_eq!(d.vp(0, 2.7), 0.0);
+        // At 1.2 GHz: ω = 2.4e-3 < 2.7e-3 → VP 1.
+        assert_eq!(d.vp(0, 1.2), 1.0);
+    }
+
+    #[test]
+    fn equivalent_distributions_accumulate() {
+        let mut e = deterministic_engine();
+        // Three queued fresh requests, 1 ms apart deadlines.
+        let d = e.decision(0.0, None, &[2.0e-3, 4.0e-3, 6.0e-3]);
+        // Third request's equivalent work = 8.1e-3 Gc, budget 6 ms:
+        // needs ≥ 1.35 GHz.
+        assert_eq!(d.vp(2, 1.3), 1.0);
+        assert_eq!(d.vp(2, 1.4), 0.0);
+    }
+
+    #[test]
+    fn vp_monotone_decreasing_in_frequency() {
+        let mut e = bimodal_engine();
+        let d = e.decision(0.0, None, &[3.0e-3, 5.0e-3]);
+        let mut prev = f64::INFINITY;
+        for i in 0..=15 {
+            let f = 1.2 + 0.1 * i as f64;
+            let v = d.max_vp(f);
+            assert!(v <= prev + 1e-12, "VP must not rise with frequency");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn avg_vp_between_min_and_max() {
+        let mut e = bimodal_engine();
+        let d = e.decision(0.0, None, &[2.0e-3, 3.0e-3, 4.0e-3]);
+        for i in 0..=15 {
+            let f = 1.2 + 0.1 * i as f64;
+            let avg = d.avg_vp(f);
+            let max = d.max_vp(f);
+            let min = (0..d.len()).map(|i| d.vp(i, f)).fold(1.0, f64::min);
+            assert!(avg <= max + 1e-12 && avg >= min - 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig4_average_allows_lower_frequency() {
+        // The paper's Fig. 4 situation: R1 needs a low frequency, R2e a
+        // higher one. The average-VP criterion admits a frequency between
+        // the two; the max-VP criterion must use the higher.
+        let mut e = bimodal_engine();
+        // R1 has a roomy deadline (VP 0 everywhere); R2's equivalent is
+        // tight: VP(1.2 GHz) = 0.5, crossing the target near 1.4 GHz.
+        let d = e.decision(0.0, None, &[6.0e-3, 5.625e-3]);
+        let target = 0.3;
+        let ladder = crate::freq::FreqLadder::paper_default();
+        let f_max_crit = ladder.lowest_satisfying(|f| d.max_vp(f) <= target);
+        let f_avg_crit = ladder.lowest_satisfying(|f| d.avg_vp(f) <= target);
+        assert!(
+            f_avg_crit < f_max_crit,
+            "average criterion ({f_avg_crit}) should beat max criterion ({f_max_crit})"
+        );
+    }
+
+    #[test]
+    fn inflight_conditioning_reduces_remaining_work() {
+        let mut e = bimodal_engine();
+        // Head has already executed 3e-3 Gc: it must be the 5.4e-3 Gc
+        // variant, 2.4e-3 Gc left. Budget 1 ms → needs 2.4 GHz.
+        let head = InflightHead {
+            done_work_gc: 3.0e-3,
+            rem_fixed_s: 0.0,
+        };
+        let d = e.decision(0.0, Some(head), &[1.0e-3]);
+        assert_eq!(d.vp(0, 2.3), 1.0);
+        assert_eq!(d.vp(0, 2.5), 0.0);
+    }
+
+    #[test]
+    fn exhausted_head_counts_as_nearly_done() {
+        let mut e = deterministic_engine();
+        let head = InflightHead {
+            done_work_gc: 10.0e-3, // beyond the 2.7e-3 Gc support
+            rem_fixed_s: 0.0,
+        };
+        let d = e.decision(0.0, Some(head), &[1.0e-3]);
+        // Nearly-zero remaining work: even the lowest frequency meets it.
+        assert!(d.vp(0, 1.2) < 1e-9);
+    }
+
+    #[test]
+    fn fixed_time_shrinks_budget() {
+        // 1 ms fixed + 2.7e-3 Gc work; deadline 2 ms → only 1 ms of cycles.
+        let mut e = VpEngine::new(ServiceModel::new(Pmf::delta(2.7e-3, 1.0e-5), 1.0e-3));
+        let d = e.decision(0.0, None, &[2.0e-3]);
+        assert_eq!(d.vp(0, 2.6), 1.0); // 2.6 GHz × 1 ms = 2.6e-3 < 2.7e-3
+        assert_eq!(d.vp(0, 2.7), 0.0);
+    }
+
+    #[test]
+    fn past_deadline_is_certain_violation() {
+        let mut e = deterministic_engine();
+        let d = e.decision(10.0, None, &[9.0]);
+        assert_eq!(d.vp(0, 2.7), 1.0);
+    }
+
+    #[test]
+    fn empty_queue_has_zero_avg_vp() {
+        let mut e = deterministic_engine();
+        let d = e.decision(0.0, None, &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.avg_vp(2.0), 0.0);
+        assert_eq!(d.max_vp(2.0), 0.0);
+    }
+
+    #[test]
+    fn limiting_request_is_the_tightest() {
+        let mut e = bimodal_engine();
+        // Second request's equivalent is much tighter than the first's.
+        let d = e.decision(0.0, None, &[50.0e-3, 5.0e-3]);
+        assert_eq!(d.limiting_index(2.0), Some(1));
+        let empty = e.decision(0.0, None, &[]);
+        assert_eq!(empty.limiting_index(2.0), None);
+    }
+
+    #[test]
+    fn equivalent_cache_extends_lazily() {
+        let mut e = deterministic_engine();
+        let mean1 = e.equivalent(1).mean();
+        let mean5 = e.equivalent(5).mean();
+        assert!((mean5 - 5.0 * mean1).abs() < 1e-6);
+    }
+}

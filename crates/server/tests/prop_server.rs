@@ -1,0 +1,152 @@
+//! Property-based tests for the VP engine, policies, and core simulator.
+
+use eprons_num::Pmf;
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::{
+    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, FreqLadder, MaxFreqPolicy,
+    MaxVpPolicy, ServiceModel, VpEngine,
+};
+use proptest::prelude::*;
+
+fn random_service() -> impl Strategy<Value = ServiceModel> {
+    (
+        prop::collection::vec(0.01..1.0f64, 2..24),
+        0.5e-3..3.0e-3f64, // origin of work values (Gc): 0.5–3 ms at f_max
+        0.0..1.0e-3f64,    // fixed seconds
+    )
+        .prop_map(|(mass, origin, fixed)| {
+            let step = origin / 4.0;
+            ServiceModel::new(Pmf::from_masses(origin, step, mass), fixed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vp_is_monotone_in_frequency(service in random_service(),
+                                   budgets in prop::collection::vec(1.0e-3..40.0e-3f64, 1..6)) {
+        let mut engine = VpEngine::new(service);
+        let deadlines: Vec<f64> = budgets.to_vec();
+        let d = engine.decision(0.0, None, &deadlines);
+        for i in 0..d.len() {
+            let mut prev = f64::INFINITY;
+            for step in 0..=15 {
+                let f = 1.2 + 0.1 * step as f64;
+                let v = d.vp(i, f);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert!(v <= prev + 1e-9, "VP rose with frequency");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn vp_is_monotone_in_deadline(service in random_service(), f_idx in 0usize..16) {
+        let mut engine = VpEngine::new(service);
+        let f = 1.2 + 0.1 * f_idx as f64;
+        let mut prev = f64::INFINITY;
+        for ms in [2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+            let d = engine.decision(0.0, None, &[ms * 1.0e-3]);
+            let v = d.vp(0, f);
+            prop_assert!(v <= prev + 1e-9, "VP rose with a looser deadline");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn avg_vp_bounded_by_max_vp(service in random_service(),
+                                budgets in prop::collection::vec(1.0e-3..40.0e-3f64, 1..6)) {
+        let mut engine = VpEngine::new(service);
+        let d = engine.decision(0.0, None, &budgets);
+        for step in 0..=15 {
+            let f = 1.2 + 0.1 * step as f64;
+            prop_assert!(d.avg_vp(f) <= d.max_vp(f) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eprons_frequency_never_exceeds_rubik(service in random_service(),
+                                            budgets in prop::collection::vec(1.0e-3..40.0e-3f64, 1..6)) {
+        let mut engine = VpEngine::new(service);
+        let ladder = FreqLadder::paper_default();
+        let d = engine.decision(0.0, None, &budgets);
+        let fe = AvgVpPolicy::eprons().choose_frequency(0.0, &d, &ladder);
+        let fr = MaxVpPolicy::rubik().choose_frequency(0.0, &d, &ladder);
+        prop_assert!(fe <= fr + 1e-12, "EPRONS {fe} above Rubik {fr}");
+    }
+
+    #[test]
+    fn coresim_conserves_requests_and_orders_time(
+        service in random_service(),
+        gaps in prop::collection::vec(0.1e-3..30.0e-3f64, 1..60),
+        budget in 5.0e-3..50.0e-3f64,
+        seed in any::<u64>()
+    ) {
+        let mut t = 0.0;
+        let arrivals: Vec<ArrivalSpec> = gaps.iter().enumerate().map(|(i, &g)| {
+            t += g;
+            ArrivalSpec { arrival_s: t, budget_s: budget, tag: i as u64 }
+        }).collect();
+        let mut engine = VpEngine::new(service);
+        let mut policy = AvgVpPolicy::eprons();
+        let r = simulate_core(&mut policy, &mut engine, &arrivals, &CoreSimConfig::default(), seed);
+        prop_assert_eq!(r.latencies.len(), arrivals.len());
+        // Every tag completes exactly once.
+        let mut tags = r.tags.clone();
+        tags.sort();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), arrivals.len());
+        // Latencies are positive and at least the fixed time.
+        for &l in &r.latencies {
+            prop_assert!(l > 0.0);
+        }
+        // Busy time is bounded by the horizon.
+        prop_assert!(r.busy_s <= r.sim_end_s + 1e-9);
+    }
+
+    #[test]
+    fn energy_within_physical_bounds(
+        service in random_service(),
+        n in 1usize..40,
+        seed in any::<u64>()
+    ) {
+        let arrivals: Vec<ArrivalSpec> = (0..n).map(|i| ArrivalSpec {
+            arrival_s: i as f64 * 5.0e-3,
+            budget_s: 25.0e-3,
+            tag: i as u64,
+        }).collect();
+        let cfg = CoreSimConfig::default();
+        let mut engine = VpEngine::new(service);
+        let mut policy = MaxFreqPolicy;
+        let r = simulate_core(&mut policy, &mut engine, &arrivals, &cfg, seed);
+        let idle = cfg.power.core_idle_w();
+        let busy_max = cfg.power.core_busy_w(cfg.ladder.max());
+        let avg = r.avg_core_power_w();
+        prop_assert!(avg >= idle - 1e-9, "below idle floor: {avg}");
+        prop_assert!(avg <= busy_max + 1e-9, "above busy ceiling: {avg}");
+    }
+
+    #[test]
+    fn slower_policies_use_less_energy_more_latency(
+        service in random_service(),
+        seed in any::<u64>()
+    ) {
+        // A fixed sparse trace with roomy budgets: any VP-based policy can
+        // slow down, so its energy must not exceed MaxFreq's.
+        let arrivals: Vec<ArrivalSpec> = (0..30).map(|i| ArrivalSpec {
+            arrival_s: i as f64 * 0.05,
+            budget_s: 60.0e-3,
+            tag: i,
+        }).collect();
+        let cfg = CoreSimConfig::default();
+        let run = |p: &mut dyn DvfsPolicy, svc: &ServiceModel| {
+            let mut engine = VpEngine::new(svc.clone());
+            simulate_core(p, &mut engine, &arrivals, &cfg, seed)
+        };
+        let fast = run(&mut MaxFreqPolicy, &service);
+        let slow = run(&mut AvgVpPolicy::eprons(), &service);
+        prop_assert!(slow.energy_j <= fast.energy_j + 1e-9);
+        prop_assert!(slow.mean_latency().unwrap() >= fast.mean_latency().unwrap() - 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! Discrete-event simulation kernel for the EPRONS reproduction.
+//!
+//! The paper evaluates EPRONS on MiniNet with a *search-engine simulator*
+//! inside each virtual host (§V-A). This crate is the equivalent substrate:
+//! a small, deterministic discrete-event engine that the network and server
+//! simulators build on.
+//!
+//! * [`event`] — a time-ordered event queue with stable FIFO tie-breaking.
+//! * [`rng`] — seeded random-variate generation (exponential, log-normal,
+//!   …) so every experiment is reproducible from a single `u64` seed.
+//! * [`recorder`] — measurement plumbing: time-weighted integrators (power
+//!   → energy), tail-latency sample recorders, and windowed monitors used
+//!   by the TimeTrader feedback baseline.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod recorder;
+pub mod rng;
+
+pub use event::EventQueue;
+pub use recorder::{EnergyMeter, TailRecorder, TimeWeighted};
+pub use rng::SimRng;

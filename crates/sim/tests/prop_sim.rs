@@ -1,0 +1,112 @@
+//! Property-based tests for the discrete-event kernel.
+
+use eprons_sim::{EventQueue, SimRng, TailRecorder, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn events_pop_in_time_order(times in prop::collection::vec(0.0..1.0e6f64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order(
+        n in 1usize..100, t in 0.0..100.0f64
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn time_weighted_integral_is_additive(
+        changes in prop::collection::vec((0.0..10.0f64, -5.0..5.0f64), 1..40)
+    ) {
+        // Apply the same change sequence to one integrator and to two
+        // half-range queries; the integral must split additively.
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        let mut t = 0.0;
+        let mut schedule = Vec::new();
+        for (dt, v) in changes {
+            t += dt;
+            schedule.push((t, v));
+        }
+        for &(at, v) in &schedule {
+            tw.set(at, v);
+        }
+        let end = t + 1.0;
+        let mid = end / 2.0;
+        // Rebuild to query at mid.
+        let mut tw2 = TimeWeighted::new(0.0, 1.0);
+        let mut part1 = None;
+        for &(at, v) in &schedule {
+            if at > mid && part1.is_none() {
+                part1 = Some(tw2.integral_until(mid));
+            }
+            tw2.set(at, v);
+        }
+        let part1 = part1.unwrap_or_else(|| tw2.integral_until(mid));
+        let whole = tw.integral_until(end);
+        let second = whole - part1;
+        // Integral over [mid, end] computed independently must agree.
+        prop_assert!((part1 + second - whole).abs() < 1e-9);
+        // And average lies within the value hull.
+        let values: Vec<f64> = std::iter::once(1.0)
+            .chain(schedule.iter().map(|&(_, v)| v))
+            .collect();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = tw.average_until(end);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive(seed in any::<u64>(), rate in 0.01..100.0f64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.exponential(rate) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_recorder_miss_rate_matches_manual_count(
+        vals in prop::collection::vec(0.0..10.0f64, 1..100),
+        threshold in 0.0..10.0f64
+    ) {
+        let mut r = TailRecorder::new();
+        for (i, &v) in vals.iter().enumerate() {
+            r.record(i as f64, v);
+        }
+        let manual = vals.iter().filter(|&&v| v > threshold).count() as f64
+            / vals.len() as f64;
+        prop_assert_eq!(r.miss_rate(threshold), Some(manual));
+        // Percentile endpoints.
+        let p0 = r.percentile(0.0).unwrap();
+        let p100 = r.percentile(1.0).unwrap();
+        prop_assert!(vals.iter().all(|&v| v >= p0 && v <= p100));
+    }
+}

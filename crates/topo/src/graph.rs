@@ -1,0 +1,253 @@
+//! An undirected multigraph with typed nodes and capacitated links.
+
+/// Handle to a node (host or switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Handle to an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// The role of a node in the data center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A server (end host).
+    Host,
+    /// Top-of-rack / edge-level switch.
+    EdgeSwitch,
+    /// Aggregation-level switch.
+    AggSwitch,
+    /// Core-level switch.
+    CoreSwitch,
+}
+
+impl NodeKind {
+    /// `true` for any switch kind.
+    #[inline]
+    pub fn is_switch(self) -> bool {
+        !matches!(self, NodeKind::Host)
+    }
+}
+
+/// A node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Role.
+    pub kind: NodeKind,
+    /// Human-readable name, e.g. `"agg[p1]\[1\]"`.
+    pub name: String,
+}
+
+/// An undirected link with a capacity in Mbps.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity in Mbps (the paper uses 1 Gbps links = 1000 Mbps).
+    pub capacity_mbps: f64,
+}
+
+impl Link {
+    /// The endpoint opposite `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint of this link.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {:?} is not an endpoint of this link", n)
+        }
+    }
+
+    /// `true` iff `n` is an endpoint.
+    #[inline]
+    pub fn touches(&self, n: NodeId) -> bool {
+        n == self.a || n == self.b
+    }
+}
+
+/// The topology: nodes, links, adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link and returns its id.
+    ///
+    /// # Panics
+    /// Panics on unknown endpoints, self-loops, or non-positive capacity.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity_mbps: f64) -> LinkId {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown endpoint");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(capacity_mbps > 0.0, "capacity must be positive");
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a,
+            b,
+            capacity_mbps,
+        });
+        self.adj[a.0].push((b, id));
+        self.adj[b.0].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node data.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0]
+    }
+
+    /// Link data.
+    #[inline]
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// All links with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Neighbors of `n` as `(neighbor, connecting link)` pairs.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.0]
+    }
+
+    /// All host nodes.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Host)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All switch nodes.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind.is_switch())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The link between `a` and `b`, if any (first match).
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adj[a.0]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|&(_, l)| l)
+    }
+
+    /// Degree of a node.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Topology, [NodeId; 3], [LinkId; 3]) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::EdgeSwitch, "b");
+        let c = t.add_node(NodeKind::CoreSwitch, "c");
+        let ab = t.add_link(a, b, 1000.0);
+        let bc = t.add_link(b, c, 1000.0);
+        let ca = t.add_link(c, a, 1000.0);
+        (t, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let (t, [a, b, c], _) = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.degree(a), 2);
+        assert_eq!(t.node(b).kind, NodeKind::EdgeSwitch);
+        assert_eq!(t.node(c).name, "c");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (t, [a, b, _], [ab, ..]) = triangle();
+        assert!(t.neighbors(a).contains(&(b, ab)));
+        assert!(t.neighbors(b).contains(&(a, ab)));
+    }
+
+    #[test]
+    fn link_lookup_and_other() {
+        let (t, [a, b, c], [ab, _, _]) = triangle();
+        assert_eq!(t.link_between(a, b), Some(ab));
+        assert_eq!(t.link_between(b, a), Some(ab));
+        let l = t.link(ab);
+        assert_eq!(l.other(a), b);
+        assert_eq!(l.other(b), a);
+        assert!(l.touches(a) && !l.touches(c));
+    }
+
+    #[test]
+    fn hosts_and_switches_partition() {
+        let (t, _, _) = triangle();
+        assert_eq!(t.hosts().len(), 1);
+        assert_eq!(t.switches().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        t.add_link(a, a, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let (t, [_, _, c], [ab, _, _]) = triangle();
+        let _ = t.link(ab).other(c);
+    }
+}

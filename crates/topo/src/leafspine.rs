@@ -1,0 +1,183 @@
+//! Leaf–spine (2-tier Clos) topology.
+//!
+//! A second fabric implementing [`crate::multipath::MultipathTopology`],
+//! demonstrating the paper's claim that the consolidation model "is
+//! independent of the network topology" (§IV-B): the same greedy/MILP
+//! consolidators run unchanged on this fabric.
+//!
+//! Structure: `leaves` leaf switches, each hosting `hosts_per_leaf`
+//! servers; `spines` spine switches; every leaf connects to every spine.
+//! Host pairs on the same leaf have one 2-hop path; pairs on different
+//! leaves have one 4-hop path per spine.
+
+use crate::graph::{NodeId, NodeKind, Topology};
+use crate::multipath::MultipathTopology;
+use crate::paths::Path;
+
+/// A leaf–spine fabric.
+#[derive(Debug, Clone)]
+pub struct LeafSpine {
+    topo: Topology,
+    hosts: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+    spines: Vec<NodeId>,
+    hosts_per_leaf: usize,
+}
+
+impl LeafSpine {
+    /// Builds a fabric with the given dimensions and uniform link capacity.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or the capacity is non-positive.
+    pub fn new(leaves: usize, spines: usize, hosts_per_leaf: usize, capacity_mbps: f64) -> Self {
+        assert!(leaves > 0 && spines > 0 && hosts_per_leaf > 0, "dimensions must be positive");
+        let mut topo = Topology::new();
+        let spine_ids: Vec<NodeId> = (0..spines)
+            .map(|s| topo.add_node(NodeKind::CoreSwitch, format!("spine[{s}]")))
+            .collect();
+        let mut leaf_ids = Vec::with_capacity(leaves);
+        let mut host_ids = Vec::with_capacity(leaves * hosts_per_leaf);
+        for l in 0..leaves {
+            let leaf = topo.add_node(NodeKind::EdgeSwitch, format!("leaf[{l}]"));
+            leaf_ids.push(leaf);
+            for h in 0..hosts_per_leaf {
+                let host = topo.add_node(NodeKind::Host, format!("host[{l}][{h}]"));
+                topo.add_link(host, leaf, capacity_mbps);
+                host_ids.push(host);
+            }
+        }
+        for &leaf in &leaf_ids {
+            for &spine in &spine_ids {
+                topo.add_link(leaf, spine, capacity_mbps);
+            }
+        }
+        LeafSpine {
+            topo,
+            hosts: host_ids,
+            leaves: leaf_ids,
+            spines: spine_ids,
+            hosts_per_leaf,
+        }
+    }
+
+    /// All leaf switches.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// All spine switches.
+    pub fn spines(&self) -> &[NodeId] {
+        &self.spines
+    }
+
+    /// Host by `(leaf, slot)`.
+    pub fn host(&self, leaf: usize, slot: usize) -> NodeId {
+        self.hosts[leaf * self.hosts_per_leaf + slot]
+    }
+
+    /// The leaf a host hangs off.
+    pub fn host_leaf(&self, host: NodeId) -> NodeId {
+        let pos = self
+            .hosts
+            .iter()
+            .position(|&h| h == host)
+            .expect("not a host of this fabric");
+        self.leaves[pos / self.hosts_per_leaf]
+    }
+
+    fn link(&self, a: NodeId, b: NodeId) -> crate::graph::LinkId {
+        self.topo
+            .link_between(a, b)
+            .expect("leaf-spine wiring guarantees this link")
+    }
+}
+
+impl MultipathTopology for LeafSpine {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn host_list(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        assert_ne!(src, dst, "src and dst must differ");
+        let sl = self.host_leaf(src);
+        let dl = self.host_leaf(dst);
+        if sl == dl {
+            return vec![Path {
+                nodes: vec![src, sl, dst],
+                links: vec![self.link(src, sl), self.link(sl, dst)],
+            }];
+        }
+        self.spines
+            .iter()
+            .map(|&sp| Path {
+                nodes: vec![src, sl, sp, dl, dst],
+                links: vec![
+                    self.link(src, sl),
+                    self.link(sl, sp),
+                    self.link(sp, dl),
+                    self.link(dl, dst),
+                ],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let ls = LeafSpine::new(4, 3, 8, 1000.0);
+        assert_eq!(ls.host_list().len(), 32);
+        assert_eq!(ls.leaves().len(), 4);
+        assert_eq!(ls.spines().len(), 3);
+        // links: 32 host-leaf + 4×3 leaf-spine = 44.
+        assert_eq!(ls.topology().num_links(), 44);
+        assert_eq!(ls.topology().switches().len(), 7);
+    }
+
+    #[test]
+    fn same_leaf_single_path() {
+        let ls = LeafSpine::new(2, 2, 4, 1000.0);
+        let paths = ls.candidate_paths(ls.host(0, 0), ls.host(0, 3));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hop_count(), 2);
+        assert!(paths[0].is_consistent(ls.topology()));
+    }
+
+    #[test]
+    fn cross_leaf_one_path_per_spine() {
+        let ls = LeafSpine::new(3, 4, 2, 1000.0);
+        let paths = ls.candidate_paths(ls.host(0, 0), ls.host(2, 1));
+        assert_eq!(paths.len(), 4);
+        let mut spines: Vec<NodeId> = paths.iter().map(|p| p.nodes[2]).collect();
+        spines.sort();
+        spines.dedup();
+        assert_eq!(spines.len(), 4, "each path crosses a distinct spine");
+        for p in &paths {
+            assert_eq!(p.hop_count(), 4);
+            assert!(p.is_consistent(ls.topology()));
+        }
+    }
+
+    #[test]
+    fn host_leaf_lookup() {
+        let ls = LeafSpine::new(3, 2, 5, 1000.0);
+        for l in 0..3 {
+            for s in 0..5 {
+                assert_eq!(ls.host_leaf(ls.host(l, s)), ls.leaves()[l]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        LeafSpine::new(0, 2, 2, 1000.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Topology abstraction for consolidation.
+//!
+//! The paper notes that "our optimization model is independent of the
+//! network topology" (§IV-B). [`MultipathTopology`] captures exactly what
+//! the consolidators need — the graph, the host list, and each host pair's
+//! ECMP candidate-path set — so the same greedy/MILP machinery runs on any
+//! multipath fabric ([`crate::FatTree`], [`crate::LeafSpine`], …).
+
+use crate::graph::{NodeId, Topology};
+use crate::paths::Path;
+
+/// A topology offering a finite candidate-path set per host pair.
+pub trait MultipathTopology {
+    /// The underlying graph.
+    fn topology(&self) -> &Topology;
+
+    /// All end hosts.
+    fn host_list(&self) -> &[NodeId];
+
+    /// The ECMP candidate paths from `src` to `dst` (both hosts).
+    ///
+    /// # Panics
+    /// Implementations may panic if `src == dst` or either is not a host.
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
+}
+
+impl MultipathTopology for crate::FatTree {
+    fn topology(&self) -> &Topology {
+        crate::FatTree::topology(self)
+    }
+
+    fn host_list(&self) -> &[NodeId] {
+        self.hosts()
+    }
+
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        crate::paths::candidate_paths(self, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FatTree;
+
+    #[test]
+    fn fat_tree_implements_the_trait() {
+        let ft = FatTree::new(4, 1000.0);
+        let t: &dyn MultipathTopology = &ft;
+        assert_eq!(t.host_list().len(), 16);
+        let paths = t.candidate_paths(t.host_list()[0], t.host_list()[15]);
+        assert_eq!(paths.len(), 4);
+        assert_eq!(t.topology().num_links(), 48);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for fat-tree structure, path enumeration, and
+//! aggregation presets.
+
+use eprons_topo::paths::{bfs_path, candidate_paths};
+use eprons_topo::{AggregationLevel, FatTree, NodeId};
+use proptest::prelude::*;
+
+fn arity() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4), Just(6), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fat_tree_counts(k in arity()) {
+        let ft = FatTree::new(k, 1000.0);
+        let half = k / 2;
+        prop_assert_eq!(ft.hosts().len(), k * half * half);
+        prop_assert_eq!(ft.core_switches().len(), half * half);
+        prop_assert_eq!(ft.agg_switches().len(), k * half);
+        prop_assert_eq!(ft.edge_switches().len(), k * half);
+        // Links: hosts + edge-agg (k·half·half) + agg-core (k·half·half).
+        prop_assert_eq!(
+            ft.topology().num_links(),
+            ft.hosts().len() + 2 * k * half * half
+        );
+    }
+
+    #[test]
+    fn candidate_paths_are_consistent_and_right_sized(
+        k in arity(),
+        sa in 0usize..64, sb in 0usize..64
+    ) {
+        let ft = FatTree::new(k, 1000.0);
+        let hosts = ft.hosts();
+        let a = hosts[sa % hosts.len()];
+        let b = hosts[sb % hosts.len()];
+        prop_assume!(a != b);
+        let paths = candidate_paths(&ft, a, b);
+        prop_assert!(!paths.is_empty());
+        let half = k / 2;
+        let expected = if ft.host_edge(a) == ft.host_edge(b) {
+            1
+        } else if ft.host_pod(a) == ft.host_pod(b) {
+            half
+        } else {
+            half * half
+        };
+        prop_assert_eq!(paths.len(), expected);
+        for p in &paths {
+            prop_assert!(p.is_consistent(ft.topology()));
+            prop_assert_eq!(p.src(), a);
+            prop_assert_eq!(p.dst(), b);
+            // Up/down paths never repeat a node.
+            let mut nodes = p.nodes.clone();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), p.nodes.len());
+        }
+    }
+
+    #[test]
+    fn bfs_is_no_longer_than_candidates(k in arity(), sa in 0usize..64, sb in 0usize..64) {
+        let ft = FatTree::new(k, 1000.0);
+        let hosts = ft.hosts();
+        let a = hosts[sa % hosts.len()];
+        let b = hosts[sb % hosts.len()];
+        prop_assume!(a != b);
+        let best_candidate = candidate_paths(&ft, a, b)
+            .iter()
+            .map(|p| p.hop_count())
+            .min()
+            .unwrap();
+        let bfs = bfs_path(ft.topology(), a, b, |_| true, |_| true).unwrap();
+        prop_assert!(bfs.hop_count() <= best_candidate);
+        // Fat-tree minimal routes are exactly the candidates' lengths.
+        prop_assert_eq!(bfs.hop_count(), best_candidate);
+    }
+
+    #[test]
+    fn aggregation_preserves_all_pairs_connectivity(
+        k in prop_oneof![Just(4usize), Just(6)],
+        level_idx in 0usize..4
+    ) {
+        let ft = FatTree::new(k, 1000.0);
+        let level = AggregationLevel::from_index(level_idx);
+        let active = level.active_switches(&ft);
+        let ok = |n: NodeId| !ft.topology().node(n).kind.is_switch() || active.contains(&n);
+        let hosts = ft.hosts();
+        // All pairs from host 0, plus a random cross slice.
+        for &d in hosts.iter().skip(1) {
+            prop_assert!(
+                bfs_path(ft.topology(), hosts[0], d, ok, |_| true).is_some(),
+                "{level:?} disconnected {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_shrink(k in prop_oneof![Just(4usize), Just(6), Just(8)]) {
+        let ft = FatTree::new(k, 1000.0);
+        let mut prev = usize::MAX;
+        for level in AggregationLevel::ALL {
+            let n = level.active_switch_count(&ft);
+            prop_assert!(n <= prev);
+            prev = n;
+            // Edge switches always on.
+            let active = level.active_switches(&ft);
+            for &e in ft.edge_switches() {
+                prop_assert!(active.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn host_helpers_agree_with_layout(k in arity(), idx in 0usize..64) {
+        let ft = FatTree::new(k, 1000.0);
+        let hosts = ft.hosts();
+        let h = hosts[idx % hosts.len()];
+        let pod = ft.host_pod(h);
+        prop_assert!(pod < k);
+        let edge = ft.host_edge(h);
+        // The edge switch must be in the same pod position range.
+        let pos = ft.edge_switches().iter().position(|&e| e == edge).unwrap();
+        prop_assert_eq!(pos / (k / 2), pod);
+        // Uplink touches both.
+        let up = ft.host_uplink(h);
+        let link = ft.topology().link(up);
+        prop_assert!(link.touches(h) && link.touches(edge));
+    }
+}

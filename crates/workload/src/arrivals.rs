@@ -1,0 +1,114 @@
+//! Poisson arrival processes.
+
+use eprons_sim::SimRng;
+
+/// Homogeneous Poisson arrival times in `[0, duration)` at `rate` per
+/// second.
+///
+/// # Panics
+/// Panics if `rate <= 0` or `duration < 0`.
+pub fn poisson_times(rng: &mut SimRng, rate_per_s: f64, duration_s: f64) -> Vec<f64> {
+    assert!(rate_per_s > 0.0, "rate must be positive");
+    assert!(duration_s >= 0.0, "duration must be non-negative");
+    let mut out = Vec::with_capacity((rate_per_s * duration_s) as usize + 16);
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(rate_per_s);
+        if t >= duration_s {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Non-homogeneous Poisson arrivals by thinning: candidate events at
+/// `max_rate` are kept with probability `rate_fn(t) / max_rate`.
+///
+/// # Panics
+/// Panics if `max_rate <= 0`, `duration < 0`, or `rate_fn` exceeds
+/// `max_rate` anywhere it is sampled.
+pub fn thinned_poisson_times(
+    rng: &mut SimRng,
+    rate_fn: impl Fn(f64) -> f64,
+    max_rate_per_s: f64,
+    duration_s: f64,
+) -> Vec<f64> {
+    assert!(max_rate_per_s > 0.0, "max rate must be positive");
+    assert!(duration_s >= 0.0, "duration must be non-negative");
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(max_rate_per_s);
+        if t >= duration_s {
+            break;
+        }
+        let r = rate_fn(t);
+        assert!(
+            r <= max_rate_per_s * (1.0 + 1e-9),
+            "rate_fn({t}) = {r} exceeds max_rate {max_rate_per_s}"
+        );
+        if rng.uniform() < r / max_rate_per_s {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_rate_is_respected() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let times = poisson_times(&mut rng, 100.0, 100.0);
+        let rate = times.len() as f64 / 100.0;
+        assert!((rate - 100.0).abs() < 5.0, "observed rate {rate}");
+        // Sorted and in range.
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| (0.0..100.0).contains(&t)));
+    }
+
+    #[test]
+    fn interarrival_cv_is_one() {
+        // Poisson inter-arrivals are exponential: coefficient of variation 1.
+        let mut rng = SimRng::seed_from_u64(2);
+        let times = poisson_times(&mut rng, 50.0, 1000.0);
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "CV was {cv}");
+    }
+
+    #[test]
+    fn thinning_tracks_rate_function() {
+        let mut rng = SimRng::seed_from_u64(3);
+        // Rate 100 in the first half, 20 in the second.
+        let times = thinned_poisson_times(
+            &mut rng,
+            |t| if t < 500.0 { 100.0 } else { 20.0 },
+            100.0,
+            1000.0,
+        );
+        let first = times.iter().filter(|&&t| t < 500.0).count() as f64 / 500.0;
+        let second = times.iter().filter(|&&t| t >= 500.0).count() as f64 / 500.0;
+        assert!((first - 100.0).abs() < 6.0, "first-half rate {first}");
+        assert!((second - 20.0).abs() < 3.0, "second-half rate {second}");
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        let mut rng = SimRng::seed_from_u64(4);
+        assert!(poisson_times(&mut rng, 10.0, 0.0).is_empty());
+        assert!(thinned_poisson_times(&mut rng, |_| 1.0, 10.0, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_rate")]
+    fn thinning_rejects_rate_above_bound() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let _ = thinned_poisson_times(&mut rng, |_| 50.0, 10.0, 100.0);
+    }
+}

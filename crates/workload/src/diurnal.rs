@@ -1,0 +1,137 @@
+//! 24-hour diurnal traffic profiles (paper Fig. 14).
+//!
+//! The Wikipedia trace the paper replays "spans one 24 hour period,
+//! indicating that it follows a diurnal pattern": search load swings
+//! between roughly 20 % and 100 % of peak, and background traffic between
+//! roughly 10 % and 50 % of link bandwidth. We model each as a raised
+//! cosine over the day plus bounded deterministic noise, sampled per
+//! minute (Fig. 15 reports power at 1-minute granularity).
+
+use eprons_sim::SimRng;
+
+/// Minutes in a day.
+pub const MINUTES_PER_DAY: usize = 1440;
+
+/// A diurnal profile: `value(t) = mid − amp·cos(2π (t − peak)/1440)`,
+/// clamped to `[floor, ceil]`, with optional noise.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// Mid-point of the swing.
+    pub mid: f64,
+    /// Amplitude of the swing.
+    pub amplitude: f64,
+    /// Minute of day at which the profile peaks.
+    pub peak_minute: f64,
+    /// Lower clamp.
+    pub floor: f64,
+    /// Upper clamp.
+    pub ceil: f64,
+    /// Uniform noise half-width applied when sampling a trace.
+    pub noise: f64,
+}
+
+impl DiurnalProfile {
+    /// The paper's search-load shape (Fig. 14a): 20 %–100 % of peak,
+    /// peaking mid-afternoon.
+    pub fn search_load() -> Self {
+        DiurnalProfile {
+            mid: 0.6,
+            amplitude: 0.4,
+            peak_minute: 820.0,
+            floor: 0.05,
+            ceil: 1.0,
+            noise: 0.04,
+        }
+    }
+
+    /// The paper's background-traffic shape (Fig. 14b): ≈10 %–50 % of link
+    /// bandwidth, peaking in the evening (phase-shifted from search).
+    pub fn background_traffic() -> Self {
+        DiurnalProfile {
+            mid: 0.30,
+            amplitude: 0.20,
+            peak_minute: 1000.0,
+            floor: 0.01,
+            ceil: 0.6,
+            noise: 0.03,
+        }
+    }
+
+    /// The noiseless profile value at a minute of day.
+    pub fn value_at(&self, minute: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (minute - self.peak_minute)
+            / MINUTES_PER_DAY as f64;
+        (self.mid + self.amplitude * phase.cos()).clamp(self.floor, self.ceil)
+    }
+
+    /// Samples a per-minute 24 h trace with noise (deterministic in the
+    /// RNG seed).
+    pub fn sample_day(&self, rng: &mut SimRng) -> Vec<f64> {
+        (0..MINUTES_PER_DAY)
+            .map(|m| {
+                let noise = rng.uniform_range(-self.noise, self.noise);
+                (self.value_at(m as f64) + noise).clamp(self.floor, self.ceil)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_load_swings_like_fig14a() {
+        let p = DiurnalProfile::search_load();
+        let values: Vec<f64> = (0..MINUTES_PER_DAY).map(|m| p.value_at(m as f64)).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        assert!((min - 0.2).abs() < 0.02, "trough {min}");
+        assert!((max - 1.0).abs() < 0.02, "peak {max}");
+        // Peak is where we put it.
+        let argmax = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((argmax as f64 - 820.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn background_stays_in_fig14b_range() {
+        let p = DiurnalProfile::background_traffic();
+        for m in 0..MINUTES_PER_DAY {
+            let v = p.value_at(m as f64);
+            assert!((0.05..=0.55).contains(&v), "minute {m}: {v}");
+        }
+    }
+
+    #[test]
+    fn sampled_day_is_deterministic_and_clamped() {
+        let p = DiurnalProfile::search_load();
+        let mut r1 = SimRng::seed_from_u64(7);
+        let mut r2 = SimRng::seed_from_u64(7);
+        let a = p.sample_day(&mut r1);
+        let b = p.sample_day(&mut r2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), MINUTES_PER_DAY);
+        assert!(a.iter().all(|&v| (p.floor..=p.ceil).contains(&v)));
+    }
+
+    #[test]
+    fn profile_is_periodic() {
+        let p = DiurnalProfile::search_load();
+        assert!((p.value_at(0.0) - p.value_at(1440.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn night_is_quiet_day_is_busy() {
+        // Fig. 15: maximum saving "occurs during the night, because of the
+        // lower workload intensity" — the profile must make nights quiet.
+        let p = DiurnalProfile::search_load();
+        let night = p.value_at(120.0); // 02:00
+        let day = p.value_at(820.0); // 13:40
+        assert!(night < 0.4 && day > 0.9, "night {night}, day {day}");
+    }
+}

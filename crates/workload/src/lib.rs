@@ -1,0 +1,35 @@
+//! Workload substrate for the EPRONS reproduction.
+//!
+//! The paper's evaluation drives a 16-server partition–aggregate search
+//! cluster with Poisson query arrivals whose intensity follows a Wikipedia
+//! 24-hour diurnal trace, a background-traffic trace, and service times
+//! logged from Xapian over a Wikipedia index (§V-A, Fig. 14). This crate
+//! generates all of those synthetically (see the substitution table in
+//! DESIGN.md):
+//!
+//! * [`arrivals`] — homogeneous and non-homogeneous (thinned) Poisson
+//!   arrival processes;
+//! * [`diurnal`] — the 24 h search-load and background-traffic profiles
+//!   (Fig. 14's shape: diurnal swing with noise);
+//! * [`queries`] — partition–aggregate query generation (random
+//!   aggregator broadcasting sub-queries to the other 15 ISNs);
+//! * [`background`] — latency-tolerant elephant-flow sets targeting a
+//!   given link utilization;
+//! * [`service_dist`] — the synthetic Xapian-like service-time log
+//!   (heavy-tailed mixture) from which servers build their work PMFs;
+//! * [`trace`] — persistence for the measurement artifacts (service logs,
+//!   query streams) so experiments can replay frozen workloads.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod background;
+pub mod diurnal;
+pub mod queries;
+pub mod service_dist;
+pub mod trace;
+
+pub use arrivals::{poisson_times, thinned_poisson_times};
+pub use diurnal::DiurnalProfile;
+pub use queries::{per_isn_arrivals, Query, QueryGenerator};
+pub use service_dist::xapian_like_samples;

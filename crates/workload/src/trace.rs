@@ -1,0 +1,155 @@
+//! Trace persistence: the measurement artifacts of §V-A as files.
+//!
+//! The paper builds its server model from a logged artifact — "randomly
+//! generate 100K search queries, run and log their processing time on the
+//! Index Serving Nodes". This module persists and reloads the equivalent
+//! artifacts (service-time logs and query streams) in a simple
+//! line-oriented text format, so experiments can be re-run against a
+//! frozen workload instead of a generator: one value (or one
+//! `time aggregator` pair) per line, `#` comments allowed.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::queries::Query;
+
+/// Writes a service-time log (seconds per line).
+pub fn save_service_log(path: &Path, samples: &[f64]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# eprons service-time log: one seconds value per line")?;
+    for s in samples {
+        writeln!(w, "{s:.9}")?;
+    }
+    w.flush()
+}
+
+/// Reads a service-time log written by [`save_service_log`].
+pub fn load_service_log(path: &Path) -> std::io::Result<Vec<f64>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let v: f64 = t.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Writes a query stream (`time_s aggregator` per line).
+pub fn save_query_trace(path: &Path, queries: &[Query]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# eprons query trace: time_s aggregator")?;
+    for q in queries {
+        writeln!(w, "{:.9} {}", q.time_s, q.aggregator)?;
+    }
+    w.flush()
+}
+
+/// Reads a query stream written by [`save_query_trace`]. Ids are assigned
+/// by position.
+pub fn load_query_trace(path: &Path) -> std::io::Result<Vec<Query>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let bad = |e: String| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        };
+        let time_s: f64 = parts
+            .next()
+            .ok_or_else(|| bad("missing time".into()))?
+            .parse()
+            .map_err(|e| bad(format!("{e}")))?;
+        let aggregator: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing aggregator".into()))?
+            .parse()
+            .map_err(|e| bad(format!("{e}")))?;
+        out.push(Query {
+            id: out.len() as u64,
+            time_s,
+            aggregator,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::QueryGenerator;
+    use crate::service_dist::xapian_like_samples;
+    use eprons_sim::SimRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eprons-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn service_log_round_trip() {
+        let mut rng = SimRng::seed_from_u64(51);
+        let samples = xapian_like_samples(&mut rng, 500);
+        let path = tmp("svc.log");
+        save_service_log(&path, &samples).unwrap();
+        let loaded = load_service_log(&path).unwrap();
+        assert_eq!(loaded.len(), samples.len());
+        for (a, b) in samples.iter().zip(&loaded) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_trace_round_trip() {
+        let mut rng = SimRng::seed_from_u64(52);
+        let qs = QueryGenerator::new(16).generate(&mut rng, 100.0, 3.0);
+        let path = tmp("queries.log");
+        save_query_trace(&path, &qs).unwrap();
+        let loaded = load_query_trace(&path).unwrap();
+        assert_eq!(loaded.len(), qs.len());
+        for (a, b) in qs.iter().zip(&loaded) {
+            assert!((a.time_s - b.time_s).abs() < 1e-8);
+            assert_eq!(a.aggregator, b.aggregator);
+            assert_eq!(a.id, b.id);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let path = tmp("commented.log");
+        std::fs::write(&path, "# header\n\n0.001\n# mid comment\n0.002\n").unwrap();
+        let v = load_service_log(&path).unwrap();
+        assert_eq!(v, vec![0.001, 0.002]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let path = tmp("bad.log");
+        std::fs::write(&path, "not-a-number\n").unwrap();
+        assert!(load_service_log(&path).is_err());
+        std::fs::write(&path, "0.5\n").unwrap();
+        assert!(load_query_trace(&path).is_err(), "missing aggregator column");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,82 @@
+//! Consolidation playground: watch the scale factor K trade network power
+//! for latency headroom on a custom flow set.
+//!
+//! ```text
+//! cargo run --release --example consolidation_playground [K]
+//! ```
+//!
+//! Builds the paper's Fig. 2 scenario plus a second elephant, consolidates
+//! with the greedy heuristic and the exact path-MILP at the chosen K, and
+//! prints the active topology, per-flow routes, and the resulting
+//! worst-link utilization (the quantity that drives the latency knee).
+
+use eprons_repro::net::flow::FlowSet;
+use eprons_repro::net::{
+    ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
+    NetworkPowerModel, PathMilpConsolidator,
+};
+use eprons_repro::topo::FatTree;
+
+fn main() {
+    let k: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+
+    let ft = FatTree::new(4, 1000.0);
+    let mut flows = FlowSet::new();
+    // Two latency-tolerant elephants…
+    flows.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
+    flows.add(ft.host(2, 0, 0), ft.host(3, 0, 0), 600.0, FlowClass::LatencyTolerant);
+    // …and four latency-sensitive query flows.
+    flows.add(ft.host(0, 0, 1), ft.host(1, 0, 1), 20.0, FlowClass::LatencySensitive);
+    flows.add(ft.host(0, 1, 0), ft.host(1, 1, 0), 20.0, FlowClass::LatencySensitive);
+    flows.add(ft.host(2, 0, 1), ft.host(3, 0, 1), 20.0, FlowClass::LatencySensitive);
+    flows.add(ft.host(2, 1, 0), ft.host(0, 1, 1), 20.0, FlowClass::LatencySensitive);
+
+    let cfg = ConsolidationConfig::with_k(k);
+    let power = NetworkPowerModel::default();
+    println!("consolidating {} flows at K = {k}\n", flows.len());
+
+    for (name, result) in [
+        (
+            "greedy heuristic",
+            GreedyConsolidator.consolidate(&ft, &flows, &cfg),
+        ),
+        (
+            "exact path-MILP ",
+            PathMilpConsolidator::default().consolidate(&ft, &flows, &cfg),
+        ),
+    ] {
+        match result {
+            Ok(a) => {
+                a.validate(&ft, &flows, &cfg)
+                    .expect("assignments must respect scaled capacities");
+                println!(
+                    "{name}: {} switches on, {:.0} W network, worst link {:.0}% utilized",
+                    a.active_switch_count(&ft),
+                    a.network_power_w(&ft, &power),
+                    a.max_utilization(&ft) * 100.0
+                );
+                for f in flows.flows() {
+                    let p = a.path(FlowId(f.id.0));
+                    let route: Vec<&str> = p
+                        .nodes
+                        .iter()
+                        .map(|&n| ft.topology().node(n).name.as_str())
+                        .collect();
+                    println!(
+                        "  flow {:>2} ({:>4.0} Mbps {:?}): {}",
+                        f.id.0,
+                        f.demand_mbps,
+                        f.class,
+                        route.join(" -> ")
+                    );
+                }
+                println!();
+            }
+            Err(e) => println!("{name}: INFEASIBLE at K={k}: {e}\n"),
+        }
+    }
+    println!("try larger K (e.g. 3, 5) to watch query flows peel away from the elephants");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: one EPRONS cluster run vs. the no-power-management baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's platform (16-server partition–aggregate search on a
+//! 4-ary fat-tree), runs EPRONS (EPRONS-Server + greedy latency-aware
+//! consolidation at K=2) and the unmanaged baseline on the same workload,
+//! and prints the power split, tail latencies, and savings.
+
+use eprons_repro::core::{
+    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
+};
+
+fn main() {
+    let cfg = ClusterConfig::default();
+    let base = ClusterRun {
+        scheme: ServerScheme::EpronsServer,
+        consolidation: ConsolidationSpec::GreedyK(2.0),
+        server_utilization: 0.3,
+        background_util: 0.2,
+        duration_s: 10.0,
+        warmup_s: 0.0,
+        seed: 1,
+    };
+
+    println!("EPRONS quickstart — 16 servers, 4-ary fat-tree, 30 ms SLA (25 server + 5 network)\n");
+
+    let eprons = run_cluster(&cfg, &base).expect("consolidation is feasible at these loads");
+    let nopm = run_cluster(
+        &cfg,
+        &ClusterRun {
+            scheme: ServerScheme::NoPowerManagement,
+            consolidation: ConsolidationSpec::AllOn,
+            ..base
+        },
+    )
+    .expect("all-on routing always succeeds");
+
+    let report = |name: &str, r: &eprons_repro::core::ClusterRunResult| {
+        println!("{name}:");
+        println!("  servers          {:7.1} W", r.breakdown.server_w);
+        println!("  network          {:7.1} W ({} switches on)", r.breakdown.network_w, r.active_switches);
+        println!("  total            {:7.1} W", r.breakdown.total_w());
+        println!(
+            "  e2e p95 / miss   {:5.2} ms / {:.1}%  (SLA {:.0} ms @ 95th)",
+            r.e2e_latency.p95_s * 1e3,
+            r.e2e_miss_rate * 100.0,
+            cfg.sla.total_s() * 1e3
+        );
+        println!(
+            "  query net p95    {:5.2} ms   ({} queries)",
+            r.net_latency.p95_s * 1e3,
+            r.query_count
+        );
+        println!();
+    };
+    report("no power management", &nopm);
+    report("EPRONS (server + network)", &eprons);
+
+    let s = eprons.breakdown.saving_vs(&nopm.breakdown);
+    println!(
+        "savings: servers {:.1}%, network {:.1}%, total {:.1}%",
+        s.server * 100.0,
+        s.network * 100.0,
+        s.total * 100.0
+    );
+    println!(
+        "SLA kept: {} (miss {:.1}% vs budget {:.0}%)",
+        eprons.is_feasible(&cfg),
+        eprons.e2e_miss_rate * 100.0,
+        cfg.sla.miss_budget() * 100.0
+    );
+}

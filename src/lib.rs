@@ -1,0 +1,15 @@
+//! # eprons-repro — facade crate
+//!
+//! Re-exports the whole EPRONS reproduction workspace behind one crate so
+//! examples and integration tests can `use eprons_repro::...`.
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use eprons_core as core;
+pub use eprons_lp as lp;
+pub use eprons_net as net;
+pub use eprons_num as num;
+pub use eprons_server as server;
+pub use eprons_sim as sim;
+pub use eprons_topo as topo;
+pub use eprons_workload as workload;

@@ -1,0 +1,179 @@
+//! End-to-end integration: the full EPRONS pipeline (workload → network →
+//! servers → accounting) reproduces the paper's qualitative results.
+
+use eprons_repro::core::optimizer::{aggregation_candidates, optimize_total_power};
+use eprons_repro::core::{
+    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
+};
+use eprons_repro::topo::AggregationLevel;
+
+fn base() -> ClusterRun {
+    ClusterRun {
+        scheme: ServerScheme::EpronsServer,
+        consolidation: ConsolidationSpec::Level(AggregationLevel::Agg0),
+        server_utilization: 0.3,
+        background_util: 0.2,
+        duration_s: 8.0,
+        warmup_s: 0.0,
+        seed: 424242,
+    }
+}
+
+#[test]
+fn scheme_power_ordering_matches_fig12() {
+    let cfg = ClusterConfig::default();
+    let mut results = Vec::new();
+    for scheme in [
+        ServerScheme::NoPowerManagement,
+        ServerScheme::Rubik,
+        ServerScheme::RubikPlus,
+        ServerScheme::EpronsServer,
+    ] {
+        let r = run_cluster(
+            &cfg,
+            &ClusterRun {
+                scheme,
+                ..base()
+            },
+        )
+        .unwrap();
+        results.push((scheme, r));
+    }
+    let power =
+        |s: ServerScheme| results.iter().find(|(x, _)| *x == s).unwrap().1.cpu_power_w;
+    // The paper's Fig. 12(a) ordering.
+    assert!(power(ServerScheme::EpronsServer) < power(ServerScheme::RubikPlus) + 1e-9);
+    assert!(power(ServerScheme::RubikPlus) < power(ServerScheme::Rubik) + 1e-9);
+    assert!(power(ServerScheme::Rubik) < power(ServerScheme::NoPowerManagement));
+    // All managed schemes keep the SLA.
+    for (s, r) in &results {
+        assert!(
+            r.is_feasible(&cfg),
+            "{s:?} violated the SLA: miss {:.3}",
+            r.e2e_miss_rate
+        );
+    }
+}
+
+#[test]
+fn aggregation_trades_network_power_for_tail_latency() {
+    let cfg = ClusterConfig::default();
+    let mut last_power = f64::INFINITY;
+    let mut last_latency = 0.0;
+    for level in AggregationLevel::ALL {
+        let r = run_cluster(
+            &cfg,
+            &ClusterRun {
+                consolidation: ConsolidationSpec::Level(level),
+                ..base()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.breakdown.network_w < last_power,
+            "{level:?} must shed network power"
+        );
+        assert!(
+            r.net_latency.p95_s >= last_latency * 0.9,
+            "{level:?} should not dramatically reduce the tail"
+        );
+        last_power = r.breakdown.network_w;
+        last_latency = r.net_latency.p95_s;
+    }
+}
+
+#[test]
+fn joint_optimizer_turns_switches_on_when_the_sla_tightens() {
+    // The paper's headline: at tight constraints, the minimum-total-power
+    // choice uses MORE switches than at loose constraints.
+    let mut cfg = ClusterConfig::default();
+    let template = base();
+    cfg.sla = cfg.sla.with_total(40.0e-3);
+    let loose = optimize_total_power(&cfg, &template, &aggregation_candidates()).unwrap();
+    cfg.sla = cfg.sla.with_total(22.0e-3);
+    let tight = optimize_total_power(&cfg, &template, &aggregation_candidates()).unwrap();
+    assert!(
+        tight.result.active_switches >= loose.result.active_switches,
+        "tight SLA chose {} switches, loose chose {}",
+        tight.result.active_switches,
+        loose.result.active_switches
+    );
+}
+
+#[test]
+fn network_slack_transfer_lowers_server_power() {
+    // Rubik+ (slack-aware) vs Rubik (slack-free) on the *same* network: the
+    // slack transfer is the only difference, and it can only help.
+    let cfg = ClusterConfig::default();
+    let rubik = run_cluster(
+        &cfg,
+        &ClusterRun {
+            scheme: ServerScheme::Rubik,
+            ..base()
+        },
+    )
+    .unwrap();
+    let plus = run_cluster(
+        &cfg,
+        &ClusterRun {
+            scheme: ServerScheme::RubikPlus,
+            ..base()
+        },
+    )
+    .unwrap();
+    assert!(plus.cpu_power_w <= rubik.cpu_power_w + 0.5);
+    // Both see the same network.
+    assert_eq!(plus.active_switches, rubik.active_switches);
+    assert_eq!(plus.breakdown.network_w, rubik.breakdown.network_w);
+}
+
+#[test]
+fn greedy_consolidation_beats_fixed_presets_on_network_power() {
+    // The optimizing consolidator should never use more switches than the
+    // all-on baseline and, at K=1, should reach (close to) the minimal
+    // subnet for this traffic.
+    let cfg = ClusterConfig::default();
+    let r = run_cluster(
+        &cfg,
+        &ClusterRun {
+            consolidation: ConsolidationSpec::GreedyK(1.0),
+            ..base()
+        },
+    )
+    .unwrap();
+    assert!(r.active_switches < 20);
+    assert!(r.breakdown.network_w < 768.0);
+}
+
+#[test]
+fn utilization_sweep_raises_power_monotonically() {
+    let cfg = ClusterConfig::default();
+    let mut prev = 0.0;
+    for util in [0.1, 0.3, 0.5] {
+        let r = run_cluster(
+            &cfg,
+            &ClusterRun {
+                server_utilization: util,
+                ..base()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.cpu_power_w > prev,
+            "CPU power must grow with load ({util}: {} vs {prev})",
+            r.cpu_power_w
+        );
+        prev = r.cpu_power_w;
+    }
+}
+
+#[test]
+fn results_are_reproducible_across_calls() {
+    let cfg = ClusterConfig::default();
+    let a = run_cluster(&cfg, &base()).unwrap();
+    let b = run_cluster(&cfg, &base()).unwrap();
+    assert_eq!(a.cpu_power_w, b.cpu_power_w);
+    assert_eq!(a.e2e_miss_rate, b.e2e_miss_rate);
+    assert_eq!(a.net_latency.p99_s, b.net_latency.p99_s);
+    assert_eq!(a.active_switches, b.active_switches);
+}
