@@ -120,4 +120,5 @@ fn main() {
     );
     println!("paper context: §IV-B defers this cost (software switches); with hardware it");
     println!("stays negligible at the 10-minute epoch cadence, validating the deferral");
+    eprons_bench::finish();
 }

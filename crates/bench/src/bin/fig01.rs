@@ -45,4 +45,5 @@ fn main() {
         "paper anchors: flat region ≈139 µs; past the knee ≈11981 µs (here: {:.0} µs at 98%)",
         model.per_hop_mean_us(0.98)
     );
+    eprons_bench::finish();
 }

@@ -77,4 +77,5 @@ fn main() {
     }
     println!("{t}");
     println!("paper shape: switches grow with K; at K=3 both query flows leave the elephant's path");
+    eprons_bench::finish();
 }

@@ -65,4 +65,5 @@ fn main() {
     println!("paper shape: under the prior policy every request lands early (wasted energy);");
     println!("EPRONS-Server lets requests finish closer to — some beyond — the deadline,");
     println!("with the average tail still inside the constraint");
+    eprons_bench::finish();
 }

@@ -45,4 +45,5 @@ fn main() {
     println!("f2 (Rubik, max VP)   = {f2:.1} GHz  (policy choice {frubik:.1})");
     println!("f_new (EPRONS, avg)  = {fnew:.1} GHz");
     println!("paper shape: f1 <= f_new <= f2, with f_new strictly below f2 when slack is uneven");
+    eprons_bench::finish();
 }

@@ -42,4 +42,5 @@ fn main() {
         r2.mean() / 2.7 * 1.0e3,
         r3.mean() / 2.7 * 1.0e3
     );
+    eprons_bench::finish();
 }

@@ -31,4 +31,5 @@ fn main() {
         full - idle,
         (full - idle) / idle * 100.0
     );
+    eprons_bench::finish();
 }

@@ -54,4 +54,5 @@ fn main() {
     }
     println!("{t}");
     println!("paper shape: 20 → 18 → 14 → 13 active switches, all levels keep full host connectivity");
+    eprons_bench::finish();
 }

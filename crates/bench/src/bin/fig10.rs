@@ -65,4 +65,5 @@ fn main() {
     println!("{b}");
     println!("paper shape (b): the 95th tail rises with aggregation at every background level,");
     println!("and rises with background traffic at every aggregation level");
+    eprons_bench::finish();
 }

@@ -84,4 +84,5 @@ fn main() {
     }
     println!("{c}");
     println!("paper shape: larger K → lower tail, more active switches; K trades the two off");
+    eprons_bench::finish();
 }

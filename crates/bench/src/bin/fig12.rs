@@ -95,4 +95,5 @@ fn main() {
     }
     println!("{c}");
     println!("paper shape (c): power drops steeply as the constraint first loosens, at every load");
+    eprons_bench::finish();
 }

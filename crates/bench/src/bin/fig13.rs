@@ -69,4 +69,5 @@ fn main() {
     println!("aggregation 3 loses feasibility first as background traffic grows;");
     println!("near the feasibility edge, stepping back to aggregation 2 (turning switches ON)");
     println!("yields lower total power than an infeasible-or-strained aggregation 3");
+    eprons_bench::finish();
 }

@@ -40,4 +40,5 @@ fn main() {
         bmax * 100.0
     );
     println!("paper shape: diurnal swing with trough at night and peak in the afternoon/evening");
+    eprons_bench::finish();
 }

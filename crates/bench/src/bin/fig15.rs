@@ -7,7 +7,7 @@
 //!     up to 31.25 % (at night); TimeTrader ≈8 % average, ≤12.5 % peak;
 //!     EPRONS's *server-side* saving alone beats TimeTrader's by ≈2 %.
 
-use eprons_bench::{banner, quick, BASE_SEED};
+use eprons_bench::{banner, finish, journal_path, quick, BASE_SEED};
 use eprons_core::controller::{day_average, DayConfig};
 use eprons_core::optimizer::aggregation_candidates;
 use eprons_core::report::{pct, Table};
@@ -95,4 +95,25 @@ fn main() {
     println!("EPRONS total saving ≥ 2× TimeTrader's; EPRONS server-side saving alone beats TimeTrader");
     let feas = eprons.iter().filter(|r| r.feasible).count();
     println!("EPRONS feasible epochs: {feas}/{}", eprons.len());
+
+    if journal_path().is_some() {
+        // The day loop deploys the greedy/aggregation consolidators, so
+        // the LP solver never runs above. Cross-check a small instance
+        // against the exact path MILP too, journaling its LP solve stats.
+        use eprons_net::flow::FlowSet;
+        use eprons_net::{ConsolidationConfig, Consolidator, FlowClass, PathMilpConsolidator};
+        use eprons_topo::FatTree;
+        let ft = FatTree::new(2, 1000.0);
+        let mut fs = FlowSet::new();
+        fs.add(ft.hosts()[0], ft.hosts()[1], 300.0, FlowClass::LatencySensitive);
+        fs.add(ft.hosts()[1], ft.hosts()[0], 200.0, FlowClass::LatencyTolerant);
+        let a = PathMilpConsolidator::default()
+            .consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
+            .expect("small exact instance solves");
+        println!(
+            "exact path-MILP cross-check (k=2 fat-tree): {} active switches",
+            a.active_switch_count(&ft)
+        );
+    }
+    finish();
 }

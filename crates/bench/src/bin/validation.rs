@@ -54,4 +54,5 @@ fn main() {
     println!("max-vp — that closeness is exactly the energy EPRONS-Server recovers.");
     println!("At tight targets and high load both schemes saturate f_max on bursts and");
     println!("overshoot together (no frequency can honor a 1% tail at 50% load).");
+    eprons_bench::finish();
 }

@@ -5,11 +5,16 @@
 //! simulators. Conventions:
 //!
 //! * pass `--quick` (or set `EPRONS_QUICK=1`) for a shorter, noisier run;
+//! * pass `--journal <path>` to enable telemetry and dump the structured
+//!   run journal as JSON-lines when the binary finishes (via [`finish`]);
 //! * output goes through `eprons_core::report::Table` so EXPERIMENTS.md
 //!   can quote it verbatim;
 //! * all runs are deterministic from [`BASE_SEED`].
 
+use std::path::PathBuf;
+
 use eprons_core::config::ClusterConfig;
+use eprons_core::report::{journal_kind_table, metrics_table};
 
 /// Master seed shared by the harness binaries.
 pub const BASE_SEED: u64 = 2018;
@@ -38,13 +43,60 @@ pub fn cfg_with_total_ms(total_ms: f64) -> ClusterConfig {
     cfg
 }
 
-/// Standard harness banner.
+/// The `--journal <path>` (or `--journal=<path>`) argument, if given.
+pub fn journal_path() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--journal" {
+            match args.get(i + 1) {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --journal requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(p) = a.strip_prefix("--journal=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Standard harness banner. Enables telemetry when `--journal` was given,
+/// so every layer's events land in the journal [`finish`] writes out.
 pub fn banner(fig: &str, what: &str) {
+    if let Some(path) = journal_path() {
+        eprons_obs::set_enabled(true);
+        println!("   (journaling to {})", path.display());
+    }
     println!("== EPRONS reproduction: {fig} — {what} ==");
     println!(
         "   (seed {BASE_SEED}, {} mode)\n",
         if quick() { "quick" } else { "full" }
     );
+}
+
+/// Harness epilogue: when `--journal <path>` was given, writes the run
+/// journal as JSON-lines to that path and prints the event/metric summary
+/// tables. A no-op otherwise.
+pub fn finish() {
+    let Some(path) = journal_path() else {
+        return;
+    };
+    let journal = eprons_obs::journal();
+    match journal.write_jsonl(&path) {
+        Ok(n) => println!("\nwrote {n} journal events to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write journal to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if journal.dropped() > 0 {
+        println!("journal dropped {} events past capacity", journal.dropped());
+    }
+    println!("{}", journal_kind_table(&journal.snapshot()));
+    println!("{}", metrics_table(&eprons_obs::registry().snapshot()));
 }
 
 #[cfg(test)]

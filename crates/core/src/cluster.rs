@@ -97,6 +97,18 @@ pub enum ConsolidationSpec {
     GreedyK(f64),
 }
 
+impl ConsolidationSpec {
+    /// Short label used in journal events and optimizer traces
+    /// (`all-on`, `agg2`, `k=3`).
+    pub fn label(&self) -> String {
+        match self {
+            ConsolidationSpec::AllOn => "all-on".to_string(),
+            ConsolidationSpec::Level(l) => format!("agg{}", l.index()),
+            ConsolidationSpec::GreedyK(k) => format!("k={k}"),
+        }
+    }
+}
+
 /// Parameters of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
@@ -240,6 +252,17 @@ pub fn run_cluster(
     cfg: &ClusterConfig,
     run: &ClusterRun,
 ) -> Result<ClusterRunResult, ClusterError> {
+    let obs_on = eprons_obs::enabled();
+    let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
+    if obs_on {
+        eprons_obs::registry().counter("core.cluster.runs").inc();
+        eprons_obs::record(eprons_obs::Event::RunTag {
+            scheme: run.scheme.name().to_string(),
+            consolidation: run.consolidation.label(),
+            seed: run.seed,
+        });
+    }
+
     let mut master = SimRng::seed_from_u64(run.seed);
     let mut service_rng = master.fork(1);
     let mut query_rng = master.fork(2);
@@ -471,7 +494,7 @@ pub fn run_cluster(
         .filter(|&n| assignment.state().node_on(n))
         .map(|n| n.0)
         .collect();
-    Ok(ClusterRunResult {
+    let result = ClusterRunResult {
         breakdown: PowerBreakdown {
             server_w,
             network_w,
@@ -495,7 +518,19 @@ pub fn run_cluster(
         } else {
             server_misses as f64 / server_completions as f64
         },
-    })
+    };
+    if obs_on {
+        let reg = eprons_obs::registry();
+        let edges = eprons_obs::DURATION_EDGES_S;
+        reg.histogram("core.cluster.server_p95_s", edges)
+            .observe(result.server_latency.p95_s);
+        reg.histogram("core.cluster.e2e_p95_s", edges)
+            .observe(result.e2e_latency.p95_s);
+        reg.histogram("core.cluster.query_e2e_p95_s", edges)
+            .observe(result.query_e2e_latency.p95_s);
+        reg.gauge("core.cluster.total_w").set(result.breakdown.total_w());
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -525,8 +560,11 @@ mod tests {
         // Full network on Agg0.
         assert_eq!(r.active_switches, 20);
         assert!(r.net_latency.p95_s > 0.0);
-        // Per-request e2e includes the server; per-query metrics dominate
-        // their per-request counterparts (max over 15 ISNs).
+        // The three journaled tails are ordered by construction:
+        // `core.cluster.e2e_p95_s` is per sub-request (request + server +
+        // reply), so every sample dominates its `core.cluster.server_p95_s`
+        // counterpart, and `core.cluster.query_e2e_p95_s` takes the max of
+        // those sub-requests over a query's 15 ISNs.
         assert!(r.e2e_latency.p95_s >= r.server_latency.p95_s);
         assert!(r.query_e2e_latency.p95_s >= r.e2e_latency.p95_s);
         assert!(r.net_latency.p95_s >= 0.8e-3, "6-hop base ≈ 0.8 ms");

@@ -7,9 +7,10 @@
 //! that loop and records the power timeline of Fig. 15.
 
 use eprons_net::transition::{Churn, TransitionModel};
-use eprons_net::DemandPredictor;
+use eprons_net::{DemandPredictor, NetworkState};
 use eprons_net::flow::FlowId;
 use eprons_sim::SimRng;
+use eprons_topo::{FatTree, NodeId};
 use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
 use crate::cluster::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
@@ -102,6 +103,13 @@ pub fn simulate_day(
     let search = DiurnalProfile::search_load().sample_day(&mut rng.fork(1));
     let background = DiurnalProfile::background_traffic().sample_day(&mut rng.fork(2));
     let epochs = MINUTES_PER_DAY / day.epoch_minutes;
+    let obs_on = eprons_obs::enabled();
+    if obs_on {
+        eprons_obs::record(eprons_obs::Event::DayStart {
+            strategy: strategy.name().to_string(),
+            epochs: epochs as u64,
+        });
+    }
 
     // The controller predicts each epoch's background demand as the 90th
     // percentile of the previous epoch's per-minute observations (§II).
@@ -129,8 +137,16 @@ pub fn simulate_day(
         })
         .collect();
 
-    parallel_map(&inputs, |&(e, minute, load)| {
+    let records = parallel_map(&inputs, |&(e, minute, load)| {
         let bg = predicted_bg[e];
+        if obs_on {
+            eprons_obs::record(eprons_obs::Event::EpochStart {
+                epoch: e as u64,
+                minute,
+                search_load: load,
+                background_util: bg,
+            });
+        }
         let util = (day.peak_utilization * load).max(0.02);
         let template = ClusterRun {
             scheme: ServerScheme::EpronsServer,
@@ -141,14 +157,14 @@ pub fn simulate_day(
             warmup_s: 0.0,
             seed: day.seed ^ (e as u64).wrapping_mul(0x9E37_79B9),
         };
-        match strategy {
+        let (rec, choice_label) = match strategy {
             DayStrategy::NoPowerManagement => {
                 let run = ClusterRun {
                     scheme: ServerScheme::NoPowerManagement,
                     ..template
                 };
                 let r = run_cluster(cfg, &run).expect("all-on never fails");
-                DayRecord {
+                let rec = DayRecord {
                     minute,
                     search_load: load,
                     background_util: bg,
@@ -157,7 +173,8 @@ pub fn simulate_day(
                     active_switch_ids: r.active_switch_ids.clone(),
                     e2e_p95_s: r.e2e_latency.p95_s,
                     feasible: r.is_feasible(cfg),
-                }
+                };
+                (rec, ConsolidationSpec::AllOn.label())
             }
             DayStrategy::TimeTrader => {
                 let run = ClusterRun {
@@ -167,7 +184,7 @@ pub fn simulate_day(
                     ..template
                 };
                 let r = run_cluster(cfg, &run).expect("all-on never fails");
-                DayRecord {
+                let rec = DayRecord {
                     minute,
                     search_load: load,
                     background_util: bg,
@@ -176,12 +193,13 @@ pub fn simulate_day(
                     active_switch_ids: r.active_switch_ids.clone(),
                     e2e_p95_s: r.e2e_latency.p95_s,
                     feasible: r.is_feasible(cfg),
-                }
+                };
+                (rec, ConsolidationSpec::AllOn.label())
             }
             DayStrategy::Eprons { candidates } => {
                 let choice = optimize_total_power(cfg, &template, candidates)
                     .expect("at least one candidate evaluates");
-                DayRecord {
+                let rec = DayRecord {
                     minute,
                     search_load: load,
                     background_util: bg,
@@ -190,10 +208,48 @@ pub fn simulate_day(
                     active_switch_ids: choice.result.active_switch_ids.clone(),
                     e2e_p95_s: choice.result.e2e_latency.p95_s,
                     feasible: choice.feasible,
-                }
+                };
+                (rec, choice.spec.label())
             }
+        };
+        if obs_on {
+            eprons_obs::record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
+                epoch: e as u64,
+                minute: rec.minute,
+                strategy: strategy.name().to_string(),
+                choice: choice_label,
+                server_w: rec.breakdown.server_w,
+                network_w: rec.breakdown.network_w,
+                active_switches: rec.active_switches as u64,
+                e2e_p95_us: rec.e2e_p95_s * 1.0e6,
+                feasible: rec.feasible,
+            }));
         }
-    })
+        rec
+    });
+
+    if obs_on {
+        // Epoch-boundary churn: rebuild each epoch's NetworkState from its
+        // active switch set and diff consecutive states, journaling the
+        // links/switches toggled by every reconfiguration.
+        let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
+        let topo = ft.topology();
+        let state_of = |ids: &[usize]| {
+            let active: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+            NetworkState::with_active_switches(topo, &active)
+        };
+        for w in records.windows(2) {
+            let d = state_of(&w[0].active_switch_ids)
+                .delta(topo, &state_of(&w[1].active_switch_ids));
+            eprons_obs::record(eprons_obs::Event::LinkStateChange {
+                links_on: d.links_on as u64,
+                links_off: d.links_off as u64,
+                switches_on: d.switches_on as u64,
+                switches_off: d.switches_off as u64,
+            });
+        }
+    }
+    records
 }
 
 /// Reconfiguration churn between consecutive epochs of a day timeline.

@@ -38,5 +38,6 @@ pub use cluster::{
 };
 pub use config::ClusterConfig;
 pub use controller::{simulate_day, DayRecord, DayStrategy};
-pub use optimizer::{optimize_total_power, JointChoice};
+pub use cluster::ClusterError;
+pub use optimizer::{optimize_total_power, optimize_total_power_traced, JointChoice};
 pub use parallel::parallel_map;

@@ -9,7 +9,9 @@
 //! number of additional network links and switches": it falls back to the
 //! candidate with the lowest measured tail latency.
 
-use crate::cluster::{run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec};
+use crate::cluster::{
+    run_cluster, ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec,
+};
 use crate::config::ClusterConfig;
 use crate::parallel::parallel_map;
 
@@ -28,21 +30,63 @@ pub struct JointChoice {
 /// returns the minimum-total-power feasible choice, or the lowest-latency
 /// candidate if none is feasible. Returns `None` only if every candidate
 /// fails outright (e.g. consolidation cannot place the traffic anywhere).
+///
+/// Convenience wrapper over [`optimize_total_power_traced`] that drops the
+/// per-candidate failure reasons.
 pub fn optimize_total_power(
     cfg: &ClusterConfig,
     template: &ClusterRun,
     candidates: &[ConsolidationSpec],
 ) -> Option<JointChoice> {
+    optimize_total_power_traced(cfg, template, candidates).0
+}
+
+/// [`optimize_total_power`] with full decision tracing: every candidate's
+/// verdict is journaled (when telemetry is on) as an `OptimizerCandidate`
+/// or `CandidateFailed` event, the commit as an `OptimizerChoice`, and the
+/// failures are returned alongside the choice so callers can report *why*
+/// candidates dropped out instead of silently swallowing their errors.
+pub fn optimize_total_power_traced(
+    cfg: &ClusterConfig,
+    template: &ClusterRun,
+    candidates: &[ConsolidationSpec],
+) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
+    let obs_on = eprons_obs::enabled();
     let results = parallel_map(candidates, |spec| {
         let mut run = template.clone();
         run.consolidation = *spec;
-        run_cluster(cfg, &run).ok().map(|r| (*spec, r))
+        (*spec, run_cluster(cfg, &run))
     });
-    let ok: Vec<(ConsolidationSpec, ClusterRunResult)> =
-        results.into_iter().flatten().collect();
-    if ok.is_empty() {
-        return None;
+    let mut ok: Vec<(ConsolidationSpec, ClusterRunResult)> = Vec::new();
+    let mut failures: Vec<(ConsolidationSpec, ClusterError)> = Vec::new();
+    for (spec, res) in results {
+        match res {
+            Ok(r) => {
+                if obs_on {
+                    eprons_obs::record(eprons_obs::Event::OptimizerCandidate {
+                        k: spec.label(),
+                        total_w: r.breakdown.total_w(),
+                        p95_us: r.e2e_latency.p95_s * 1.0e6,
+                        feasible: r.is_feasible(cfg),
+                    });
+                }
+                ok.push((spec, r));
+            }
+            Err(e) => {
+                if obs_on {
+                    eprons_obs::record(eprons_obs::Event::CandidateFailed {
+                        k: spec.label(),
+                        error: e.to_string(),
+                    });
+                }
+                failures.push((spec, e));
+            }
+        }
     }
+    if ok.is_empty() {
+        return (None, failures);
+    }
+    let evaluated = ok.len() as u64;
     // Feasible set → min total power.
     let feasible = ok
         .iter()
@@ -53,28 +97,39 @@ pub fn optimize_total_power(
                 .partial_cmp(&b.1.breakdown.total_w())
                 .expect("power is finite")
         });
-    if let Some((spec, result)) = feasible {
-        return Some(JointChoice {
+    let choice = if let Some((spec, result)) = feasible {
+        JointChoice {
             spec: *spec,
             result: result.clone(),
             feasible: true,
+        }
+    } else {
+        // Fallback: least-bad latency (most generous network).
+        let (spec, result) = ok
+            .iter()
+            .min_by(|a, b| {
+                a.1.e2e_latency
+                    .p95_s
+                    .partial_cmp(&b.1.e2e_latency.p95_s)
+                    .expect("latency is finite")
+            })
+            .expect("non-empty");
+        JointChoice {
+            spec: *spec,
+            result: result.clone(),
+            feasible: false,
+        }
+    };
+    if obs_on {
+        eprons_obs::record(eprons_obs::Event::OptimizerChoice {
+            k: choice.spec.label(),
+            total_w: choice.result.breakdown.total_w(),
+            p95_us: choice.result.e2e_latency.p95_s * 1.0e6,
+            feasible: choice.feasible,
+            evaluated,
         });
     }
-    // Fallback: least-bad latency (most generous network).
-    let (spec, result) = ok
-        .iter()
-        .min_by(|a, b| {
-            a.1.e2e_latency
-                .p95_s
-                .partial_cmp(&b.1.e2e_latency.p95_s)
-                .expect("latency is finite")
-        })
-        .expect("non-empty");
-    Some(JointChoice {
-        spec: *spec,
-        result: result.clone(),
-        feasible: false,
-    })
+    (Some(choice), failures)
 }
 
 /// The paper's candidate ladder: the four Fig. 9 aggregation presets.
@@ -106,28 +161,60 @@ pub fn adaptive_k(
     template: &ClusterRun,
     k_max: usize,
 ) -> Option<JointChoice> {
+    let obs_on = eprons_obs::enabled();
+    let mut evaluated = 0u64;
+    let commit = |choice: JointChoice, evaluated: u64| {
+        if obs_on {
+            eprons_obs::record(eprons_obs::Event::OptimizerChoice {
+                k: choice.spec.label(),
+                total_w: choice.result.breakdown.total_w(),
+                p95_us: choice.result.e2e_latency.p95_s * 1.0e6,
+                feasible: choice.feasible,
+                evaluated,
+            });
+        }
+        choice
+    };
     let mut best_fallback: Option<(f64, JointChoice)> = None;
     for k in 1..=k_max {
         let mut run = template.clone();
         run.consolidation = ConsolidationSpec::GreedyK(k as f64);
-        let Ok(result) = run_cluster(cfg, &run) else {
-            continue; // K too large for the capacity: skip
+        let result = match run_cluster(cfg, &run) {
+            Ok(r) => r,
+            Err(e) => {
+                if obs_on {
+                    eprons_obs::record(eprons_obs::Event::CandidateFailed {
+                        k: run.consolidation.label(),
+                        error: e.to_string(),
+                    });
+                }
+                continue; // K too large for the capacity: skip
+            }
         };
+        evaluated += 1;
         let feasible = result.is_feasible(cfg);
+        if obs_on {
+            eprons_obs::record(eprons_obs::Event::OptimizerCandidate {
+                k: run.consolidation.label(),
+                total_w: result.breakdown.total_w(),
+                p95_us: result.e2e_latency.p95_s * 1.0e6,
+                feasible,
+            });
+        }
         let choice = JointChoice {
             spec: run.consolidation,
             result: result.clone(),
             feasible,
         };
         if feasible {
-            return Some(choice);
+            return Some(commit(choice, evaluated));
         }
         let tail = result.e2e_latency.p95_s;
         if best_fallback.as_ref().is_none_or(|(t, _)| tail < *t) {
             best_fallback = Some((tail, choice));
         }
     }
-    best_fallback.map(|(_, c)| c)
+    best_fallback.map(|(_, c)| commit(c, evaluated))
 }
 
 #[cfg(test)]
@@ -211,6 +298,27 @@ mod tests {
     #[test]
     fn empty_candidates_yield_none() {
         let cfg = ClusterConfig::default();
-        assert!(optimize_total_power(&cfg, &template(), &[]).is_none());
+        let (choice, failures) = optimize_total_power_traced(&cfg, &template(), &[]);
+        assert!(choice.is_none());
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn traced_surfaces_failure_reasons() {
+        let cfg = ClusterConfig::default();
+        // An absurd K makes every latency-sensitive reservation exceed link
+        // capacity: that candidate must fail with a reported reason while
+        // the sane candidate still wins.
+        let cands = [
+            ConsolidationSpec::GreedyK(1.0),
+            ConsolidationSpec::GreedyK(1.0e6),
+        ];
+        let (choice, failures) = optimize_total_power_traced(&cfg, &template(), &cands);
+        let choice = choice.expect("K=1 evaluates");
+        assert!(matches!(choice.spec, ConsolidationSpec::GreedyK(k) if k == 1.0));
+        assert_eq!(failures.len(), 1);
+        let (spec, err) = &failures[0];
+        assert!(matches!(spec, ConsolidationSpec::GreedyK(k) if *k == 1.0e6));
+        assert!(err.to_string().contains("consolidation failed"));
     }
 }

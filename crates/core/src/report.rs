@@ -80,6 +80,66 @@ impl fmt::Display for Table {
     }
 }
 
+/// Tabulates a journal's events by kind (count per event type) — the
+/// quick "what happened this run" summary the fig binaries print when
+/// `--journal` is active.
+pub fn journal_kind_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    let mut counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for e in entries {
+        *counts.entry(e.event.kind()).or_insert(0) += 1;
+    }
+    let mut t = Table::new("journal events", &["event", "count"]);
+    for (kind, n) in counts {
+        t.row(&[kind.to_string(), n.to_string()]);
+    }
+    t
+}
+
+/// Tabulates the per-epoch snapshots of a journal: one row per
+/// `EpochSnapshot` event, mirroring the Fig. 15 timeline columns.
+pub fn journal_epoch_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    let mut t = Table::new(
+        "epoch snapshots",
+        &["epoch", "minute", "choice", "server_w", "network_w", "total_w", "p95_ms", "ok"],
+    );
+    for e in entries {
+        if let eprons_obs::Event::EpochSnapshot(s) = &e.event {
+            t.row(&[
+                s.epoch.to_string(),
+                format!("{:.0}", s.minute),
+                s.choice.clone(),
+                watts(s.server_w),
+                watts(s.network_w),
+                watts(s.total_w()),
+                format!("{:.2}", s.e2e_p95_us * 1.0e-3),
+                s.feasible.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Tabulates a metrics snapshot: counters, gauges, then histograms (with
+/// count/mean/max) in one name-sorted table.
+pub fn metrics_table(snap: &eprons_obs::MetricsSnapshot) -> Table {
+    let mut t = Table::new("metrics", &["name", "kind", "value"]);
+    for (name, v) in &snap.counters {
+        t.row(&[name.clone(), "counter".into(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        t.row(&[name.clone(), "gauge".into(), format!("{v:.3}")]);
+    }
+    for (name, h) in &snap.histograms {
+        t.row(&[
+            name.clone(),
+            "histogram".into(),
+            format!("n={} mean={:.3e} max={:.3e}", h.count, h.mean(), h.max),
+        ]);
+    }
+    t
+}
+
 /// Formats a watts value with 1 decimal.
 pub fn watts(v: f64) -> String {
     format!("{v:.1}")
@@ -123,5 +183,57 @@ mod tests {
         assert_eq!(watts(12.345), "12.3");
         assert_eq!(ms(0.02574), "25.74");
         assert_eq!(pct(0.3125), "31.2");
+    }
+
+    #[test]
+    fn journal_tables_render() {
+        let journal = eprons_obs::Journal::with_capacity(100);
+        journal.record(eprons_obs::Event::DayStart {
+            strategy: "eprons".into(),
+            epochs: 2,
+        });
+        journal.record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
+            epoch: 0,
+            minute: 120.0,
+            strategy: "eprons".into(),
+            choice: "agg2".into(),
+            server_w: 700.0,
+            network_w: 500.0,
+            active_switches: 15,
+            e2e_p95_us: 21_500.0,
+            feasible: true,
+        }));
+        journal.record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
+            epoch: 1,
+            minute: 360.0,
+            strategy: "eprons".into(),
+            choice: "agg3".into(),
+            server_w: 650.0,
+            network_w: 470.0,
+            active_switches: 13,
+            e2e_p95_us: 24_000.0,
+            feasible: true,
+        }));
+        let entries = journal.snapshot();
+        let kinds = journal_kind_table(&entries);
+        assert_eq!(kinds.len(), 2, "DayStart + EpochSnapshot rows");
+        assert!(kinds.to_string().contains("EpochSnapshot"));
+        let epochs = journal_epoch_table(&entries);
+        assert_eq!(epochs.len(), 2);
+        let s = epochs.to_string();
+        assert!(s.contains("agg2") && s.contains("1200.0"), "{s}");
+    }
+
+    #[test]
+    fn metrics_table_renders_all_kinds() {
+        let reg = eprons_obs::Registry::new();
+        reg.counter("a.count").add(3);
+        reg.gauge("b.level").set(1.5);
+        reg.histogram("c.dur_s", eprons_obs::DURATION_EDGES_S).observe(0.01);
+        let t = metrics_table(&reg.snapshot());
+        assert_eq!(t.len(), 3);
+        let s = t.to_string();
+        assert!(s.contains("a.count") && s.contains("counter"));
+        assert!(s.contains("histogram") && s.contains("n=1"));
     }
 }

@@ -33,5 +33,5 @@ pub mod standard;
 
 pub use milp::{solve_milp, MilpOptions};
 pub use model::{Cmp, Model, Sense, VarId};
-pub use simplex::SolveError;
+pub use simplex::{SolveError, SolveStats};
 pub use standard::Solution;

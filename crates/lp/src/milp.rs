@@ -100,6 +100,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> Result<Solution, SolveEr
     let mut incumbent_key = f64::INFINITY;
     let mut nodes = 0usize;
     let mut root_infeasible = true;
+    // Fetched once: handles are lock-free, lookups are not.
+    let node_counter = eprons_obs::enabled()
+        .then(|| eprons_obs::registry().counter("lp.milp.nodes"));
 
     while let Some(node) = heap.pop() {
         if nodes >= opts.max_nodes {
@@ -110,6 +113,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> Result<Solution, SolveEr
             continue;
         }
         nodes += 1;
+        if let Some(c) = &node_counter {
+            c.inc();
+        }
 
         // Apply branch bounds to a scratch copy of the model.
         let mut scratch = model.clone();

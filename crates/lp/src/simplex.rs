@@ -40,6 +40,13 @@ const TOL: f64 = 1e-9;
 /// Consecutive degenerate pivots tolerated before switching to Bland's rule.
 const DEGENERATE_LIMIT: u32 = 32;
 
+/// Work counters for one standard-form solve (both phases).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total pivots performed, including phase-1 artificial cleanup.
+    pub iterations: u64,
+}
+
 /// The working tableau.
 struct Tableau {
     /// `m × (n+1)` rows; last column is the rhs.
@@ -50,10 +57,13 @@ struct Tableau {
     basis: Vec<usize>,
     /// Total columns excluding rhs.
     n: usize,
+    /// Pivots performed so far (all phases).
+    pivots: u64,
 }
 
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let n1 = self.n + 1;
         let piv = self.rows[row][col];
         debug_assert!(piv.abs() > TOL, "pivot on (near-)zero element");
@@ -170,6 +180,23 @@ pub fn solve(
     c: &[f64],
     slack_basis: &[Option<usize>],
 ) -> Result<Vec<f64>, SolveError> {
+    solve_counted(a, b, c, slack_basis).map(|(y, _)| y)
+}
+
+/// [`solve`], additionally reporting pivot counts for telemetry
+/// (`LpSolve` journal events carry `SolveStats::iterations`).
+///
+/// # Errors
+/// Same failure modes as [`solve`].
+///
+/// # Panics
+/// Panics on dimension mismatches or negative `b`.
+pub fn solve_counted(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+) -> Result<(Vec<f64>, SolveStats), SolveError> {
     let m = a.len();
     let n = c.len();
     assert_eq!(b.len(), m, "b length mismatch");
@@ -210,6 +237,7 @@ pub fn solve(
         cost: vec![0.0; total + 1],
         basis,
         n: total,
+        pivots: 0,
     };
 
     // ---- Phase 1: minimize the sum of artificials. ----
@@ -272,7 +300,12 @@ pub fn solve(
             y[tab.basis[i]] = tab.rows[i][total];
         }
     }
-    Ok(y)
+    Ok((
+        y,
+        SolveStats {
+            iterations: tab.pivots,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -328,6 +361,16 @@ mod tests {
         let y = solve(&a, &b, &c, &[None, None]).unwrap();
         assert!(y[0].abs() < 1e-9);
         assert!((y[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counted_solve_reports_pivots() {
+        let a = vec![vec![1.0, 1.0, 1.0]];
+        let b = vec![3.0];
+        let c = vec![-1.0, -2.0, 0.0];
+        let (y, stats) = solve_counted(&a, &b, &c, &[Some(2)]).unwrap();
+        assert!((y[1] - 3.0).abs() < 1e-9);
+        assert!(stats.iterations >= 1, "at least one pivot expected");
     }
 
     #[test]

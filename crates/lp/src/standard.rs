@@ -10,7 +10,8 @@
 //! * free: `x = y⁺ − y⁻`.
 
 use crate::model::{Cmp, Model, Sense};
-use crate::simplex::{self, SolveError};
+use crate::simplex::{self, SolveError, SolveStats};
+use eprons_obs as obs;
 
 /// How an original variable maps onto standard-form column(s).
 #[derive(Debug, Clone, Copy)]
@@ -223,7 +224,16 @@ impl Standardized {
     /// Solves the standard-form program with the two-phase simplex and maps
     /// the solution back onto the original model's variables.
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        let y = simplex::solve(&self.a, &self.b, &self.c, &self.slack_basis)?;
+        self.solve_with_stats().map(|(sol, _)| sol)
+    }
+
+    /// [`Standardized::solve`], additionally reporting simplex work
+    /// counters.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Standardized::solve`].
+    pub fn solve_with_stats(&self) -> Result<(Solution, SolveStats), SolveError> {
+        let (y, stats) = simplex::solve_counted(&self.a, &self.b, &self.c, &self.slack_basis)?;
         let mut values = vec![0.0; self.maps.len()];
         for (i, map) in self.maps.iter().enumerate() {
             values[i] = match *map {
@@ -236,13 +246,37 @@ impl Standardized {
         if self.negated {
             objective = -objective;
         }
-        Ok(Solution { objective, values })
+        Ok((Solution { objective, values }, stats))
     }
 }
 
 /// Solves the LP relaxation of `model` (integrality ignored).
+///
+/// With telemetry enabled this times the solve (`lp.solve_s`), counts
+/// successes/failures, and journals an `LpSolve` event carrying pivot
+/// counts and the binding constraints of the optimum.
 pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
-    Standardized::from_model(model).solve()
+    let std_form = Standardized::from_model(model);
+    if !obs::enabled() {
+        return std_form.solve();
+    }
+    let _t = obs::Timer::scoped("lp.solve_s");
+    match std_form.solve_with_stats() {
+        Ok((sol, stats)) => {
+            obs::registry().counter("lp.solve.ok").inc();
+            obs::record(obs::Event::LpSolve {
+                rows: std_form.num_rows() as u64,
+                cols: std_form.num_cols() as u64,
+                iters: stats.iterations,
+                binding_constraints: crate::diagnostics::binding_constraints(model, &sol, 1e-7),
+            });
+            Ok(sol)
+        }
+        Err(e) => {
+            obs::registry().counter("lp.solve.err").inc();
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

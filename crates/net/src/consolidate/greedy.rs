@@ -38,6 +38,7 @@ impl Consolidator for GreedyConsolidator {
         flows: &FlowSet,
         cfg: &ConsolidationConfig,
     ) -> Result<Assignment, ConsolidationError> {
+        let _t = eprons_obs::Timer::scoped("net.consolidate.greedy_s");
         let topo = net.topology();
         // Largest scaled demand first; ties broken by flow id so the
         // placement is deterministic.
@@ -79,6 +80,11 @@ impl Consolidator for GreedyConsolidator {
                 }
             }
             let Some((_, idx)) = best else {
+                if eprons_obs::enabled() {
+                    eprons_obs::registry()
+                        .counter("net.consolidate.infeasible")
+                        .inc();
+                }
                 return Err(ConsolidationError::NoFeasiblePath { flow: fi });
             };
             let p = candidates.into_iter().nth(idx).expect("index valid");
@@ -96,7 +102,17 @@ impl Consolidator for GreedyConsolidator {
             .into_iter()
             .map(|p| p.expect("every flow placed"))
             .collect();
-        Ok(Assignment::from_paths(net, flows, paths))
+        let assignment = Assignment::from_paths(net, flows, paths);
+        if eprons_obs::enabled() {
+            eprons_obs::registry().counter("net.consolidate.passes").inc();
+            eprons_obs::record(eprons_obs::Event::ConsolidationPass {
+                algo: "greedy".into(),
+                flows: flows.len() as u64,
+                placed: flows.len() as u64,
+                active_switches: assignment.active_switch_count(net) as u64,
+            });
+        }
+        Ok(assignment)
     }
 }
 

@@ -344,6 +344,7 @@ impl Consolidator for AggregationRouter {
         flows: &FlowSet,
         cfg: &ConsolidationConfig,
     ) -> Result<Assignment, ConsolidationError> {
+        let _t = eprons_obs::Timer::scoped("net.consolidate.aggregation_s");
         let topo = net.topology();
         let allowed = |n: NodeId| !topo.node(n).kind.is_switch() || self.active.contains(&n);
         let mut reserved = vec![0.0; topo.num_links() * 2];
@@ -390,6 +391,15 @@ impl Consolidator for AggregationRouter {
             assignment.state.set_node(s, true);
         }
         assignment.state.refresh_links(topo);
+        if eprons_obs::enabled() {
+            eprons_obs::registry().counter("net.consolidate.passes").inc();
+            eprons_obs::record(eprons_obs::Event::ConsolidationPass {
+                algo: "aggregation".into(),
+                flows: flows.len() as u64,
+                placed: flows.len() as u64,
+                active_switches: assignment.active_switch_count(net) as u64,
+            });
+        }
         Ok(assignment)
     }
 }

@@ -41,7 +41,7 @@ pub use consolidate::{
 };
 pub use flow::{Flow, FlowClass, FlowId};
 pub use latency::LatencyModel;
-pub use links::NetworkState;
+pub use links::{NetworkState, StateDelta};
 pub use power::NetworkPowerModel;
 pub use predict::DemandPredictor;
 pub use transition::{Churn, TransitionModel};

@@ -186,6 +186,58 @@ impl NetworkState {
     pub fn active_link_count(&self) -> usize {
         self.link_on.iter().filter(|&&b| b).count()
     }
+
+    /// Counts of switches/links that change power state going from `self`
+    /// to `next`. Both states must come from the same topology (same node
+    /// and link counts); host nodes never toggle so only switches count.
+    ///
+    /// # Panics
+    /// Panics if the two states have different node or link counts.
+    pub fn delta(&self, topo: &Topology, next: &NetworkState) -> StateDelta {
+        assert_eq!(self.node_on.len(), next.node_on.len(), "node count mismatch");
+        assert_eq!(self.link_on.len(), next.link_on.len(), "link count mismatch");
+        let mut d = StateDelta::default();
+        for (id, n) in topo.nodes() {
+            if !n.kind.is_switch() {
+                continue;
+            }
+            match (self.node_on[id.0], next.node_on[id.0]) {
+                (false, true) => d.switches_on += 1,
+                (true, false) => d.switches_off += 1,
+                _ => {}
+            }
+        }
+        for (was, is) in self.link_on.iter().zip(&next.link_on) {
+            match (was, is) {
+                (false, true) => d.links_on += 1,
+                (true, false) => d.links_off += 1,
+                _ => {}
+            }
+        }
+        d
+    }
+}
+
+/// Power-state churn between two [`NetworkState`]s (see
+/// [`NetworkState::delta`]): how many switches and links were toggled on
+/// or off across an epoch boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateDelta {
+    /// Links powered up in the newer state.
+    pub links_on: usize,
+    /// Links powered down in the newer state.
+    pub links_off: usize,
+    /// Switches powered up in the newer state.
+    pub switches_on: usize,
+    /// Switches powered down in the newer state.
+    pub switches_off: usize,
+}
+
+impl StateDelta {
+    /// `true` when nothing toggled.
+    pub fn is_empty(&self) -> bool {
+        self.links_on == 0 && self.links_off == 0 && self.switches_on == 0 && self.switches_off == 0
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +353,29 @@ mod tests {
                 assert_eq!(st.load_dir(l, dir), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn delta_counts_toggled_switches_and_links() {
+        let ft = FatTree::new(4, 1000.0);
+        let topo = ft.topology();
+        let all = NetworkState::all_on(topo);
+        // No change → empty delta.
+        assert!(all.delta(topo, &all).is_empty());
+        // all-on → Agg3 subtree: 20−13 = 7 switches power down, nothing up.
+        let active = AggregationLevel::Agg3.active_switches(&ft);
+        let agg = NetworkState::with_active_switches(topo, &active);
+        let down = all.delta(topo, &agg);
+        assert_eq!(down.switches_off, 7);
+        assert_eq!(down.switches_on, 0);
+        assert_eq!(down.links_off, 48 - agg.active_link_count());
+        assert_eq!(down.links_on, 0);
+        // And the reverse direction mirrors it.
+        let up = agg.delta(topo, &all);
+        assert_eq!(up.switches_on, 7);
+        assert_eq!(up.switches_off, 0);
+        assert_eq!(up.links_on, down.links_off);
+        assert_eq!(up.links_off, 0);
     }
 
     #[test]

@@ -1,0 +1,710 @@
+//! Structured run journal: typed events, in-memory sink, JSON-lines
+//! export/import.
+//!
+//! One journal line is one event object: `{"seq":12,"t":"OptimizerChoice",
+//! ...fields}`. `seq` is a process-wide append index so interleaved
+//! per-epoch threads can be re-ordered offline; `t` is the event kind.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-epoch roll-up the controller emits once per control period — the
+/// journal's equivalent of one Fig. 15 timeline sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Epoch index within the day run.
+    pub epoch: u64,
+    /// Minute-of-day at the epoch start.
+    pub minute: f64,
+    /// Scheme that produced this epoch (e.g. `eprons`, `no-pm`).
+    pub strategy: String,
+    /// Chosen network configuration (e.g. `k=2`, `agg1`, `all-on`).
+    pub choice: String,
+    /// Server-side power draw, W.
+    pub server_w: f64,
+    /// Network-side power draw, W.
+    pub network_w: f64,
+    /// Switches left powered on.
+    pub active_switches: u64,
+    /// End-to-end p95 latency, µs.
+    pub e2e_p95_us: f64,
+    /// Whether the chosen config met the latency SLA.
+    pub feasible: bool,
+}
+
+impl Snapshot {
+    /// Total (server + network) power, W — must reconcile with
+    /// `PowerBreakdown::total_w()`.
+    pub fn total_w(&self) -> f64 {
+        self.server_w + self.network_w
+    }
+}
+
+/// A typed journal event. Field meanings are documented in README
+/// "Observability"; every variant maps onto one arrow of the paper's
+/// Fig. 7 control loop (see DESIGN.md).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A `simulate_day` sweep started.
+    DayStart { strategy: String, epochs: u64 },
+    /// One control epoch began (before the optimizer runs).
+    EpochStart {
+        epoch: u64,
+        minute: f64,
+        search_load: f64,
+        background_util: f64,
+    },
+    /// Per-epoch roll-up after the optimizer committed a choice.
+    EpochSnapshot(Snapshot),
+    /// The joint optimizer evaluated one candidate network config.
+    OptimizerCandidate {
+        k: String,
+        total_w: f64,
+        p95_us: f64,
+        feasible: bool,
+    },
+    /// A candidate's cluster evaluation failed outright (no result).
+    CandidateFailed { k: String, error: String },
+    /// The optimizer committed to a candidate.
+    OptimizerChoice {
+        k: String,
+        total_w: f64,
+        p95_us: f64,
+        feasible: bool,
+        /// How many candidates produced a result this round.
+        evaluated: u64,
+    },
+    /// One LP solve completed (two-phase simplex).
+    LpSolve {
+        rows: u64,
+        cols: u64,
+        iters: u64,
+        binding_constraints: Vec<String>,
+    },
+    /// DVFS summary for one simulated core run (per-transition events
+    /// would flood the journal at millions per day sweep).
+    FreqTransition {
+        policy: String,
+        transitions: u64,
+        decisions: u64,
+        final_ghz: f64,
+    },
+    /// Links/switches toggled between two consecutive network configs.
+    LinkStateChange {
+        links_on: u64,
+        links_off: u64,
+        switches_on: u64,
+        switches_off: u64,
+    },
+    /// One consolidation pass over a flow set completed.
+    ConsolidationPass {
+        algo: String,
+        flows: u64,
+        placed: u64,
+        active_switches: u64,
+    },
+    /// A recorder was driven with a clock that went backwards (recovered,
+    /// not fatal — see `TimeWeighted::try_set`).
+    ClockSkew { at_s: f64, last_s: f64 },
+    /// Identifies one cluster evaluation (scheme × network config × seed).
+    RunTag {
+        scheme: String,
+        consolidation: String,
+        seed: u64,
+    },
+}
+
+impl Event {
+    /// Stable kind tag used as the `t` field of a journal line.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DayStart { .. } => "DayStart",
+            Event::EpochStart { .. } => "EpochStart",
+            Event::EpochSnapshot(_) => "EpochSnapshot",
+            Event::OptimizerCandidate { .. } => "OptimizerCandidate",
+            Event::CandidateFailed { .. } => "CandidateFailed",
+            Event::OptimizerChoice { .. } => "OptimizerChoice",
+            Event::LpSolve { .. } => "LpSolve",
+            Event::FreqTransition { .. } => "FreqTransition",
+            Event::LinkStateChange { .. } => "LinkStateChange",
+            Event::ConsolidationPass { .. } => "ConsolidationPass",
+            Event::ClockSkew { .. } => "ClockSkew",
+            Event::RunTag { .. } => "RunTag",
+        }
+    }
+
+    fn fields(&self) -> Vec<(String, Json)> {
+        fn s(v: &str) -> Json {
+            Json::Str(v.to_string())
+        }
+        fn n(v: f64) -> Json {
+            Json::Num(v)
+        }
+        fn u(v: u64) -> Json {
+            Json::Num(v as f64)
+        }
+        fn b(v: bool) -> Json {
+            Json::Bool(v)
+        }
+        let f = |pairs: Vec<(&str, Json)>| {
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect()
+        };
+        match self {
+            Event::DayStart { strategy, epochs } => {
+                f(vec![("strategy", s(strategy)), ("epochs", u(*epochs))])
+            }
+            Event::EpochStart {
+                epoch,
+                minute,
+                search_load,
+                background_util,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("minute", n(*minute)),
+                ("search_load", n(*search_load)),
+                ("background_util", n(*background_util)),
+            ]),
+            Event::EpochSnapshot(snap) => f(vec![
+                ("epoch", u(snap.epoch)),
+                ("minute", n(snap.minute)),
+                ("strategy", s(&snap.strategy)),
+                ("choice", s(&snap.choice)),
+                ("server_w", n(snap.server_w)),
+                ("network_w", n(snap.network_w)),
+                ("active_switches", u(snap.active_switches)),
+                ("e2e_p95_us", n(snap.e2e_p95_us)),
+                ("feasible", b(snap.feasible)),
+            ]),
+            Event::OptimizerCandidate {
+                k,
+                total_w,
+                p95_us,
+                feasible,
+            } => f(vec![
+                ("k", s(k)),
+                ("total_w", n(*total_w)),
+                ("p95_us", n(*p95_us)),
+                ("feasible", b(*feasible)),
+            ]),
+            Event::CandidateFailed { k, error } => {
+                f(vec![("k", s(k)), ("error", s(error))])
+            }
+            Event::OptimizerChoice {
+                k,
+                total_w,
+                p95_us,
+                feasible,
+                evaluated,
+            } => f(vec![
+                ("k", s(k)),
+                ("total_w", n(*total_w)),
+                ("p95_us", n(*p95_us)),
+                ("feasible", b(*feasible)),
+                ("evaluated", u(*evaluated)),
+            ]),
+            Event::LpSolve {
+                rows,
+                cols,
+                iters,
+                binding_constraints,
+            } => f(vec![
+                ("rows", u(*rows)),
+                ("cols", u(*cols)),
+                ("iters", u(*iters)),
+                (
+                    "binding_constraints",
+                    Json::Arr(binding_constraints.iter().map(|c| s(c)).collect()),
+                ),
+            ]),
+            Event::FreqTransition {
+                policy,
+                transitions,
+                decisions,
+                final_ghz,
+            } => f(vec![
+                ("policy", s(policy)),
+                ("transitions", u(*transitions)),
+                ("decisions", u(*decisions)),
+                ("final_ghz", n(*final_ghz)),
+            ]),
+            Event::LinkStateChange {
+                links_on,
+                links_off,
+                switches_on,
+                switches_off,
+            } => f(vec![
+                ("links_on", u(*links_on)),
+                ("links_off", u(*links_off)),
+                ("switches_on", u(*switches_on)),
+                ("switches_off", u(*switches_off)),
+            ]),
+            Event::ConsolidationPass {
+                algo,
+                flows,
+                placed,
+                active_switches,
+            } => f(vec![
+                ("algo", s(algo)),
+                ("flows", u(*flows)),
+                ("placed", u(*placed)),
+                ("active_switches", u(*active_switches)),
+            ]),
+            Event::ClockSkew { at_s, last_s } => {
+                f(vec![("at_s", n(*at_s)), ("last_s", n(*last_s))])
+            }
+            Event::RunTag {
+                scheme,
+                consolidation,
+                seed,
+            } => f(vec![
+                ("scheme", s(scheme)),
+                ("consolidation", s(consolidation)),
+                ("seed", u(*seed)),
+            ]),
+        }
+    }
+
+    /// Rebuilds an event from a parsed journal-line object (without the
+    /// `seq` field).
+    ///
+    /// # Errors
+    /// Reports the missing/mistyped field or unknown kind.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let kind = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or("missing event tag 't'")?;
+        let fs = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("{kind}: missing string field '{key}'"))
+        };
+        let fn_ = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{kind}: missing numeric field '{key}'"))
+        };
+        let fu = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{kind}: missing integer field '{key}'"))
+        };
+        let fb = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Json::as_bool)
+                .ok_or(format!("{kind}: missing bool field '{key}'"))
+        };
+        Ok(match kind {
+            "DayStart" => Event::DayStart {
+                strategy: fs("strategy")?,
+                epochs: fu("epochs")?,
+            },
+            "EpochStart" => Event::EpochStart {
+                epoch: fu("epoch")?,
+                minute: fn_("minute")?,
+                search_load: fn_("search_load")?,
+                background_util: fn_("background_util")?,
+            },
+            "EpochSnapshot" => Event::EpochSnapshot(Snapshot {
+                epoch: fu("epoch")?,
+                minute: fn_("minute")?,
+                strategy: fs("strategy")?,
+                choice: fs("choice")?,
+                server_w: fn_("server_w")?,
+                network_w: fn_("network_w")?,
+                active_switches: fu("active_switches")?,
+                e2e_p95_us: fn_("e2e_p95_us")?,
+                feasible: fb("feasible")?,
+            }),
+            "OptimizerCandidate" => Event::OptimizerCandidate {
+                k: fs("k")?,
+                total_w: fn_("total_w")?,
+                p95_us: fn_("p95_us")?,
+                feasible: fb("feasible")?,
+            },
+            "CandidateFailed" => Event::CandidateFailed {
+                k: fs("k")?,
+                error: fs("error")?,
+            },
+            "OptimizerChoice" => Event::OptimizerChoice {
+                k: fs("k")?,
+                total_w: fn_("total_w")?,
+                p95_us: fn_("p95_us")?,
+                feasible: fb("feasible")?,
+                evaluated: fu("evaluated")?,
+            },
+            "LpSolve" => Event::LpSolve {
+                rows: fu("rows")?,
+                cols: fu("cols")?,
+                iters: fu("iters")?,
+                binding_constraints: v
+                    .get("binding_constraints")
+                    .and_then(Json::as_arr)
+                    .ok_or("LpSolve: missing 'binding_constraints'")?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or("LpSolve: non-string constraint name".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
+            "FreqTransition" => Event::FreqTransition {
+                policy: fs("policy")?,
+                transitions: fu("transitions")?,
+                decisions: fu("decisions")?,
+                final_ghz: fn_("final_ghz")?,
+            },
+            "LinkStateChange" => Event::LinkStateChange {
+                links_on: fu("links_on")?,
+                links_off: fu("links_off")?,
+                switches_on: fu("switches_on")?,
+                switches_off: fu("switches_off")?,
+            },
+            "ConsolidationPass" => Event::ConsolidationPass {
+                algo: fs("algo")?,
+                flows: fu("flows")?,
+                placed: fu("placed")?,
+                active_switches: fu("active_switches")?,
+            },
+            "ClockSkew" => Event::ClockSkew {
+                at_s: fn_("at_s")?,
+                last_s: fn_("last_s")?,
+            },
+            "RunTag" => Event::RunTag {
+                scheme: fs("scheme")?,
+                consolidation: fs("consolidation")?,
+                seed: fu("seed")?,
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        })
+    }
+}
+
+/// One journal line: append index + event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    pub seq: u64,
+    pub event: Event,
+}
+
+impl JournalEntry {
+    /// Serializes to one JSON-lines record (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![
+            ("seq".to_string(), Json::Num(self.seq as f64)),
+            ("t".to_string(), Json::Str(self.event.kind().to_string())),
+        ];
+        fields.extend(self.event.fields());
+        Json::Obj(fields).to_string()
+    }
+
+    /// Parses one JSON-lines record.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON, a missing `seq`, or an unknown event.
+    pub fn from_json_line(line: &str) -> Result<JournalEntry, String> {
+        let v = Json::parse(line)?;
+        let seq = v
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'seq' field")?;
+        Ok(JournalEntry {
+            seq,
+            event: Event::from_json(&v)?,
+        })
+    }
+}
+
+/// Events a journal holds before dropping new ones (a day sweep with
+/// per-core summaries stays well under this; the cap only guards against
+/// a runaway instrumentation loop).
+pub const DEFAULT_JOURNAL_CAP: usize = 1 << 20;
+
+/// Thread-safe in-memory event sink.
+#[derive(Debug)]
+pub struct Journal {
+    entries: Mutex<Vec<JournalEntry>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    cap: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAP)
+    }
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Journal {
+            entries: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    /// Appends an event, assigning it the next sequence number. Events
+    /// past the capacity are counted in [`Journal::dropped`] instead.
+    pub fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if entries.len() < self.cap {
+            entries.push(JournalEntry { seq, event });
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Events discarded because the cap was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out all entries in append order.
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Removes and returns all entries (sequence numbering continues).
+    pub fn drain(&self) -> Vec<JournalEntry> {
+        std::mem::take(&mut *self.entries.lock())
+    }
+
+    /// Drops all entries and restarts sequence numbering.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+        self.seq.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Counts entries of one kind (`Event::kind` tag).
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.event.kind() == kind)
+            .count()
+    }
+
+    /// Serializes the whole journal as JSON-lines.
+    pub fn to_jsonl(&self) -> String {
+        let entries = self.entries.lock();
+        let mut out = String::with_capacity(entries.len() * 96);
+        for e in entries.iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the journal as JSON-lines, returning the entry count.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let entries = self.snapshot();
+        for e in &entries {
+            writeln!(f, "{}", e.to_json_line())?;
+        }
+        f.flush()?;
+        Ok(entries.len())
+    }
+}
+
+/// Parses a JSON-lines journal dump (blank lines skipped).
+///
+/// # Errors
+/// Reports the first malformed line with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalEntry>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| JournalEntry::from_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::DayStart {
+                strategy: "eprons".into(),
+                epochs: 144,
+            },
+            Event::EpochStart {
+                epoch: 3,
+                minute: 30.0,
+                search_load: 0.62,
+                background_util: 0.25,
+            },
+            Event::OptimizerCandidate {
+                k: "k=2".into(),
+                total_w: 5120.5,
+                p95_us: 61_250.0,
+                feasible: true,
+            },
+            Event::CandidateFailed {
+                k: "agg3".into(),
+                error: "no feasible path for flow 7".into(),
+            },
+            Event::OptimizerChoice {
+                k: "k=2".into(),
+                total_w: 5120.5,
+                p95_us: 61_250.0,
+                feasible: true,
+                evaluated: 4,
+            },
+            Event::LpSolve {
+                rows: 48,
+                cols: 96,
+                iters: 131,
+                binding_constraints: vec!["cap[e12]".into(), "demand[f3]".into()],
+            },
+            Event::FreqTransition {
+                policy: "eprons".into(),
+                transitions: 812,
+                decisions: 4096,
+                final_ghz: 1.8,
+            },
+            Event::LinkStateChange {
+                links_on: 2,
+                links_off: 14,
+                switches_on: 0,
+                switches_off: 3,
+            },
+            Event::ConsolidationPass {
+                algo: "greedy".into(),
+                flows: 272,
+                placed: 272,
+                active_switches: 12,
+            },
+            Event::ClockSkew {
+                at_s: 1.25,
+                last_s: 1.5,
+            },
+            Event::RunTag {
+                scheme: "eprons".into(),
+                consolidation: "k=1.5".into(),
+                seed: 2018,
+            },
+            Event::EpochSnapshot(Snapshot {
+                epoch: 3,
+                minute: 30.0,
+                strategy: "eprons".into(),
+                choice: "k=2".into(),
+                server_w: 4000.0,
+                network_w: 1120.5,
+                active_switches: 12,
+                e2e_p95_us: 61_250.0,
+                feasible: true,
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_event() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        let text = j.to_jsonl();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, j.snapshot());
+    }
+
+    #[test]
+    fn seq_is_dense_and_ordered() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        for (i, e) in j.snapshot().iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn cap_drops_overflow_and_counts_it() {
+        let j = Journal::with_capacity(2);
+        for _ in 0..5 {
+            j.record(Event::DayStart {
+                strategy: "x".into(),
+                epochs: 1,
+            });
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+    }
+
+    #[test]
+    fn parse_reports_malformed_line() {
+        let err = parse_jsonl("{\"seq\":0,\"t\":\"DayStart\",\"strategy\":\"a\",\"epochs\":1}\nnot json\n")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = JournalEntry::from_json_line("{\"seq\":0,\"t\":\"Nope\"}").unwrap_err();
+        assert!(err.contains("unknown event kind"), "got: {err}");
+    }
+
+    #[test]
+    fn escaped_error_strings_survive() {
+        let j = Journal::new();
+        j.record(Event::CandidateFailed {
+            k: "k=8".into(),
+            error: "path \"a\\b\"\nline2".into(),
+        });
+        let parsed = parse_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(parsed, j.snapshot());
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let j = Journal::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..500 {
+                        j.record(Event::EpochStart {
+                            epoch: i,
+                            minute: i as f64,
+                            search_load: 0.5,
+                            background_util: 0.1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(j.len(), 4000);
+        let mut seqs: Vec<u64> = j.snapshot().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..4000).collect::<Vec<_>>());
+    }
+}

@@ -184,6 +184,11 @@ pub fn simulate_core(
     let mut budgets = Vec::with_capacity(arrivals.len());
     let mut tags = Vec::with_capacity(arrivals.len());
     let mut arrival_times = Vec::with_capacity(arrivals.len());
+    // Telemetry is aggregated locally and flushed once at the end of the
+    // run so the event loop stays allocation- and lock-free.
+    let obs_on = eprons_obs::enabled();
+    let mut freq_transitions = 0u64;
+    let mut decisions = 0u64;
 
     // Advances in-flight progress (and busy-time accounting) to `t`.
     let advance = |fl: &mut Option<Inflight>,
@@ -313,7 +318,12 @@ pub fn simulate_core(
             // empty decision and skip the convolutions.
             engine.decision(t, None, &[])
         };
-        cur_f = policy.choose_frequency(t, &dec, &cfg.ladder);
+        let new_f = policy.choose_frequency(t, &dec, &cfg.ladder);
+        decisions += 1;
+        if new_f != cur_f {
+            freq_transitions += 1;
+        }
+        cur_f = new_f;
         let w = if inflight.is_some() {
             cfg.power.core_busy_w(cur_f)
         } else {
@@ -326,6 +336,18 @@ pub fn simulate_core(
                 .get_or_insert_with(|| EnergyMeter::new(measure_from, pending_w))
                 .set_power(t, w);
         }
+    }
+
+    if obs_on {
+        let reg = eprons_obs::registry();
+        reg.counter("server.dvfs.transitions").add(freq_transitions);
+        reg.counter("server.vp.decisions").add(decisions);
+        eprons_obs::record(eprons_obs::Event::FreqTransition {
+            policy: policy.name().to_string(),
+            transitions: freq_transitions,
+            decisions,
+            final_ghz: cur_f,
+        });
     }
 
     let sim_end = last_t.max(measure_from);

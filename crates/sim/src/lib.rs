@@ -19,5 +19,5 @@ pub mod recorder;
 pub mod rng;
 
 pub use event::EventQueue;
-pub use recorder::{EnergyMeter, TailRecorder, TimeWeighted};
+pub use recorder::{ClockSkewError, EnergyMeter, TailRecorder, TimeWeighted};
 pub use rng::SimRng;

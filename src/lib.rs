@@ -9,6 +9,7 @@ pub use eprons_core as core;
 pub use eprons_lp as lp;
 pub use eprons_net as net;
 pub use eprons_num as num;
+pub use eprons_obs as obs;
 pub use eprons_server as server;
 pub use eprons_sim as sim;
 pub use eprons_topo as topo;

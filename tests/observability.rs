@@ -1,0 +1,118 @@
+//! End-to-end telemetry test: a short diurnal run through the full stack
+//! must journal the control loop's decisions at every layer, the per-epoch
+//! snapshots must agree with the returned power breakdowns, and the journal
+//! must round-trip through its JSON-lines encoding.
+//!
+//! Everything lives in one `#[test]` because the telemetry registry and
+//! journal are process-wide globals.
+
+use eprons_repro::core::controller::{simulate_day, DayConfig, DayStrategy};
+use eprons_repro::core::optimizer::aggregation_candidates;
+use eprons_repro::core::ClusterConfig;
+use eprons_repro::obs;
+
+#[test]
+fn day_run_journals_the_control_loop() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    let cfg = ClusterConfig::default();
+    let day = DayConfig {
+        epoch_minutes: 240, // 6 epochs, for test speed
+        sim_seconds: 2.0,
+        peak_utilization: 0.5,
+        seed: 99,
+    };
+    let recs = simulate_day(
+        &cfg,
+        &DayStrategy::Eprons {
+            candidates: aggregation_candidates(),
+        },
+        &day,
+    );
+    let epochs = recs.len();
+    assert_eq!(epochs, 6);
+
+    let journal = obs::journal();
+    assert_eq!(journal.dropped(), 0, "nothing may fall off the journal");
+
+    // The Fig. 7 control loop: one DayStart, one EpochStart + EpochSnapshot
+    // per epoch, at least one OptimizerChoice per epoch (here exactly one),
+    // and a LinkStateChange per epoch boundary.
+    assert_eq!(journal.count_kind("DayStart"), 1);
+    assert_eq!(journal.count_kind("EpochStart"), epochs);
+    assert_eq!(journal.count_kind("EpochSnapshot"), epochs);
+    assert!(
+        journal.count_kind("OptimizerChoice") >= epochs,
+        "expected >= 1 OptimizerChoice per epoch, got {}",
+        journal.count_kind("OptimizerChoice")
+    );
+    assert_eq!(journal.count_kind("LinkStateChange"), epochs - 1);
+    // Each epoch evaluated the 4 aggregation candidates.
+    assert_eq!(
+        journal.count_kind("OptimizerCandidate"),
+        epochs * aggregation_candidates().len()
+    );
+    // And the lower layers reported in: the cluster tagged each candidate
+    // run, consolidation passes ran, and every ISN's DVFS run aggregated
+    // its frequency transitions.
+    assert!(journal.count_kind("RunTag") >= epochs * aggregation_candidates().len());
+    assert!(journal.count_kind("ConsolidationPass") > 0);
+    assert!(journal.count_kind("FreqTransition") > 0);
+
+    // Journaled epoch snapshots must agree with the returned records.
+    let entries = journal.snapshot();
+    let mut snapshots = 0usize;
+    for entry in &entries {
+        if let obs::Event::EpochSnapshot(s) = &entry.event {
+            snapshots += 1;
+            let rec = &recs[s.epoch as usize];
+            let journaled = s.total_w();
+            let measured = rec.breakdown.total_w();
+            assert!(
+                (journaled - measured).abs() < 1e-9,
+                "epoch {}: journal says {journaled} W, record says {measured} W",
+                s.epoch
+            );
+            assert!((s.server_w - rec.breakdown.server_w).abs() < 1e-9);
+            assert!((s.network_w - rec.breakdown.network_w).abs() < 1e-9);
+            assert_eq!(s.active_switches, rec.active_switches as u64);
+            assert_eq!(s.feasible, rec.feasible);
+            assert_eq!(s.strategy, "eprons");
+        }
+    }
+    assert_eq!(snapshots, epochs);
+
+    // The whole journal must round-trip through JSON-lines losslessly.
+    let text = journal.to_jsonl();
+    assert_eq!(text.lines().count(), entries.len());
+    let parsed = obs::parse_jsonl(&text).expect("journal must re-parse");
+    assert_eq!(parsed.len(), entries.len());
+    for (a, b) in entries.iter().zip(&parsed) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.event, b.event);
+    }
+
+    // Metrics side: the run timer and counters must have fired.
+    let metrics = obs::registry().snapshot();
+    let counter = |name: &str| {
+        metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(counter("core.cluster.runs") >= (epochs * aggregation_candidates().len()) as u64);
+    assert!(counter("server.vp.decisions") > 0);
+    assert!(
+        metrics
+            .histograms
+            .iter()
+            .any(|(n, h)| n == "core.cluster.run_s" && h.count > 0),
+        "the scoped run timer must observe durations"
+    );
+
+    obs::reset();
+    obs::set_enabled(false);
+}
