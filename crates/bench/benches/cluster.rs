@@ -1,15 +1,14 @@
 //! Whole-cluster epoch benchmark: one controller optimization period end
 //! to end (consolidate → sample network → simulate 16 ISNs → account).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
 use eprons_topo::AggregationLevel;
 use std::hint::black_box;
 
-fn bench_epoch(c: &mut Criterion) {
+fn main() {
     let cfg = ClusterConfig::default();
-    let mut g = c.benchmark_group("cluster_epoch");
-    g.sample_size(10);
+    let mut r = Runner::from_env();
     for (name, spec) in [
         ("all_on", ConsolidationSpec::AllOn),
         ("agg3", ConsolidationSpec::Level(AggregationLevel::Agg3)),
@@ -24,8 +23,8 @@ fn bench_epoch(c: &mut Criterion) {
             warmup_s: 0.0,
             seed: 99,
         };
-        g.bench_with_input(BenchmarkId::new("eprons_3s", name), &run, |b, run| {
-            b.iter(|| run_cluster(black_box(&cfg), black_box(run)).unwrap())
+        r.bench(&format!("cluster_epoch/eprons_3s/{name}"), || {
+            run_cluster(black_box(&cfg), black_box(&run)).unwrap()
         });
     }
     // The model-free baseline for comparison (no convolutions at all).
@@ -38,11 +37,7 @@ fn bench_epoch(c: &mut Criterion) {
         warmup_s: 0.0,
         seed: 99,
     };
-    g.bench_with_input(BenchmarkId::new("no_pm_3s", "all_on"), &run, |b, run| {
-        b.iter(|| run_cluster(black_box(&cfg), black_box(run)).unwrap())
+    r.bench("cluster_epoch/no_pm_3s/all_on", || {
+        run_cluster(black_box(&cfg), black_box(&run)).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_epoch);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! This bench shows the same scaling gap in miniature: MILP solve time
 //! explodes with the flow count while greedy stays near-linear.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_net::consolidate::path::build_path_model;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
@@ -47,37 +47,24 @@ fn random_flows(ft: &FatTree, n: usize, seed: u64) -> FlowSet {
     fs
 }
 
-fn bench_greedy(c: &mut Criterion) {
+fn main() {
     let ft = FatTree::new(4, 1000.0);
     let cfg = ConsolidationConfig::with_k(2.0);
-    let mut g = c.benchmark_group("greedy");
-    g.sample_size(20);
+    let mut r = Runner::from_env();
     for n in [10usize, 50, 200, 1000] {
         let flows = random_flows(&ft, n, 7);
-        g.bench_with_input(BenchmarkId::new("flows", n), &flows, |b, flows| {
-            b.iter(|| GreedyConsolidator.consolidate(black_box(&ft), black_box(flows), &cfg))
+        r.bench(&format!("greedy/flows/{n}"), || {
+            GreedyConsolidator.consolidate(black_box(&ft), black_box(&flows), &cfg)
         });
     }
-    g.finish();
-}
-
-fn bench_milp(c: &mut Criterion) {
-    let ft = FatTree::new(4, 1000.0);
-    let cfg = ConsolidationConfig::with_k(2.0);
-    let mut g = c.benchmark_group("path_milp");
-    g.sample_size(10);
     for n in [3usize, 6, 10] {
         let flows = random_flows(&ft, n, 7);
-        g.bench_with_input(BenchmarkId::new("solve", n), &flows, |b, flows| {
-            let milp = PathMilpConsolidator::default();
-            b.iter(|| milp.consolidate(black_box(&ft), black_box(flows), &cfg))
+        let milp = PathMilpConsolidator::default();
+        r.bench(&format!("path_milp/solve/{n}"), || {
+            milp.consolidate(black_box(&ft), black_box(&flows), &cfg)
         });
-        g.bench_with_input(BenchmarkId::new("build_model", n), &flows, |b, flows| {
-            b.iter(|| build_path_model(black_box(&ft), black_box(flows), &cfg))
+        r.bench(&format!("path_milp/build_model/{n}"), || {
+            build_path_model(black_box(&ft), black_box(&flows), &cfg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_greedy, bench_milp);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! `convolution/...` group measures our equivalent, including the
 //! direct-vs-FFT crossover that motivates `conv::FFT_THRESHOLD`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_num::complex::Complex;
 use eprons_num::conv::{convolve_direct, convolve_fft};
 use eprons_num::fft::{fft_in_place, FftPlan};
@@ -17,50 +17,35 @@ fn deterministic_masses(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
-    g.sample_size(40);
+fn main() {
+    let mut r = Runner::from_env();
     for log2n in [8usize, 10, 12] {
         let n = 1 << log2n;
         let data: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
             .collect();
-        g.bench_with_input(BenchmarkId::new("in_place", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                fft_in_place(black_box(&mut d));
-                d
-            })
+        r.bench(&format!("fft/in_place/{n}"), || {
+            let mut d = data.clone();
+            fft_in_place(black_box(&mut d));
+            d
         });
         let plan = FftPlan::new(n);
-        g.bench_with_input(BenchmarkId::new("planned", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                plan.forward(black_box(&mut d));
-                d
-            })
+        r.bench(&format!("fft/planned/{n}"), || {
+            let mut d = data.clone();
+            plan.forward(black_box(&mut d));
+            d
         });
     }
-    g.finish();
-}
-
-fn bench_convolution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("convolution");
-    g.sample_size(40);
     // The paper's work PMFs are 160-bin; equivalent requests grow with
     // queue depth.
     for n in [32usize, 64, 160, 320, 640] {
         let a = deterministic_masses(n);
         let b = deterministic_masses(n);
-        g.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, _| {
-            bench.iter(|| convolve_direct(black_box(&a), black_box(&b)))
+        r.bench(&format!("convolution/direct/{n}"), || {
+            convolve_direct(black_box(&a), black_box(&b))
         });
-        g.bench_with_input(BenchmarkId::new("fft", n), &n, |bench, _| {
-            bench.iter(|| convolve_fft(black_box(&a), black_box(&b)))
+        r.bench(&format!("convolution/fft/{n}"), || {
+            convolve_fft(black_box(&a), black_box(&b))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fft, bench_convolution);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Policy ablation bench: per-request DVFS cost of each scheme on the
 //! same arrival trace (the simulator-throughput view of Fig. 12's lines).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
     coresim::poisson_trace, simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig,
@@ -19,39 +19,22 @@ fn fixture() -> (ServiceModel, Vec<ArrivalSpec>) {
     (service, arrivals)
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let (service, arrivals) = fixture();
     let cfg = CoreSimConfig::default();
-    let mut g = c.benchmark_group("core_simulation");
-    g.sample_size(10);
+    let mut r = Runner::from_env();
     type PolicyFactory = fn(usize, f64) -> Box<dyn DvfsPolicy>;
-    let cases: Vec<(&str, PolicyFactory)> = vec![
+    let policies: Vec<(&str, PolicyFactory)> = vec![
         ("no_pm", |_, _| Box::new(MaxFreqPolicy)),
         ("rubik", |_, _| Box::new(MaxVpPolicy::rubik())),
         ("timetrader", |n, t| Box::new(TimeTraderPolicy::new(t, n))),
         ("eprons", |_, _| Box::new(AvgVpPolicy::eprons())),
     ];
-    for (name, make) in cases {
-        g.bench_with_input(
-            BenchmarkId::new("10s_trace", name),
-            &arrivals,
-            |b, arrivals| {
-                b.iter(|| {
-                    let mut policy = make(cfg.ladder.len(), 30.0e-3);
-                    let mut engine = VpEngine::new(service.clone());
-                    simulate_core(
-                        policy.as_mut(),
-                        &mut engine,
-                        black_box(arrivals),
-                        &cfg,
-                        11,
-                    )
-                })
-            },
-        );
+    for (name, make) in policies {
+        r.bench(&format!("core_simulation/10s_trace/{name}"), || {
+            let mut policy = make(cfg.ladder.len(), 30.0e-3);
+            let mut engine = VpEngine::new(service.clone());
+            simulate_core(policy.as_mut(), &mut engine, black_box(&arrivals), &cfg, 11)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! LP/MILP solver benchmarks: dense simplex scaling and branch-and-bound
 //! on knapsack-style binary programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_lp::standard::solve_lp;
 use eprons_lp::{solve_milp, Cmp, MilpOptions, Model, Sense};
 use std::hint::black_box;
@@ -39,31 +39,18 @@ fn knapsack(n: usize) -> Model {
     m
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simplex");
-    g.sample_size(20);
+fn main() {
+    let mut r = Runner::from_env();
     for (nvars, nrows) in [(10, 8), (30, 20), (80, 60), (150, 100)] {
         let m = random_lp(nvars, nrows, 42);
-        g.bench_with_input(
-            BenchmarkId::new("lp", format!("{nvars}x{nrows}")),
-            &m,
-            |b, m| b.iter(|| solve_lp(black_box(m)).unwrap()),
-        );
-    }
-    g.finish();
-}
-
-fn bench_milp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("milp");
-    g.sample_size(15);
-    for n in [8usize, 16, 24] {
-        let m = knapsack(n);
-        g.bench_with_input(BenchmarkId::new("knapsack", n), &m, |b, m| {
-            b.iter(|| solve_milp(black_box(m), &MilpOptions::default()).unwrap())
+        r.bench(&format!("simplex/lp/{nvars}x{nrows}"), || {
+            solve_lp(black_box(&m)).unwrap()
         });
     }
-    g.finish();
+    for n in [8usize, 16, 24] {
+        let m = knapsack(n);
+        r.bench(&format!("milp/knapsack/{n}"), || {
+            solve_milp(black_box(&m), &MilpOptions::default()).unwrap()
+        });
+    }
 }
-
-criterion_group!(benches, bench_simplex, bench_milp);
-criterion_main!(benches);

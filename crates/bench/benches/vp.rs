@@ -5,7 +5,7 @@
 //! time it takes to determine the operating frequency is shortened by
 //! applying binary search on the average VP … it takes less than 30 µs".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eprons_bench::harness::Runner;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::vp::InflightHead;
 use eprons_server::{AvgVpPolicy, FreqLadder, ServiceModel, VpEngine};
@@ -17,26 +17,19 @@ fn service() -> ServiceModel {
     ServiceModel::synthetic_xapian(&mut rng, 20_000, 160)
 }
 
-fn bench_decision_departure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decision_departure");
-    g.sample_size(40);
+fn main() {
+    let mut r = Runner::from_env();
     for depth in [1usize, 2, 4, 8] {
         let mut engine = VpEngine::new(service());
         // Warm the cache like a running server would.
         let _ = engine.equivalent(depth);
         let deadlines: Vec<f64> = (0..depth).map(|i| 10.0e-3 + 3.0e-3 * i as f64).collect();
-        g.bench_with_input(BenchmarkId::new("queue", depth), &depth, |b, _| {
-            b.iter(|| engine.decision(black_box(0.0), None, black_box(&deadlines)))
+        r.bench(&format!("decision_departure/queue/{depth}"), || {
+            engine.decision(black_box(0.0), None, black_box(&deadlines))
         });
     }
-    g.finish();
-}
-
-fn bench_decision_arrival(c: &mut Criterion) {
     // Arrival instants condition the in-flight head and convolve fresh —
     // the expensive path the paper describes.
-    let mut g = c.benchmark_group("decision_arrival");
-    g.sample_size(40);
     for depth in [1usize, 2, 4, 8] {
         let mut engine = VpEngine::new(service());
         let _ = engine.equivalent(depth);
@@ -45,14 +38,10 @@ fn bench_decision_arrival(c: &mut Criterion) {
             rem_fixed_s: 0.0,
         };
         let deadlines: Vec<f64> = (0..=depth).map(|i| 10.0e-3 + 3.0e-3 * i as f64).collect();
-        g.bench_with_input(BenchmarkId::new("queue", depth), &depth, |b, _| {
-            b.iter(|| engine.decision(black_box(0.0), Some(head), black_box(&deadlines)))
+        r.bench(&format!("decision_arrival/queue/{depth}"), || {
+            engine.decision(black_box(0.0), Some(head), black_box(&deadlines))
         });
     }
-    g.finish();
-}
-
-fn bench_frequency_selection(c: &mut Criterion) {
     // The paper's "<30 µs" step: binary search over the ladder given a
     // prepared decision.
     let mut engine = VpEngine::new(service());
@@ -60,15 +49,7 @@ fn bench_frequency_selection(c: &mut Criterion) {
     let decision = engine.decision(0.0, None, &deadlines);
     let ladder = FreqLadder::paper_default();
     let mut policy = AvgVpPolicy::eprons();
-    c.bench_function("frequency_selection/avg_vp_binary_search", |b| {
-        b.iter(|| policy.choose_frequency(0.0, black_box(&decision), &ladder))
+    r.bench("frequency_selection/avg_vp_binary_search", || {
+        policy.choose_frequency(0.0, black_box(&decision), &ladder)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_decision_departure,
-    bench_decision_arrival,
-    bench_frequency_selection
-);
-criterion_main!(benches);

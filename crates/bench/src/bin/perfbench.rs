@@ -1,0 +1,213 @@
+//! perfbench — the tracked performance benchmark for the sharded cluster
+//! simulator (writes `BENCH_cluster.json` at the repo root).
+//!
+//! Three layers are timed, bottom up:
+//!
+//! * `convolve/*` — the FFT convolution kernel, with and without the
+//!   thread-local plan cache (the plan-construction overhead the cache
+//!   removes from every equivalent-request convolution);
+//! * `vp_decision/*` — one VP-engine decision over a 16-deep queue, cold
+//!   (shared equivalent-distribution cache cleared each iteration) and
+//!   warm (ladder inherited from the process-wide cache);
+//! * `run_cluster` / `optimize_total_power/*` — the end-to-end simulator
+//!   and the 4-candidate aggregation-ladder optimizer, the last in three
+//!   variants: serial with cold caches (the pre-sharding baseline shape),
+//!   serial warm, and parallel warm (thread budget = host parallelism).
+//!
+//! The headline `speedup.optimize_total_power.combined` divides the
+//! serial-cold mean by the parallel-warm mean: cache reuse is measurable
+//! on any machine, thread scaling contributes on multi-core hosts (the
+//! candidate × server shards are independent, so the parallel term
+//! approaches the core count; on a single-core container it is ~1×).
+//!
+//! Flags: `--quick` (tiny durations for the CI smoke run), `--out <path>`
+//! (default `<repo root>/BENCH_cluster.json`), `--journal <path>` (dump
+//! the telemetry journal and summary tables, like the fig binaries).
+
+use eprons_bench::harness::Runner;
+use eprons_bench::{banner, finish, quick, BASE_SEED};
+use eprons_core::{
+    optimize_total_power, run_cluster, set_thread_budget, thread_budget, ClusterConfig,
+    ClusterRun, ConsolidationSpec, ServerScheme,
+};
+use eprons_num::complex::Complex;
+use eprons_num::conv::{clear_plan_cache, convolve_fft};
+use eprons_num::fft::FftPlan;
+use eprons_num::Pmf;
+use eprons_obs::Json;
+use eprons_server::{clear_equiv_cache, equiv_cache_stats, ServiceModel, VpEngine};
+use eprons_topo::AggregationLevel;
+
+fn out_path() -> std::path::PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--out" {
+            if let Some(p) = args.get(i + 1) {
+                return p.into();
+            }
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }
+        if let Some(p) = a.strip_prefix("--out=") {
+            return p.into();
+        }
+    }
+    // crates/bench/../../ = repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json")
+}
+
+fn main() {
+    banner("perfbench", "tracked wall-clock benchmarks");
+    let mut r = Runner::from_env();
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // --- Convolution kernel. ---
+    let taps: Vec<f64> = (0..700).map(|i| 1.0 / (i + 1) as f64).collect();
+    r.bench("convolve/fft_planned/700x700", || convolve_fft(&taps, &taps));
+    r.bench("convolve/fft_plan_per_call/2048", || {
+        // What every call paid before the plan cache: build the twiddle
+        // tables, transform, multiply, inverse.
+        let n = 2048;
+        let plan = FftPlan::new(n);
+        let mut fa: Vec<Complex> = taps.iter().map(|&x| Complex::from_real(x)).collect();
+        fa.resize(n, Complex::ZERO);
+        let mut fb = fa.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x *= *y;
+        }
+        plan.inverse(&mut fa);
+        fa
+    });
+
+    // --- VP decisions. ---
+    let service = ServiceModel::new(
+        Pmf::from_masses(2.7e-4, 2.7e-4, vec![0.1, 0.3, 0.3, 0.2, 0.1]),
+        0.1e-3,
+    );
+    let deadlines: Vec<f64> = (1..=16).map(|i| i as f64 * 2.0e-3).collect();
+    r.bench("vp_decision/cold/queue16", || {
+        clear_equiv_cache();
+        let mut engine = VpEngine::new(service.clone());
+        engine.decision(0.0, None, &deadlines).len()
+    });
+    clear_equiv_cache();
+    let mut warm_engine = VpEngine::new(service.clone());
+    let _ = warm_engine.decision(0.0, None, &deadlines);
+    r.bench("vp_decision/warm/queue16", || {
+        // Fresh engine each iteration, but the ladder comes from the
+        // shared cache published by the previous one.
+        let mut engine = VpEngine::new(service.clone());
+        engine.decision(0.0, None, &deadlines).len()
+    });
+
+    // --- End-to-end cluster run. ---
+    let cfg = ClusterConfig::default();
+    let duration_s = if quick() { 0.25 } else { 2.0 };
+    let cluster = ClusterRun {
+        scheme: ServerScheme::EpronsServer,
+        consolidation: ConsolidationSpec::GreedyK(2.0),
+        server_utilization: 0.3,
+        background_util: 0.2,
+        duration_s,
+        warmup_s: 0.0,
+        seed: BASE_SEED,
+    };
+    r.bench("run_cluster/eprons_greedy", || {
+        run_cluster(&cfg, &cluster).unwrap().cpu_power_w
+    });
+
+    // --- The 4-candidate aggregation-ladder optimizer. ---
+    let template = ClusterRun {
+        consolidation: ConsolidationSpec::AllOn,
+        ..cluster.clone()
+    };
+    let candidates = [
+        ConsolidationSpec::AllOn,
+        ConsolidationSpec::Level(AggregationLevel::Agg1),
+        ConsolidationSpec::Level(AggregationLevel::Agg2),
+        ConsolidationSpec::Level(AggregationLevel::Agg3),
+    ];
+    set_thread_budget(Some(1));
+    r.bench("optimize_total_power/agg_ladder/serial_cold", || {
+        clear_equiv_cache();
+        clear_plan_cache();
+        optimize_total_power(&cfg, &template, &candidates).unwrap().spec
+    });
+    r.bench("optimize_total_power/agg_ladder/serial_warm", || {
+        optimize_total_power(&cfg, &template, &candidates).unwrap().spec
+    });
+    set_thread_budget(None);
+    let budget = thread_budget();
+    r.bench("optimize_total_power/agg_ladder/parallel_warm", || {
+        optimize_total_power(&cfg, &template, &candidates).unwrap().spec
+    });
+
+    // --- Report. ---
+    let serial_cold = r
+        .mean_of("optimize_total_power/agg_ladder/serial_cold")
+        .expect("suite ran");
+    let serial_warm = r
+        .mean_of("optimize_total_power/agg_ladder/serial_warm")
+        .expect("suite ran");
+    let parallel_warm = r
+        .mean_of("optimize_total_power/agg_ladder/parallel_warm")
+        .expect("suite ran");
+    let combined = serial_cold / parallel_warm;
+    let (models, levels) = equiv_cache_stats();
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("eprons.bench.cluster/v1".into())),
+        ("quick".into(), Json::Bool(quick())),
+        ("seed".into(), Json::Num(BASE_SEED as f64)),
+        (
+            "threads".into(),
+            Json::Obj(vec![
+                ("budget".into(), Json::Num(budget as f64)),
+                ("host".into(), Json::Num(host_threads as f64)),
+            ]),
+        ),
+        ("suites".into(), r.to_json()),
+        (
+            "speedup".into(),
+            Json::Obj(vec![(
+                "optimize_total_power".into(),
+                Json::Obj(vec![
+                    (
+                        "parallel_over_serial".into(),
+                        Json::Num(serial_warm / parallel_warm),
+                    ),
+                    (
+                        "warm_cache_over_cold".into(),
+                        Json::Num(serial_cold / serial_warm),
+                    ),
+                    ("combined".into(), Json::Num(combined)),
+                    ("target".into(), Json::Num(2.0)),
+                    ("met".into(), Json::Bool(combined >= 2.0)),
+                ]),
+            )]),
+        ),
+        (
+            "equiv_cache".into(),
+            Json::Obj(vec![
+                ("models".into(), Json::Num(models as f64)),
+                ("levels".into(), Json::Num(levels as f64)),
+            ]),
+        ),
+    ]);
+    let path = out_path();
+    std::fs::write(&path, format!("{report}\n")).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "\nspeedup(optimize_total_power): parallel/serial {:.2}x, warm/cold {:.2}x, combined {:.2}x (target 2.0x, budget {budget}, host {host_threads})",
+        serial_warm / parallel_warm,
+        serial_cold / serial_warm,
+        combined,
+    );
+    println!("wrote {}", path.display());
+    finish();
+}

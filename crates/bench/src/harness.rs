@@ -1,0 +1,174 @@
+//! In-repo wall-clock benchmark harness.
+//!
+//! The workspace builds with zero external crates, so the old `criterion`
+//! benches and the `perfbench` binary both run on this: warm up, run until
+//! a time target (or an iteration floor) is hit, and report mean/min/max
+//! per-iteration wall time. Results accumulate in a [`Runner`] and can be
+//! exported as a [`Json`] object (the `BENCH_cluster.json` schema).
+
+use std::time::Instant;
+
+use eprons_obs::Json;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name, `group/case` style.
+    pub name: String,
+    /// Timed iterations (after one warm-up iteration).
+    pub iters: u64,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest iteration, seconds.
+    pub min_s: f64,
+    /// Slowest iteration, seconds.
+    pub max_s: f64,
+}
+
+impl Sample {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("iters".into(), Json::Num(self.iters as f64)),
+            ("mean_s".into(), Json::Num(self.mean_s)),
+            ("min_s".into(), Json::Num(self.min_s)),
+            ("max_s".into(), Json::Num(self.max_s)),
+        ])
+    }
+}
+
+/// Runs benchmarks and collects their [`Sample`]s.
+pub struct Runner {
+    target_s: f64,
+    min_iters: u64,
+    max_iters: u64,
+    /// All results in execution order.
+    pub samples: Vec<Sample>,
+}
+
+impl Runner {
+    /// A runner that times each benchmark for roughly `target_s` seconds,
+    /// but always at least `min_iters` iterations.
+    pub fn new(target_s: f64, min_iters: u64) -> Self {
+        Runner {
+            target_s,
+            min_iters: min_iters.max(1),
+            max_iters: 1_000_000,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The default config honoring `--quick` / `EPRONS_QUICK` (tiny
+    /// durations for CI smoke runs).
+    pub fn from_env() -> Self {
+        if crate::quick() {
+            Runner::new(0.05, 2)
+        } else {
+            Runner::new(1.0, 5)
+        }
+    }
+
+    /// Times `f`, prints one summary line, and records the sample. The
+    /// closure's return value is passed through [`std::hint::black_box`]
+    /// so the optimizer cannot elide the work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Sample {
+        // One untimed warm-up: fills caches (and, for the cluster suites,
+        // the shared convolution prefix) exactly like a steady-state run.
+        std::hint::black_box(f());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        while (iters < self.min_iters || started.elapsed().as_secs_f64() < self.target_s)
+            && iters < self.max_iters
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iters += 1;
+        }
+        let sample = Sample {
+            name: name.to_string(),
+            iters,
+            mean_s: total / iters as f64,
+            min_s: min,
+            max_s: max,
+        };
+        println!(
+            "{:<44} {:>8} iters  mean {:>12}  min {:>12}  max {:>12}",
+            sample.name,
+            sample.iters,
+            format_secs(sample.mean_s),
+            format_secs(sample.min_s),
+            format_secs(sample.max_s),
+        );
+        self.samples.push(sample);
+        self.samples.last().expect("just pushed")
+    }
+
+    /// The mean of the most recent sample named `name`.
+    pub fn mean_of(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.name == name)
+            .map(|s| s.mean_s)
+    }
+
+    /// All samples as a JSON array (the `suites` field of
+    /// `BENCH_cluster.json`).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.samples.iter().map(Sample::to_json).collect())
+    }
+}
+
+/// Human-friendly seconds (`1.23 s`, `45.6 ms`, `789 µs`, `12 ns`).
+pub fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1.0e-3 {
+        format!("{:.3} ms", s * 1.0e3)
+    } else if s >= 1.0e-6 {
+        format!("{:.3} µs", s * 1.0e6)
+    } else {
+        format!("{:.1} ns", s * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_times() {
+        let mut r = Runner::new(0.0, 3);
+        r.bench("noop", || 1 + 1);
+        let s = &r.samples[0];
+        assert_eq!(s.iters, 3);
+        assert!(s.min_s <= s.mean_s && s.mean_s <= s.max_s);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Runner::new(0.0, 2);
+        r.bench("a", || ());
+        r.bench("b", || ());
+        let j = r.to_json();
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("a"));
+        assert!(arr[1].get("mean_s").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn format_secs_units() {
+        assert!(format_secs(2.0).ends_with(" s"));
+        assert!(format_secs(2.0e-3).ends_with(" ms"));
+        assert!(format_secs(2.0e-6).ends_with(" µs"));
+        assert!(format_secs(2.0e-9).ends_with(" ns"));
+    }
+}

@@ -16,6 +16,8 @@ use std::path::PathBuf;
 use eprons_core::config::ClusterConfig;
 use eprons_core::report::{journal_kind_table, metrics_table};
 
+pub mod harness;
+
 /// Master seed shared by the harness binaries.
 pub const BASE_SEED: u64 = 2018;
 

@@ -1,9 +1,7 @@
 //! Power breakdowns and savings arithmetic (Fig. 15b's bars).
 
-use serde::Serialize;
-
 /// A total-power snapshot split into its two layers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerBreakdown {
     /// All servers (static + CPU), watts.
     pub server_w: f64,
@@ -36,7 +34,7 @@ impl PowerBreakdown {
 }
 
 /// Fractional savings per layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Savings {
     /// Server-layer saving fraction.
     pub server: f64,

@@ -401,26 +401,49 @@ pub fn run_cluster(
         }
     }
 
-    // --- Per-ISN DVFS simulation. ---
+    // --- Per-ISN DVFS simulation, sharded across the thread budget. ---
+    //
+    // Each server's core simulation is independent once its arrival trace
+    // and RNG seed are fixed, so the loop fans out through [`parallel_map`].
+    // Determinism is preserved by construction: the per-server seeds are
+    // drawn *serially* from `server_seed_rng` in index order before any
+    // thread starts (exactly the stream the old serial loop consumed), the
+    // shards share no mutable state, and the reduction below folds shard
+    // results in server-index order so floating-point accumulation matches
+    // the serial loop bit for bit.
     let core_cfg = CoreSimConfig {
         ladder: cfg.ladder.clone(),
         power: cfg.cpu.clone(),
         decision_overhead_s: 30.0e-6,
         measure_from_s: warmup,
     };
-    let mut cpu_power_w = 0.0;
-    let mut server_w = 0.0;
-    let mut server_latencies: Vec<f64> = Vec::new();
-    let mut server_misses = 0usize;
-    let mut server_completions = 0usize;
-    // server latency per (server, query id).
-    let mut lat_of: HashMap<(usize, u64), f64> = HashMap::new();
-    for (s, arrivals) in per_server.iter_mut().enumerate() {
+    for arrivals in per_server.iter_mut() {
         arrivals.sort_by(|a, b| {
             a.arrival_s
                 .partial_cmp(&b.arrival_s)
                 .expect("finite times")
         });
+    }
+    let server_seeds: Vec<u64> = (0..n)
+        .map(|s| server_seed_rng.fork(s as u64).uniform().to_bits())
+        .collect();
+    if obs_on {
+        eprons_obs::registry()
+            .gauge("core.cluster.worker_threads")
+            .set(crate::parallel::thread_budget() as f64);
+    }
+
+    /// What one server's shard hands back to the in-order reduction.
+    struct ServerShard {
+        avg_core_w: f64,
+        /// `(query id, latency, budget)` per completed sub-query.
+        completions: Vec<(u64, f64, f64)>,
+    }
+
+    let indices: Vec<usize> = (0..n).collect();
+    let shards: Vec<ServerShard> = crate::parallel::parallel_map(&indices, |&s| {
+        let _t = eprons_obs::Timer::scoped("core.cluster.server_shard_s");
+        let arrivals = &per_server[s];
         let mut engine = VpEngine::new(service.clone());
         let mut policy: Box<dyn DvfsPolicy> = match run.scheme {
             ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
@@ -432,8 +455,13 @@ pub fn run_cluster(
             ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
             ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
         };
-        let seed = server_seed_rng.fork(s as u64).uniform().to_bits();
-        let r = simulate_core(policy.as_mut(), &mut engine, arrivals, &core_cfg, seed);
+        let r = simulate_core(
+            policy.as_mut(),
+            &mut engine,
+            arrivals,
+            &core_cfg,
+            server_seeds[s],
+        );
         let end = r.sim_end_s.max(horizon);
         let span = end - warmup;
         let trailing_idle_w = policy
@@ -445,14 +473,30 @@ pub fn run_cluster(
         } else {
             trailing_idle_w
         };
-        cpu_power_w += cfg.cpu.cores as f64 * avg_core_w;
-        server_w += cfg.cpu.server_w(avg_core_w);
-        for ((&lat, &tag), &budget) in r
+        let completions = r
             .latencies
             .iter()
             .zip(&r.tags)
             .zip(&r.budgets)
-        {
+            .map(|((&lat, &tag), &budget)| (tag, lat, budget))
+            .collect();
+        ServerShard {
+            avg_core_w,
+            completions,
+        }
+    });
+
+    let mut cpu_power_w = 0.0;
+    let mut server_w = 0.0;
+    let mut server_latencies: Vec<f64> = Vec::new();
+    let mut server_misses = 0usize;
+    let mut server_completions = 0usize;
+    // server latency per (server, query id).
+    let mut lat_of: HashMap<(usize, u64), f64> = HashMap::new();
+    for (s, shard) in shards.iter().enumerate() {
+        cpu_power_w += cfg.cpu.cores as f64 * shard.avg_core_w;
+        server_w += cfg.cpu.server_w(shard.avg_core_w);
+        for &(tag, lat, budget) in &shard.completions {
             server_latencies.push(lat);
             server_completions += 1;
             if lat > budget {

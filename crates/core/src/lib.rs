@@ -40,4 +40,4 @@ pub use config::ClusterConfig;
 pub use controller::{simulate_day, DayRecord, DayStrategy};
 pub use cluster::ClusterError;
 pub use optimizer::{optimize_total_power, optimize_total_power_traced, JointChoice};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, set_thread_budget, thread_budget};

@@ -1,16 +1,98 @@
-//! Scoped-thread parallel map for parameter sweeps.
+//! Scoped-thread parallel map with a process-wide thread budget.
 //!
 //! The figure harnesses sweep (scheme × constraint × background × level)
-//! grids of independent cluster simulations; this helper fans them out
-//! over OS threads with no `unsafe` and no work-stealing machinery —
-//! std's scoped threads guarantee the borrows stay valid (the pattern the
-//! Rust Atomics & Locks guide recommends for fork-join workloads).
+//! grids of independent cluster simulations, the optimizer fans out over
+//! candidate network configurations, and `run_cluster` now fans out over
+//! servers *inside* each candidate. Without coordination the nested
+//! fan-outs would multiply (candidates × servers threads on a machine with
+//! far fewer cores); instead every [`parallel_map`] leases helper threads
+//! from one global budget and the **calling thread always participates**
+//! in the work loop, so a nested call that finds the budget exhausted
+//! degrades to a serial loop on its own thread — no oversubscription, no
+//! deadlock, and results that never depend on how many helpers were
+//! granted.
+//!
+//! No `unsafe` and no work-stealing machinery: std's scoped threads
+//! guarantee the borrows stay valid (the pattern the Rust Atomics & Locks
+//! guide recommends for fork-join workloads).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel: budget not overridden, use the default.
+const UNSET: usize = usize::MAX;
+
+/// Runtime override set by [`set_thread_budget`]; `UNSET` falls through to
+/// `EPRONS_THREADS` / `available_parallelism`.
+static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Threads (including callers) currently leased out of the budget.
+static LEASED: AtomicUsize = AtomicUsize::new(0);
+
+fn default_budget() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("EPRONS_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// The maximum number of threads (callers + helpers) the parallel maps
+/// may occupy at once. Resolution order: [`set_thread_budget`] override,
+/// then the `EPRONS_THREADS` environment variable, then
+/// `available_parallelism()`.
+pub fn thread_budget() -> usize {
+    match BUDGET_OVERRIDE.load(Ordering::Relaxed) {
+        UNSET => default_budget(),
+        n => n.max(1),
+    }
+}
+
+/// Overrides the process-wide thread budget (`None` restores the
+/// environment/default resolution). `set_thread_budget(Some(1))` forces
+/// every [`parallel_map`] serial — the determinism tests run each seeded
+/// simulation under budget 1 and budget N and require bit-identical
+/// output.
+pub fn set_thread_budget(budget: Option<usize>) {
+    BUDGET_OVERRIDE.store(budget.map_or(UNSET, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Worker threads (beyond the caller) a new `parallel_map` may spawn right
+/// now: the remaining budget, capped at `want`.
+fn lease_helpers(want: usize) -> usize {
+    let budget = thread_budget();
+    loop {
+        let used = LEASED.load(Ordering::Relaxed);
+        // The caller's own thread is only counted while inside a map, so
+        // an outermost call sees the full budget; a nested call sees the
+        // budget minus every thread its ancestors already occupy.
+        let free = budget.saturating_sub(used + 1);
+        let take = free.min(want);
+        if take == 0 {
+            return 0;
+        }
+        if LEASED
+            .compare_exchange_weak(used, used + take, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return take;
+        }
+    }
+}
+
+fn return_helpers(n: usize) {
+    if n > 0 {
+        LEASED.fetch_sub(n, Ordering::Relaxed);
+    }
+}
 
 /// Applies `f` to every item, in parallel, preserving input order in the
 /// output. `f` must be `Sync` (it is shared across threads); items are
-/// handed out atomically so threads stay busy regardless of skew.
+/// handed out atomically so threads stay busy regardless of skew. The
+/// calling thread participates in the loop, so the map makes progress even
+/// when the thread budget is exhausted by enclosing maps.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -21,11 +103,9 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
+    // The caller covers one worker; lease at most n-1 helpers.
+    let helpers = lease_helpers(n - 1);
+    if helpers == 0 {
         return items.iter().map(&f).collect();
     }
 
@@ -34,19 +114,23 @@ where
     let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
         out.iter_mut().map(std::sync::Mutex::new).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock poisoned") = Some(r);
-            });
+    let work = |next: &AtomicUsize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
+        let r = f(&items[i]);
+        **slots[i].lock().expect("slot lock poisoned") = Some(r);
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..helpers {
+            scope.spawn(|| work(&next));
+        }
+        work(&next);
     });
 
+    return_helpers(helpers);
     drop(slots);
     out.into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -56,6 +140,19 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Budget-mutating tests share one lock so they never race each other
+    /// (Rust runs tests in one process on separate threads).
+    static BUDGET_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = BUDGET_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_budget(Some(budget));
+        let r = f();
+        set_thread_budget(None);
+        r
+    }
 
     #[test]
     fn preserves_order() {
@@ -92,17 +189,111 @@ mod tests {
 
     #[test]
     fn actually_uses_threads_when_available() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let seen = Mutex::new(HashSet::new());
-        let items: Vec<u32> = (0..256).collect();
-        let _ = parallel_map(&items, |&x| {
-            seen.lock().unwrap().insert(std::thread::current().id());
-            x
+        use std::time::{Duration, Instant};
+        // Force a budget of 2 so the test is meaningful on any machine
+        // (including single-core CI runners): with one helper leased, the
+        // two items rendezvous — the first one in blocks until the second
+        // starts, which can only happen if a distinct thread picks it up.
+        // A deadline (instead of a hard barrier) keeps the serial-fallback
+        // path, possible when concurrent tests transiently hold the whole
+        // budget, from deadlocking; it retries until a helper is granted.
+        with_budget(2, || {
+            for _attempt in 0..100 {
+                let started = AtomicUsize::new(0);
+                let ids = parallel_map(&[0u32, 1], |_| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_millis(200);
+                    while started.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+                        std::thread::yield_now();
+                    }
+                    std::thread::current().id()
+                });
+                if ids[0] != ids[1] {
+                    // Both items overlapped on two distinct threads: the
+                    // multi-thread path demonstrably ran.
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            panic!("parallel_map never used a second thread under budget 2");
         });
-        let distinct = seen.lock().unwrap().len();
-        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1 {
-            assert!(distinct >= 1, "at least one worker thread ran");
-        }
+    }
+
+    #[test]
+    fn budget_one_runs_serial_on_caller_thread() {
+        with_budget(1, || {
+            let caller = std::thread::current().id();
+            let items: Vec<u32> = (0..16).collect();
+            let ids = parallel_map(&items, |_| std::thread::current().id());
+            assert!(ids.iter().all(|&id| id == caller));
+        });
+    }
+
+    #[test]
+    fn nested_maps_respect_the_budget() {
+        // Outer map may take the whole budget; inner maps must still
+        // complete (degrading to serial), and the number of inner work
+        // closures live at any instant must never exceed the budget —
+        // that is the no-oversubscription guarantee, measured directly
+        // with a high-water mark so concurrent tests can't perturb it.
+        with_budget(3, || {
+            let live = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            let outer: Vec<u32> = (0..6).collect();
+            let results = parallel_map(&outer, |&x| {
+                let inner: Vec<u32> = (0..5).collect();
+                let inner_sum: u32 = parallel_map(&inner, |&y| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    let v = x * 10 + y;
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    v
+                })
+                .iter()
+                .sum();
+                inner_sum
+            });
+            let expected: Vec<u32> = outer.iter().map(|&x| 5 * (x * 10) + 10).collect();
+            assert_eq!(results, expected);
+            let peak = peak.load(Ordering::SeqCst);
+            assert!(
+                peak <= 3,
+                "budget 3 exceeded: {peak} inner closures ran concurrently"
+            );
+        });
+    }
+
+    #[test]
+    fn helpers_are_returned_after_a_map() {
+        use std::time::{Duration, Instant};
+        with_budget(4, || {
+            let before = LEASED.load(Ordering::Relaxed);
+            let items: Vec<u32> = (0..32).collect();
+            for _ in 0..5 {
+                let _ = parallel_map(&items, |&x| x);
+            }
+            // Our leases are returned synchronously before parallel_map
+            // returns; poll briefly so unrelated concurrent maps (which
+            // also move the counter) can drain theirs.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while LEASED.load(Ordering::Relaxed) > before && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            assert!(
+                LEASED.load(Ordering::Relaxed) <= before,
+                "leases were not returned"
+            );
+        });
+    }
+
+    #[test]
+    fn budget_resolution_order() {
+        let _guard = BUDGET_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_budget(Some(7));
+        assert_eq!(thread_budget(), 7);
+        set_thread_budget(Some(0)); // clamped to 1
+        assert_eq!(thread_budget(), 1);
+        set_thread_budget(None);
+        assert!(thread_budget() >= 1);
     }
 }

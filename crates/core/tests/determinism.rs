@@ -1,0 +1,123 @@
+//! Parallel == serial, bit for bit.
+//!
+//! The sharded cluster simulator and the parallel optimizer must produce
+//! byte-identical results no matter how many worker threads the budget
+//! grants: per-server RNG seeds are drawn serially before the fan-out,
+//! shards share no mutable state, and reductions fold shard results in
+//! index order. These tests pin that contract by running every entry
+//! point under `set_thread_budget(Some(1))` and `Some(4)` and comparing
+//! float *bits*, not approximate values.
+//!
+//! This file is its own test binary (own process), so overriding the
+//! process-wide budget here cannot race the unit tests in the library.
+//! CI machines with any core count exercise both paths: budget 4 still
+//! spawns helper threads on a single-core runner.
+
+use eprons_core::{
+    optimize_total_power, run_cluster, set_thread_budget, ClusterConfig, ClusterRun,
+    ClusterRunResult, ConsolidationSpec, ServerScheme,
+};
+use eprons_server::clear_equiv_cache;
+use eprons_topo::AggregationLevel;
+
+fn short_run(scheme: ServerScheme, consolidation: ConsolidationSpec) -> ClusterRun {
+    ClusterRun {
+        scheme,
+        consolidation,
+        server_utilization: 0.3,
+        background_util: 0.2,
+        duration_s: 1.0,
+        warmup_s: 0.0,
+        seed: 7,
+    }
+}
+
+/// Every float in the result, as exact bits.
+fn result_bits(r: &ClusterRunResult) -> Vec<u64> {
+    let mut v = vec![
+        r.breakdown.server_w.to_bits(),
+        r.breakdown.network_w.to_bits(),
+        r.cpu_power_w.to_bits(),
+        r.active_switches as u64,
+        r.max_link_utilization.to_bits(),
+        r.query_count as u64,
+        r.e2e_miss_rate.to_bits(),
+        r.server_miss_rate.to_bits(),
+    ];
+    for s in [
+        &r.net_latency,
+        &r.server_latency,
+        &r.e2e_latency,
+        &r.query_e2e_latency,
+    ] {
+        v.extend([s.mean_s.to_bits(), s.p95_s.to_bits(), s.p99_s.to_bits()]);
+    }
+    v.extend(r.active_switch_ids.iter().map(|&id| id as u64));
+    v
+}
+
+fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    set_thread_budget(Some(budget));
+    let r = f();
+    set_thread_budget(None);
+    r
+}
+
+#[test]
+fn run_cluster_is_bit_identical_serial_vs_parallel() {
+    let cfg = ClusterConfig::default();
+    for (scheme, consolidation) in [
+        (ServerScheme::EpronsServer, ConsolidationSpec::GreedyK(2.0)),
+        (
+            ServerScheme::Rubik,
+            ConsolidationSpec::Level(AggregationLevel::Agg2),
+        ),
+        (ServerScheme::TimeTrader, ConsolidationSpec::AllOn),
+    ] {
+        let run = short_run(scheme, consolidation);
+        let serial = with_budget(1, || run_cluster(&cfg, &run).unwrap());
+        let parallel = with_budget(4, || run_cluster(&cfg, &run).unwrap());
+        assert_eq!(
+            result_bits(&serial),
+            result_bits(&parallel),
+            "{} / {} diverged between 1 and 4 threads",
+            scheme.name(),
+            consolidation.label()
+        );
+    }
+}
+
+#[test]
+fn optimizer_is_bit_identical_serial_vs_parallel() {
+    let cfg = ClusterConfig::default();
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let candidates = [
+        ConsolidationSpec::AllOn,
+        ConsolidationSpec::Level(AggregationLevel::Agg1),
+        ConsolidationSpec::Level(AggregationLevel::Agg2),
+        ConsolidationSpec::Level(AggregationLevel::Agg3),
+    ];
+    let serial = with_budget(1, || {
+        optimize_total_power(&cfg, &template, &candidates).unwrap()
+    });
+    let parallel = with_budget(4, || {
+        optimize_total_power(&cfg, &template, &candidates).unwrap()
+    });
+    assert_eq!(serial.spec, parallel.spec, "candidate choice diverged");
+    assert_eq!(serial.feasible, parallel.feasible);
+    assert_eq!(result_bits(&serial.result), result_bits(&parallel.result));
+}
+
+#[test]
+fn shared_equiv_cache_is_invisible_to_results() {
+    // Cold cache (first run computes the convolution ladder) and warm
+    // cache (second run inherits the published prefix) must agree exactly:
+    // each ladder level is a pure function of the previous one, so where
+    // the level came from can never leak into the numbers.
+    let cfg = ClusterConfig::default();
+    let run = short_run(ServerScheme::EpronsServer, ConsolidationSpec::GreedyK(2.0));
+    clear_equiv_cache();
+    let cold = run_cluster(&cfg, &run).unwrap();
+    let warm = run_cluster(&cfg, &run).unwrap();
+    assert_eq!(result_bits(&cold), result_bits(&warm));
+}

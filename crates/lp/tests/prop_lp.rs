@@ -1,4 +1,5 @@
-//! Property-based tests for the simplex / branch-and-bound substrate.
+//! Property-based tests for the simplex / branch-and-bound substrate
+//! (deterministic seeded cases via `eprons-proplite`).
 //!
 //! The key invariants: returned solutions are feasible; LP optima are at
 //! least as good as any feasible point we can construct; MILP optima are
@@ -6,21 +7,21 @@
 
 use eprons_lp::standard::solve_lp;
 use eprons_lp::{solve_milp, Cmp, MilpOptions, Model, Sense, SolveError};
-use proptest::prelude::*;
+use eprons_proplite::{cases, Gen};
 
 /// A random bounded minimization LP:
 /// `min c·x` s.t. `A x ≥ lo_i` (row sums force non-trivial solutions),
 /// `0 ≤ x ≤ u`.
 fn random_lp(
+    g: &mut Gen,
     nvars: usize,
     nrows: usize,
-) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> {
-    (
-        prop::collection::vec(0.1..5.0f64, nvars),           // c >= 0.1: bounded below
-        prop::collection::vec(prop::collection::vec(0.0..3.0f64, nvars), nrows),
-        prop::collection::vec(0.5..4.0f64, nrows),            // rhs
-        prop::collection::vec(1.0..10.0f64, nvars),           // upper bounds
-    )
+) -> (Vec<f64>, Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    let c = g.vec_f64(nvars, 0.1, 5.0); // c >= 0.1: bounded below
+    let a: Vec<Vec<f64>> = (0..nrows).map(|_| g.vec_f64(nvars, 0.0, 3.0)).collect();
+    let rhs = g.vec_f64(nrows, 0.5, 4.0);
+    let ub = g.vec_f64(nvars, 1.0, 10.0);
+    (c, a, rhs, ub)
 }
 
 fn build_model(
@@ -54,34 +55,39 @@ fn build_model(
     (m, vars)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lp_solutions_are_feasible((c, a, rhs, ub) in random_lp(4, 3)) {
+#[test]
+fn lp_solutions_are_feasible() {
+    cases(64, |g, case| {
+        let (c, a, rhs, ub) = random_lp(g, 4, 3);
         let (m, _) = build_model(&c, &a, &rhs, &ub, false);
         match solve_lp(&m) {
             Ok(sol) => {
-                prop_assert!(m.is_feasible(&sol.values, 1e-6),
-                    "infeasible LP 'solution': {:?}", sol.values);
-                prop_assert!((m.objective_value(&sol.values) - sol.objective).abs() < 1e-6);
+                assert!(
+                    m.is_feasible(&sol.values, 1e-6),
+                    "case {case}: infeasible LP 'solution': {:?}",
+                    sol.values
+                );
+                assert!((m.objective_value(&sol.values) - sol.objective).abs() < 1e-6);
             }
             Err(SolveError::Infeasible) => {
                 // Acceptable: rows may genuinely exceed the box. Verify the
                 // box's corner u cannot satisfy all rows.
                 let corner: Vec<f64> = ub.clone();
-                prop_assert!(!m.is_feasible(&corner, 1e-9),
-                    "solver claimed infeasible but the upper corner works");
+                assert!(
+                    !m.is_feasible(&corner, 1e-9),
+                    "case {case}: solver claimed infeasible but the upper corner works"
+                );
             }
-            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Err(e) => panic!("case {case}: unexpected error {e:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn lp_optimum_beats_random_feasible_points(
-        (c, a, rhs, ub) in random_lp(4, 3),
-        fracs in prop::collection::vec(0.0..1.0f64, 4)
-    ) {
+#[test]
+fn lp_optimum_beats_random_feasible_points() {
+    cases(64, |g, case| {
+        let (c, a, rhs, ub) = random_lp(g, 4, 3);
+        let fracs = g.vec_f64(4, 0.0, 1.0);
         let (m, _) = build_model(&c, &a, &rhs, &ub, false);
         if let Ok(sol) = solve_lp(&m) {
             // Construct a candidate point and, if feasible, check the
@@ -89,28 +95,37 @@ proptest! {
             let candidate: Vec<f64> = ub.iter().zip(&fracs).map(|(&u, &f)| u * f).collect();
             if m.is_feasible(&candidate, 1e-9) {
                 let cand_obj = m.objective_value(&candidate);
-                prop_assert!(sol.objective <= cand_obj + 1e-6,
-                    "optimum {} beaten by candidate {}", sol.objective, cand_obj);
+                assert!(
+                    sol.objective <= cand_obj + 1e-6,
+                    "case {case}: optimum {} beaten by candidate {}",
+                    sol.objective,
+                    cand_obj
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn milp_solutions_are_integral_and_bounded_by_relaxation(
-        (c, a, rhs, ub) in random_lp(3, 2)
-    ) {
+#[test]
+fn milp_solutions_are_integral_and_bounded_by_relaxation() {
+    cases(64, |g, case| {
+        let (c, a, rhs, ub) = random_lp(g, 3, 2);
         let (mi, _) = build_model(&c, &a, &rhs, &ub, true);
         let (ml, _) = build_model(&c, &a, &rhs, &ub, false);
         match solve_milp(&mi, &MilpOptions::default()) {
             Ok(sol) => {
-                prop_assert!(mi.is_feasible(&sol.values, 1e-6));
+                assert!(mi.is_feasible(&sol.values, 1e-6), "case {case}");
                 for &v in &sol.values {
-                    prop_assert!((v - v.round()).abs() < 1e-6, "non-integral {v}");
+                    assert!((v - v.round()).abs() < 1e-6, "case {case}: non-integral {v}");
                 }
                 // Relaxation is a lower bound for minimization.
                 if let Ok(rel) = solve_lp(&ml) {
-                    prop_assert!(sol.objective >= rel.objective - 1e-6,
-                        "MILP {} below LP bound {}", sol.objective, rel.objective);
+                    assert!(
+                        sol.objective >= rel.objective - 1e-6,
+                        "case {case}: MILP {} below LP bound {}",
+                        sol.objective,
+                        rel.objective
+                    );
                 }
             }
             Err(SolveError::Infeasible) => {
@@ -121,33 +136,44 @@ proptest! {
                 let _ = corner; // integral corners may still be feasible in
                                 // pathological float cases; skip hard check.
             }
-            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Err(e) => panic!("case {case}: unexpected error {e:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn maximization_mirrors_minimization((c, a, rhs, ub) in random_lp(3, 2)) {
+#[test]
+fn maximization_mirrors_minimization() {
+    cases(64, |g, case| {
+        let (c, a, rhs, ub) = random_lp(g, 3, 2);
         // max c·x ≡ -min (-c)·x on the same feasible set.
         let neg: Vec<f64> = c.iter().map(|x| -x).collect();
         let (mn, _) = build_model(&neg, &a, &rhs, &ub, false);
         // Build the Maximize twin directly.
         let mx = {
             let mut m = Model::new(Sense::Maximize);
-            let vars: Vec<_> = c.iter().zip(&ub).enumerate()
+            let vars: Vec<_> = c
+                .iter()
+                .zip(&ub)
+                .enumerate()
                 .map(|(i, (&ci, &ui))| m.add_var(format!("x{i}"), 0.0, ui, ci))
                 .collect();
             for (r, (row, &b)) in a.iter().zip(&rhs).enumerate() {
-                if row.iter().sum::<f64>() < 1e-9 { continue; }
-                let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &co)| (v, co)).collect();
+                if row.iter().sum::<f64>() < 1e-9 {
+                    continue;
+                }
+                let terms: Vec<_> =
+                    vars.iter().zip(row).map(|(&v, &co)| (v, co)).collect();
                 m.add_constraint(format!("r{r}"), terms, Cmp::Ge, b);
             }
             m
         };
         match (solve_lp(&mx), solve_lp(&mn)) {
-            (Ok(a_), Ok(b_)) => prop_assert!((a_.objective + b_.objective).abs() < 1e-6),
+            (Ok(a_), Ok(b_)) => {
+                assert!((a_.objective + b_.objective).abs() < 1e-6, "case {case}")
+            }
             (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
             (Err(SolveError::Unbounded), _) | (_, Err(SolveError::Unbounded)) => {}
-            (x, y) => prop_assert!(false, "asymmetric outcomes {x:?} vs {y:?}"),
+            (x, y) => panic!("case {case}: asymmetric outcomes {x:?} vs {y:?}"),
         }
-    }
+    });
 }

@@ -7,13 +7,61 @@
 //! to FFT convolution (the paper's implementation choice, ≈20 µs per
 //! convolution).
 
+use std::cell::RefCell;
+
 use crate::complex::Complex;
-use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
+use crate::fft::{next_pow2, FftPlan};
 
 /// Length above which [`convolve`] switches from the direct algorithm to
 /// FFT. Chosen empirically; the crossover is benchmarked in
-/// `bench/benches/numerics.rs`.
+/// `bench/benches/numerics.rs` (with plan reuse the break-even sits near
+/// 64–128 combined taps on commodity x86: below that the O(n·m) inner loop
+/// beats three transforms plus the complex multiply, above it the
+/// O(n log n) transforms win) and pinned by `crossover_boundary_*` tests.
 pub const FFT_THRESHOLD: usize = 96;
+
+thread_local! {
+    /// Per-thread [`FftPlan`] cache indexed by `log2(n)`. Every equivalent-
+    /// request convolution for a given service model hits the same handful
+    /// of power-of-two sizes thousands of times per simulated second, so
+    /// twiddle tables are built once per thread instead of per call.
+    /// Thread-local (not global) to keep the hot path lock-free under the
+    /// sharded cluster simulation.
+    static PLAN_CACHE: RefCell<Vec<Option<FftPlan>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the cached plan for power-of-two size `n`, building (and
+/// retaining) the plan on first use. `f` must not call back into this
+/// function (single `RefCell` borrow).
+fn with_cached_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    debug_assert!(n.is_power_of_two());
+    let idx = n.trailing_zeros() as usize;
+    PLAN_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() <= idx {
+            cache.resize_with(idx + 1, || None);
+        }
+        let plan = cache[idx].get_or_insert_with(|| FftPlan::new(n));
+        f(plan)
+    })
+}
+
+/// The distinct plan sizes currently cached on this thread (ascending).
+/// Introspection for tests and the perfbench report.
+pub fn cached_plan_sizes() -> Vec<usize> {
+    PLAN_CACHE.with(|c| {
+        c.borrow()
+            .iter()
+            .filter_map(|p| p.as_ref().map(FftPlan::len))
+            .collect()
+    })
+}
+
+/// Drops this thread's cached FFT plans (so tests can observe cold-start
+/// behaviour).
+pub fn clear_plan_cache() {
+    PLAN_CACHE.with(|c| c.borrow_mut().clear());
+}
 
 /// Direct (schoolbook) linear convolution: `out[k] = Σ_i a[i]·b[k-i]`.
 ///
@@ -55,12 +103,14 @@ pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
     let mut fb: Vec<Complex> = Vec::with_capacity(n);
     fb.extend(b.iter().map(|&x| Complex::from_real(x)));
     fb.resize(n, Complex::ZERO);
-    fft_in_place(&mut fa);
-    fft_in_place(&mut fb);
-    for (x, y) in fa.iter_mut().zip(&fb) {
-        *x *= *y;
-    }
-    ifft_in_place(&mut fa);
+    with_cached_plan(n, |plan| {
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x *= *y;
+        }
+        plan.inverse(&mut fa);
+    });
     fa.truncate(out_len);
     fa.into_iter().map(|z| z.re.max(0.0)).collect()
 }
@@ -150,5 +200,56 @@ mod tests {
         for v in convolve_fft(&a, &b) {
             assert!(v >= 0.0);
         }
+    }
+
+    #[test]
+    fn crossover_boundary_agrees_both_sides() {
+        // One tap either side of FFT_THRESHOLD: the dispatcher switches
+        // algorithms here, and the results must agree to FFT round-off.
+        let half = FFT_THRESHOLD / 2;
+        for total in [FFT_THRESHOLD - 1, FFT_THRESHOLD, FFT_THRESHOLD + 1] {
+            let a: Vec<f64> = (0..half).map(|i| 1.0 / (i + 1) as f64).collect();
+            let b: Vec<f64> = (0..total - half).map(|i| 0.5 / (i + 2) as f64).collect();
+            let picked = convolve(&a, &b);
+            let direct = convolve_direct(&a, &b);
+            assert_close(&picked, &direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn crossover_boundary_picks_the_right_algorithm() {
+        // Observable through the plan cache: the direct side must not
+        // build a plan, the FFT side must.
+        clear_plan_cache();
+        let below: Vec<f64> = vec![0.01; FFT_THRESHOLD / 2 - 1];
+        let _ = convolve(&below, &below); // total = THRESHOLD - 2 → direct
+        assert!(
+            cached_plan_sizes().is_empty(),
+            "direct path must not touch the plan cache"
+        );
+        let at: Vec<f64> = vec![0.01; FFT_THRESHOLD / 2];
+        let _ = convolve(&at, &at); // total = THRESHOLD → FFT
+        assert_eq!(
+            cached_plan_sizes(),
+            vec![next_pow2(FFT_THRESHOLD - 1)],
+            "FFT path must build exactly one plan"
+        );
+        clear_plan_cache();
+    }
+
+    #[test]
+    fn plan_cache_is_reused_per_size() {
+        clear_plan_cache();
+        let a = vec![0.5; 120];
+        for _ in 0..10 {
+            let _ = convolve_fft(&a, &a);
+        }
+        // 10 convolutions at one size → one cached plan, not ten.
+        assert_eq!(cached_plan_sizes().len(), 1);
+        let b = vec![0.5; 600];
+        let _ = convolve_fft(&b, &b);
+        assert_eq!(cached_plan_sizes().len(), 2);
+        clear_plan_cache();
+        assert!(cached_plan_sizes().is_empty());
     }
 }

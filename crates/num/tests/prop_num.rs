@@ -1,24 +1,32 @@
-//! Property-based tests for the numerics substrate.
+//! Property-based tests for the numerics substrate (deterministic seeded
+//! cases via `eprons-proplite`).
 
 use eprons_num::complex::Complex;
 use eprons_num::conv::{convolve, convolve_direct, convolve_fft};
 use eprons_num::fft::{fft_in_place, ifft_in_place, next_pow2};
 use eprons_num::quantile::{percentile, P2Quantile};
 use eprons_num::{Empirical, LinearTable, Pmf};
-use proptest::prelude::*;
+use eprons_proplite::{cases, Gen};
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e3..1.0e3f64, 1..max_len)
+fn finite_vec(g: &mut Gen, max_len: usize) -> Vec<f64> {
+    let len = g.usize_in(1, max_len - 1);
+    g.vec_f64(len, -1.0e3, 1.0e3)
 }
 
-fn mass_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0..10.0f64, 1..max_len)
-        .prop_filter("needs positive mass", |v| v.iter().sum::<f64>() > 1e-6)
+fn mass_vec(g: &mut Gen, max_len: usize) -> Vec<f64> {
+    loop {
+        let len = g.usize_in(1, max_len - 1);
+        let v = g.vec_f64(len, 0.0, 10.0);
+        if v.iter().sum::<f64>() > 1e-6 {
+            return v;
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn fft_round_trip_recovers_input(v in finite_vec(64)) {
+#[test]
+fn fft_round_trip_recovers_input() {
+    cases(256, |g, case| {
+        let v = finite_vec(g, 64);
         let n = next_pow2(v.len());
         let mut data: Vec<Complex> = v.iter().map(|&x| Complex::from_real(x)).collect();
         data.resize(n, Complex::ZERO);
@@ -26,43 +34,63 @@ proptest! {
         fft_in_place(&mut data);
         ifft_in_place(&mut data);
         for (a, b) in data.iter().zip(&original) {
-            prop_assert!((a.re - b.re).abs() < 1e-6);
-            prop_assert!(a.im.abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6, "case {case}");
+            assert!(a.im.abs() < 1e-6, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_and_direct_convolution_agree(a in mass_vec(48), b in mass_vec(48)) {
+#[test]
+fn fft_and_direct_convolution_agree() {
+    cases(256, |g, case| {
+        let a = mass_vec(g, 48);
+        let b = mass_vec(g, 48);
         let d = convolve_direct(&a, &b);
         let f = convolve_fft(&a, &b);
-        prop_assert_eq!(d.len(), f.len());
+        assert_eq!(d.len(), f.len(), "case {case}");
         let scale = a.iter().sum::<f64>() * b.iter().sum::<f64>();
         for (x, y) in d.iter().zip(&f) {
-            prop_assert!((x - y).abs() < 1e-6 * scale.max(1.0), "{} vs {}", x, y);
+            assert!((x - y).abs() < 1e-6 * scale.max(1.0), "case {case}: {x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn convolution_total_is_product_of_totals(a in mass_vec(32), b in mass_vec(32)) {
+#[test]
+fn convolution_total_is_product_of_totals() {
+    cases(256, |g, case| {
+        let a = mass_vec(g, 32);
+        let b = mass_vec(g, 32);
         let c = convolve(&a, &b);
         let expect = a.iter().sum::<f64>() * b.iter().sum::<f64>();
         let got: f64 = c.iter().sum();
-        prop_assert!((got - expect).abs() < 1e-6 * expect.max(1.0));
-    }
+        assert!((got - expect).abs() < 1e-6 * expect.max(1.0), "case {case}");
+    });
+}
 
-    #[test]
-    fn pmf_mean_of_convolution_adds(ma in mass_vec(24), mb in mass_vec(24),
-                                    oa in -5.0..5.0f64, ob in -5.0..5.0f64) {
+#[test]
+fn pmf_mean_of_convolution_adds() {
+    cases(256, |g, case| {
+        let ma = mass_vec(g, 24);
+        let mb = mass_vec(g, 24);
+        let oa = g.f64_in(-5.0, 5.0);
+        let ob = g.f64_in(-5.0, 5.0);
         let a = Pmf::from_masses(oa, 0.25, ma);
         let b = Pmf::from_masses(ob, 0.25, mb);
         let c = a.convolve(&b);
-        prop_assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-6);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-6, "case {case}");
         // Variances add for independent sums.
-        prop_assert!((c.variance() - (a.variance() + b.variance())).abs() < 1e-5);
-    }
+        assert!(
+            (c.variance() - (a.variance() + b.variance())).abs() < 1e-5,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn pmf_cdf_is_monotone_and_bounded(m in mass_vec(32), origin in -5.0..5.0f64) {
+#[test]
+fn pmf_cdf_is_monotone_and_bounded() {
+    cases(256, |g, case| {
+        let m = mass_vec(g, 32);
+        let origin = g.f64_in(-5.0, 5.0);
         let p = Pmf::from_masses(origin, 0.5, m);
         let lo = p.origin() - 1.0;
         let hi = p.max_value() + 1.0;
@@ -70,57 +98,78 @@ proptest! {
         for i in 0..=100 {
             let x = lo + (hi - lo) * i as f64 / 100.0;
             let c = p.cdf(x);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
-            prop_assert!(c >= prev - 1e-9, "CDF decreased at {}", x);
+            assert!((0.0..=1.0 + 1e-12).contains(&c), "case {case}");
+            assert!(c >= prev - 1e-9, "case {case}: CDF decreased at {x}");
             prev = c;
         }
-        prop_assert!(p.cdf(hi) > 1.0 - 1e-9);
-        prop_assert_eq!(p.cdf(lo), 0.0);
-    }
+        assert!(p.cdf(hi) > 1.0 - 1e-9, "case {case}");
+        assert_eq!(p.cdf(lo), 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn pmf_quantile_inverts_cdf(m in mass_vec(24), q in 0.0..1.0f64) {
+#[test]
+fn pmf_quantile_inverts_cdf() {
+    cases(256, |g, case| {
+        let m = mass_vec(g, 24);
+        let q = g.f64();
         let p = Pmf::from_masses(0.0, 1.0, m);
         let v = p.quantile(q);
         // CDF at the quantile covers q.
-        prop_assert!(p.cdf(v) >= q - 1e-9);
-    }
+        assert!(p.cdf(v) >= q - 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn pmf_sampling_stays_in_support(m in mass_vec(16), u in 0.0..1.0f64) {
+#[test]
+fn pmf_sampling_stays_in_support() {
+    cases(256, |g, case| {
+        let m = mass_vec(g, 16);
+        let u = g.f64();
         let p = Pmf::from_masses(2.0, 0.5, m);
         let v = p.sample_with(u);
-        prop_assert!(v >= p.origin() - 0.5 * p.step() - 1e-12);
-        prop_assert!(v <= p.max_value() + 0.5 * p.step() + 1e-12);
-    }
+        assert!(v >= p.origin() - 0.5 * p.step() - 1e-12, "case {case}");
+        assert!(v <= p.max_value() + 0.5 * p.step() + 1e-12, "case {case}");
+    });
+}
 
-    #[test]
-    fn truncation_keeps_mass_one(m in mass_vec(32)) {
+#[test]
+fn truncation_keeps_mass_one() {
+    cases(256, |g, case| {
+        let m = mass_vec(g, 32);
         let p = Pmf::from_masses(0.0, 1.0, m).truncated(1e-9);
         let total: f64 = p.masses().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+        assert!((total - 1.0).abs() < 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn percentile_within_range(v in finite_vec(128), q in 0.0..1.0f64) {
+#[test]
+fn percentile_within_range() {
+    cases(256, |g, case| {
+        let v = finite_vec(g, 128);
+        let q = g.f64();
         let p = percentile(&v, q);
         let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
-    }
+        assert!(p >= min - 1e-9 && p <= max + 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn percentile_is_monotone_in_q(v in finite_vec(64)) {
+#[test]
+fn percentile_is_monotone_in_q() {
+    cases(256, |g, case| {
+        let v = finite_vec(g, 64);
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=10 {
             let p = percentile(&v, i as f64 / 10.0);
-            prop_assert!(p >= prev - 1e-12);
+            assert!(p >= prev - 1e-12, "case {case}");
             prev = p;
         }
-    }
+    });
+}
 
-    #[test]
-    fn p2_stays_within_observed_range(v in finite_vec(256)) {
+#[test]
+fn p2_stays_within_observed_range() {
+    cases(256, |g, case| {
+        let v = finite_vec(g, 256);
         let mut est = P2Quantile::new(0.9);
         for &x in &v {
             est.observe(x);
@@ -128,29 +177,35 @@ proptest! {
         let e = est.estimate().unwrap();
         let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9);
-    }
+        assert!(e >= min - 1e-9 && e <= max + 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn empirical_quantiles_bracket_samples(v in finite_vec(64)) {
+#[test]
+fn empirical_quantiles_bracket_samples() {
+    cases(256, |g, case| {
+        let v = finite_vec(g, 64);
         let e = Empirical::new(v.clone());
-        prop_assert_eq!(e.quantile(0.0), e.min());
-        prop_assert_eq!(e.quantile(1.0), e.max());
+        assert_eq!(e.quantile(0.0), e.min(), "case {case}");
+        assert_eq!(e.quantile(1.0), e.max(), "case {case}");
         // CDF and CCDF are complementary.
         for &x in v.iter().take(8) {
-            prop_assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn linear_table_stays_within_hull(ys in prop::collection::vec(-10.0..10.0f64, 2..8),
-                                      x in -20.0..20.0f64) {
-        let knots: Vec<(f64, f64)> = ys.iter().enumerate()
-            .map(|(i, &y)| (i as f64, y)).collect();
+#[test]
+fn linear_table_stays_within_hull() {
+    cases(256, |g, case| {
+        let len = g.usize_in(2, 7);
+        let ys = g.vec_f64(len, -10.0, 10.0);
+        let x = g.f64_in(-20.0, 20.0);
+        let knots: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
         let t = LinearTable::new(&knots);
         let v = t.eval(x);
         let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
-    }
+        assert!(v >= min - 1e-9 && v <= max + 1e-9, "case {case}");
+    });
 }

@@ -6,7 +6,7 @@
 //! per-epoch threads can be re-ordered offline; `t` is the event kind.
 
 use crate::json::Json;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -461,7 +461,7 @@ impl Journal {
     /// past the capacity are counted in [`Journal::dropped`] instead.
     pub fn record(&self, event: Event) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock();
+        let mut entries = self.entries.lock().unwrap();
         if entries.len() < self.cap {
             entries.push(JournalEntry { seq, event });
         } else {
@@ -470,11 +470,11 @@ impl Journal {
     }
 
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.entries.lock().unwrap().is_empty()
     }
 
     /// Events discarded because the cap was hit.
@@ -484,17 +484,17 @@ impl Journal {
 
     /// Copies out all entries in append order.
     pub fn snapshot(&self) -> Vec<JournalEntry> {
-        self.entries.lock().clone()
+        self.entries.lock().unwrap().clone()
     }
 
     /// Removes and returns all entries (sequence numbering continues).
     pub fn drain(&self) -> Vec<JournalEntry> {
-        std::mem::take(&mut *self.entries.lock())
+        std::mem::take(&mut *self.entries.lock().unwrap())
     }
 
     /// Drops all entries and restarts sequence numbering.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().unwrap().clear();
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
     }
@@ -502,7 +502,7 @@ impl Journal {
     /// Counts entries of one kind (`Event::kind` tag).
     pub fn count_kind(&self, kind: &str) -> usize {
         self.entries
-            .lock()
+            .lock().unwrap()
             .iter()
             .filter(|e| e.event.kind() == kind)
             .count()
@@ -510,7 +510,7 @@ impl Journal {
 
     /// Serializes the whole journal as JSON-lines.
     pub fn to_jsonl(&self) -> String {
-        let entries = self.entries.lock();
+        let entries = self.entries.lock().unwrap();
         let mut out = String::with_capacity(entries.len() * 96);
         for e in entries.iter() {
             out.push_str(&e.to_json_line());

@@ -4,7 +4,7 @@
 //! takes a read lock) and update them lock-free from hot paths. Metric
 //! names follow `crate.subsystem.name` (see README "Observability").
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -234,22 +234,22 @@ impl Registry {
     /// Returns the counter registered under `name`, creating it on first
     /// use.
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = self.counters.read().get(name) {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
             return c.clone();
         }
         self.counters
-            .write()
+            .write().unwrap()
             .entry(name.to_string())
             .or_default()
             .clone()
     }
 
     pub fn gauge(&self, name: &str) -> Gauge {
-        if let Some(g) = self.gauges.read().get(name) {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
             return g.clone();
         }
         self.gauges
-            .write()
+            .write().unwrap()
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -259,11 +259,11 @@ impl Registry {
     /// `edges` on first use. Later calls ignore `edges` (first writer
     /// fixes the resolution).
     pub fn histogram(&self, name: &str, edges: &[f64]) -> Histogram {
-        if let Some(h) = self.histograms.read().get(name) {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
             return h.clone();
         }
         self.histograms
-            .write()
+            .write().unwrap()
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(edges))
             .clone()
@@ -273,19 +273,19 @@ impl Registry {
         MetricsSnapshot {
             counters: self
                 .counters
-                .read()
+                .read().unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
-                .read()
+                .read().unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
-                .read()
+                .read().unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
@@ -295,9 +295,9 @@ impl Registry {
     /// Drops every registered metric. Outstanding handles keep their cells
     /// alive but detach from future snapshots.
     pub fn reset(&self) {
-        self.counters.write().clear();
-        self.gauges.write().clear();
-        self.histograms.write().clear();
+        self.counters.write().unwrap().clear();
+        self.gauges.write().unwrap().clear();
+        self.histograms.write().unwrap().clear();
     }
 }
 

@@ -19,6 +19,11 @@
 //! handled by shrinking the time budget before converting to cycles, per
 //! the footnote-1 model.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use eprons_num::Pmf;
 
 use crate::service::ServiceModel;
@@ -26,6 +31,53 @@ use crate::service::ServiceModel;
 /// Tail mass below which equivalent distributions are truncated to keep
 /// convolution lengths bounded.
 const TRUNC_EPS: f64 = 1e-10;
+
+/// Process-wide cache of precomputed self-convolution ladders, keyed by a
+/// fingerprint of the service model. A cluster run builds one engine per
+/// server (and the optimizer one cluster per candidate) over the *same*
+/// service model; the paper notes the equivalent distributions "can be
+/// reused once computed" (§III-C), so they are computed once per model
+/// here rather than once per server × candidate.
+static EQUIV_CACHE: OnceLock<Mutex<HashMap<u64, Arc<Vec<Pmf>>>>> = OnceLock::new();
+
+fn equiv_cache() -> &'static Mutex<HashMap<u64, Arc<Vec<Pmf>>>> {
+    EQUIV_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Bit-exact fingerprint of a service model: the work PMF's grid and
+/// masses plus the fixed time. Two models hash equal iff every input to
+/// the self-convolution recurrence is identical, which makes prefix
+/// sharing invisible to results.
+fn service_fingerprint(service: &ServiceModel) -> u64 {
+    let mut h = DefaultHasher::new();
+    let pmf = service.work_pmf();
+    pmf.origin().to_bits().hash(&mut h);
+    pmf.step().to_bits().hash(&mut h);
+    pmf.masses().len().hash(&mut h);
+    for &m in pmf.masses() {
+        m.to_bits().hash(&mut h);
+    }
+    service.fixed_s().to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// Empties the shared equivalent-distribution cache (for benchmarks that
+/// want to measure cold-start cost).
+pub fn clear_equiv_cache() {
+    equiv_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// `(distinct service models, total cached convolution levels)` currently
+/// in the shared cache — introspection for tests and perfbench.
+pub fn equiv_cache_stats() -> (usize, usize) {
+    let map = equiv_cache().lock().unwrap_or_else(|e| e.into_inner());
+    let models = map.len();
+    let levels = map.values().map(|v| v.len()).sum();
+    (models, levels)
+}
 
 /// Description of the head (in-service) request at a decision instant.
 #[derive(Debug, Clone, Copy)]
@@ -37,20 +89,42 @@ pub struct InflightHead {
 }
 
 /// Cached-convolution VP engine.
+///
+/// The n-fold self-convolution ladder is split in two: a frozen prefix
+/// (`Arc`-shared with every other engine over the same service model, via
+/// the process-wide cache) and a private copy-on-grow tail for levels the
+/// prefix does not cover yet. Because each level is a pure function of the
+/// previous one (`prev ∗ base`, truncated at [`TRUNC_EPS`]), an engine
+/// computes bit-identical distributions whether it finds them in the
+/// shared prefix or grows them locally — sharing changes wall-clock time,
+/// never results.
 #[derive(Debug, Clone)]
 pub struct VpEngine {
     service: ServiceModel,
-    /// `equiv[n-1]` = n-fold self-convolution of the work PMF.
-    equiv: Vec<Pmf>,
+    fingerprint: u64,
+    /// Frozen shared levels: `prefix[n-1]` = n-fold self-convolution.
+    prefix: Arc<Vec<Pmf>>,
+    /// Locally grown levels `prefix.len()+1 ..= prefix.len()+tail.len()`.
+    tail: Vec<Pmf>,
 }
 
 impl VpEngine {
-    /// Creates an engine for a service model.
+    /// Creates an engine for a service model, attaching to the shared
+    /// convolution prefix for that model (and seeding the shared cache
+    /// with the 1-fold level on first sight).
     pub fn new(service: ServiceModel) -> Self {
-        let base = service.work_pmf().clone();
+        let fingerprint = service_fingerprint(&service);
+        let prefix = {
+            let mut map = equiv_cache().lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(fingerprint)
+                .or_insert_with(|| Arc::new(vec![service.work_pmf().clone()]))
+                .clone()
+        };
         VpEngine {
             service,
-            equiv: vec![base],
+            fingerprint,
+            prefix,
+            tail: Vec::new(),
         }
     }
 
@@ -60,16 +134,69 @@ impl VpEngine {
         &self.service
     }
 
+    /// Levels currently visible through the shared frozen prefix.
+    #[inline]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Total convolution levels this engine can serve without computing
+    /// (shared prefix + private tail).
+    #[inline]
+    pub fn cached_levels(&self) -> usize {
+        self.prefix.len() + self.tail.len()
+    }
+
     /// The cached n-fold self-convolution (n ≥ 1).
     pub fn equivalent(&mut self, n: usize) -> &Pmf {
         assert!(n >= 1, "equivalent distribution needs at least one request");
-        while self.equiv.len() < n {
-            let next = self.equiv.last().expect("non-empty").convolve(&self.equiv[0]);
-            self.equiv.push(next.truncated(TRUNC_EPS));
+        if n <= self.prefix.len() {
+            return &self.prefix[n - 1];
         }
-        &self.equiv[n - 1]
+        let base = &self.prefix[0];
+        while self.prefix.len() + self.tail.len() < n {
+            let prev = self.tail.last().unwrap_or_else(|| {
+                self.prefix.last().expect("prefix holds at least level 1")
+            });
+            let next = prev.convolve(base).truncated(TRUNC_EPS);
+            self.tail.push(next);
+        }
+        &self.tail[n - 1 - self.prefix.len()]
     }
 
+    /// Publishes this engine's privately grown tail back to the shared
+    /// cache, so later engines over the same model start with a longer
+    /// frozen prefix. Called automatically on drop; idempotent, and a
+    /// no-op when another engine already published at least as many
+    /// levels (the recurrence is deterministic, so equal-length ladders
+    /// are bit-identical and there is nothing to reconcile).
+    pub fn publish(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let mut map = equiv_cache().lock().unwrap_or_else(|e| e.into_inner());
+        let entry = map
+            .entry(self.fingerprint)
+            .or_insert_with(|| self.prefix.clone());
+        if entry.len() < self.prefix.len() + self.tail.len() {
+            let mut full = Vec::with_capacity(self.prefix.len() + self.tail.len());
+            full.extend(self.prefix.iter().cloned());
+            full.append(&mut self.tail);
+            *entry = Arc::new(full);
+        } else {
+            self.tail.clear();
+        }
+        self.prefix = entry.clone();
+    }
+}
+
+impl Drop for VpEngine {
+    fn drop(&mut self) {
+        self.publish();
+    }
+}
+
+impl VpEngine {
     /// Builds the per-position distributions for one decision instant.
     ///
     /// `head` describes the in-flight request, if the core is busy;

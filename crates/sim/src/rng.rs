@@ -2,16 +2,29 @@
 //!
 //! Every stochastic component of the reproduction (arrivals, service times,
 //! per-hop queueing draws) pulls from a [`SimRng`] seeded from a single
-//! `u64`, so every figure regenerates bit-identically. Variate
-//! transformations (exponential, log-normal, …) are implemented here rather
-//! than pulled from `rand_distr` to keep the dependency set to the
-//! offline-allowed list.
+//! `u64`, so every figure regenerates bit-identically. Both the generator
+//! (xoshiro256++ seeded through SplitMix64) and the variate
+//! transformations (exponential, log-normal, …) are implemented in-repo so
+//! the whole workspace builds without any external crates — the build
+//! environment has no registry access, and the dependency policy
+//! (DESIGN.md) keeps everything from-scratch anyway.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step: used to expand a 64-bit seed into generator state and
+/// nothing else (its weak low bits never reach consumers directly).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic simulation RNG with the variate transformations the
-/// workloads need.
+/// workloads need. The core generator is xoshiro256++ (Blackman & Vigna),
+/// a 256-bit-state, 2^256−1-period generator that passes BigCrush; the
+/// seed is stretched into the four state words with SplitMix64, per the
+/// reference seeding recipe.
 ///
 /// ```
 /// use eprons_sim::SimRng;
@@ -22,29 +35,55 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro's one forbidden state is all-zeros; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        SimRng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler + state step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child RNG; used to give each server / link
     /// its own stream so adding a component never perturbs the draws of
     /// the others.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s: u64 = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(s)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` with 53 bits of mantissa entropy.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -56,13 +95,15 @@ impl SimRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift reduction; the
+    /// ≤ 2⁻⁵³-scale modulo bias is far below anything a simulation with
+    /// fewer than 2⁵⁰ draws can observe).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Exponential variate with the given `rate` (mean `1/rate`): the

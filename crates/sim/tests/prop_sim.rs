@@ -1,11 +1,14 @@
-//! Property-based tests for the discrete-event kernel.
+//! Property-based tests for the discrete-event kernel (deterministic
+//! seeded cases via `eprons-proplite`).
 
+use eprons_proplite::cases;
 use eprons_sim::{EventQueue, SimRng, TailRecorder, TimeWeighted};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn events_pop_in_time_order(times in prop::collection::vec(0.0..1.0e6f64, 1..200)) {
+#[test]
+fn events_pop_in_time_order() {
+    cases(256, |g, case| {
+        let n = g.usize_in(1, 199);
+        let times = g.vec_f64(n, 0.0, 1.0e6);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
@@ -13,30 +16,36 @@ proptest! {
         let mut prev = f64::NEG_INFINITY;
         let mut count = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= prev);
+            assert!(t >= prev, "case {case}");
             prev = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
-    }
+        assert_eq!(count, times.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn simultaneous_events_keep_insertion_order(
-        n in 1usize..100, t in 0.0..100.0f64
-    ) {
+#[test]
+fn simultaneous_events_keep_insertion_order() {
+    cases(256, |g, case| {
+        let n = g.usize_in(1, 99);
+        let t = g.f64_in(0.0, 100.0);
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule(t, i);
         }
         for i in 0..n {
-            prop_assert_eq!(q.pop(), Some((t, i)));
+            assert_eq!(q.pop(), Some((t, i)), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn time_weighted_integral_is_additive(
-        changes in prop::collection::vec((0.0..10.0f64, -5.0..5.0f64), 1..40)
-    ) {
+#[test]
+fn time_weighted_integral_is_additive() {
+    cases(256, |g, case| {
+        let n = g.usize_in(1, 39);
+        let changes: Vec<(f64, f64)> = (0..n)
+            .map(|_| (g.f64_in(0.0, 10.0), g.f64_in(-5.0, 5.0)))
+            .collect();
         // Apply the same change sequence to one integrator and to two
         // half-range queries; the integral must split additively.
         let mut tw = TimeWeighted::new(0.0, 1.0);
@@ -64,7 +73,7 @@ proptest! {
         let whole = tw.integral_until(end);
         let second = whole - part1;
         // Integral over [mid, end] computed independently must agree.
-        prop_assert!((part1 + second - whole).abs() < 1e-9);
+        assert!((part1 + second - whole).abs() < 1e-9, "case {case}");
         // And average lies within the value hull.
         let values: Vec<f64> = std::iter::once(1.0)
             .chain(schedule.iter().map(|&(_, v)| v))
@@ -72,41 +81,50 @@ proptest! {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let avg = tw.average_until(end);
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
-    }
+        assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn rng_is_deterministic_per_seed(seed in any::<u64>()) {
+#[test]
+fn rng_is_deterministic_per_seed() {
+    cases(256, |g, case| {
+        let seed = g.u64();
         let mut a = SimRng::seed_from_u64(seed);
         let mut b = SimRng::seed_from_u64(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn exponential_is_positive(seed in any::<u64>(), rate in 0.01..100.0f64) {
+#[test]
+fn exponential_is_positive() {
+    cases(256, |g, case| {
+        let seed = g.u64();
+        let rate = g.f64_in(0.01, 100.0);
         let mut rng = SimRng::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert!(rng.exponential(rate) > 0.0);
+            assert!(rng.exponential(rate) > 0.0, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn tail_recorder_miss_rate_matches_manual_count(
-        vals in prop::collection::vec(0.0..10.0f64, 1..100),
-        threshold in 0.0..10.0f64
-    ) {
+#[test]
+fn tail_recorder_miss_rate_matches_manual_count() {
+    cases(256, |g, case| {
+        let n = g.usize_in(1, 99);
+        let vals = g.vec_f64(n, 0.0, 10.0);
+        let threshold = g.f64_in(0.0, 10.0);
         let mut r = TailRecorder::new();
         for (i, &v) in vals.iter().enumerate() {
             r.record(i as f64, v);
         }
-        let manual = vals.iter().filter(|&&v| v > threshold).count() as f64
-            / vals.len() as f64;
-        prop_assert_eq!(r.miss_rate(threshold), Some(manual));
+        let manual =
+            vals.iter().filter(|&&v| v > threshold).count() as f64 / vals.len() as f64;
+        assert_eq!(r.miss_rate(threshold), Some(manual), "case {case}");
         // Percentile endpoints.
         let p0 = r.percentile(0.0).unwrap();
         let p100 = r.percentile(1.0).unwrap();
-        prop_assert!(vals.iter().all(|&v| v >= p0 && v <= p100));
-    }
+        assert!(vals.iter().all(|&v| v >= p0 && v <= p100), "case {case}");
+    });
 }

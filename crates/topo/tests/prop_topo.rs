@@ -1,44 +1,48 @@
 //! Property-based tests for fat-tree structure, path enumeration, and
-//! aggregation presets.
+//! aggregation presets (deterministic seeded cases via `eprons-proplite`).
 
+use eprons_proplite::{cases, Gen};
 use eprons_topo::paths::{bfs_path, candidate_paths};
 use eprons_topo::{AggregationLevel, FatTree, NodeId};
-use proptest::prelude::*;
 
-fn arity() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(2usize), Just(4), Just(6), Just(8)]
+fn arity(g: &mut Gen) -> usize {
+    *g.choose(&[2usize, 4, 6, 8])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fat_tree_counts(k in arity()) {
+#[test]
+fn fat_tree_counts() {
+    cases(48, |g, case| {
+        let k = arity(g);
         let ft = FatTree::new(k, 1000.0);
         let half = k / 2;
-        prop_assert_eq!(ft.hosts().len(), k * half * half);
-        prop_assert_eq!(ft.core_switches().len(), half * half);
-        prop_assert_eq!(ft.agg_switches().len(), k * half);
-        prop_assert_eq!(ft.edge_switches().len(), k * half);
+        assert_eq!(ft.hosts().len(), k * half * half, "case {case}");
+        assert_eq!(ft.core_switches().len(), half * half, "case {case}");
+        assert_eq!(ft.agg_switches().len(), k * half, "case {case}");
+        assert_eq!(ft.edge_switches().len(), k * half, "case {case}");
         // Links: hosts + edge-agg (k·half·half) + agg-core (k·half·half).
-        prop_assert_eq!(
+        assert_eq!(
             ft.topology().num_links(),
-            ft.hosts().len() + 2 * k * half * half
+            ft.hosts().len() + 2 * k * half * half,
+            "case {case}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn candidate_paths_are_consistent_and_right_sized(
-        k in arity(),
-        sa in 0usize..64, sb in 0usize..64
-    ) {
+#[test]
+fn candidate_paths_are_consistent_and_right_sized() {
+    cases(48, |g, case| {
+        let k = arity(g);
+        let sa = g.usize_in(0, 63);
+        let sb = g.usize_in(0, 63);
         let ft = FatTree::new(k, 1000.0);
         let hosts = ft.hosts();
         let a = hosts[sa % hosts.len()];
         let b = hosts[sb % hosts.len()];
-        prop_assume!(a != b);
+        if a == b {
+            return;
+        }
         let paths = candidate_paths(&ft, a, b);
-        prop_assert!(!paths.is_empty());
+        assert!(!paths.is_empty(), "case {case}");
         let half = k / 2;
         let expected = if ft.host_edge(a) == ft.host_edge(b) {
             1
@@ -47,42 +51,50 @@ proptest! {
         } else {
             half * half
         };
-        prop_assert_eq!(paths.len(), expected);
+        assert_eq!(paths.len(), expected, "case {case}");
         for p in &paths {
-            prop_assert!(p.is_consistent(ft.topology()));
-            prop_assert_eq!(p.src(), a);
-            prop_assert_eq!(p.dst(), b);
+            assert!(p.is_consistent(ft.topology()), "case {case}");
+            assert_eq!(p.src(), a, "case {case}");
+            assert_eq!(p.dst(), b, "case {case}");
             // Up/down paths never repeat a node.
             let mut nodes = p.nodes.clone();
             nodes.sort();
             nodes.dedup();
-            prop_assert_eq!(nodes.len(), p.nodes.len());
+            assert_eq!(nodes.len(), p.nodes.len(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_is_no_longer_than_candidates(k in arity(), sa in 0usize..64, sb in 0usize..64) {
+#[test]
+fn bfs_is_no_longer_than_candidates() {
+    cases(48, |g, case| {
+        let k = arity(g);
+        let sa = g.usize_in(0, 63);
+        let sb = g.usize_in(0, 63);
         let ft = FatTree::new(k, 1000.0);
         let hosts = ft.hosts();
         let a = hosts[sa % hosts.len()];
         let b = hosts[sb % hosts.len()];
-        prop_assume!(a != b);
+        if a == b {
+            return;
+        }
         let best_candidate = candidate_paths(&ft, a, b)
             .iter()
             .map(|p| p.hop_count())
             .min()
             .unwrap();
         let bfs = bfs_path(ft.topology(), a, b, |_| true, |_| true).unwrap();
-        prop_assert!(bfs.hop_count() <= best_candidate);
+        assert!(bfs.hop_count() <= best_candidate, "case {case}");
         // Fat-tree minimal routes are exactly the candidates' lengths.
-        prop_assert_eq!(bfs.hop_count(), best_candidate);
-    }
+        assert_eq!(bfs.hop_count(), best_candidate, "case {case}");
+    });
+}
 
-    #[test]
-    fn aggregation_preserves_all_pairs_connectivity(
-        k in prop_oneof![Just(4usize), Just(6)],
-        level_idx in 0usize..4
-    ) {
+#[test]
+fn aggregation_preserves_all_pairs_connectivity() {
+    cases(24, |g, case| {
+        let k = *g.choose(&[4usize, 6]);
+        let level_idx = g.usize_in(0, 3);
         let ft = FatTree::new(k, 1000.0);
         let level = AggregationLevel::from_index(level_idx);
         let active = level.active_switches(&ft);
@@ -90,43 +102,50 @@ proptest! {
         let hosts = ft.hosts();
         // All pairs from host 0, plus a random cross slice.
         for &d in hosts.iter().skip(1) {
-            prop_assert!(
+            assert!(
                 bfs_path(ft.topology(), hosts[0], d, ok, |_| true).is_some(),
-                "{level:?} disconnected {d:?}"
+                "case {case}: {level:?} disconnected {d:?}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn aggregation_counts_shrink(k in prop_oneof![Just(4usize), Just(6), Just(8)]) {
+#[test]
+fn aggregation_counts_shrink() {
+    cases(24, |g, case| {
+        let k = *g.choose(&[4usize, 6, 8]);
         let ft = FatTree::new(k, 1000.0);
         let mut prev = usize::MAX;
         for level in AggregationLevel::ALL {
             let n = level.active_switch_count(&ft);
-            prop_assert!(n <= prev);
+            assert!(n <= prev, "case {case}");
             prev = n;
             // Edge switches always on.
             let active = level.active_switches(&ft);
             for &e in ft.edge_switches() {
-                prop_assert!(active.contains(&e));
+                assert!(active.contains(&e), "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn host_helpers_agree_with_layout(k in arity(), idx in 0usize..64) {
+#[test]
+fn host_helpers_agree_with_layout() {
+    cases(48, |g, case| {
+        let k = arity(g);
+        let idx = g.usize_in(0, 63);
         let ft = FatTree::new(k, 1000.0);
         let hosts = ft.hosts();
         let h = hosts[idx % hosts.len()];
         let pod = ft.host_pod(h);
-        prop_assert!(pod < k);
+        assert!(pod < k, "case {case}");
         let edge = ft.host_edge(h);
         // The edge switch must be in the same pod position range.
         let pos = ft.edge_switches().iter().position(|&e| e == edge).unwrap();
-        prop_assert_eq!(pos / (k / 2), pod);
+        assert_eq!(pos / (k / 2), pod, "case {case}");
         // Uplink touches both.
         let up = ft.host_uplink(h);
         let link = ft.topology().link(up);
-        prop_assert!(link.touches(h) && link.touches(edge));
-    }
+        assert!(link.touches(h) && link.touches(edge), "case {case}");
+    });
 }
