@@ -8,19 +8,21 @@
 //!
 //! Network latency is per *query* (max over the 15 ISNs of request+reply —
 //! the partition–aggregate straggler).
+//!
+//! Each background level is one scenario; the four aggregation candidates
+//! share its [`ScenarioContext`], so the sweep builds 5 workloads instead
+//! of 24.
 
 use eprons_bench::{banner, sweep_duration_s, BASE_SEED};
 use eprons_core::report::{ms, Table};
-use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
+use eprons_core::{ClusterConfig, ConsolidationSpec, ServerScheme};
 use eprons_topo::AggregationLevel;
 
-fn run(level: AggregationLevel, bg: f64) -> eprons_core::ClusterRunResult {
-    let cfg = ClusterConfig::default();
-    run_cluster(
-        &cfg,
-        &ClusterRun {
-            scheme: ServerScheme::NoPowerManagement, // Fig. 10 measures the network only
-            consolidation: ConsolidationSpec::Level(level),
+fn context(cfg: &ClusterConfig, bg: f64) -> ScenarioContext {
+    ScenarioContext::build(
+        cfg,
+        &ScenarioSpec {
             server_utilization: 0.3,
             background_util: bg,
             duration_s: sweep_duration_s(),
@@ -28,18 +30,27 @@ fn run(level: AggregationLevel, bg: f64) -> eprons_core::ClusterRunResult {
             seed: BASE_SEED,
         },
     )
+}
+
+fn run(ctx: &ScenarioContext, level: AggregationLevel) -> eprons_core::ClusterRunResult {
+    ctx.evaluate(
+        ServerScheme::NoPowerManagement, // Fig. 10 measures the network only
+        ConsolidationSpec::Level(level),
+    )
     .expect("aggregation routing always places flows")
 }
 
 fn main() {
     banner("Fig. 10", "query network latency vs aggregation level");
+    let cfg = ClusterConfig::default();
 
     let mut a = Table::new(
         "(a) network latency at 20% background traffic (ms)",
         &["aggregation", "avg", "p95", "p99"],
     );
+    let ctx20 = context(&cfg, 0.2);
     for level in AggregationLevel::ALL {
-        let r = run(level, 0.2);
+        let r = run(&ctx20, level);
         a.row(&[
             format!("{}", level.index()),
             ms(r.net_latency.mean_s),
@@ -54,10 +65,14 @@ fn main() {
         "(b) 95th-percentile network latency (ms) vs background traffic",
         &["aggregation", "5%", "10%", "20%", "30%", "50%"],
     );
+    let contexts: Vec<ScenarioContext> = [0.05, 0.10, 0.20, 0.30, 0.50]
+        .iter()
+        .map(|&bg| context(&cfg, bg))
+        .collect();
     for level in AggregationLevel::ALL {
         let mut cells = vec![format!("{}", level.index())];
-        for bg in [0.05, 0.10, 0.20, 0.30, 0.50] {
-            let r = run(level, bg);
+        for ctx in &contexts {
+            let r = run(ctx, level);
             cells.push(ms(r.net_latency.p95_s));
         }
         b.row(&cells);

@@ -7,37 +7,42 @@
 //!     the tail to ≈4.75 ms);
 //! (c) active switches vs. tail latency — the trade-off frontier whose
 //!     origin-closest point is the optimal K.
+//!
+//! One [`ScenarioContext`] per background level; the K ladder fans out
+//! over it through `evaluate_candidates`.
 
 use eprons_bench::{banner, sweep_duration_s, BASE_SEED};
 use eprons_core::report::{ms, Table};
-use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
+use eprons_core::{ClusterConfig, ConsolidationSpec, ServerScheme};
 
 const BACKGROUNDS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.50];
 const KS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
 
-fn run(k: f64, bg: f64) -> Option<eprons_core::ClusterRunResult> {
-    let cfg = ClusterConfig::default();
-    run_cluster(
-        &cfg,
-        &ClusterRun {
-            scheme: ServerScheme::NoPowerManagement,
-            consolidation: ConsolidationSpec::GreedyK(k),
-            server_utilization: 0.3,
-            background_util: bg,
-            duration_s: sweep_duration_s(),
-            warmup_s: 0.0,
-            seed: BASE_SEED,
-        },
-    )
-    .ok()
-}
-
 fn main() {
     banner("Fig. 11", "scale factor K vs tail latency and active switches");
+    let cfg = ClusterConfig::default();
+    let candidates: Vec<ConsolidationSpec> =
+        KS.iter().map(|&k| ConsolidationSpec::GreedyK(k)).collect();
 
     let results: Vec<Vec<Option<eprons_core::ClusterRunResult>>> = BACKGROUNDS
         .iter()
-        .map(|&bg| KS.iter().map(|&k| run(k, bg)).collect())
+        .map(|&bg| {
+            let ctx = ScenarioContext::build(
+                &cfg,
+                &ScenarioSpec {
+                    server_utilization: 0.3,
+                    background_util: bg,
+                    duration_s: sweep_duration_s(),
+                    warmup_s: 0.0,
+                    seed: BASE_SEED,
+                },
+            );
+            ctx.evaluate_candidates(ServerScheme::NoPowerManagement, &candidates)
+                .into_iter()
+                .map(|(_, res)| res.ok())
+                .collect()
+        })
         .collect();
 
     let mut a = Table::new(

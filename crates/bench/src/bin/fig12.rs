@@ -7,37 +7,43 @@
 //! (b) request tail-latency constraint 18–40 ms vs. CPU power at 30 %
 //!     utilization: nothing meets <18 ms; EPRONS-Server lowest beyond;
 //! (c) EPRONS-Server power across the (utilization × constraint) grid.
+//!
+//! The scenario build is SLA-independent, so each (utilization, seed)
+//! point builds its workload once and sweeps the constraint axis through
+//! [`ScenarioContext::with_sla`] — panel (b) shares 2 builds across its
+//! 50 runs. TimeTrader needs its own context per point: its 5 s feedback
+//! loop must settle, so it simulates a 60 s warmup the other schemes skip.
 
 use eprons_bench::{banner, cfg_with_total_ms, sweep_duration_s, BASE_SEED};
 use eprons_core::report::Table;
-use eprons_core::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
+use eprons_core::{ConsolidationSpec, ServerScheme};
 
-fn run(
-    scheme: ServerScheme,
-    util: f64,
-    total_ms: f64,
-    seed: u64,
-) -> eprons_core::ClusterRunResult {
-    let cfg = cfg_with_total_ms(total_ms);
-    run_cluster(
-        &cfg,
-        &ClusterRun {
-            scheme,
-            consolidation: ConsolidationSpec::AllOn,
+fn context(util: f64, total_ms: f64, seed: u64, warmup_s: f64) -> ScenarioContext {
+    ScenarioContext::build(
+        &cfg_with_total_ms(total_ms),
+        &ScenarioSpec {
             server_utilization: util,
             background_util: 0.2,
             duration_s: sweep_duration_s(),
-            // TimeTrader's 5 s feedback loop must settle before scoring;
-            // the per-request schemes are stationary from the start.
-            warmup_s: if scheme == ServerScheme::TimeTrader {
-                60.0
-            } else {
-                0.0
-            },
+            warmup_s,
             seed,
         },
     )
-    .expect("all-on routing always succeeds")
+}
+
+/// TimeTrader's feedback loop needs warmup; everything else is stationary
+/// from the first request and shares the warmup-free context.
+fn scheme_ctx<'c>(
+    scheme: ServerScheme,
+    plain: &'c ScenarioContext,
+    timetrader: &'c ScenarioContext,
+) -> &'c ScenarioContext {
+    if scheme == ServerScheme::TimeTrader {
+        timetrader
+    } else {
+        plain
+    }
 }
 
 fn main() {
@@ -49,9 +55,13 @@ fn main() {
         &["util%", "no-pm", "rubik", "timetrader", "rubik+", "eprons"],
     );
     for util in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let plain = context(util, 30.0, BASE_SEED, 0.0);
+        let tt = context(util, 30.0, BASE_SEED, 60.0);
         let mut row = vec![format!("{:.0}", util * 100.0)];
         for s in schemes {
-            let r = run(s, util, 30.0, BASE_SEED);
+            let r = scheme_ctx(s, &plain, &tt)
+                .evaluate(s, ConsolidationSpec::AllOn)
+                .expect("all-on routing always succeeds");
             row.push(format!("{:.1}", r.cpu_power_w));
         }
         a.row(&row);
@@ -64,11 +74,17 @@ fn main() {
         "(b) CPU power (W) and e2e miss rate vs tail-latency constraint, 30% utilization",
         &["constraint-ms", "no-pm", "rubik", "timetrader", "rubik+", "eprons", "eprons-miss%"],
     );
+    let plain_b = context(0.3, 30.0, BASE_SEED + 1, 0.0);
+    let tt_b = context(0.3, 30.0, BASE_SEED + 1, 60.0);
     for total in [18.0, 19.0, 20.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0] {
+        let sla = cfg_with_total_ms(total).sla;
         let mut row = vec![format!("{total:.0}")];
         let mut eprons_miss = 0.0;
         for s in schemes {
-            let r = run(s, 0.3, total, BASE_SEED + 1);
+            let r = scheme_ctx(s, &plain_b, &tt_b)
+                .with_sla(sla.clone())
+                .evaluate(s, ConsolidationSpec::AllOn)
+                .expect("all-on routing always succeeds");
             row.push(format!("{:.1}", r.cpu_power_w));
             if s == ServerScheme::EpronsServer {
                 eprons_miss = r.e2e_miss_rate;
@@ -85,10 +101,18 @@ fn main() {
         "(c) EPRONS-Server CPU power (W) across (utilization, constraint)",
         &["constraint-ms", "10%", "20%", "30%", "40%", "50%"],
     );
+    let contexts_c: Vec<ScenarioContext> = [0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|&util| context(util, 30.0, BASE_SEED + 2, 0.0))
+        .collect();
     for total in [19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0] {
+        let sla = cfg_with_total_ms(total).sla;
         let mut row = vec![format!("{total:.0}")];
-        for util in [0.1, 0.2, 0.3, 0.4, 0.5] {
-            let r = run(ServerScheme::EpronsServer, util, total, BASE_SEED + 2);
+        for ctx in &contexts_c {
+            let r = ctx
+                .with_sla(sla.clone())
+                .evaluate(ServerScheme::EpronsServer, ConsolidationSpec::AllOn)
+                .expect("all-on routing always succeeds");
             row.push(format!("{:.1}", r.cpu_power_w));
         }
         c.row(&row);

@@ -8,10 +8,15 @@
 //! infeasible at 50 %); between ~29–31 ms, *turning a switch on*
 //! (aggregation 3 → 2) lowers **total** power because the extra network
 //! slack lets EPRONS-Server run slower — the paper's headline insight.
+//!
+//! One [`ScenarioContext`] per background panel: the whole 8-constraint ×
+//! 5-configuration grid reuses that build, swapping only the SLA
+//! ([`ScenarioContext::with_sla`]) — 3 workload builds for 120 runs.
 
 use eprons_bench::{banner, cfg_with_total_ms, sweep_duration_s, BASE_SEED};
 use eprons_core::report::Table;
-use eprons_core::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
+use eprons_core::{ConsolidationSpec, ServerScheme};
 use eprons_topo::AggregationLevel;
 
 const CONSTRAINTS_MS: [f64; 8] = [19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0];
@@ -19,42 +24,33 @@ const CONSTRAINTS_MS: [f64; 8] = [19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0
 fn main() {
     banner("Fig. 13", "total system power vs constraint × aggregation × background");
     for (label, bg) in [("(a) 1%", 0.01), ("(b) 20%", 0.2), ("(c) 50%", 0.5)] {
+        let base = ScenarioContext::build(
+            &cfg_with_total_ms(CONSTRAINTS_MS[0]),
+            &ScenarioSpec {
+                server_utilization: 0.3,
+                background_util: bg,
+                duration_s: sweep_duration_s(),
+                warmup_s: 0.0,
+                seed: BASE_SEED,
+            },
+        );
         let mut t = Table::new(
             format!("{label} background traffic — total power (W); '-' = SLA infeasible"),
             &["constraint-ms", "no-pm", "agg0", "agg1", "agg2", "agg3"],
         );
         for &total in &CONSTRAINTS_MS {
             let cfg = cfg_with_total_ms(total);
+            let ctx = base.with_sla(cfg.sla.clone());
             let mut row = vec![format!("{total:.0}")];
             // The no-power-management reference.
-            let nopm = run_cluster(
-                &cfg,
-                &ClusterRun {
-                    scheme: ServerScheme::NoPowerManagement,
-                    consolidation: ConsolidationSpec::AllOn,
-                    server_utilization: 0.3,
-                    background_util: bg,
-                    duration_s: sweep_duration_s(),
-                    warmup_s: 0.0,
-                    seed: BASE_SEED,
-                },
-            )
-            .expect("all-on never fails");
+            let nopm = ctx
+                .evaluate(ServerScheme::NoPowerManagement, ConsolidationSpec::AllOn)
+                .expect("all-on never fails");
             row.push(format!("{:.0}", nopm.breakdown.total_w()));
             for level in AggregationLevel::ALL {
-                let r = run_cluster(
-                    &cfg,
-                    &ClusterRun {
-                        scheme: ServerScheme::EpronsServer,
-                        consolidation: ConsolidationSpec::Level(level),
-                        server_utilization: 0.3,
-                        background_util: bg,
-                        duration_s: sweep_duration_s(),
-                        warmup_s: 0.0,
-                        seed: BASE_SEED,
-                    },
-                )
-                .expect("aggregation routing places all flows");
+                let r = ctx
+                    .evaluate(ServerScheme::EpronsServer, ConsolidationSpec::Level(level))
+                    .expect("aggregation routing places all flows");
                 if r.is_feasible(&cfg) {
                     row.push(format!("{:.0}", r.breakdown.total_w()));
                 } else {

@@ -1,4 +1,107 @@
-//! Power breakdowns and savings arithmetic (Fig. 15b's bars).
+//! Power breakdowns, savings arithmetic (Fig. 15b's bars), and the final
+//! accounting stage of the staged cluster pipeline.
+
+use std::collections::HashMap;
+
+use crate::cluster::{ClusterRunResult, LatencySummary};
+use crate::scenario::{NetworkPlan, ScenarioContext, ServerEvaluation};
+
+/// Stage 4 of the pipeline: folds the per-server shards and the network
+/// plan's latencies into a [`ClusterRunResult`].
+///
+/// The reduction walks shards in server-index order so floating-point
+/// accumulation (and therefore every derived statistic) is bit-identical
+/// to the monolithic serial loop, regardless of how many threads ran the
+/// server stage.
+pub(crate) fn assemble(
+    ctx: &ScenarioContext,
+    plan: &NetworkPlan,
+    eval: &ServerEvaluation,
+) -> ClusterRunResult {
+    let _t = eprons_obs::Timer::scoped("core.stage.accounting_s");
+    let d = &*ctx.data;
+    let cfg = &ctx.cfg;
+
+    let mut cpu_power_w = 0.0;
+    let mut server_w = 0.0;
+    let mut server_latencies: Vec<f64> = Vec::new();
+    let mut server_misses = 0usize;
+    let mut server_completions = 0usize;
+    // server latency per (server, query id).
+    let mut lat_of: HashMap<(usize, u64), f64> = HashMap::new();
+    for (s, shard) in eval.shards.iter().enumerate() {
+        cpu_power_w += cfg.cpu.cores as f64 * shard.avg_core_w;
+        server_w += cfg.cpu.server_w(shard.avg_core_w);
+        for &(tag, lat, budget) in &shard.completions {
+            server_latencies.push(lat);
+            server_completions += 1;
+            if lat > budget {
+                server_misses += 1;
+            }
+            lat_of.insert((s, tag), lat);
+        }
+    }
+
+    // --- Query- and request-level assembly. ---
+    let n = d.hosts.len();
+    let mut query_net: Vec<f64> = Vec::with_capacity(d.queries.len());
+    let mut query_e2e: Vec<f64> = Vec::with_capacity(d.queries.len());
+    let mut e2e: Vec<f64> = Vec::with_capacity(d.queries.len() * n);
+    for q in &d.queries {
+        if q.time_s < d.warmup_s {
+            continue; // warmup queries are simulated but not scored
+        }
+        let mut worst_net: f64 = 0.0;
+        let mut worst_e2e: f64 = 0.0;
+        for &(s, req, rep) in &plan.net_lat[q.id as usize] {
+            let srv = lat_of
+                .get(&(s, q.id))
+                .copied()
+                .expect("every sub-query completes");
+            worst_net = worst_net.max(req + rep);
+            worst_e2e = worst_e2e.max(req + srv + rep);
+            e2e.push(req + srv + rep);
+        }
+        query_net.push(worst_net);
+        query_e2e.push(worst_e2e);
+    }
+    let e2e_misses = e2e.iter().filter(|&&l| l > cfg.sla.total_s()).count();
+
+    let network_w = plan.assignment.network_power_w(&d.ft, &cfg.net_power);
+    let active_switch_ids: Vec<usize> = d
+        .ft
+        .topology()
+        .switches()
+        .into_iter()
+        .filter(|&node| plan.assignment.state().node_on(node))
+        .map(|node| node.0)
+        .collect();
+    ClusterRunResult {
+        breakdown: PowerBreakdown {
+            server_w,
+            network_w,
+        },
+        cpu_power_w,
+        active_switches: plan.assignment.active_switch_count(&d.ft),
+        active_switch_ids,
+        max_link_utilization: plan.max_link_utilization,
+        query_count: query_net.len(),
+        net_latency: LatencySummary::from_samples(&query_net),
+        server_latency: LatencySummary::from_samples(&server_latencies),
+        e2e_latency: LatencySummary::from_samples(&e2e),
+        query_e2e_latency: LatencySummary::from_samples(&query_e2e),
+        e2e_miss_rate: if e2e.is_empty() {
+            0.0
+        } else {
+            e2e_misses as f64 / e2e.len() as f64
+        },
+        server_miss_rate: if server_completions == 0 {
+            0.0
+        } else {
+            server_misses as f64 / server_completions as f64
+        },
+    }
+}
 
 /// A total-power snapshot split into its two layers.
 #[derive(Debug, Clone, Copy, PartialEq)]

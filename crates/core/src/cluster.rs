@@ -11,28 +11,20 @@
 //!    request network slack transferred into each request's compute budget
 //!    for the slack-aware schemes, and
 //! 4. power and tail-latency accounting across both layers.
+//!
+//! This module owns the run *vocabulary* (schemes, candidate specs,
+//! results) and the one-shot [`run_cluster`] entry point; the stages
+//! themselves live in [`crate::scenario`], where
+//! [`ScenarioContext`](crate::scenario::ScenarioContext) lets callers
+//! that evaluate many candidates of one scenario (the optimizer, the day
+//! controller, the figure sweeps) pay the workload build once.
 
-use std::collections::HashMap;
-
-use eprons_net::flow::FlowSet;
-use eprons_net::{
-    Assignment, ConsolidationConfig, ConsolidationError, Consolidator, FlowClass, FlowId,
-    GreedyConsolidator,
-};
-use eprons_net::consolidate::AggregationRouter;
-use eprons_server::policy::DvfsPolicy;
-use eprons_server::{
-    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, DeepSleepPolicy, MaxFreqPolicy,
-    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
-};
-use eprons_server::request::budget_with_network_slack;
-use eprons_sim::SimRng;
-use eprons_topo::{AggregationLevel, FatTree};
-use eprons_workload::{xapian_like_samples, QueryGenerator};
-use eprons_workload::background::background_flows;
+use eprons_net::ConsolidationError;
+use eprons_topo::AggregationLevel;
 
 use crate::accounting::PowerBreakdown;
 use crate::config::ClusterConfig;
+use crate::scenario::{ScenarioContext, ScenarioSpec};
 
 /// The server power-management scheme under test (Fig. 12's lines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +69,7 @@ impl ServerScheme {
     }
 
     /// Whether per-request network slack extends this scheme's deadlines.
-    fn uses_request_slack(&self) -> bool {
+    pub(crate) fn uses_request_slack(&self) -> bool {
         matches!(
             self,
             ServerScheme::RubikPlus | ServerScheme::EpronsServer | ServerScheme::DeepSleep
@@ -189,7 +181,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_samples(samples: &[f64]) -> LatencySummary {
+    pub(crate) fn from_samples(samples: &[f64]) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary {
                 mean_s: 0.0,
@@ -232,6 +224,13 @@ impl std::error::Error for ClusterError {}
 
 /// Runs one cluster experiment.
 ///
+/// A thin wrapper over the staged pipeline: it builds a fresh
+/// [`ScenarioContext`] for the run's scenario axes and evaluates the
+/// run's (scheme, consolidation) pair against it. Callers that evaluate
+/// several candidates of the *same* scenario should build the context
+/// once and call [`ScenarioContext::evaluate`] per candidate instead —
+/// the results are bit-identical either way.
+///
 /// ```
 /// use eprons_core::{run_cluster, ClusterConfig, ClusterRun, ServerScheme, ConsolidationSpec};
 /// let cfg = ClusterConfig::default();
@@ -252,329 +251,8 @@ pub fn run_cluster(
     cfg: &ClusterConfig,
     run: &ClusterRun,
 ) -> Result<ClusterRunResult, ClusterError> {
-    let obs_on = eprons_obs::enabled();
-    let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
-    if obs_on {
-        eprons_obs::registry().counter("core.cluster.runs").inc();
-        eprons_obs::record(eprons_obs::Event::RunTag {
-            scheme: run.scheme.name().to_string(),
-            consolidation: run.consolidation.label(),
-            seed: run.seed,
-        });
-    }
-
-    let mut master = SimRng::seed_from_u64(run.seed);
-    let mut service_rng = master.fork(1);
-    let mut query_rng = master.fork(2);
-    let mut bg_rng = master.fork(3);
-    let mut net_rng = master.fork(4);
-    let mut server_seed_rng = master.fork(5);
-
-    let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
-    let n = cfg.num_servers();
-    let hosts = ft.hosts().to_vec();
-
-    // --- Service-time model (the measured Xapian log, §V-A). ---
-    let samples = xapian_like_samples(&mut service_rng, cfg.service_log_samples);
-    let service = ServiceModel::from_time_samples(
-        &samples,
-        0.2,
-        cfg.ladder.max(),
-        cfg.work_pmf_bins,
-    );
-    let mean_t = service.mean_service_time(cfg.ladder.max());
-
-    // --- Query workload (warmup + measured window). ---
-    let warmup = run.warmup_s.max(0.0);
-    let horizon = warmup + run.duration_s;
-    let rate = cfg.query_rate_for_utilization(run.server_utilization, mean_t);
-    let generator = QueryGenerator::new(n);
-    let queries = generator.generate(&mut query_rng, rate, horizon);
-
-    // --- Flows and consolidation. ---
-    let mut flows = FlowSet::new();
-    if run.background_util > 0.0 {
-        for bf in background_flows(&ft, &mut bg_rng, run.background_util, cfg.link_capacity_mbps)
-        {
-            flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
-        }
-    }
-    // One latency-sensitive flow per ordered host pair (any server may
-    // aggregate, so query traffic exists between every pair).
-    let mut pair_flow: HashMap<(usize, usize), FlowId> = HashMap::new();
-    for a in 0..n {
-        for b in 0..n {
-            if a != b {
-                let id = flows.add(
-                    hosts[a],
-                    hosts[b],
-                    cfg.query_flow_mbps,
-                    FlowClass::LatencySensitive,
-                );
-                pair_flow.insert((a, b), id);
-            }
-        }
-    }
-    let ccfg = ConsolidationConfig {
-        scale_k: match run.consolidation {
-            ConsolidationSpec::GreedyK(k) => k,
-            _ => 1.0,
-        },
-        safety_margin_mbps: cfg.safety_margin_mbps,
-        power: cfg.net_power.clone(),
-    };
-    let assignment: Assignment = match run.consolidation {
-        ConsolidationSpec::AllOn => AggregationRouter::for_level(&ft, AggregationLevel::Agg0)
-            .consolidate(&ft, &flows, &ccfg),
-        ConsolidationSpec::Level(l) => {
-            AggregationRouter::for_level(&ft, l).consolidate(&ft, &flows, &ccfg)
-        }
-        ConsolidationSpec::GreedyK(_) => GreedyConsolidator.consolidate(&ft, &flows, &ccfg),
-    }
-    .map_err(ClusterError::Consolidation)?;
-
-    let max_util = assignment.max_utilization(&ft);
-    let congested = max_util > cfg.congestion_threshold;
-
-    // --- Per-sub-query network latencies. ---
-    let state = assignment.state();
-    // (ISN, request, reply) latency per query.
-    let mut net_lat: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); queries.len()];
-    for q in &queries {
-        for s in 0..n {
-            if s == q.aggregator {
-                continue;
-            }
-            let req_path = assignment.path(pair_flow[&(q.aggregator, s)]);
-            let rep_path = assignment.path(pair_flow[&(s, q.aggregator)]);
-            let req_utils = state.path_utilizations(ft.topology(), req_path);
-            let rep_utils = state.path_utilizations(ft.topology(), rep_path);
-            let req_lat =
-                cfg.latency.sample_path_latency_us(&mut net_rng, &req_utils) * 1.0e-6;
-            let rep_lat =
-                cfg.latency.sample_path_latency_us(&mut net_rng, &rep_utils) * 1.0e-6;
-            net_lat[q.id as usize].push((s, req_lat, rep_lat));
-        }
-    }
-
-    // TimeTrader borrows whatever network budget its congestion monitor
-    // shows to be unused: target = server budget + max(0, network budget −
-    // observed round-trip p95). A congested subnet (ECN/queue build-up)
-    // withdraws the slack entirely — the over-conservatism the paper
-    // criticizes (§I).
-    let timetrader_target = if run.scheme == ServerScheme::TimeTrader {
-        let round_trips: Vec<f64> = net_lat
-            .iter()
-            .flatten()
-            .map(|&(_, req, rep)| req + rep)
-            .collect();
-        let net_p95 = if round_trips.is_empty() || congested {
-            cfg.sla.network_budget_s
-        } else {
-            eprons_num::quantile::percentile(&round_trips, 0.95)
-        };
-        cfg.sla.server_budget_s + (cfg.sla.network_budget_s - net_p95).max(0.0)
-    } else {
-        cfg.sla.server_budget_s
-    };
-
-    // --- Server arrival traces with per-request budgets. ---
-    let mut per_server: Vec<Vec<ArrivalSpec>> = vec![Vec::new(); n];
-    for q in &queries {
-        for &(s, req_lat, _rep) in &net_lat[q.id as usize] {
-            let budget = if run.scheme.uses_request_slack() {
-                budget_with_network_slack(
-                    cfg.sla.server_budget_s,
-                    cfg.sla.request_budget_s(),
-                    req_lat,
-                )
-            } else if run.scheme == ServerScheme::TimeTrader {
-                timetrader_target
-            } else {
-                cfg.sla.server_budget_s
-            };
-            per_server[s].push(ArrivalSpec {
-                arrival_s: q.time_s + req_lat,
-                budget_s: budget,
-                tag: q.id,
-            });
-        }
-    }
-
-    // --- Per-ISN DVFS simulation, sharded across the thread budget. ---
-    //
-    // Each server's core simulation is independent once its arrival trace
-    // and RNG seed are fixed, so the loop fans out through [`parallel_map`].
-    // Determinism is preserved by construction: the per-server seeds are
-    // drawn *serially* from `server_seed_rng` in index order before any
-    // thread starts (exactly the stream the old serial loop consumed), the
-    // shards share no mutable state, and the reduction below folds shard
-    // results in server-index order so floating-point accumulation matches
-    // the serial loop bit for bit.
-    let core_cfg = CoreSimConfig {
-        ladder: cfg.ladder.clone(),
-        power: cfg.cpu.clone(),
-        decision_overhead_s: 30.0e-6,
-        measure_from_s: warmup,
-    };
-    for arrivals in per_server.iter_mut() {
-        arrivals.sort_by(|a, b| {
-            a.arrival_s
-                .partial_cmp(&b.arrival_s)
-                .expect("finite times")
-        });
-    }
-    let server_seeds: Vec<u64> = (0..n)
-        .map(|s| server_seed_rng.fork(s as u64).uniform().to_bits())
-        .collect();
-    if obs_on {
-        eprons_obs::registry()
-            .gauge("core.cluster.worker_threads")
-            .set(crate::parallel::thread_budget() as f64);
-    }
-
-    /// What one server's shard hands back to the in-order reduction.
-    struct ServerShard {
-        avg_core_w: f64,
-        /// `(query id, latency, budget)` per completed sub-query.
-        completions: Vec<(u64, f64, f64)>,
-    }
-
-    let indices: Vec<usize> = (0..n).collect();
-    let shards: Vec<ServerShard> = crate::parallel::parallel_map(&indices, |&s| {
-        let _t = eprons_obs::Timer::scoped("core.cluster.server_shard_s");
-        let arrivals = &per_server[s];
-        let mut engine = VpEngine::new(service.clone());
-        let mut policy: Box<dyn DvfsPolicy> = match run.scheme {
-            ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
-            ServerScheme::Rubik => Box::new(MaxVpPolicy::rubik()),
-            ServerScheme::RubikPlus => Box::new(MaxVpPolicy::rubik_plus()),
-            ServerScheme::TimeTrader => {
-                Box::new(TimeTraderPolicy::new(timetrader_target, cfg.ladder.len()))
-            }
-            ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
-            ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
-        };
-        let r = simulate_core(
-            policy.as_mut(),
-            &mut engine,
-            arrivals,
-            &core_cfg,
-            server_seeds[s],
-        );
-        let end = r.sim_end_s.max(horizon);
-        let span = end - warmup;
-        let trailing_idle_w = policy
-            .idle_power_w()
-            .unwrap_or_else(|| cfg.cpu.core_idle_w());
-        let avg_core_w = if span > 0.0 {
-            // Integrate idle power through any trailing idle time too.
-            (r.energy_j + (end - r.sim_end_s) * trailing_idle_w) / span
-        } else {
-            trailing_idle_w
-        };
-        let completions = r
-            .latencies
-            .iter()
-            .zip(&r.tags)
-            .zip(&r.budgets)
-            .map(|((&lat, &tag), &budget)| (tag, lat, budget))
-            .collect();
-        ServerShard {
-            avg_core_w,
-            completions,
-        }
-    });
-
-    let mut cpu_power_w = 0.0;
-    let mut server_w = 0.0;
-    let mut server_latencies: Vec<f64> = Vec::new();
-    let mut server_misses = 0usize;
-    let mut server_completions = 0usize;
-    // server latency per (server, query id).
-    let mut lat_of: HashMap<(usize, u64), f64> = HashMap::new();
-    for (s, shard) in shards.iter().enumerate() {
-        cpu_power_w += cfg.cpu.cores as f64 * shard.avg_core_w;
-        server_w += cfg.cpu.server_w(shard.avg_core_w);
-        for &(tag, lat, budget) in &shard.completions {
-            server_latencies.push(lat);
-            server_completions += 1;
-            if lat > budget {
-                server_misses += 1;
-            }
-            lat_of.insert((s, tag), lat);
-        }
-    }
-
-    // --- Query- and request-level assembly. ---
-    let mut query_net: Vec<f64> = Vec::with_capacity(queries.len());
-    let mut query_e2e: Vec<f64> = Vec::with_capacity(queries.len());
-    let mut e2e: Vec<f64> = Vec::with_capacity(queries.len() * n);
-    for q in &queries {
-        if q.time_s < warmup {
-            continue; // warmup queries are simulated but not scored
-        }
-        let mut worst_net: f64 = 0.0;
-        let mut worst_e2e: f64 = 0.0;
-        for &(s, req, rep) in &net_lat[q.id as usize] {
-            let srv = lat_of
-                .get(&(s, q.id))
-                .copied()
-                .expect("every sub-query completes");
-            worst_net = worst_net.max(req + rep);
-            worst_e2e = worst_e2e.max(req + srv + rep);
-            e2e.push(req + srv + rep);
-        }
-        query_net.push(worst_net);
-        query_e2e.push(worst_e2e);
-    }
-    let e2e_misses = e2e.iter().filter(|&&l| l > cfg.sla.total_s()).count();
-
-    let network_w = assignment.network_power_w(&ft, &cfg.net_power);
-    let active_switch_ids: Vec<usize> = ft
-        .topology()
-        .switches()
-        .into_iter()
-        .filter(|&n| assignment.state().node_on(n))
-        .map(|n| n.0)
-        .collect();
-    let result = ClusterRunResult {
-        breakdown: PowerBreakdown {
-            server_w,
-            network_w,
-        },
-        cpu_power_w,
-        active_switches: assignment.active_switch_count(&ft),
-        active_switch_ids,
-        max_link_utilization: max_util,
-        query_count: query_net.len(),
-        net_latency: LatencySummary::from_samples(&query_net),
-        server_latency: LatencySummary::from_samples(&server_latencies),
-        e2e_latency: LatencySummary::from_samples(&e2e),
-        query_e2e_latency: LatencySummary::from_samples(&query_e2e),
-        e2e_miss_rate: if e2e.is_empty() {
-            0.0
-        } else {
-            e2e_misses as f64 / e2e.len() as f64
-        },
-        server_miss_rate: if server_completions == 0 {
-            0.0
-        } else {
-            server_misses as f64 / server_completions as f64
-        },
-    };
-    if obs_on {
-        let reg = eprons_obs::registry();
-        let edges = eprons_obs::DURATION_EDGES_S;
-        reg.histogram("core.cluster.server_p95_s", edges)
-            .observe(result.server_latency.p95_s);
-        reg.histogram("core.cluster.e2e_p95_s", edges)
-            .observe(result.e2e_latency.p95_s);
-        reg.histogram("core.cluster.query_e2e_p95_s", edges)
-            .observe(result.query_e2e_latency.p95_s);
-        reg.gauge("core.cluster.total_w").set(result.breakdown.total_w());
-    }
-    Ok(result)
+    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(run));
+    ctx.evaluate(run.scheme, run.consolidation)
 }
 
 #[cfg(test)]

@@ -15,9 +15,10 @@ use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
 use crate::cluster::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
 use crate::config::ClusterConfig;
-use crate::optimizer::optimize_total_power;
+use crate::optimizer::optimize_in_context;
 use crate::accounting::PowerBreakdown;
 use crate::parallel::parallel_map;
+use crate::scenario::{ScenarioContext, ScenarioSpec};
 
 /// The three Fig. 15 contenders.
 #[derive(Debug, Clone)]
@@ -197,7 +198,12 @@ pub fn simulate_day(
                 (rec, ConsolidationSpec::AllOn.label())
             }
             DayStrategy::Eprons { candidates } => {
-                let choice = optimize_total_power(cfg, &template, candidates)
+                // One scenario build per epoch; the optimizer's candidate
+                // ladder shares it, so each candidate pays only
+                // consolidation + latency sampling + DVFS simulation.
+                let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(&template));
+                let choice = optimize_in_context(&ctx, template.scheme, candidates)
+                    .0
                     .expect("at least one candidate evaluates");
                 let rec = DayRecord {
                     minute,
@@ -296,6 +302,17 @@ pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::R
         )?;
     }
     w.flush()
+}
+
+/// Total energy (joules) a day timeline consumes: each epoch's measured
+/// total power held for the epoch length. The Fig. 15 currency for
+/// comparing strategies over a whole day.
+pub fn day_total_energy_j(records: &[DayRecord], day: &DayConfig) -> f64 {
+    let epoch_s = day.epoch_minutes as f64 * 60.0;
+    records
+        .iter()
+        .map(|r| r.breakdown.total_w() * epoch_s)
+        .sum()
 }
 
 /// Average power breakdown over a day timeline.

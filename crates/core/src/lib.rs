@@ -18,7 +18,11 @@
 //! * [`controller`] — the SDN-controller epoch loop over a 24 h diurnal
 //!   day (10-minute optimization period, §IV-B), producing the Fig. 15
 //!   power timeline.
-//! * [`accounting`] — power breakdowns and savings arithmetic.
+//! * [`scenario`] — the staged evaluation pipeline: build a
+//!   [`scenario::ScenarioContext`] once per (config, seed, load) point,
+//!   then evaluate many candidate configurations against it.
+//! * [`accounting`] — power breakdowns and savings arithmetic, plus the
+//!   pipeline's final accounting stage.
 //! * [`parallel`] — a scoped-thread parallel map for parameter sweeps.
 //! * [`report`] — plain-text table output shared by the figure harnesses.
 
@@ -31,6 +35,7 @@ pub mod controller;
 pub mod optimizer;
 pub mod parallel;
 pub mod report;
+pub mod scenario;
 
 pub use accounting::PowerBreakdown;
 pub use cluster::{
@@ -39,5 +44,9 @@ pub use cluster::{
 pub use config::ClusterConfig;
 pub use controller::{simulate_day, DayRecord, DayStrategy};
 pub use cluster::ClusterError;
-pub use optimizer::{optimize_total_power, optimize_total_power_traced, JointChoice};
-pub use parallel::{parallel_map, set_thread_budget, thread_budget};
+pub use optimizer::{
+    adaptive_k, adaptive_k_in_context, optimize_in_context, optimize_total_power,
+    optimize_total_power_traced, JointChoice,
+};
+pub use parallel::{parallel_map, parallel_map_range, set_thread_budget, thread_budget};
+pub use scenario::{NetworkPlan, ScenarioContext, ScenarioSpec, ServerEvaluation};

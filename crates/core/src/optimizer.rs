@@ -8,12 +8,19 @@
 //! power. When nothing is feasible the optimizer "turns on a minimal
 //! number of additional network links and switches": it falls back to the
 //! candidate with the lowest measured tail latency.
+//!
+//! Both search strategies run on the staged pipeline: candidates share one
+//! [`ScenarioContext`], so the per-candidate cost is consolidation +
+//! latency sampling + DVFS simulation, never a workload rebuild. Use
+//! [`optimize_in_context`] / [`adaptive_k_in_context`] directly when a
+//! context is already in hand (the day controller builds one per epoch);
+//! the template-taking entry points build it for you.
 
 use crate::cluster::{
-    run_cluster, ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec,
+    ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec,
 };
 use crate::config::ClusterConfig;
-use crate::parallel::parallel_map;
+use crate::scenario::{ScenarioContext, ScenarioSpec};
 
 /// The optimizer's selection.
 #[derive(Debug, Clone)]
@@ -24,6 +31,48 @@ pub struct JointChoice {
     pub result: ClusterRunResult,
     /// Whether the choice met the SLA (false = least-bad fallback).
     pub feasible: bool,
+    /// Candidates actually measured before committing (the optimizer's
+    /// cost currency — [`adaptive_k`] exists to make this smaller than
+    /// the full ladder's).
+    pub evaluated: u64,
+}
+
+/// Journals one measured candidate's verdict (no-op when telemetry is
+/// off). Shared by both search strategies so the trace schema cannot
+/// drift between them.
+fn journal_candidate(spec: ConsolidationSpec, result: &ClusterRunResult, feasible: bool) {
+    if eprons_obs::enabled() {
+        eprons_obs::record(eprons_obs::Event::OptimizerCandidate {
+            k: spec.label(),
+            total_w: result.breakdown.total_w(),
+            p95_us: result.e2e_latency.p95_s * 1.0e6,
+            feasible,
+        });
+    }
+}
+
+/// Journals a candidate that failed to evaluate at all.
+fn journal_failure(spec: ConsolidationSpec, err: &ClusterError) {
+    if eprons_obs::enabled() {
+        eprons_obs::record(eprons_obs::Event::CandidateFailed {
+            k: spec.label(),
+            error: err.to_string(),
+        });
+    }
+}
+
+/// Journals the committed choice and returns it.
+fn journal_choice(choice: JointChoice) -> JointChoice {
+    if eprons_obs::enabled() {
+        eprons_obs::record(eprons_obs::Event::OptimizerChoice {
+            k: choice.spec.label(),
+            total_w: choice.result.breakdown.total_w(),
+            p95_us: choice.result.e2e_latency.p95_s * 1.0e6,
+            feasible: choice.feasible,
+            evaluated: choice.evaluated,
+        });
+    }
+    choice
 }
 
 /// Evaluates `candidates` (in parallel) under the given run template and
@@ -46,39 +95,43 @@ pub fn optimize_total_power(
 /// or `CandidateFailed` event, the commit as an `OptimizerChoice`, and the
 /// failures are returned alongside the choice so callers can report *why*
 /// candidates dropped out instead of silently swallowing their errors.
+///
+/// Builds one [`ScenarioContext`] from the template and delegates to
+/// [`optimize_in_context`].
 pub fn optimize_total_power_traced(
     cfg: &ClusterConfig,
     template: &ClusterRun,
     candidates: &[ConsolidationSpec],
 ) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
-    let obs_on = eprons_obs::enabled();
-    let results = parallel_map(candidates, |spec| {
-        let mut run = template.clone();
-        run.consolidation = *spec;
-        (*spec, run_cluster(cfg, &run))
-    });
-    let mut ok: Vec<(ConsolidationSpec, ClusterRunResult)> = Vec::new();
+    if candidates.is_empty() {
+        return (None, Vec::new());
+    }
+    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(template));
+    optimize_in_context(&ctx, template.scheme, candidates)
+}
+
+/// The exhaustive search against an already-built scenario: evaluates
+/// every candidate (fanning out over the thread budget), journals each
+/// verdict, and commits the minimum-total-power feasible candidate (or
+/// the lowest-tail fallback).
+pub fn optimize_in_context(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    candidates: &[ConsolidationSpec],
+) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
+    let cfg = ctx.cfg();
+    let results = ctx.evaluate_candidates(scheme, candidates);
+    let mut ok: Vec<(ConsolidationSpec, ClusterRunResult, bool)> = Vec::new();
     let mut failures: Vec<(ConsolidationSpec, ClusterError)> = Vec::new();
     for (spec, res) in results {
         match res {
             Ok(r) => {
-                if obs_on {
-                    eprons_obs::record(eprons_obs::Event::OptimizerCandidate {
-                        k: spec.label(),
-                        total_w: r.breakdown.total_w(),
-                        p95_us: r.e2e_latency.p95_s * 1.0e6,
-                        feasible: r.is_feasible(cfg),
-                    });
-                }
-                ok.push((spec, r));
+                let feasible = r.is_feasible(cfg);
+                journal_candidate(spec, &r, feasible);
+                ok.push((spec, r, feasible));
             }
             Err(e) => {
-                if obs_on {
-                    eprons_obs::record(eprons_obs::Event::CandidateFailed {
-                        k: spec.label(),
-                        error: e.to_string(),
-                    });
-                }
+                journal_failure(spec, &e);
                 failures.push((spec, e));
             }
         }
@@ -90,22 +143,23 @@ pub fn optimize_total_power_traced(
     // Feasible set → min total power.
     let feasible = ok
         .iter()
-        .filter(|(_, r)| r.is_feasible(cfg))
+        .filter(|(_, _, feasible)| *feasible)
         .min_by(|a, b| {
             a.1.breakdown
                 .total_w()
                 .partial_cmp(&b.1.breakdown.total_w())
                 .expect("power is finite")
         });
-    let choice = if let Some((spec, result)) = feasible {
+    let choice = if let Some((spec, result, _)) = feasible {
         JointChoice {
             spec: *spec,
             result: result.clone(),
             feasible: true,
+            evaluated,
         }
     } else {
         // Fallback: least-bad latency (most generous network).
-        let (spec, result) = ok
+        let (spec, result, _) = ok
             .iter()
             .min_by(|a, b| {
                 a.1.e2e_latency
@@ -118,18 +172,10 @@ pub fn optimize_total_power_traced(
             spec: *spec,
             result: result.clone(),
             feasible: false,
+            evaluated,
         }
     };
-    if obs_on {
-        eprons_obs::record(eprons_obs::Event::OptimizerChoice {
-            k: choice.spec.label(),
-            total_w: choice.result.breakdown.total_w(),
-            p95_us: choice.result.e2e_latency.p95_s * 1.0e6,
-            feasible: choice.feasible,
-            evaluated,
-        });
-    }
-    (Some(choice), failures)
+    (Some(journal_choice(choice)), failures)
 }
 
 /// The paper's candidate ladder: the four Fig. 9 aggregation presets.
@@ -161,60 +207,51 @@ pub fn adaptive_k(
     template: &ClusterRun,
     k_max: usize,
 ) -> Option<JointChoice> {
-    let obs_on = eprons_obs::enabled();
+    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(template));
+    adaptive_k_in_context(&ctx, template.scheme, k_max)
+}
+
+/// [`adaptive_k`] against an already-built scenario. The sequential K
+/// ladder shares the context too: each step re-runs only consolidation,
+/// latency sampling, and the DVFS sweep.
+pub fn adaptive_k_in_context(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    k_max: usize,
+) -> Option<JointChoice> {
+    let cfg = ctx.cfg();
     let mut evaluated = 0u64;
-    let commit = |choice: JointChoice, evaluated: u64| {
-        if obs_on {
-            eprons_obs::record(eprons_obs::Event::OptimizerChoice {
-                k: choice.spec.label(),
-                total_w: choice.result.breakdown.total_w(),
-                p95_us: choice.result.e2e_latency.p95_s * 1.0e6,
-                feasible: choice.feasible,
-                evaluated,
-            });
-        }
-        choice
-    };
     let mut best_fallback: Option<(f64, JointChoice)> = None;
     for k in 1..=k_max {
-        let mut run = template.clone();
-        run.consolidation = ConsolidationSpec::GreedyK(k as f64);
-        let result = match run_cluster(cfg, &run) {
+        let spec = ConsolidationSpec::GreedyK(k as f64);
+        let result = match ctx.evaluate(scheme, spec) {
             Ok(r) => r,
             Err(e) => {
-                if obs_on {
-                    eprons_obs::record(eprons_obs::Event::CandidateFailed {
-                        k: run.consolidation.label(),
-                        error: e.to_string(),
-                    });
-                }
+                journal_failure(spec, &e);
                 continue; // K too large for the capacity: skip
             }
         };
         evaluated += 1;
         let feasible = result.is_feasible(cfg);
-        if obs_on {
-            eprons_obs::record(eprons_obs::Event::OptimizerCandidate {
-                k: run.consolidation.label(),
-                total_w: result.breakdown.total_w(),
-                p95_us: result.e2e_latency.p95_s * 1.0e6,
-                feasible,
-            });
-        }
+        journal_candidate(spec, &result, feasible);
         let choice = JointChoice {
-            spec: run.consolidation,
-            result: result.clone(),
+            spec,
+            result,
             feasible,
+            evaluated,
         };
         if feasible {
-            return Some(commit(choice, evaluated));
+            return Some(journal_choice(choice));
         }
-        let tail = result.e2e_latency.p95_s;
+        let tail = choice.result.e2e_latency.p95_s;
         if best_fallback.as_ref().is_none_or(|(t, _)| tail < *t) {
             best_fallback = Some((tail, choice));
         }
     }
-    best_fallback.map(|(_, c)| commit(c, evaluated))
+    best_fallback.map(|(_, mut c)| {
+        c.evaluated = evaluated;
+        journal_choice(c)
+    })
 }
 
 #[cfg(test)]
@@ -240,6 +277,7 @@ mod tests {
         let choice =
             optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
         assert!(choice.feasible, "30 ms SLA at light load must be feasible");
+        assert_eq!(choice.evaluated, 4, "the full ladder is always measured");
         // With light background and a 30 ms SLA, an aggressive aggregation
         // should win (fewer switches than Agg0's 20).
         assert!(
@@ -288,11 +326,40 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_k_measures_fewer_candidates_than_the_full_ladder() {
+        // The whole point of the feedback variant: on a feasible instance
+        // it commits after the first feasible K instead of measuring the
+        // entire ladder.
+        let cfg = ClusterConfig::default();
+        let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template()));
+        let full = optimize_in_context(
+            &ctx,
+            ServerScheme::EpronsServer,
+            &scale_factor_candidates(5),
+        )
+        .0
+        .unwrap();
+        let adaptive = adaptive_k_in_context(&ctx, ServerScheme::EpronsServer, 5).unwrap();
+        assert!(adaptive.feasible);
+        assert_eq!(full.evaluated, 5);
+        assert!(
+            adaptive.evaluated < full.evaluated,
+            "adaptive measured {} of {} candidates",
+            adaptive.evaluated,
+            full.evaluated
+        );
+        // And the configuration it stops at is feasible under the same
+        // scenario the exhaustive search measured.
+        assert!(adaptive.result.is_feasible(&cfg));
+    }
+
+    #[test]
     fn adaptive_k_falls_back_to_least_bad_when_impossible() {
         let mut cfg = ClusterConfig::default();
         cfg.sla = cfg.sla.with_total(7.0e-3); // nothing meets 7 ms
         let choice = adaptive_k(&cfg, &template(), 3).unwrap();
         assert!(!choice.feasible);
+        assert_eq!(choice.evaluated, 3, "infeasible ladders are fully measured");
     }
 
     #[test]
@@ -316,6 +383,7 @@ mod tests {
         let (choice, failures) = optimize_total_power_traced(&cfg, &template(), &cands);
         let choice = choice.expect("K=1 evaluates");
         assert!(matches!(choice.spec, ConsolidationSpec::GreedyK(k) if k == 1.0));
+        assert_eq!(choice.evaluated, 1, "only the sane candidate measured");
         assert_eq!(failures.len(), 1);
         let (spec, err) = &failures[0];
         assert!(matches!(spec, ConsolidationSpec::GreedyK(k) if *k == 1.0e6));

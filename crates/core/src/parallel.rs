@@ -99,14 +99,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
+    parallel_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Index-space variant of [`parallel_map`]: applies `f` to `0..n` under
+/// the same budget/lease rules, returning results in index order. The
+/// staged cluster pipeline shards its per-server simulations with this —
+/// the "items" are just server indices into context-owned slices, so
+/// materialising an index `Vec` per candidate would be pure overhead.
+pub fn parallel_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
     // The caller covers one worker; lease at most n-1 helpers.
     let helpers = lease_helpers(n - 1);
     if helpers == 0 {
-        return items.iter().map(&f).collect();
+        return (0..n).map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -119,7 +131,7 @@ where
         if i >= n {
             break;
         }
-        let r = f(&items[i]);
+        let r = f(i);
         **slots[i].lock().expect("slot lock poisoned") = Some(r);
     };
 
@@ -171,6 +183,16 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn range_matches_slice_map() {
+        let items: Vec<usize> = (0..257).collect();
+        assert_eq!(
+            parallel_map_range(items.len(), |i| items[i] * 3),
+            parallel_map(&items, |&x| x * 3)
+        );
+        assert!(parallel_map_range(0, |i| i).is_empty());
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The staged cluster-evaluation pipeline.
+//!
+//! The joint optimizer (§IV) and the 10-minute SDN control loop (§IV-B)
+//! evaluate the *same* scenario — one (config, seed, load) point — under
+//! many candidate network configurations. The monolithic `run_cluster`
+//! used to rebuild the fat-tree, the Xapian service model, and the
+//! query/background workloads from scratch for every candidate; this
+//! module splits one evaluation into four explicit stages so the
+//! per-candidate cost is the delta, not the world:
+//!
+//! 1. [`ScenarioContext::build`] — once per [`ScenarioSpec`]: topology,
+//!    service model, query arrivals, background + query flow sets, and
+//!    the RNG snapshots every candidate replays. Heavy state lives behind
+//!    one `Arc`, so contexts clone cheaply across threads and constraint
+//!    sweeps ([`ScenarioContext::with_sla`]).
+//! 2. [`NetworkPlan::build`] — per [`ConsolidationSpec`]: consolidation
+//!    plus per-sub-query network latency sampling along the assigned
+//!    paths.
+//! 3. [`ServerEvaluation::run`] — per (plan, [`ServerScheme`]): the
+//!    per-ISN DVFS simulations with the plan's request slack folded into
+//!    each request's compute budget.
+//! 4. [`crate::accounting::assemble`] — power and tail-latency accounting
+//!    across both layers, producing a [`ClusterRunResult`].
+//!
+//! **Bit-identity contract.** The staged path produces results identical
+//! to the monolithic path bit for bit, at any thread count and whether a
+//! context is fresh or shared. The RNG streams make this work: the master
+//! RNG's five forks are drawn in the original order during `build`, the
+//! unconsumed network-latency stream (fork 4) is *stored* and cloned by
+//! every `NetworkPlan`, and the per-server seeds (fork 5) are drawn
+//! serially at build time — exactly the streams the monolith consumed per
+//! call. `crates/core/tests/determinism.rs` pins this with a golden
+//! equality test over every `ServerScheme` × `AggregationLevel` pair.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eprons_net::consolidate::AggregationRouter;
+use eprons_net::flow::FlowSet;
+use eprons_net::{
+    Assignment, ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
+};
+use eprons_server::policy::DvfsPolicy;
+use eprons_server::request::budget_with_network_slack;
+use eprons_server::{
+    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, DeepSleepPolicy, MaxFreqPolicy,
+    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+};
+use eprons_sim::SimRng;
+use eprons_topo::{AggregationLevel, FatTree, NodeId};
+use eprons_workload::background::background_flows;
+use eprons_workload::{xapian_like_samples, Query, QueryGenerator};
+
+use crate::cluster::{
+    ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
+};
+use crate::config::{ClusterConfig, SlaConfig};
+use crate::parallel::{parallel_map, parallel_map_range};
+
+/// The axes a [`ScenarioContext`] is keyed by: everything in a
+/// [`ClusterRun`] except the per-candidate network configuration and the
+/// per-evaluation server scheme (neither feeds the workload build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Target per-ISN utilization (drives the query rate).
+    pub server_utilization: f64,
+    /// Background traffic as a fraction of link capacity (0 disables).
+    pub background_util: f64,
+    /// Simulated seconds of query arrivals *measured*.
+    pub duration_s: f64,
+    /// Warmup seconds simulated before measurement starts.
+    pub warmup_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The scenario axes of a [`ClusterRun`] (its scheme and consolidation
+    /// are per-evaluation inputs, not scenario state).
+    pub fn of_run(run: &ClusterRun) -> ScenarioSpec {
+        ScenarioSpec {
+            server_utilization: run.server_utilization,
+            background_util: run.background_util,
+            duration_s: run.duration_s,
+            warmup_s: run.warmup_s,
+            seed: run.seed,
+        }
+    }
+}
+
+/// The expensive immutable state of one scenario, built once and shared
+/// (via `Arc`) by every candidate evaluation against it.
+#[derive(Debug)]
+pub(crate) struct ScenarioData {
+    pub(crate) ft: FatTree,
+    pub(crate) hosts: Vec<NodeId>,
+    pub(crate) service: Arc<ServiceModel>,
+    pub(crate) mean_service_s: f64,
+    /// `spec.warmup_s` clamped to ≥ 0 (what the stages measure from).
+    pub(crate) warmup_s: f64,
+    /// Warmup + measured duration: the arrival-generation horizon.
+    pub(crate) horizon_s: f64,
+    pub(crate) queries: Vec<Query>,
+    /// Background elephants plus one latency-sensitive flow per ordered
+    /// host pair (any server may aggregate, so query traffic exists
+    /// between every pair).
+    pub(crate) flows: FlowSet,
+    pub(crate) pair_flow: HashMap<(usize, usize), FlowId>,
+    /// Per-server DVFS-simulation seeds, drawn serially in index order.
+    pub(crate) server_seeds: Vec<u64>,
+    /// The *unconsumed* network-latency RNG (stream 4 of the master).
+    /// Every [`NetworkPlan`] clones it, so each candidate replays exactly
+    /// the stream the monolithic path drew for its own fresh build.
+    pub(crate) net_rng: SimRng,
+}
+
+/// Stage 1: everything a scenario's candidate evaluations share.
+///
+/// Cloning is cheap (the built state sits behind one `Arc`); a clone can
+/// cross threads or carry a different SLA ([`ScenarioContext::with_sla`]).
+///
+/// ```
+/// use eprons_core::{ClusterConfig, ConsolidationSpec, ServerScheme};
+/// use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
+/// let cfg = ClusterConfig::default();
+/// let spec = ScenarioSpec {
+///     server_utilization: 0.2,
+///     background_util: 0.1,
+///     duration_s: 1.0,
+///     warmup_s: 0.0,
+///     seed: 1,
+/// };
+/// let ctx = ScenarioContext::build(&cfg, &spec);
+/// // Candidates reuse the build; only consolidation + DVFS re-run.
+/// let a = ctx.evaluate(ServerScheme::EpronsServer, ConsolidationSpec::AllOn).unwrap();
+/// let b = ctx.evaluate(ServerScheme::EpronsServer, ConsolidationSpec::GreedyK(2.0)).unwrap();
+/// assert!(b.active_switches <= a.active_switches);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioContext {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) spec: ScenarioSpec,
+    pub(crate) data: Arc<ScenarioData>,
+}
+
+impl ScenarioContext {
+    /// Builds the shared scenario state: fat-tree, service model, query
+    /// and background workloads, flow set, and the per-candidate RNG
+    /// snapshots.
+    pub fn build(cfg: &ClusterConfig, spec: &ScenarioSpec) -> ScenarioContext {
+        let _t = eprons_obs::Timer::scoped("core.scenario.build_s");
+        let obs_on = eprons_obs::enabled();
+
+        // The master RNG's forks are drawn in the exact order the
+        // monolithic `run_cluster` drew them, so every downstream stream
+        // is bit-identical to the pre-staged path.
+        let mut master = SimRng::seed_from_u64(spec.seed);
+        let mut service_rng = master.fork(1);
+        let mut query_rng = master.fork(2);
+        let mut bg_rng = master.fork(3);
+        let net_rng = master.fork(4);
+        let mut server_seed_rng = master.fork(5);
+
+        let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
+        let n = cfg.num_servers();
+        let hosts = ft.hosts().to_vec();
+
+        // --- Service-time model (the measured Xapian log, §V-A). ---
+        let samples = xapian_like_samples(&mut service_rng, cfg.service_log_samples);
+        let service = ServiceModel::from_time_samples(
+            &samples,
+            0.2,
+            cfg.ladder.max(),
+            cfg.work_pmf_bins,
+        );
+        let mean_service_s = service.mean_service_time(cfg.ladder.max());
+
+        // --- Query workload (warmup + measured window). ---
+        let warmup_s = spec.warmup_s.max(0.0);
+        let horizon_s = warmup_s + spec.duration_s;
+        let rate = cfg.query_rate_for_utilization(spec.server_utilization, mean_service_s);
+        let generator = QueryGenerator::new(n);
+        let queries = generator.generate(&mut query_rng, rate, horizon_s);
+
+        // --- Flows (candidate-invariant; consolidation is per-plan). ---
+        let mut flows = FlowSet::new();
+        if spec.background_util > 0.0 {
+            for bf in
+                background_flows(&ft, &mut bg_rng, spec.background_util, cfg.link_capacity_mbps)
+            {
+                flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
+            }
+        }
+        let mut pair_flow: HashMap<(usize, usize), FlowId> = HashMap::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let id = flows.add(
+                        hosts[a],
+                        hosts[b],
+                        cfg.query_flow_mbps,
+                        FlowClass::LatencySensitive,
+                    );
+                    pair_flow.insert((a, b), id);
+                }
+            }
+        }
+
+        // Per-server seeds, drawn serially before any fan-out (the stream
+        // is candidate- and scheme-invariant, so it lives in the context).
+        let server_seeds: Vec<u64> = (0..n)
+            .map(|s| server_seed_rng.fork(s as u64).uniform().to_bits())
+            .collect();
+
+        if obs_on {
+            eprons_obs::registry().counter("core.scenario.builds").inc();
+            eprons_obs::record(eprons_obs::Event::ScenarioBuilt {
+                seed: spec.seed,
+                queries: queries.len() as u64,
+                flows: flows.len() as u64,
+                servers: n as u64,
+            });
+        }
+
+        ScenarioContext {
+            cfg: cfg.clone(),
+            spec: spec.clone(),
+            data: Arc::new(ScenarioData {
+                ft,
+                hosts,
+                service: Arc::new(service),
+                mean_service_s,
+                warmup_s,
+                horizon_s,
+                queries,
+                flows,
+                pair_flow,
+                server_seeds,
+                net_rng,
+            }),
+        }
+    }
+
+    /// The configuration this scenario was built under.
+    pub fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The scenario axes this context was built for.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Number of servers (fat-tree hosts) in the scenario.
+    pub fn num_servers(&self) -> usize {
+        self.data.hosts.len()
+    }
+
+    /// Number of generated queries (warmup + measured window).
+    pub fn query_count(&self) -> usize {
+        self.data.queries.len()
+    }
+
+    /// Mean service time at `f_max` under the fitted service model.
+    pub fn mean_service_s(&self) -> f64 {
+        self.data.mean_service_s
+    }
+
+    /// A context sharing all built state but evaluating under a different
+    /// SLA. Sound because the SLA feeds only the per-candidate stages
+    /// (request budgets, feasibility) and never the cached build
+    /// (topology, service model, workloads) — the constraint sweeps of
+    /// Figs. 12–13 reuse one build across every constraint.
+    pub fn with_sla(&self, sla: SlaConfig) -> ScenarioContext {
+        let mut cfg = self.cfg.clone();
+        cfg.sla = sla;
+        ScenarioContext {
+            cfg,
+            spec: self.spec.clone(),
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Evaluates one (scheme, network-candidate) pair against the shared
+    /// scenario: stages 2–4 of the pipeline. Bit-identical to
+    /// [`crate::run_cluster`] with the same inputs.
+    pub fn evaluate(
+        &self,
+        scheme: ServerScheme,
+        consolidation: ConsolidationSpec,
+    ) -> Result<ClusterRunResult, ClusterError> {
+        let obs_on = eprons_obs::enabled();
+        let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
+        if obs_on {
+            eprons_obs::registry().counter("core.cluster.runs").inc();
+            eprons_obs::record(eprons_obs::Event::RunTag {
+                scheme: scheme.name().to_string(),
+                consolidation: consolidation.label(),
+                seed: self.spec.seed,
+            });
+        }
+        let plan = NetworkPlan::build(self, consolidation)?;
+        let eval = ServerEvaluation::run(self, &plan, scheme);
+        let result = crate::accounting::assemble(self, &plan, &eval);
+        if obs_on {
+            let reg = eprons_obs::registry();
+            let edges = eprons_obs::DURATION_EDGES_S;
+            reg.histogram("core.cluster.server_p95_s", edges)
+                .observe(result.server_latency.p95_s);
+            reg.histogram("core.cluster.e2e_p95_s", edges)
+                .observe(result.e2e_latency.p95_s);
+            reg.histogram("core.cluster.query_e2e_p95_s", edges)
+                .observe(result.query_e2e_latency.p95_s);
+            reg.gauge("core.cluster.total_w").set(result.breakdown.total_w());
+        }
+        Ok(result)
+    }
+
+    /// Fans `candidates` out over the thread budget, evaluating each one
+    /// against this shared context (the optimizer's inner loop). Results
+    /// come back in candidate order.
+    pub fn evaluate_candidates(
+        &self,
+        scheme: ServerScheme,
+        candidates: &[ConsolidationSpec],
+    ) -> Vec<(ConsolidationSpec, Result<ClusterRunResult, ClusterError>)> {
+        parallel_map(candidates, |spec| (*spec, self.evaluate(scheme, *spec)))
+    }
+}
+
+/// Stage 2: one candidate network configuration applied to a scenario —
+/// the consolidation assignment plus the per-sub-query network latencies
+/// sampled along its paths.
+#[derive(Debug, Clone)]
+pub struct NetworkPlan {
+    pub(crate) consolidation: ConsolidationSpec,
+    pub(crate) assignment: Assignment,
+    pub(crate) max_link_utilization: f64,
+    /// Peak utilization above the congestion threshold (withdraws
+    /// TimeTrader's network slack).
+    pub(crate) congested: bool,
+    /// Per query: `(ISN, request latency, reply latency)` in seconds.
+    pub(crate) net_lat: Vec<Vec<(usize, f64, f64)>>,
+}
+
+impl NetworkPlan {
+    /// Runs consolidation for `consolidation` against the scenario's flow
+    /// set and samples the per-sub-query request/reply latencies.
+    pub fn build(
+        ctx: &ScenarioContext,
+        consolidation: ConsolidationSpec,
+    ) -> Result<NetworkPlan, ClusterError> {
+        let _t = eprons_obs::Timer::scoped("core.stage.network_plan_s");
+        let d = &*ctx.data;
+        let n = d.hosts.len();
+        let ccfg = ConsolidationConfig {
+            scale_k: match consolidation {
+                ConsolidationSpec::GreedyK(k) => k,
+                _ => 1.0,
+            },
+            safety_margin_mbps: ctx.cfg.safety_margin_mbps,
+            power: ctx.cfg.net_power.clone(),
+        };
+        let assignment: Assignment = match consolidation {
+            ConsolidationSpec::AllOn => {
+                AggregationRouter::for_level(&d.ft, AggregationLevel::Agg0)
+                    .consolidate(&d.ft, &d.flows, &ccfg)
+            }
+            ConsolidationSpec::Level(l) => {
+                AggregationRouter::for_level(&d.ft, l).consolidate(&d.ft, &d.flows, &ccfg)
+            }
+            ConsolidationSpec::GreedyK(_) => {
+                GreedyConsolidator.consolidate(&d.ft, &d.flows, &ccfg)
+            }
+        }
+        .map_err(ClusterError::Consolidation)?;
+
+        let max_link_utilization = assignment.max_utilization(&d.ft);
+        let congested = max_link_utilization > ctx.cfg.congestion_threshold;
+
+        // --- Per-sub-query network latencies. ---
+        //
+        // The per-hop utilizations along a pair's path are fixed once the
+        // assignment is, so they are computed once per ordered host pair
+        // (n·(n−1) paths) instead of once per sub-query direction (~two
+        // orders of magnitude more often at realistic query rates). Only
+        // the latency *sampling* stays per sub-query — it consumes the
+        // same RNG draws either way, so the stream (and every downstream
+        // bit) is unchanged.
+        let state = assignment.state();
+        let topo = d.ft.topology();
+        let mut net_rng = d.net_rng.clone();
+        let mut pair_utils: HashMap<(usize, usize), Vec<f64>> =
+            HashMap::with_capacity(d.pair_flow.len());
+        for (&pair, &fid) in &d.pair_flow {
+            let mut utils = Vec::new();
+            state.path_utilizations_into(topo, assignment.path(fid), &mut utils);
+            pair_utils.insert(pair, utils);
+        }
+        let mut net_lat: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); d.queries.len()];
+        for q in &d.queries {
+            for s in 0..n {
+                if s == q.aggregator {
+                    continue;
+                }
+                let req_utils = &pair_utils[&(q.aggregator, s)];
+                let rep_utils = &pair_utils[&(s, q.aggregator)];
+                let req_lat =
+                    ctx.cfg.latency.sample_path_latency_us(&mut net_rng, req_utils) * 1.0e-6;
+                let rep_lat =
+                    ctx.cfg.latency.sample_path_latency_us(&mut net_rng, rep_utils) * 1.0e-6;
+                net_lat[q.id as usize].push((s, req_lat, rep_lat));
+            }
+        }
+
+        Ok(NetworkPlan {
+            consolidation,
+            assignment,
+            max_link_utilization,
+            congested,
+            net_lat,
+        })
+    }
+
+    /// The candidate this plan realizes.
+    pub fn consolidation(&self) -> ConsolidationSpec {
+        self.consolidation
+    }
+
+    /// Active switches after consolidation.
+    pub fn active_switches(&self, ctx: &ScenarioContext) -> usize {
+        self.assignment.active_switch_count(&ctx.data.ft)
+    }
+}
+
+/// What one server's shard hands back to the in-order reduction.
+#[derive(Debug)]
+pub(crate) struct ServerShard {
+    pub(crate) avg_core_w: f64,
+    /// `(query id, latency, budget)` per completed sub-query.
+    pub(crate) completions: Vec<(u64, f64, f64)>,
+}
+
+/// Stage 3: the per-ISN DVFS simulations for one (plan, scheme) pair,
+/// with the plan's request network slack transferred into each request's
+/// compute budget for the slack-aware schemes.
+#[derive(Debug)]
+pub struct ServerEvaluation {
+    pub(crate) scheme: ServerScheme,
+    pub(crate) shards: Vec<ServerShard>,
+}
+
+impl ServerEvaluation {
+    /// Builds the per-server arrival traces (arrival = query time +
+    /// request latency; budget per the scheme's slack rule) and fans the
+    /// independent core simulations out over the thread budget.
+    pub fn run(
+        ctx: &ScenarioContext,
+        plan: &NetworkPlan,
+        scheme: ServerScheme,
+    ) -> ServerEvaluation {
+        let _t = eprons_obs::Timer::scoped("core.stage.server_eval_s");
+        let obs_on = eprons_obs::enabled();
+        let d = &*ctx.data;
+        let cfg = &ctx.cfg;
+        let n = d.hosts.len();
+
+        // TimeTrader borrows whatever network budget its congestion
+        // monitor shows to be unused: target = server budget + max(0,
+        // network budget − observed round-trip p95). A congested subnet
+        // (ECN/queue build-up) withdraws the slack entirely — the
+        // over-conservatism the paper criticizes (§I).
+        let timetrader_target = if scheme == ServerScheme::TimeTrader {
+            let round_trips: Vec<f64> = plan
+                .net_lat
+                .iter()
+                .flatten()
+                .map(|&(_, req, rep)| req + rep)
+                .collect();
+            let net_p95 = if round_trips.is_empty() || plan.congested {
+                cfg.sla.network_budget_s
+            } else {
+                eprons_num::quantile::percentile(&round_trips, 0.95)
+            };
+            cfg.sla.server_budget_s + (cfg.sla.network_budget_s - net_p95).max(0.0)
+        } else {
+            cfg.sla.server_budget_s
+        };
+
+        // --- Server arrival traces with per-request budgets. ---
+        let mut per_server: Vec<Vec<ArrivalSpec>> = vec![Vec::new(); n];
+        for q in &d.queries {
+            for &(s, req_lat, _rep) in &plan.net_lat[q.id as usize] {
+                let budget = if scheme.uses_request_slack() {
+                    budget_with_network_slack(
+                        cfg.sla.server_budget_s,
+                        cfg.sla.request_budget_s(),
+                        req_lat,
+                    )
+                } else if scheme == ServerScheme::TimeTrader {
+                    timetrader_target
+                } else {
+                    cfg.sla.server_budget_s
+                };
+                per_server[s].push(ArrivalSpec {
+                    arrival_s: q.time_s + req_lat,
+                    budget_s: budget,
+                    tag: q.id,
+                });
+            }
+        }
+        for arrivals in per_server.iter_mut() {
+            arrivals.sort_by(|a, b| {
+                a.arrival_s
+                    .partial_cmp(&b.arrival_s)
+                    .expect("finite times")
+            });
+        }
+
+        // --- Per-ISN DVFS simulation, sharded across the thread budget.
+        //
+        // Each server's core simulation is independent once its arrival
+        // trace and RNG seed are fixed. Determinism is preserved by
+        // construction: the per-server seeds were drawn serially at
+        // context build, the shards share no mutable state, and the
+        // accounting stage folds shard results in server-index order so
+        // floating-point accumulation matches the serial loop bit for
+        // bit.
+        let core_cfg = CoreSimConfig {
+            ladder: cfg.ladder.clone(),
+            power: cfg.cpu.clone(),
+            decision_overhead_s: 30.0e-6,
+            measure_from_s: d.warmup_s,
+        };
+        if obs_on {
+            eprons_obs::registry()
+                .gauge("core.cluster.worker_threads")
+                .set(crate::parallel::thread_budget() as f64);
+        }
+        let shards: Vec<ServerShard> = parallel_map_range(n, |s| {
+            let _t = eprons_obs::Timer::scoped("core.cluster.server_shard_s");
+            let arrivals = &per_server[s];
+            let mut engine = VpEngine::shared(Arc::clone(&d.service));
+            let mut policy: Box<dyn DvfsPolicy> = match scheme {
+                ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
+                ServerScheme::Rubik => Box::new(MaxVpPolicy::rubik()),
+                ServerScheme::RubikPlus => Box::new(MaxVpPolicy::rubik_plus()),
+                ServerScheme::TimeTrader => {
+                    Box::new(TimeTraderPolicy::new(timetrader_target, cfg.ladder.len()))
+                }
+                ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
+                ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
+            };
+            let r = simulate_core(
+                policy.as_mut(),
+                &mut engine,
+                arrivals,
+                &core_cfg,
+                d.server_seeds[s],
+            );
+            let end = r.sim_end_s.max(d.horizon_s);
+            let span = end - d.warmup_s;
+            let trailing_idle_w = policy
+                .idle_power_w()
+                .unwrap_or_else(|| cfg.cpu.core_idle_w());
+            let avg_core_w = if span > 0.0 {
+                // Integrate idle power through any trailing idle time too.
+                (r.energy_j + (end - r.sim_end_s) * trailing_idle_w) / span
+            } else {
+                trailing_idle_w
+            };
+            let completions = r
+                .latencies
+                .iter()
+                .zip(&r.tags)
+                .zip(&r.budgets)
+                .map(|((&lat, &tag), &budget)| (tag, lat, budget))
+                .collect();
+            ServerShard {
+                avg_core_w,
+                completions,
+            }
+        });
+        ServerEvaluation { scheme, shards }
+    }
+
+    /// The scheme this evaluation ran under.
+    pub fn scheme(&self) -> ServerScheme {
+        self.scheme
+    }
+}

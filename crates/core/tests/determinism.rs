@@ -13,6 +13,7 @@
 //! CI machines with any core count exercise both paths: budget 4 still
 //! spawns helper threads on a single-core runner.
 
+use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
 use eprons_core::{
     optimize_total_power, run_cluster, set_thread_budget, ClusterConfig, ClusterRun,
     ClusterRunResult, ConsolidationSpec, ServerScheme,
@@ -106,6 +107,69 @@ fn optimizer_is_bit_identical_serial_vs_parallel() {
     assert_eq!(serial.spec, parallel.spec, "candidate choice diverged");
     assert_eq!(serial.feasible, parallel.feasible);
     assert_eq!(result_bits(&serial.result), result_bits(&parallel.result));
+}
+
+#[test]
+fn staged_pipeline_matches_run_cluster_bit_for_bit() {
+    // The golden equality pin for the staged refactor: evaluating any
+    // (scheme, consolidation) pair against one shared ScenarioContext must
+    // reproduce the one-shot `run_cluster` wrapper (which builds a fresh
+    // context per call) exactly — every scheme, every aggregation level,
+    // every float bit. Context reuse can never leak into the numbers.
+    let cfg = ClusterConfig::default();
+    let schemes = [
+        ServerScheme::NoPowerManagement,
+        ServerScheme::Rubik,
+        ServerScheme::RubikPlus,
+        ServerScheme::TimeTrader,
+        ServerScheme::EpronsServer,
+        ServerScheme::DeepSleep,
+    ];
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    for scheme in schemes {
+        for level in AggregationLevel::ALL {
+            let spec = ConsolidationSpec::Level(level);
+            let run = short_run(scheme, spec);
+            let monolithic = run_cluster(&cfg, &run).unwrap();
+            let staged = ctx.evaluate(scheme, spec).unwrap();
+            assert_eq!(
+                result_bits(&monolithic),
+                result_bits(&staged),
+                "{} / {} diverged between fresh and shared context",
+                scheme.name(),
+                spec.label()
+            );
+        }
+    }
+    // GreedyK and the serial/parallel axis too: a shared context under
+    // budget 1 equals a fresh build under budget 4.
+    let spec = ConsolidationSpec::GreedyK(2.0);
+    let run = short_run(ServerScheme::EpronsServer, spec);
+    let fresh = with_budget(4, || run_cluster(&cfg, &run).unwrap());
+    let shared = with_budget(1, || {
+        ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap()
+    });
+    assert_eq!(result_bits(&fresh), result_bits(&shared));
+}
+
+#[test]
+fn with_sla_reuses_the_build_without_changing_the_physics() {
+    // `with_sla` swaps the SLA without rebuilding: the cached state
+    // (topology, service model, workloads, RNG snapshots) is
+    // SLA-independent, so evaluating under the swapped SLA must equal a
+    // from-scratch build under that SLA, bit for bit.
+    let cfg = ClusterConfig::default();
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    let mut tight_cfg = cfg.clone();
+    tight_cfg.sla = tight_cfg.sla.with_total(9.0e-3);
+    let tight_ctx = ctx.with_sla(tight_cfg.sla.clone());
+    let spec = ConsolidationSpec::Level(AggregationLevel::Agg2);
+    let run = short_run(ServerScheme::EpronsServer, spec);
+    let fresh = run_cluster(&tight_cfg, &run).unwrap();
+    let reused = tight_ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
+    assert_eq!(result_bits(&fresh), result_bits(&reused));
 }
 
 #[test]

@@ -164,9 +164,21 @@ impl NetworkState {
     /// Utilizations along a path in hop order, each taken in the traversal
     /// direction.
     pub fn path_utilizations(&self, topo: &Topology, path: &Path) -> Vec<f64> {
-        path.hops()
-            .map(|(from, _, l)| self.utilization_dir(l, direction_from(topo, l, from)))
-            .collect()
+        let mut out = Vec::with_capacity(path.links.len());
+        self.path_utilizations_into(topo, path, &mut out);
+        out
+    }
+
+    /// [`Self::path_utilizations`] into a caller-owned buffer (cleared
+    /// first). The cluster pipeline samples two paths per (query, ISN)
+    /// pair and reuses one buffer across the whole sweep instead of
+    /// allocating per call.
+    pub fn path_utilizations_into(&self, topo: &Topology, path: &Path, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            path.hops()
+                .map(|(from, _, l)| self.utilization_dir(l, direction_from(topo, l, from))),
+        );
     }
 
     /// Whether every node and link of `path` is powered.

@@ -115,6 +115,16 @@ pub enum Event {
         consolidation: String,
         seed: u64,
     },
+    /// A shared scenario context was built (stage 1 of the staged cluster
+    /// pipeline): the per-(config, seed, load) state — topology, service
+    /// model, query/background workloads — that every candidate
+    /// evaluation against this scenario reuses.
+    ScenarioBuilt {
+        seed: u64,
+        queries: u64,
+        flows: u64,
+        servers: u64,
+    },
 }
 
 impl Event {
@@ -133,6 +143,7 @@ impl Event {
             Event::ConsolidationPass { .. } => "ConsolidationPass",
             Event::ClockSkew { .. } => "ClockSkew",
             Event::RunTag { .. } => "RunTag",
+            Event::ScenarioBuilt { .. } => "ScenarioBuilt",
         }
     }
 
@@ -267,6 +278,17 @@ impl Event {
                 ("consolidation", s(consolidation)),
                 ("seed", u(*seed)),
             ]),
+            Event::ScenarioBuilt {
+                seed,
+                queries,
+                flows,
+                servers,
+            } => f(vec![
+                ("seed", u(*seed)),
+                ("queries", u(*queries)),
+                ("flows", u(*flows)),
+                ("servers", u(*servers)),
+            ]),
         }
     }
 
@@ -377,6 +399,12 @@ impl Event {
             "ClockSkew" => Event::ClockSkew {
                 at_s: fn_("at_s")?,
                 last_s: fn_("last_s")?,
+            },
+            "ScenarioBuilt" => Event::ScenarioBuilt {
+                seed: fu("seed")?,
+                queries: fu("queries")?,
+                flows: fu("flows")?,
+                servers: fu("servers")?,
             },
             "RunTag" => Event::RunTag {
                 scheme: fs("scheme")?,

@@ -100,7 +100,7 @@ pub struct InflightHead {
 /// never results.
 #[derive(Debug, Clone)]
 pub struct VpEngine {
-    service: ServiceModel,
+    service: Arc<ServiceModel>,
     fingerprint: u64,
     /// Frozen shared levels: `prefix[n-1]` = n-fold self-convolution.
     prefix: Arc<Vec<Pmf>>,
@@ -113,6 +113,14 @@ impl VpEngine {
     /// convolution prefix for that model (and seeding the shared cache
     /// with the 1-fold level on first sight).
     pub fn new(service: ServiceModel) -> Self {
+        Self::shared(Arc::new(service))
+    }
+
+    /// [`VpEngine::new`] over an already-shared model: the staged cluster
+    /// pipeline builds one `Arc<ServiceModel>` per scenario and hands it
+    /// to every server shard of every candidate, so the work PMF is never
+    /// deep-cloned per engine.
+    pub fn shared(service: Arc<ServiceModel>) -> Self {
         let fingerprint = service_fingerprint(&service);
         let prefix = {
             let mut map = equiv_cache().lock().unwrap_or_else(|e| e.into_inner());
