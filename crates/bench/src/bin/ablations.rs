@@ -7,7 +7,7 @@
 //! 4. **switch transition overheads** over a diurnal day (§IV-B's deferred
 //!    cost: 72.52 s measured power-on per switch, amortized).
 
-use eprons_bench::{banner, quick, BASE_SEED};
+use eprons_bench::{banner, pct_or_na, quick, BASE_SEED};
 use eprons_core::controller::{day_transition_energy_j, DayConfig};
 use eprons_core::optimizer::aggregation_candidates;
 use eprons_core::report::Table;
@@ -61,8 +61,8 @@ fn main() {
             format!("{:.3}", max_vp.avg_core_power_w()),
             format!("{:.3}", fifo.avg_core_power_w()),
             format!("{:.3}", edf.avg_core_power_w()),
-            format!("{:.2}", edf.miss_rate().unwrap() * 100.0),
-            format!("{:.2}", fifo.miss_rate().unwrap() * 100.0),
+            pct_or_na(edf.miss_rate()),
+            pct_or_na(fifo.miss_rate()),
         ]);
     }
     println!("{t}");
@@ -82,7 +82,7 @@ fn main() {
             format!("{:.3}", dvfs.avg_core_power_w()),
             format!("{:.3}", sleep.avg_core_power_w()),
             format!("{}", sleep.avg_core_power_w() < dvfs.avg_core_power_w()),
-            format!("{:.2}", sleep.miss_rate().unwrap() * 100.0),
+            pct_or_na(sleep.miss_rate()),
         ]);
     }
     println!("{t}");

@@ -7,7 +7,7 @@
 //! *measured* miss rate lands at or below it (the model is conservative
 //! between decision instants), at several loads.
 
-use eprons_bench::{banner, quick, BASE_SEED};
+use eprons_bench::{banner, pct_or_na, quick, BASE_SEED};
 use eprons_core::report::Table;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
@@ -44,7 +44,7 @@ fn main() {
                     })
                 };
                 let r = simulate_core(policy.as_mut(), &mut engine, &arrivals, &cfg, 9);
-                row.push(format!("{:.2}", r.miss_rate().unwrap() * 100.0));
+                row.push(pct_or_na(r.miss_rate()));
             }
             t.row(&row);
         }

@@ -45,6 +45,17 @@ pub fn cfg_with_total_ms(total_ms: f64) -> ClusterConfig {
     cfg
 }
 
+/// Formats an optional rate as a percentage with two decimals, or `n/a`
+/// when no completions produced a rate at all (e.g. a zero-completion
+/// epoch under `--quick` durations). Table cells must never panic on an
+/// empty measurement.
+pub fn pct_or_na(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{:.2}", r * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
 /// The `--journal <path>` (or `--journal=<path>`) argument, if given.
 pub fn journal_path() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
@@ -109,6 +120,13 @@ mod tests {
     fn sweep_duration_modes() {
         // Not running with --quick in the test harness.
         assert!(sweep_duration_s() > 0.0);
+    }
+
+    #[test]
+    fn pct_or_na_formats_and_degrades() {
+        assert_eq!(pct_or_na(Some(0.0512)), "5.12");
+        assert_eq!(pct_or_na(Some(0.0)), "0.00");
+        assert_eq!(pct_or_na(None), "n/a");
     }
 
     #[test]

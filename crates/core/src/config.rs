@@ -1,7 +1,40 @@
 //! Cluster-wide configuration: every calibrated constant in one place.
 
-use eprons_net::{LatencyModel, NetworkPowerModel};
+use eprons_net::{LatencyModel, NetworkPowerModel, TransitionModel};
 use eprons_server::{CpuPowerModel, FreqLadder};
+
+/// How the controller reacts when a switch dies mid-epoch (the
+/// degradation ladder of `eprons_net::failure`, making §IV-B's
+/// "backup paths" remark concrete).
+#[derive(Debug, Clone)]
+pub struct FailurePolicyConfig {
+    /// Rung 1: try an in-epoch repair that re-routes only the victim
+    /// flows, waking backup switches and charging their boot energy.
+    pub attempt_repair: bool,
+    /// Rung 2: if repair fails, re-consolidate the whole epoch with the
+    /// failed switches masked out of every candidate.
+    pub attempt_reconsolidate: bool,
+    /// Mean time to failure for sampled schedules, minutes (default one
+    /// week — failures are rare but not negligible).
+    pub mttf_minutes: f64,
+    /// Mean time to repair for sampled schedules, minutes.
+    pub mttr_minutes: f64,
+    /// Switch transition overheads used to price repairs (§IV-B's
+    /// measured 72.52 s power-on time).
+    pub transition: TransitionModel,
+}
+
+impl Default for FailurePolicyConfig {
+    fn default() -> Self {
+        FailurePolicyConfig {
+            attempt_repair: true,
+            attempt_reconsolidate: true,
+            mttf_minutes: 10_080.0,
+            mttr_minutes: 30.0,
+            transition: TransitionModel::default(),
+        }
+    }
+}
 
 /// The SLA split between network and servers (paper §V-B2: "30 ms
 /// constraint (25 ms server budget and 5 ms network budget)").
@@ -84,6 +117,8 @@ pub struct ClusterConfig {
     pub service_log_samples: usize,
     /// Work-PMF resolution (bins).
     pub work_pmf_bins: usize,
+    /// Switch-failure degradation policy.
+    pub failure: FailurePolicyConfig,
 }
 
 impl Default for ClusterConfig {
@@ -101,6 +136,7 @@ impl Default for ClusterConfig {
             congestion_threshold: 0.7,
             service_log_samples: 30_000,
             work_pmf_bins: 160,
+            failure: FailurePolicyConfig::default(),
         }
     }
 }

@@ -5,20 +5,29 @@
 //! optimizer every 10 minutes (§IV-B), and reconfigures paths/switch
 //! states. [`simulate_day`] replays a 24-hour diurnal day (Fig. 14) through
 //! that loop and records the power timeline of Fig. 15.
+//!
+//! [`simulate_day_with_failures`] replays the same day against a
+//! [`FailureSchedule`]: switches down at an epoch's start are masked out
+//! of that epoch's candidate ladder, and a mid-epoch failure walks the
+//! degradation ladder of [`eprons_net::failure`] — in-epoch repair
+//! (charging boot energy for woken backups), re-consolidation around the
+//! failure, all-on fallback, or, when even that cannot route, an
+//! unprotected epoch whose SLA flag is forced false.
 
+use eprons_net::failure::{DegradationPolicy, DegradationStage, FailureEventKind, FailureSchedule};
 use eprons_net::transition::{Churn, TransitionModel};
-use eprons_net::{DemandPredictor, NetworkState};
+use eprons_net::{Assignment, DemandPredictor, NetworkState};
 use eprons_net::flow::FlowId;
 use eprons_sim::SimRng;
 use eprons_topo::{FatTree, NodeId};
 use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
-use crate::cluster::{run_cluster, ClusterRun, ConsolidationSpec, ServerScheme};
+use crate::cluster::{ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
 use crate::config::ClusterConfig;
-use crate::optimizer::optimize_in_context;
+use crate::optimizer::{optimize_in_context, optimize_in_context_masked};
 use crate::accounting::PowerBreakdown;
 use crate::parallel::parallel_map;
-use crate::scenario::{ScenarioContext, ScenarioSpec};
+use crate::scenario::{NetworkPlan, ScenarioContext, ScenarioSpec};
 
 /// The three Fig. 15 contenders.
 #[derive(Debug, Clone)]
@@ -68,6 +77,16 @@ pub struct DayRecord {
     pub e2e_p95_s: f64,
     /// Whether the epoch met the SLA.
     pub feasible: bool,
+    /// Switches down at any point during the epoch (node indices: those
+    /// already down at the epoch start, then mid-epoch failures in event
+    /// order). Empty on a failure-free epoch.
+    pub failed_switches: Vec<usize>,
+    /// Boot energy charged inside this epoch for repairs and recoveries
+    /// (joules) — §IV-B's 72.52 s power-on cost per woken switch.
+    pub boot_energy_j: f64,
+    /// Worst degradation-ladder rung a mid-epoch failure forced, if any.
+    /// `None` on epochs that ran their chosen configuration untouched.
+    pub degradation: Option<DegradationStage>,
 }
 
 /// Day-simulation knobs.
@@ -95,10 +114,42 @@ impl Default for DayConfig {
 }
 
 /// Replays one diurnal day under a strategy; returns one record per epoch.
+///
+/// Equivalent to [`simulate_day_with_failures`] with the empty schedule
+/// (bit-identical: the failure machinery is pure data the epochs consult,
+/// and an empty schedule leaves every epoch's evaluation untouched).
 pub fn simulate_day(
     cfg: &ClusterConfig,
     strategy: &DayStrategy,
     day: &DayConfig,
+) -> Vec<DayRecord> {
+    simulate_day_with_failures(cfg, strategy, day, &FailureSchedule::none())
+}
+
+/// [`simulate_day`] against a switch-failure schedule (the §IV-B regime
+/// the paper defers to "backup paths").
+///
+/// Per epoch: switches the schedule marks down at the epoch start are
+/// masked out of the candidate ladder, so the optimizer never routes
+/// through dead hardware. A failure *inside* the epoch walks the
+/// degradation ladder — (1) in-epoch repair of the victim flows, waking
+/// backup switches and charging their boot energy; (2) if repair fails,
+/// immediate re-consolidation with the failure masked; (3) the all-on
+/// configuration minus failures; (4) as a last resort the epoch runs
+/// unprotected with `feasible` forced false. Power within an
+/// event-carrying epoch is time-weighted across the segments between
+/// events; a crashed switch keeps drawing its hung power until the next
+/// epoch boundary. A recover event charges the §IV-B boot energy; the
+/// recovered switch rejoins the candidate pool at the next epoch
+/// boundary (its 72.52 s boot makes it useless mid-epoch anyway).
+///
+/// Epochs stay independent given the schedule (pure data), so the day
+/// still evaluates in parallel and is a pure function of its arguments.
+pub fn simulate_day_with_failures(
+    cfg: &ClusterConfig,
+    strategy: &DayStrategy,
+    day: &DayConfig,
+    schedule: &FailureSchedule,
 ) -> Vec<DayRecord> {
     let mut rng = SimRng::seed_from_u64(day.seed);
     let search = DiurnalProfile::search_load().sample_day(&mut rng.fork(1));
@@ -110,6 +161,13 @@ pub fn simulate_day(
             strategy: strategy.name().to_string(),
             epochs: epochs as u64,
         });
+        for ev in schedule.events() {
+            eprons_obs::record(eprons_obs::Event::FailureInjected {
+                switch: ev.switch as u64,
+                minute: ev.minute,
+                kind: ev.kind.label().to_string(),
+            });
+        }
     }
 
     // The controller predicts each epoch's background demand as the 90th
@@ -158,66 +216,323 @@ pub fn simulate_day(
             warmup_s: 0.0,
             seed: day.seed ^ (e as u64).wrapping_mul(0x9E37_79B9),
         };
-        let (rec, choice_label) = match strategy {
-            DayStrategy::NoPowerManagement => {
-                let run = ClusterRun {
-                    scheme: ServerScheme::NoPowerManagement,
-                    ..template
-                };
-                let r = run_cluster(cfg, &run).expect("all-on never fails");
-                let rec = DayRecord {
-                    minute,
-                    search_load: load,
-                    background_util: bg,
-                    breakdown: r.breakdown,
-                    active_switches: r.active_switches,
-                    active_switch_ids: r.active_switch_ids.clone(),
-                    e2e_p95_s: r.e2e_latency.p95_s,
-                    feasible: r.is_feasible(cfg),
-                };
-                (rec, ConsolidationSpec::AllOn.label())
-            }
-            DayStrategy::TimeTrader => {
-                let run = ClusterRun {
-                    scheme: ServerScheme::TimeTrader,
-                    // Let the 5 s feedback loop settle before scoring.
-                    warmup_s: 60.0,
-                    ..template
-                };
-                let r = run_cluster(cfg, &run).expect("all-on never fails");
-                let rec = DayRecord {
-                    minute,
-                    search_load: load,
-                    background_util: bg,
-                    breakdown: r.breakdown,
-                    active_switches: r.active_switches,
-                    active_switch_ids: r.active_switch_ids.clone(),
-                    e2e_p95_s: r.e2e_latency.p95_s,
-                    feasible: r.is_feasible(cfg),
-                };
-                (rec, ConsolidationSpec::AllOn.label())
-            }
-            DayStrategy::Eprons { candidates } => {
-                // One scenario build per epoch; the optimizer's candidate
-                // ladder shares it, so each candidate pays only
-                // consolidation + latency sampling + DVFS simulation.
-                let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(&template));
-                let choice = optimize_in_context(&ctx, template.scheme, candidates)
-                    .0
-                    .expect("at least one candidate evaluates");
-                let rec = DayRecord {
-                    minute,
-                    search_load: load,
-                    background_util: bg,
-                    breakdown: choice.result.breakdown,
-                    active_switches: choice.result.active_switches,
-                    active_switch_ids: choice.result.active_switch_ids.clone(),
-                    e2e_p95_s: choice.result.e2e_latency.p95_s,
-                    feasible: choice.feasible,
-                };
-                (rec, choice.spec.label())
-            }
+        let run = match strategy {
+            DayStrategy::NoPowerManagement => ClusterRun {
+                scheme: ServerScheme::NoPowerManagement,
+                ..template
+            },
+            DayStrategy::TimeTrader => ClusterRun {
+                scheme: ServerScheme::TimeTrader,
+                // Let the 5 s feedback loop settle before scoring.
+                warmup_s: 60.0,
+                ..template
+            },
+            DayStrategy::Eprons { .. } => template,
         };
+        let scheme = run.scheme;
+        let start = (e * day.epoch_minutes) as f64;
+        let end = start + day.epoch_minutes as f64;
+        // Switches down when the epoch opens are masked out of every
+        // candidate this epoch considers.
+        let mut mask: Vec<NodeId> = schedule
+            .failed_at(start)
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        let mut failed_switches: Vec<usize> = mask.iter().map(|n| n.0).collect();
+
+        // One scenario build per epoch; the optimizer's candidate ladder
+        // shares it, so each candidate pays only consolidation + latency
+        // sampling + DVFS simulation.
+        let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(&run));
+        let (result, base_feasible, mut degradation, mut spec): (
+            ClusterRunResult,
+            bool,
+            Option<DegradationStage>,
+            ConsolidationSpec,
+        ) = match strategy {
+            DayStrategy::Eprons { candidates } => {
+                match optimize_in_context_masked(&ctx, scheme, candidates, &mask).0 {
+                    Some(c) => (c.result, c.feasible, None, c.spec),
+                    None => {
+                        // The mask leaves no routable candidate (e.g. an
+                        // edge failure partitioning hosts): run unmasked
+                        // over broken hardware, SLA forced false.
+                        let c = optimize_in_context(&ctx, scheme, candidates)
+                            .0
+                            .expect("at least one candidate evaluates");
+                        (c.result, false, Some(DegradationStage::Unprotected), c.spec)
+                    }
+                }
+            }
+            _ => match ctx.evaluate_masked(scheme, ConsolidationSpec::AllOn, &mask) {
+                Ok(r) => {
+                    let f = r.is_feasible(cfg);
+                    (r, f, None, ConsolidationSpec::AllOn)
+                }
+                Err(_) => {
+                    let r = ctx
+                        .evaluate(scheme, ConsolidationSpec::AllOn)
+                        .expect("all-on never fails");
+                    (r, false, Some(DegradationStage::Unprotected), ConsolidationSpec::AllOn)
+                }
+            },
+        };
+        let mut choice_label = spec.label();
+        let mut rec = DayRecord {
+            minute,
+            search_load: load,
+            background_util: bg,
+            breakdown: result.breakdown,
+            active_switches: result.active_switches,
+            active_switch_ids: result.active_switch_ids.clone(),
+            e2e_p95_s: result.e2e_latency.p95_s,
+            feasible: base_feasible,
+            failed_switches: Vec::new(),
+            boot_energy_j: 0.0,
+            degradation: None,
+        };
+
+        // --- Mid-epoch events: walk the degradation ladder. ---
+        let events = schedule.events_in(start, end);
+        let mut boot_energy_j = 0.0;
+        if !events.is_empty() {
+            let d = &*ctx.data;
+            let policy = DegradationPolicy {
+                attempt_repair: cfg.failure.attempt_repair,
+                attempt_reconsolidate: cfg.failure.attempt_reconsolidate,
+                transition: cfg.failure.transition.clone(),
+            };
+            // The live assignment repairs mutate in place (rung 1).
+            let mut assignment: Option<Assignment> =
+                NetworkPlan::build_masked(&ctx, spec, &mask)
+                    .ok()
+                    .map(|p| p.assignment);
+            let active_ids = |a: &Assignment| -> Vec<usize> {
+                d.ft.topology()
+                    .switches()
+                    .into_iter()
+                    .filter(|&n| a.state().node_on(n))
+                    .map(|n| n.0)
+                    .collect()
+            };
+            // Time-weighted power over the segments between events; a
+            // crashed switch's hung draw persists to the epoch boundary.
+            let mut acc_server = 0.0;
+            let mut acc_net = 0.0;
+            let mut cur_server = rec.breakdown.server_w;
+            let mut cur_net = rec.breakdown.network_w;
+            let mut dead_draw_w = 0.0;
+            let mut last_m = start;
+            let mut cur_ids = rec.active_switch_ids.clone();
+            let mut p95 = rec.e2e_p95_s;
+            let mut feasible = rec.feasible;
+            let worsen = |deg: &mut Option<DegradationStage>, stage: DegradationStage| {
+                *deg = Some(deg.map_or(stage, |have| have.max(stage)));
+            };
+            for ev in &events {
+                acc_server += cur_server * (ev.minute - last_m);
+                acc_net += cur_net * (ev.minute - last_m);
+                last_m = ev.minute;
+                match ev.kind {
+                    FailureEventKind::Recover => {
+                        // The switch boots (72.52 s, §IV-B) and rejoins
+                        // the candidate pool at the next epoch boundary;
+                        // routing inside this epoch keeps its mask.
+                        boot_energy_j += policy.recovery_boot_energy_j();
+                        if obs_on {
+                            eprons_obs::record(eprons_obs::Event::RepairOutcome {
+                                switch: ev.switch as u64,
+                                minute: ev.minute,
+                                outcome: "recovered".to_string(),
+                                rerouted: 0,
+                                woken: 1,
+                                boot_energy_j: policy.recovery_boot_energy_j(),
+                            });
+                        }
+                    }
+                    FailureEventKind::Fail => {
+                        if mask.contains(&NodeId(ev.switch)) {
+                            // Already down at the epoch start (an event
+                            // exactly on the boundary shows up in both
+                            // the mask and this window).
+                            continue;
+                        }
+                        mask.push(NodeId(ev.switch));
+                        mask.sort_unstable();
+                        failed_switches.push(ev.switch);
+                        // Rung 1: re-route the victims in place.
+                        let mut handled = false;
+                        if policy.attempt_repair {
+                            if let Some(a) = assignment.as_mut() {
+                                match policy.try_repair(
+                                    a,
+                                    &d.ft,
+                                    &d.flows,
+                                    NodeId(ev.switch),
+                                    &cfg.net_power,
+                                ) {
+                                    Ok(rep) => {
+                                        boot_energy_j += rep.boot_energy_j;
+                                        dead_draw_w += rep.dead_draw_w;
+                                        cur_net = a.network_power_w(&d.ft, &cfg.net_power)
+                                            + dead_draw_w;
+                                        cur_ids = active_ids(a);
+                                        worsen(&mut degradation, DegradationStage::Repaired);
+                                        if obs_on {
+                                            eprons_obs::record(
+                                                eprons_obs::Event::RepairOutcome {
+                                                    switch: ev.switch as u64,
+                                                    minute: ev.minute,
+                                                    outcome: "repaired".to_string(),
+                                                    rerouted: rep.rerouted.len() as u64,
+                                                    woken: rep.woken.len() as u64,
+                                                    boot_energy_j: rep.boot_energy_j,
+                                                },
+                                            );
+                                        }
+                                        handled = true;
+                                    }
+                                    Err(_) => {
+                                        if obs_on {
+                                            eprons_obs::record(
+                                                eprons_obs::Event::RepairOutcome {
+                                                    switch: ev.switch as u64,
+                                                    minute: ev.minute,
+                                                    outcome: "repair-failed".to_string(),
+                                                    rerouted: 0,
+                                                    woken: 0,
+                                                    boot_energy_j: 0.0,
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if !handled {
+                            // Rung 2: re-consolidate around the failure;
+                            // rung 3: the all-on spec minus failures.
+                            let rerun: Option<(
+                                ConsolidationSpec,
+                                ClusterRunResult,
+                                bool,
+                                DegradationStage,
+                            )> = (if policy.attempt_reconsolidate {
+                                match strategy {
+                                    DayStrategy::Eprons { candidates } => {
+                                        optimize_in_context_masked(
+                                            &ctx, scheme, candidates, &mask,
+                                        )
+                                        .0
+                                        .map(|c| {
+                                            (
+                                                c.spec,
+                                                c.result,
+                                                c.feasible,
+                                                DegradationStage::Reconsolidated,
+                                            )
+                                        })
+                                    }
+                                    _ => ctx
+                                        .evaluate_masked(
+                                            scheme,
+                                            ConsolidationSpec::AllOn,
+                                            &mask,
+                                        )
+                                        .ok()
+                                        .map(|r| {
+                                            let f = r.is_feasible(cfg);
+                                            (
+                                                ConsolidationSpec::AllOn,
+                                                r,
+                                                f,
+                                                DegradationStage::Reconsolidated,
+                                            )
+                                        }),
+                                }
+                            } else {
+                                None
+                            })
+                            .or_else(|| {
+                                ctx.evaluate_masked(scheme, ConsolidationSpec::AllOn, &mask)
+                                    .ok()
+                                    .map(|r| {
+                                        let f = r.is_feasible(cfg);
+                                        (
+                                            ConsolidationSpec::AllOn,
+                                            r,
+                                            f,
+                                            DegradationStage::AllOnFallback,
+                                        )
+                                    })
+                            });
+                            if let Some((nspec, r, f, stage)) = rerun {
+                                let woken =
+                                    Churn::between(&cur_ids, &r.active_switch_ids).turned_on;
+                                boot_energy_j += woken.len() as f64
+                                    * policy.transition.boot_power_w
+                                    * policy.transition.power_on_s;
+                                // The hung switch keeps drawing until the
+                                // epoch-boundary power cycle.
+                                dead_draw_w += cfg.net_power.switch_w;
+                                cur_server = r.breakdown.server_w;
+                                cur_net = r.breakdown.network_w + dead_draw_w;
+                                cur_ids = r.active_switch_ids.clone();
+                                p95 = p95.max(r.e2e_latency.p95_s);
+                                feasible = feasible && f;
+                                assignment = NetworkPlan::build_masked(&ctx, nspec, &mask)
+                                    .ok()
+                                    .map(|p| p.assignment);
+                                spec = nspec;
+                                choice_label = spec.label();
+                                worsen(&mut degradation, stage);
+                                if obs_on {
+                                    eprons_obs::record(eprons_obs::Event::DegradedEpoch {
+                                        epoch: e as u64,
+                                        reason: format!(
+                                            "switch {} failed at minute {:.0}; repair failed",
+                                            ev.switch, ev.minute
+                                        ),
+                                        fallback: stage.label().to_string(),
+                                    });
+                                }
+                            } else {
+                                // Rung 4: nothing routes around the mask.
+                                feasible = false;
+                                worsen(&mut degradation, DegradationStage::Unprotected);
+                                if obs_on {
+                                    eprons_obs::record(eprons_obs::Event::DegradedEpoch {
+                                        epoch: e as u64,
+                                        reason: format!(
+                                            "switch {} failed at minute {:.0}; no fallback routes",
+                                            ev.switch, ev.minute
+                                        ),
+                                        fallback: DegradationStage::Unprotected
+                                            .label()
+                                            .to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            acc_server += cur_server * (end - last_m);
+            acc_net += cur_net * (end - last_m);
+            let span = end - start;
+            rec.breakdown = PowerBreakdown {
+                server_w: acc_server / span,
+                network_w: acc_net / span,
+            };
+            rec.active_switches = cur_ids.len();
+            rec.active_switch_ids = cur_ids;
+            rec.e2e_p95_s = p95;
+            rec.feasible = feasible;
+        }
+        rec.failed_switches = failed_switches;
+        rec.boot_energy_j = boot_energy_j;
+        rec.degradation = degradation;
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
                 epoch: e as u64,
@@ -278,18 +593,29 @@ pub fn day_transition_energy_j(records: &[DayRecord], model: &TransitionModel) -
 }
 
 /// Writes a day timeline as CSV (for external plotting): one row per
-/// epoch with minute, loads, power split, switches, tail, feasibility.
+/// epoch with minute, loads, power split, switches, tail, feasibility,
+/// plus the failure columns (`;`-joined failed switch ids or `-`, the
+/// degradation-ladder rung or `-`, and in-epoch boot energy in joules).
 pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::Result<()> {
     use std::io::Write;
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(
         w,
-        "minute,search_load,background_util,server_w,network_w,total_w,active_switches,e2e_p95_ms,feasible"
+        "minute,search_load,background_util,server_w,network_w,total_w,active_switches,e2e_p95_ms,feasible,failed_switches,degradation,boot_energy_j"
     )?;
     for r in records {
+        let failed = if r.failed_switches.is_empty() {
+            "-".to_string()
+        } else {
+            r.failed_switches
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(";")
+        };
         writeln!(
             w,
-            "{:.1},{:.4},{:.4},{:.2},{:.2},{:.2},{},{:.3},{}",
+            "{:.1},{:.4},{:.4},{:.2},{:.2},{:.2},{},{:.3},{},{},{},{:.1}",
             r.minute,
             r.search_load,
             r.background_util,
@@ -298,20 +624,24 @@ pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::R
             r.breakdown.total_w(),
             r.active_switches,
             r.e2e_p95_s * 1.0e3,
-            r.feasible
+            r.feasible,
+            failed,
+            r.degradation.map_or("-", |d| d.label()),
+            r.boot_energy_j,
         )?;
     }
     w.flush()
 }
 
 /// Total energy (joules) a day timeline consumes: each epoch's measured
-/// total power held for the epoch length. The Fig. 15 currency for
+/// total power held for the epoch length, plus any boot energy the epoch
+/// charged for repairs and recoveries. The Fig. 15 currency for
 /// comparing strategies over a whole day.
 pub fn day_total_energy_j(records: &[DayRecord], day: &DayConfig) -> f64 {
     let epoch_s = day.epoch_minutes as f64 * 60.0;
     records
         .iter()
-        .map(|r| r.breakdown.total_w() * epoch_s)
+        .map(|r| r.breakdown.total_w() * epoch_s + r.boot_energy_j)
         .sum()
 }
 

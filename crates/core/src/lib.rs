@@ -41,12 +41,15 @@ pub use accounting::PowerBreakdown;
 pub use cluster::{
     run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
 };
-pub use config::ClusterConfig;
-pub use controller::{simulate_day, DayRecord, DayStrategy};
+pub use config::{ClusterConfig, FailurePolicyConfig};
+pub use controller::{simulate_day, simulate_day_with_failures, DayRecord, DayStrategy};
 pub use cluster::ClusterError;
+pub use eprons_net::failure::{
+    DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,
+};
 pub use optimizer::{
-    adaptive_k, adaptive_k_in_context, optimize_in_context, optimize_total_power,
-    optimize_total_power_traced, JointChoice,
+    adaptive_k, adaptive_k_in_context, optimize_in_context, optimize_in_context_masked,
+    optimize_total_power, optimize_total_power_traced, JointChoice,
 };
 pub use parallel::{parallel_map, parallel_map_range, set_thread_budget, thread_budget};
 pub use scenario::{NetworkPlan, ScenarioContext, ScenarioSpec, ServerEvaluation};

@@ -119,8 +119,21 @@ pub fn optimize_in_context(
     scheme: crate::cluster::ServerScheme,
     candidates: &[ConsolidationSpec],
 ) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
+    optimize_in_context_masked(ctx, scheme, candidates, &[])
+}
+
+/// [`optimize_in_context`] with a failed-switch mask: every candidate is
+/// consolidated with `excluded` switches forced off, so the ladder an
+/// epoch searches after a failure never routes through dead hardware
+/// (the next-epoch half of the degradation ladder, §IV-B).
+pub fn optimize_in_context_masked(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    candidates: &[ConsolidationSpec],
+    excluded: &[eprons_topo::NodeId],
+) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
     let cfg = ctx.cfg();
-    let results = ctx.evaluate_candidates(scheme, candidates);
+    let results = ctx.evaluate_candidates_masked(scheme, candidates, excluded);
     let mut ok: Vec<(ConsolidationSpec, ClusterRunResult, bool)> = Vec::new();
     let mut failures: Vec<(ConsolidationSpec, ClusterError)> = Vec::new();
     for (spec, res) in results {

@@ -289,6 +289,19 @@ impl ScenarioContext {
         scheme: ServerScheme,
         consolidation: ConsolidationSpec,
     ) -> Result<ClusterRunResult, ClusterError> {
+        self.evaluate_masked(scheme, consolidation, &[])
+    }
+
+    /// [`ScenarioContext::evaluate`] with failed switches masked out of
+    /// the candidate's consolidation (§IV-B backup-path handling): no
+    /// path may cross an excluded switch and presets leave them dark.
+    /// With an empty mask this is `evaluate` exactly.
+    pub fn evaluate_masked(
+        &self,
+        scheme: ServerScheme,
+        consolidation: ConsolidationSpec,
+        excluded: &[NodeId],
+    ) -> Result<ClusterRunResult, ClusterError> {
         let obs_on = eprons_obs::enabled();
         let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
         if obs_on {
@@ -299,7 +312,7 @@ impl ScenarioContext {
                 seed: self.spec.seed,
             });
         }
-        let plan = NetworkPlan::build(self, consolidation)?;
+        let plan = NetworkPlan::build_masked(self, consolidation, excluded)?;
         let eval = ServerEvaluation::run(self, &plan, scheme);
         let result = crate::accounting::assemble(self, &plan, &eval);
         if obs_on {
@@ -324,7 +337,20 @@ impl ScenarioContext {
         scheme: ServerScheme,
         candidates: &[ConsolidationSpec],
     ) -> Vec<(ConsolidationSpec, Result<ClusterRunResult, ClusterError>)> {
-        parallel_map(candidates, |spec| (*spec, self.evaluate(scheme, *spec)))
+        self.evaluate_candidates_masked(scheme, candidates, &[])
+    }
+
+    /// [`ScenarioContext::evaluate_candidates`] with failed switches
+    /// masked out of every candidate's consolidation.
+    pub fn evaluate_candidates_masked(
+        &self,
+        scheme: ServerScheme,
+        candidates: &[ConsolidationSpec],
+        excluded: &[NodeId],
+    ) -> Vec<(ConsolidationSpec, Result<ClusterRunResult, ClusterError>)> {
+        parallel_map(candidates, |spec| {
+            (*spec, self.evaluate_masked(scheme, *spec, excluded))
+        })
     }
 }
 
@@ -350,9 +376,23 @@ impl NetworkPlan {
         ctx: &ScenarioContext,
         consolidation: ConsolidationSpec,
     ) -> Result<NetworkPlan, ClusterError> {
+        Self::build_masked(ctx, consolidation, &[])
+    }
+
+    /// [`NetworkPlan::build`] with failed switches masked out: excluded
+    /// switches carry no path and stay powered off even inside an
+    /// aggregation preset. With an empty mask this is `build` exactly.
+    pub fn build_masked(
+        ctx: &ScenarioContext,
+        consolidation: ConsolidationSpec,
+        excluded: &[NodeId],
+    ) -> Result<NetworkPlan, ClusterError> {
         let _t = eprons_obs::Timer::scoped("core.stage.network_plan_s");
         let d = &*ctx.data;
         let n = d.hosts.len();
+        let mut mask = excluded.to_vec();
+        mask.sort_unstable();
+        mask.dedup();
         let ccfg = ConsolidationConfig {
             scale_k: match consolidation {
                 ConsolidationSpec::GreedyK(k) => k,
@@ -360,6 +400,7 @@ impl NetworkPlan {
             },
             safety_margin_mbps: ctx.cfg.safety_margin_mbps,
             power: ctx.cfg.net_power.clone(),
+            excluded: mask,
         };
         let assignment: Assignment = match consolidation {
             ConsolidationSpec::AllOn => {

@@ -59,12 +59,15 @@ impl Consolidator for ArcMilpConsolidator {
             .links()
             .map(|(id, _)| model.add_var(format!("X[{}]", id.0), 0.0, 1.0, cfg.power.link_w))
             .collect();
-        // Y per switch.
+        // Y per switch. Masked (failed) switches get an upper bound of 0:
+        // eq. 7's Y ≥ X then forces their links off, and eq. 9's X ≥ Z
+        // keeps every flow away from them.
         let mut y = vec![None; topo.num_nodes()];
         for (id, n) in topo.nodes() {
             if n.kind.is_switch() {
+                let ub = if cfg.is_excluded(id) { 0.0 } else { 1.0 };
                 y[id.0] =
-                    Some(model.add_var(format!("Y[{}]", n.name), 0.0, 1.0, cfg.power.switch_w));
+                    Some(model.add_var(format!("Y[{}]", n.name), 0.0, ub, cfg.power.switch_w));
             }
         }
 

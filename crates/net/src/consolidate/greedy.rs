@@ -61,6 +61,9 @@ impl Consolidator for GreedyConsolidator {
             let candidates = net.candidate_paths(flow.src, flow.dst);
             let mut best: Option<(usize, usize)> = None; // (new_switches, idx)
             for (idx, p) in candidates.iter().enumerate() {
+                if p.nodes.iter().any(|&n| cfg.is_excluded(n)) {
+                    continue;
+                }
                 let fits = p.hops().all(|(from, _, l)| {
                     let usable = cfg.usable_capacity(topo.link(l).capacity_mbps);
                     let dir = crate::links::direction_from(topo, l, from);

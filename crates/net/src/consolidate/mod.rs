@@ -38,6 +38,10 @@ pub struct ConsolidationConfig {
     pub safety_margin_mbps: f64,
     /// Power model used in optimization objectives.
     pub power: NetworkPowerModel,
+    /// Switches no consolidator may route through or power on — the
+    /// failure mask of §IV-B's backup-path handling. Keep sorted so
+    /// downstream iteration stays deterministic. Empty by default.
+    pub excluded: Vec<NodeId>,
 }
 
 impl Default for ConsolidationConfig {
@@ -46,6 +50,7 @@ impl Default for ConsolidationConfig {
             scale_k: 1.0,
             safety_margin_mbps: 50.0,
             power: NetworkPowerModel::default(),
+            excluded: Vec::new(),
         }
     }
 }
@@ -62,6 +67,20 @@ impl ConsolidationConfig {
     /// Usable capacity of a link after the safety margin.
     pub fn usable_capacity(&self, capacity_mbps: f64) -> f64 {
         (capacity_mbps - self.safety_margin_mbps).max(0.0)
+    }
+
+    /// These defaults with the given switches masked out (sorted).
+    pub fn with_excluded(mut self, mut excluded: Vec<NodeId>) -> Self {
+        excluded.sort_unstable();
+        excluded.dedup();
+        self.excluded = excluded;
+        self
+    }
+
+    /// Whether a node is masked out by the failure mask.
+    #[inline]
+    pub fn is_excluded(&self, n: NodeId) -> bool {
+        !self.excluded.is_empty() && self.excluded.contains(&n)
     }
 }
 
@@ -230,7 +249,9 @@ impl Assignment {
     /// runtime counterpart of §IV-B's "backup paths" mitigation.
     ///
     /// Returns the indices of re-routed flows, or an error naming the
-    /// first flow that has no surviving path.
+    /// first flow that has no surviving path. The repair is atomic: on
+    /// `Err` the assignment is exactly its pre-call state (no half-moved
+    /// loads, no paths through a down switch).
     pub fn repair_after_switch_failure(
         &mut self,
         net: &dyn MultipathTopology,
@@ -238,24 +259,31 @@ impl Assignment {
         failed: NodeId,
     ) -> Result<Vec<usize>, ConsolidationError> {
         let topo = net.topology();
+        // Mark the switch down and power off only its incident links: a
+        // wholesale refresh_links would re-enable links the consolidator
+        // deliberately powered down between active switches.
+        let take_down = |state: &mut NetworkState| {
+            state.set_node(failed, false);
+            for &(_, l) in topo.neighbors(failed) {
+                state.set_link(l, false);
+            }
+        };
         let mut rerouted = Vec::new();
         // Which flows cross the failed switch?
         let victims: Vec<usize> = (0..flows.len())
             .filter(|&i| self.paths[i].nodes.contains(&failed))
             .collect();
         if victims.is_empty() {
-            // Still mark the switch down.
-            self.state.set_node(failed, false);
-            self.state.refresh_links(topo);
+            take_down(&mut self.state);
             return Ok(rerouted);
         }
+        let checkpoint = self.clone();
         // Remove the victims' load, then mark the switch down.
         for &i in &victims {
             let demand = flows.flows()[i].demand_mbps;
             self.state.remove_path_load(topo, &self.paths[i], demand);
         }
-        self.state.set_node(failed, false);
-        self.state.refresh_links(topo);
+        take_down(&mut self.state);
 
         for &i in &victims {
             let flow = &flows.flows()[i];
@@ -281,6 +309,7 @@ impl Assignment {
                 }
             }
             let Some((_, _, idx)) = best else {
+                *self = checkpoint;
                 return Err(ConsolidationError::NoFeasiblePath { flow: i });
             };
             let p = candidates.into_iter().nth(idx).expect("index valid");
@@ -289,7 +318,6 @@ impl Assignment {
                     self.state.set_node(n, true);
                 }
             }
-            self.state.refresh_links(topo);
             for &l in &p.links {
                 self.state.set_link(l, true);
             }
@@ -346,7 +374,9 @@ impl Consolidator for AggregationRouter {
     ) -> Result<Assignment, ConsolidationError> {
         let _t = eprons_obs::Timer::scoped("net.consolidate.aggregation_s");
         let topo = net.topology();
-        let allowed = |n: NodeId| !topo.node(n).kind.is_switch() || self.active.contains(&n);
+        let allowed = |n: NodeId| {
+            !topo.node(n).kind.is_switch() || (self.active.contains(&n) && !cfg.is_excluded(n))
+        };
         let mut reserved = vec![0.0; topo.num_links() * 2];
         let mut chosen: Vec<Path> = Vec::with_capacity(flows.len());
         for flow in flows.flows() {
@@ -385,10 +415,12 @@ impl Consolidator for AggregationRouter {
         }
         // The preset keeps its whole active set powered (that is the point
         // of the Fig. 10/13 experiments), so build state from the preset,
-        // not from used paths.
+        // not from used paths. Masked (failed) switches stay dark.
         let mut assignment = Assignment::from_paths(net, flows, chosen);
         for &s in &self.active {
-            assignment.state.set_node(s, true);
+            if !cfg.is_excluded(s) {
+                assignment.state.set_node(s, true);
+            }
         }
         assignment.state.refresh_links(topo);
         if eprons_obs::enabled() {

@@ -79,7 +79,14 @@ pub fn build_path_model(
     // (full-duplex links contend per direction).
     let mut cap_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); topo.num_links() * 2];
     for flow in flows.flows() {
-        let paths = net.candidate_paths(flow.src, flow.dst);
+        // Candidates through masked (failed) switches are dropped; a flow
+        // left with none surfaces as an empty (infeasible) route
+        // constraint, which the solver reports as Infeasible.
+        let paths: Vec<Path> = net
+            .candidate_paths(flow.src, flow.dst)
+            .into_iter()
+            .filter(|p| !p.nodes.iter().any(|&n| cfg.is_excluded(n)))
+            .collect();
         let demand = flow.scaled_demand(cfg.scale_k);
         let mut zf = Vec::with_capacity(paths.len());
         for (pi, p) in paths.iter().enumerate() {
@@ -138,6 +145,11 @@ impl Consolidator for PathMilpConsolidator {
         cfg: &ConsolidationConfig,
     ) -> Result<Assignment, ConsolidationError> {
         let pm = build_path_model(net, flows, cfg);
+        // A flow whose every candidate crosses a masked switch has an
+        // empty route constraint; report it before solving.
+        if let Some(fi) = pm.candidates.iter().position(|c| c.is_empty()) {
+            return Err(ConsolidationError::NoFeasiblePath { flow: fi });
+        }
         let sol = match solve_milp(&pm.model, &self.options) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(ConsolidationError::Infeasible),

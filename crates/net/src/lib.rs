@@ -20,6 +20,9 @@
 //!   switches per \[23\]; the measured HPE curve of Fig. 8).
 //! * [`transition`] — switch on/off transition overheads (§IV-B's 72.52 s
 //!   measured power-on time) and the backup-path hysteresis mitigation.
+//! * [`failure`] — deterministic fault injection (seedable fail/recover
+//!   schedules with MTTF/MTTR sampling) and the graceful-degradation
+//!   ladder that makes §IV-B's "backup paths" remark concrete.
 //! * [`queuesim`] — a packet-level M/M/1 link simulator validating the
 //!   analytic latency model against an actual simulated queue (the role
 //!   the paper's switch measurements played).
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod consolidate;
+pub mod failure;
 pub mod flow;
 pub mod latency;
 pub mod links;
@@ -38,6 +42,10 @@ pub mod transition;
 pub use consolidate::{
     arc::ArcMilpConsolidator, greedy::GreedyConsolidator, path::PathMilpConsolidator,
     Assignment, ConsolidationConfig, ConsolidationError, Consolidator,
+};
+pub use failure::{
+    DegradationPolicy, DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,
+    RepairReport,
 };
 pub use flow::{Flow, FlowClass, FlowId};
 pub use latency::LatencyModel;

@@ -19,6 +19,12 @@ pub struct DemandPredictor {
     epoch_samples: Vec<Vec<f64>>,
     /// Prediction carried over from the last completed epoch, per flow.
     predictions: Vec<Option<f64>>,
+    /// Consecutive epochs each flow has gone without a sample.
+    idle_epochs: Vec<usize>,
+    /// Expire a flow's prediction after this many consecutive idle
+    /// epochs (`None` = carry over forever, the pre-failure-injection
+    /// behavior).
+    max_idle_epochs: Option<usize>,
 }
 
 impl DemandPredictor {
@@ -32,6 +38,8 @@ impl DemandPredictor {
             quantile,
             epoch_samples: vec![Vec::new(); num_flows],
             predictions: vec![None; num_flows],
+            idle_epochs: vec![0; num_flows],
+            max_idle_epochs: None,
         }
     }
 
@@ -40,22 +48,56 @@ impl DemandPredictor {
         Self::new(num_flows, 0.9)
     }
 
+    /// Expires a flow's prediction after `epochs` consecutive epochs
+    /// without a sample, so a flow whose path died (failure injection)
+    /// does not pin stale demand forever.
+    ///
+    /// # Panics
+    /// Panics if `epochs` is zero (a prediction would never survive).
+    pub fn with_expiry(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "expiry must allow at least one idle epoch");
+        self.max_idle_epochs = Some(epochs);
+        self
+    }
+
     /// Records one measured rate sample (Mbps) for a flow. The POX
     /// controller polls flow statistics every 2 s (§V-A); each poll feeds
-    /// one sample.
-    pub fn observe(&mut self, flow: FlowId, rate_mbps: f64) {
-        assert!(rate_mbps >= 0.0, "rates are non-negative");
+    /// one sample. Non-finite or negative rates — a glitched poll from a
+    /// failing switch — are rejected (returns `false`) and counted under
+    /// `net.predict.rejected_samples` instead of aborting the day loop.
+    pub fn observe(&mut self, flow: FlowId, rate_mbps: f64) -> bool {
+        if !rate_mbps.is_finite() || rate_mbps < 0.0 {
+            if eprons_obs::enabled() {
+                eprons_obs::registry()
+                    .counter("net.predict.rejected_samples")
+                    .inc();
+            }
+            return false;
+        }
         self.epoch_samples[flow.0].push(rate_mbps);
+        true
     }
 
     /// Closes the epoch: predictions become the configured percentile of
     /// each flow's samples; sample buffers reset. Flows with no samples
-    /// keep their previous prediction.
+    /// keep their previous prediction until the idle expiry (if any)
+    /// lapses.
     pub fn roll_epoch(&mut self) {
-        for (samples, pred) in self.epoch_samples.iter_mut().zip(&mut self.predictions) {
+        for ((samples, pred), idle) in self
+            .epoch_samples
+            .iter_mut()
+            .zip(&mut self.predictions)
+            .zip(&mut self.idle_epochs)
+        {
             if !samples.is_empty() {
                 *pred = Some(percentile(samples, self.quantile));
                 samples.clear();
+                *idle = 0;
+            } else {
+                *idle += 1;
+                if self.max_idle_epochs.is_some_and(|max| *idle >= max) {
+                    *pred = None;
+                }
             }
         }
     }
@@ -116,6 +158,38 @@ mod tests {
         p.roll_epoch();
         // New epoch only sees the 10s.
         assert_eq!(p.predict(FlowId(0)), Some(10.0));
+    }
+
+    #[test]
+    fn glitched_samples_are_rejected_not_fatal() {
+        let mut p = DemandPredictor::paper_default(1);
+        assert!(!p.observe(FlowId(0), -3.0));
+        assert!(!p.observe(FlowId(0), f64::NAN));
+        assert!(!p.observe(FlowId(0), f64::INFINITY));
+        assert!(p.observe(FlowId(0), 25.0));
+        p.roll_epoch();
+        // Only the valid sample counted.
+        assert_eq!(p.predict(FlowId(0)), Some(25.0));
+    }
+
+    #[test]
+    fn idle_expiry_drops_stale_predictions() {
+        let mut p = DemandPredictor::paper_default(2).with_expiry(2);
+        p.observe(FlowId(0), 10.0);
+        p.observe(FlowId(1), 50.0);
+        p.roll_epoch();
+        // Flow 1 keeps reporting; flow 0 goes dark (dead path).
+        p.observe(FlowId(1), 50.0);
+        p.roll_epoch();
+        assert_eq!(p.predict(FlowId(0)), Some(10.0), "one idle epoch: kept");
+        p.observe(FlowId(1), 50.0);
+        p.roll_epoch();
+        assert_eq!(p.predict(FlowId(0)), None, "expired after two idle epochs");
+        assert_eq!(p.predict(FlowId(1)), Some(50.0), "live flow unaffected");
+        // A fresh sample restores prediction (and resets the idle count).
+        p.observe(FlowId(0), 30.0);
+        p.roll_epoch();
+        assert_eq!(p.predict(FlowId(0)), Some(30.0));
     }
 
     #[test]

@@ -4,12 +4,34 @@
 //! repair: kill an active switch, re-route the victims, verify the
 //! network still carries everything (possibly on newly woken switches).
 
+use eprons_net::consolidate::AggregationRouter;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
-    ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator,
+    Assignment, ConsolidationConfig, Consolidator, DegradationPolicy, FlowClass,
+    GreedyConsolidator, NetworkPowerModel,
 };
 use eprons_sim::SimRng;
-use eprons_topo::FatTree;
+use eprons_topo::{AggregationLevel, FatTree, NodeId, Path};
+
+/// Everything observable about an assignment, for bit-equality checks:
+/// per-flow paths, per-node power state, per-link power state, and
+/// per-link directional loads.
+#[allow(clippy::type_complexity)]
+fn snapshot(
+    ft: &FatTree,
+    fs: &FlowSet,
+    a: &Assignment,
+) -> (Vec<Path>, Vec<bool>, Vec<bool>, Vec<(f64, f64)>) {
+    let topo = ft.topology();
+    let paths = fs.flows().iter().map(|f| a.path(f.id).clone()).collect();
+    let nodes = topo.nodes().map(|(id, _)| a.state().node_on(id)).collect();
+    let links = topo.links().map(|(id, _)| a.state().link_on(id)).collect();
+    let loads = topo
+        .links()
+        .map(|(id, _)| (a.state().load_dir(id, 0), a.state().load_dir(id, 1)))
+        .collect();
+    (paths, nodes, links, loads)
+}
 
 fn consolidated() -> (FatTree, FlowSet, eprons_net::Assignment, ConsolidationConfig) {
     let ft = FatTree::new(4, 1000.0);
@@ -120,4 +142,161 @@ fn unsurvivable_failure_is_reported() {
     let edge = ft.edge(0, 0);
     let err = a.repair_after_switch_failure(&ft, &fs, edge);
     assert!(err.is_err(), "same-edge pair cannot survive its ToR dying");
+}
+
+#[test]
+fn failed_repair_leaves_the_assignment_untouched() {
+    // Regression: the old repair path mutated the assignment (killed the
+    // switch, re-enabled consolidator-darkened links via a wholesale
+    // refresh, unrouted victims one by one) before discovering a flow had
+    // no way around the corpse — leaving the caller a half-repaired,
+    // load-corrupted assignment. Repair must be atomic: on Err the
+    // assignment is bit-identical to the pre-call state.
+    let ft = FatTree::new(4, 1000.0);
+    let mut fs = FlowSet::new();
+    // One survivable cross-pod flow plus one same-edge pair whose ToR is
+    // the victim: repair must fail overall, and must not keep the
+    // cross-pod re-route it made before hitting the doomed flow.
+    fs.add(
+        ft.host(0, 0, 0),
+        ft.host(1, 0, 0),
+        40.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ft.host(0, 0, 0),
+        ft.host(0, 0, 1),
+        10.0,
+        FlowClass::LatencySensitive,
+    );
+    let cfg = ConsolidationConfig::with_k(1.0);
+    let mut a = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+    let before = snapshot(&ft, &fs, &a);
+    let err = a.repair_after_switch_failure(&ft, &fs, ft.edge(0, 0));
+    assert!(err.is_err(), "the same-edge pair is unroutable");
+    let after = snapshot(&ft, &fs, &a);
+    assert_eq!(before.0, after.0, "paths must be restored");
+    assert_eq!(before.1, after.1, "node power states must be restored");
+    assert_eq!(before.2, after.2, "link power states must be restored");
+    for (i, (b, c)) in before.3.iter().zip(&after.3).enumerate() {
+        assert!(
+            (b.0 - c.0).abs() < 1e-12 && (b.1 - c.1).abs() < 1e-12,
+            "link {i} load drifted: {b:?} vs {c:?}"
+        );
+    }
+}
+
+#[test]
+fn repair_does_not_relight_consolidator_darkened_links() {
+    // The wholesale refresh bug in one more guise: repairing around a
+    // *failed* switch must not power links back on between switches the
+    // consolidator deliberately left connected-but-idle.
+    let (ft, fs, mut a, _cfg) = consolidated();
+    let dark_before: Vec<_> = ft
+        .topology()
+        .links()
+        .filter(|&(id, _)| !a.state().link_on(id))
+        .map(|(id, _)| id)
+        .collect();
+    let core = ft.core(0, 0);
+    a.repair_after_switch_failure(&ft, &fs, core).unwrap();
+    // Links that stayed off may only have turned on if a re-routed path
+    // now crosses them.
+    for l in dark_before {
+        if a.state().link_on(l) {
+            let used = fs
+                .flows()
+                .iter()
+                .any(|f| a.path(f.id).links.contains(&l));
+            assert!(used, "link {l:?} lit without any path using it");
+        }
+    }
+}
+
+#[test]
+fn masked_greedy_avoids_excluded_switches() {
+    let (ft, fs, unmasked, cfg) = consolidated();
+    let core = ft.core(0, 0);
+    assert!(unmasked.state().node_on(core), "premise: greedy uses core(0,0)");
+    let masked_cfg = cfg.clone().with_excluded(vec![core]);
+    let a = GreedyConsolidator.consolidate(&ft, &fs, &masked_cfg).unwrap();
+    assert!(!a.state().node_on(core), "excluded switch stays dark");
+    for f in fs.flows() {
+        assert!(!a.path(f.id).nodes.contains(&core));
+        assert!(a.state().path_available(a.path(f.id)));
+    }
+    a.validate(&ft, &fs, &masked_cfg).unwrap();
+}
+
+#[test]
+fn masked_aggregation_preset_leaves_failed_switch_dark() {
+    let ft = FatTree::new(4, 1000.0);
+    let mut fs = FlowSet::new();
+    fs.add(
+        ft.host(0, 0, 0),
+        ft.host(2, 1, 1),
+        40.0,
+        FlowClass::LatencySensitive,
+    );
+    let core = ft.core(0, 0);
+    let cfg = ConsolidationConfig::with_k(1.0).with_excluded(vec![core]);
+    // Agg0 keeps all 20 switches on — except the masked failure.
+    let a = AggregationRouter::for_level(&ft, AggregationLevel::Agg0)
+        .consolidate(&ft, &fs, &cfg)
+        .unwrap();
+    assert!(!a.state().node_on(core));
+    assert_eq!(a.active_switch_count(&ft), 19);
+    assert!(!a.path(fs.flows()[0].id).nodes.contains(&core));
+}
+
+#[test]
+fn recover_and_reconsolidate_round_trips_to_the_original() {
+    // Fail → consolidate around the corpse → recover → re-consolidate
+    // with the empty mask: the final assignment must be bit-identical to
+    // the never-failed one (the consolidators are deterministic, so the
+    // mask must be the *only* thing that changed).
+    let (ft, fs, original, cfg) = consolidated();
+    let core = ft.core(0, 0);
+    let degraded = GreedyConsolidator
+        .consolidate(&ft, &fs, &cfg.clone().with_excluded(vec![core]))
+        .unwrap();
+    assert!(!degraded.state().node_on(core));
+    let recovered = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
+    let want = snapshot(&ft, &fs, &original);
+    let got = snapshot(&ft, &fs, &recovered);
+    assert_eq!(want.0, got.0, "paths must round-trip");
+    assert_eq!(want.1, got.1, "node states must round-trip");
+    assert_eq!(want.2, got.2, "link states must round-trip");
+    for (b, c) in want.3.iter().zip(&got.3) {
+        assert!((b.0 - c.0).abs() < 1e-12 && (b.1 - c.1).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn degradation_policy_prices_repair_boot_energy() {
+    let (ft, fs, mut a, _cfg) = consolidated();
+    let core = ft.core(0, 0);
+    let before = a.active_switch_count(&ft);
+    let power = NetworkPowerModel::default();
+    let policy = DegradationPolicy::default();
+    let rep = policy
+        .try_repair(&mut a, &ft, &fs, core, &power)
+        .expect("core failure is survivable");
+    assert!(!rep.rerouted.is_empty(), "victims must have moved");
+    // Boot energy = woken × boot_power_w × power_on_s, exactly.
+    let expect = rep.woken.len() as f64
+        * policy.transition.boot_power_w
+        * policy.transition.power_on_s;
+    assert!((rep.boot_energy_j - expect).abs() < 1e-9);
+    // The hung core keeps drawing its own 36 W plus its lit ports.
+    assert!(rep.dead_draw_w >= power.switch_w);
+    let after = a.active_switch_count(&ft);
+    assert_eq!(
+        after as i64 - (before as i64 - 1),
+        rep.woken.len() as i64,
+        "woken accounting must match the active-set delta"
+    );
+    for w in &rep.woken {
+        assert!(a.state().node_on(NodeId(*w)), "woken switch must be on");
+    }
 }

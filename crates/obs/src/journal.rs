@@ -125,6 +125,30 @@ pub enum Event {
         flows: u64,
         servers: u64,
     },
+    /// Fault injection toggled a switch (kind is `fail` or `recover`).
+    FailureInjected {
+        switch: u64,
+        minute: f64,
+        kind: String,
+    },
+    /// One rung of the degradation ladder ran for a mid-epoch failure:
+    /// outcome is `repaired`, `repair-failed`, `reconsolidated`,
+    /// `all-on-fallback`, or `unprotected`.
+    RepairOutcome {
+        switch: u64,
+        minute: f64,
+        outcome: String,
+        rerouted: u64,
+        woken: u64,
+        boot_energy_j: f64,
+    },
+    /// An epoch could not be held by in-place repair and fell down the
+    /// ladder (or ran unprotected).
+    DegradedEpoch {
+        epoch: u64,
+        reason: String,
+        fallback: String,
+    },
 }
 
 impl Event {
@@ -144,6 +168,9 @@ impl Event {
             Event::ClockSkew { .. } => "ClockSkew",
             Event::RunTag { .. } => "RunTag",
             Event::ScenarioBuilt { .. } => "ScenarioBuilt",
+            Event::FailureInjected { .. } => "FailureInjected",
+            Event::RepairOutcome { .. } => "RepairOutcome",
+            Event::DegradedEpoch { .. } => "DegradedEpoch",
         }
     }
 
@@ -289,6 +316,39 @@ impl Event {
                 ("flows", u(*flows)),
                 ("servers", u(*servers)),
             ]),
+            Event::FailureInjected {
+                switch,
+                minute,
+                kind,
+            } => f(vec![
+                ("switch", u(*switch)),
+                ("minute", n(*minute)),
+                ("kind", s(kind)),
+            ]),
+            Event::RepairOutcome {
+                switch,
+                minute,
+                outcome,
+                rerouted,
+                woken,
+                boot_energy_j,
+            } => f(vec![
+                ("switch", u(*switch)),
+                ("minute", n(*minute)),
+                ("outcome", s(outcome)),
+                ("rerouted", u(*rerouted)),
+                ("woken", u(*woken)),
+                ("boot_energy_j", n(*boot_energy_j)),
+            ]),
+            Event::DegradedEpoch {
+                epoch,
+                reason,
+                fallback,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("reason", s(reason)),
+                ("fallback", s(fallback)),
+            ]),
         }
     }
 
@@ -410,6 +470,24 @@ impl Event {
                 scheme: fs("scheme")?,
                 consolidation: fs("consolidation")?,
                 seed: fu("seed")?,
+            },
+            "FailureInjected" => Event::FailureInjected {
+                switch: fu("switch")?,
+                minute: fn_("minute")?,
+                kind: fs("kind")?,
+            },
+            "RepairOutcome" => Event::RepairOutcome {
+                switch: fu("switch")?,
+                minute: fn_("minute")?,
+                outcome: fs("outcome")?,
+                rerouted: fu("rerouted")?,
+                woken: fu("woken")?,
+                boot_energy_j: fn_("boot_energy_j")?,
+            },
+            "DegradedEpoch" => Event::DegradedEpoch {
+                epoch: fu("epoch")?,
+                reason: fs("reason")?,
+                fallback: fs("fallback")?,
             },
             other => return Err(format!("unknown event kind '{other}'")),
         })
@@ -651,6 +729,24 @@ mod tests {
                 e2e_p95_us: 61_250.0,
                 feasible: true,
             }),
+            Event::FailureInjected {
+                switch: 17,
+                minute: 730.5,
+                kind: "fail".into(),
+            },
+            Event::RepairOutcome {
+                switch: 17,
+                minute: 730.5,
+                outcome: "repaired".into(),
+                rerouted: 6,
+                woken: 1,
+                boot_energy_j: 2610.72,
+            },
+            Event::DegradedEpoch {
+                epoch: 73,
+                reason: "switch 17 failed mid-epoch; repair found no path".into(),
+                fallback: "all-on-fallback".into(),
+            },
         ]
     }
 
