@@ -95,6 +95,7 @@ fn main() {
         sim_seconds: if quick() { 4.0 } else { 8.0 },
         peak_utilization: 0.5,
         seed: BASE_SEED,
+        warm_start: true,
     };
     let eprons = simulate_day(
         &ccfg,

@@ -34,6 +34,7 @@ fn main() {
         sim_seconds: if quick() { 2.0 } else { 4.0 },
         peak_utilization: 0.5,
         seed: BASE_SEED,
+        warm_start: true,
     };
     let strategy = DayStrategy::Eprons {
         candidates: aggregation_candidates(),

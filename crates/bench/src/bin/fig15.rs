@@ -21,6 +21,7 @@ fn main() {
         sim_seconds: if quick() { 8.0 } else { 20.0 },
         peak_utilization: 0.5,
         seed: BASE_SEED,
+        warm_start: true,
     };
 
     let nopm = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);

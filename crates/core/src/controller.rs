@@ -24,10 +24,10 @@ use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
 use crate::cluster::{ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
 use crate::config::ClusterConfig;
-use crate::optimizer::{optimize_in_context, optimize_in_context_masked};
+use crate::optimizer::{optimize_in_context, optimize_in_context_pruned};
 use crate::accounting::PowerBreakdown;
 use crate::parallel::parallel_map;
-use crate::scenario::{NetworkPlan, ScenarioContext, ScenarioSpec};
+use crate::scenario::{ScenarioContext, ScenarioSpec};
 
 /// The three Fig. 15 contenders.
 #[derive(Debug, Clone)]
@@ -100,6 +100,14 @@ pub struct DayConfig {
     pub peak_utilization: f64,
     /// Master seed.
     pub seed: u64,
+    /// Carry each epoch's winning configuration into the next epoch's
+    /// ladder search as an ordering hint (EPRONS strategy only). Epochs
+    /// then run sequentially instead of fanning out, trading epoch-level
+    /// parallelism for warm-started searches; the timeline itself is
+    /// bit-identical either way (the hint never changes a choice, only
+    /// the evaluation order). The hint is dropped whenever the failure
+    /// mask or the demand fingerprint moved since the previous epoch.
+    pub warm_start: bool,
 }
 
 impl Default for DayConfig {
@@ -109,6 +117,7 @@ impl Default for DayConfig {
             sim_seconds: 4.0,
             peak_utilization: 0.5,
             seed: 2018,
+            warm_start: true,
         }
     }
 }
@@ -196,7 +205,16 @@ pub fn simulate_day_with_failures(
         })
         .collect();
 
-    let records = parallel_map(&inputs, |&(e, minute, load)| {
+    // One epoch's full evaluation, optionally warm-started with the
+    // previous epoch's winning configuration (an ordering hint for the
+    // pruned ladder search — never a result change). Returns the record
+    // plus the configuration that was actually live when the epoch ended,
+    // which is what the next epoch's search should start from.
+    let eval_epoch = |e: usize,
+                      minute: f64,
+                      load: f64,
+                      warm_hint: Option<ConsolidationSpec>|
+     -> (DayRecord, ConsolidationSpec) {
         let bg = predicted_bg[e];
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochStart {
@@ -252,7 +270,7 @@ pub fn simulate_day_with_failures(
             ConsolidationSpec,
         ) = match strategy {
             DayStrategy::Eprons { candidates } => {
-                match optimize_in_context_masked(&ctx, scheme, candidates, &mask).0 {
+                match optimize_in_context_pruned(&ctx, scheme, candidates, &mask, warm_hint).0 {
                     Some(c) => (c.result, c.feasible, None, c.spec),
                     None => {
                         // The mask leaves no routable candidate (e.g. an
@@ -304,10 +322,10 @@ pub fn simulate_day_with_failures(
                 transition: cfg.failure.transition.clone(),
             };
             // The live assignment repairs mutate in place (rung 1).
-            let mut assignment: Option<Assignment> =
-                NetworkPlan::build_masked(&ctx, spec, &mask)
-                    .ok()
-                    .map(|p| p.assignment);
+            let mut assignment: Option<Assignment> = ctx
+                .plan_masked(spec, &mask)
+                .ok()
+                .map(|p| p.assignment.clone());
             let active_ids = |a: &Assignment| -> Vec<usize> {
                 d.ft.topology()
                     .switches()
@@ -421,8 +439,8 @@ pub fn simulate_day_with_failures(
                             )> = (if policy.attempt_reconsolidate {
                                 match strategy {
                                     DayStrategy::Eprons { candidates } => {
-                                        optimize_in_context_masked(
-                                            &ctx, scheme, candidates, &mask,
+                                        optimize_in_context_pruned(
+                                            &ctx, scheme, candidates, &mask, None,
                                         )
                                         .0
                                         .map(|c| {
@@ -481,9 +499,10 @@ pub fn simulate_day_with_failures(
                                 cur_ids = r.active_switch_ids.clone();
                                 p95 = p95.max(r.e2e_latency.p95_s);
                                 feasible = feasible && f;
-                                assignment = NetworkPlan::build_masked(&ctx, nspec, &mask)
+                                assignment = ctx
+                                    .plan_masked(nspec, &mask)
                                     .ok()
-                                    .map(|p| p.assignment);
+                                    .map(|p| p.assignment.clone());
                                 spec = nspec;
                                 choice_label = spec.label();
                                 worsen(&mut degradation, stage);
@@ -546,8 +565,54 @@ pub fn simulate_day_with_failures(
                 feasible: rec.feasible,
             }));
         }
-        rec
-    });
+        (rec, spec)
+    };
+
+    // The warm-started day runs its epochs sequentially so each search
+    // can start from the previous epoch's winner; candidate- and
+    // server-level fan-out inside an epoch still fills the thread
+    // budget. The cold day fans epochs out as before. Both produce the
+    // same records bit for bit.
+    let warm = day.warm_start && matches!(strategy, DayStrategy::Eprons { .. });
+    let records: Vec<DayRecord> = if warm {
+        let mut out = Vec::with_capacity(inputs.len());
+        // The epoch's world fingerprint: failed-switch set plus the
+        // quantized demand point. A hint only survives while it matches.
+        type EpochFingerprint = (Vec<usize>, i64, i64);
+        let mut prev: Option<(ConsolidationSpec, EpochFingerprint)> = None;
+        for &(e, minute, load) in &inputs {
+            // The hint survives only while the world it was chosen in
+            // does: same failure mask, same (quantized) demand point.
+            let start = (e * day.epoch_minutes) as f64;
+            let util = (day.peak_utilization * load).max(0.02);
+            let q = |x: f64| (x / 0.05).round() as i64;
+            let fp = (schedule.failed_at(start), q(util), q(predicted_bg[e]));
+            let hint = match &prev {
+                Some((spec, pfp)) if *pfp == fp => Some(*spec),
+                _ => None,
+            };
+            if obs_on {
+                let reg = eprons_obs::registry();
+                if let Some(h) = hint {
+                    reg.counter("core.warmstart.hits").inc();
+                    eprons_obs::record(eprons_obs::Event::WarmStartApplied {
+                        epoch: e as u64,
+                        hint: h.label(),
+                    });
+                } else if e > 0 {
+                    reg.counter("core.warmstart.misses").inc();
+                }
+            }
+            let (rec, spec) = eval_epoch(e, minute, load, hint);
+            prev = Some((spec, fp));
+            out.push(rec);
+        }
+        out
+    } else {
+        parallel_map(&inputs, |&(e, minute, load)| {
+            eval_epoch(e, minute, load, None).0
+        })
+    };
 
     if obs_on {
         // Epoch-boundary churn: rebuild each epoch's NetworkState from its
@@ -665,6 +730,7 @@ mod tests {
             sim_seconds: 2.0,
             peak_utilization: 0.5,
             seed: 99,
+            warm_start: true,
         }
     }
 

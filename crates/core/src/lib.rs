@@ -42,14 +42,20 @@ pub use cluster::{
     run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
 };
 pub use config::{ClusterConfig, FailurePolicyConfig};
-pub use controller::{simulate_day, simulate_day_with_failures, DayRecord, DayStrategy};
+pub use controller::{
+    simulate_day, simulate_day_with_failures, DayConfig, DayRecord, DayStrategy,
+};
 pub use cluster::ClusterError;
 pub use eprons_net::failure::{
     DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,
 };
 pub use optimizer::{
-    adaptive_k, adaptive_k_in_context, optimize_in_context, optimize_in_context_masked,
+    adaptive_k, adaptive_k_in_context, adaptive_k_in_context_hinted, candidate_power_floor_w,
+    optimize_in_context, optimize_in_context_masked, optimize_in_context_pruned,
     optimize_total_power, optimize_total_power_traced, JointChoice,
 };
 pub use parallel::{parallel_map, parallel_map_range, set_thread_budget, thread_budget};
-pub use scenario::{NetworkPlan, ScenarioContext, ScenarioSpec, ServerEvaluation};
+pub use scenario::{
+    plan_cache_enabled, set_plan_cache_enabled, NetworkPlan, ScenarioContext, ScenarioSpec,
+    ServerEvaluation,
+};

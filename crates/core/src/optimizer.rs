@@ -16,11 +16,15 @@
 //! context is already in hand (the day controller builds one per epoch);
 //! the template-taking entry points build it for you.
 
+use std::collections::HashSet;
+
+use eprons_topo::{AggregationLevel, LinkId, MultipathTopology, NodeId};
+
 use crate::cluster::{
     ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec,
 };
 use crate::config::ClusterConfig;
-use crate::scenario::{ScenarioContext, ScenarioSpec};
+use crate::scenario::{scheme_idle_floor_w, ScenarioContext, ScenarioSpec};
 
 /// The optimizer's selection.
 #[derive(Debug, Clone)]
@@ -191,6 +195,224 @@ pub fn optimize_in_context_masked(
     (Some(journal_choice(choice)), failures)
 }
 
+/// A provably-sound lower bound on the total power any evaluation of
+/// `spec` can report, computed without simulating anything.
+///
+/// Two summands, both floors of what the accounting stage later adds up:
+///
+/// * **Network.** For the aggregation presets the active set is known in
+///   advance — the preset switches minus the mask, links on iff both
+///   endpoints are on — so the bound is the *exact* DCN power the plan
+///   will report. For `GreedyK` the bound counts only the *mandatory*
+///   elements: nodes/links present in every candidate path of a flow must
+///   be powered by any assignment that routes it, and greedy never powers
+///   a link it does not use.
+/// * **Servers.** Every simulated core draws at least its policy's idle
+///   floor at every instant ([`scheme_idle_floor_w`] is the same floor
+///   stage 3 integrates through trailing idle), so each server reports at
+///   least `server_w(floor)`.
+///
+/// Soundness (`bound ≤ measured total`) is what lets the ladder skip a
+/// candidate whose bound exceeds a feasible incumbent's measured power
+/// without changing which candidate wins.
+pub fn candidate_power_floor_w(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    spec: ConsolidationSpec,
+    excluded: &[NodeId],
+) -> f64 {
+    let cfg = ctx.cfg();
+    let d = &*ctx.data;
+    let topo = d.ft.topology();
+    let masked: HashSet<NodeId> = excluded.iter().copied().collect();
+    let server_floor =
+        ctx.num_servers() as f64 * cfg.cpu.server_w(scheme_idle_floor_w(cfg, scheme));
+    let net_floor = match spec {
+        ConsolidationSpec::AllOn | ConsolidationSpec::Level(_) => {
+            let level = match spec {
+                ConsolidationSpec::Level(l) => l,
+                _ => AggregationLevel::Agg0,
+            };
+            let on: HashSet<NodeId> = level
+                .active_switches(&d.ft)
+                .into_iter()
+                .filter(|n| !masked.contains(n))
+                .collect();
+            let is_on = |n: NodeId| !topo.node(n).kind.is_switch() || on.contains(&n);
+            let links = topo
+                .links()
+                .filter(|(_, l)| is_on(l.a) && is_on(l.b))
+                .count();
+            cfg.net_power.power_w_for_counts(on.len(), links)
+        }
+        ConsolidationSpec::GreedyK(_) => {
+            let mut m_sw: HashSet<NodeId> = HashSet::new();
+            let mut m_ln: HashSet<LinkId> = HashSet::new();
+            let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for fl in d.flows.flows() {
+                if !seen.insert((fl.src, fl.dst)) {
+                    continue; // same pair ⇒ same candidate paths
+                }
+                let paths = d.arena.candidate_paths(fl.src, fl.dst);
+                let Some((first, rest)) = paths.split_first() else {
+                    continue;
+                };
+                let mut sw: HashSet<NodeId> = first.interior().iter().copied().collect();
+                let mut ln: HashSet<LinkId> = first.hops().map(|(_, _, l)| l).collect();
+                for p in rest {
+                    let psw: HashSet<NodeId> = p.interior().iter().copied().collect();
+                    let pln: HashSet<LinkId> = p.hops().map(|(_, _, l)| l).collect();
+                    sw.retain(|x| psw.contains(x));
+                    ln.retain(|x| pln.contains(x));
+                }
+                m_sw.extend(sw);
+                m_ln.extend(ln);
+            }
+            // Masked elements can never be powered (a flow whose mandatory
+            // hardware is dead makes the candidate fail instead).
+            m_sw.retain(|n| !masked.contains(n));
+            m_ln.retain(|&l| {
+                let lk = topo.link(l);
+                !masked.contains(&lk.a) && !masked.contains(&lk.b)
+            });
+            cfg.net_power.power_w_for_counts(m_sw.len(), m_ln.len())
+        }
+    };
+    server_floor + net_floor
+}
+
+/// [`optimize_in_context_masked`] with lower-bound pruning and
+/// best-first candidate ordering — same winner, fewer simulations.
+///
+/// Candidates are evaluated cheapest-bound-first (`warm_hint`, typically
+/// the previous epoch's winner, jumps the queue), and once a feasible
+/// incumbent exists every remaining candidate whose
+/// [`candidate_power_floor_w`] *strictly* exceeds the incumbent's
+/// measured total is skipped: its measurement could only come in above
+/// its bound, so it cannot tie or beat the incumbent. Skips are journaled
+/// as `CandidatePruned` events and counted under
+/// `core.optimizer.pruned`; they do not count toward
+/// [`JointChoice::evaluated`].
+///
+/// **Bit-identity.** The returned choice equals the exhaustive sweep's
+/// bit for bit: bounds are sound, ties are never pruned (strict
+/// inequality), and the final selection re-ranks the measured survivors
+/// in original candidate order, reproducing the exhaustive `min_by`
+/// tie-breaking. When nothing is feasible, no pruning has happened (an
+/// incumbent is a precondition), so the least-bad fallback also matches.
+/// The hint affects evaluation order only, never the result.
+pub fn optimize_in_context_pruned(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    candidates: &[ConsolidationSpec],
+    excluded: &[eprons_topo::NodeId],
+    warm_hint: Option<ConsolidationSpec>,
+) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
+    let cfg = ctx.cfg();
+    let obs_on = eprons_obs::enabled();
+    let floors: Vec<f64> = candidates
+        .iter()
+        .map(|&spec| candidate_power_floor_w(ctx, scheme, spec, excluded))
+        .collect();
+    // Cheapest bound first: the likely winner is measured early, so the
+    // incumbent that powers the pruning exists as soon as possible.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&i, &j| {
+        floors[i]
+            .partial_cmp(&floors[j])
+            .expect("power bounds are finite")
+            .then(i.cmp(&j))
+    });
+    if let Some(hint) = warm_hint {
+        if let Some(pos) = order.iter().position(|&i| candidates[i] == hint) {
+            let i = order.remove(pos);
+            order.insert(0, i);
+        }
+    }
+
+    let mut measured: Vec<Option<(ClusterRunResult, bool)>> =
+        (0..candidates.len()).map(|_| None).collect();
+    let mut failures: Vec<(ConsolidationSpec, ClusterError)> = Vec::new();
+    let mut incumbent_w: Option<f64> = None;
+    let mut evaluated = 0u64;
+    for &i in &order {
+        let spec = candidates[i];
+        if let Some(best_w) = incumbent_w {
+            if floors[i] > best_w {
+                if obs_on {
+                    eprons_obs::registry().counter("core.optimizer.pruned").inc();
+                    eprons_obs::record(eprons_obs::Event::CandidatePruned {
+                        k: spec.label(),
+                        bound_w: floors[i],
+                        incumbent_w: best_w,
+                    });
+                }
+                continue;
+            }
+        }
+        match ctx.evaluate_masked(scheme, spec, excluded) {
+            Ok(r) => {
+                evaluated += 1;
+                let feasible = r.is_feasible(cfg);
+                journal_candidate(spec, &r, feasible);
+                if feasible {
+                    let w = r.breakdown.total_w();
+                    incumbent_w = Some(incumbent_w.map_or(w, |b| b.min(w)));
+                }
+                measured[i] = Some((r, feasible));
+            }
+            Err(e) => {
+                journal_failure(spec, &e);
+                failures.push((spec, e));
+            }
+        }
+    }
+    // Re-rank the survivors in original candidate order so tie-breaking
+    // matches the exhaustive sweep exactly.
+    let ok: Vec<(ConsolidationSpec, &ClusterRunResult, bool)> = measured
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.as_ref().map(|(r, f)| (candidates[i], r, *f)))
+        .collect();
+    if ok.is_empty() {
+        return (None, failures);
+    }
+    let feasible = ok
+        .iter()
+        .filter(|(_, _, feasible)| *feasible)
+        .min_by(|a, b| {
+            a.1.breakdown
+                .total_w()
+                .partial_cmp(&b.1.breakdown.total_w())
+                .expect("power is finite")
+        });
+    let choice = if let Some(&(spec, result, _)) = feasible {
+        JointChoice {
+            spec,
+            result: result.clone(),
+            feasible: true,
+            evaluated,
+        }
+    } else {
+        let &(spec, result, _) = ok
+            .iter()
+            .min_by(|a, b| {
+                a.1.e2e_latency
+                    .p95_s
+                    .partial_cmp(&b.1.e2e_latency.p95_s)
+                    .expect("latency is finite")
+            })
+            .expect("non-empty");
+        JointChoice {
+            spec,
+            result: result.clone(),
+            feasible: false,
+            evaluated,
+        }
+    };
+    (Some(journal_choice(choice)), failures)
+}
+
 /// The paper's candidate ladder: the four Fig. 9 aggregation presets.
 pub fn aggregation_candidates() -> Vec<ConsolidationSpec> {
     eprons_topo::AggregationLevel::ALL
@@ -232,21 +454,62 @@ pub fn adaptive_k_in_context(
     scheme: crate::cluster::ServerScheme,
     k_max: usize,
 ) -> Option<JointChoice> {
+    adaptive_k_in_context_hinted(ctx, scheme, k_max, None)
+}
+
+/// [`adaptive_k_in_context`] with the previous epoch's winning `K` as an
+/// ordering hint: the hinted rung is measured *first* — when demand
+/// barely moved since the last epoch, that single evaluation is the
+/// eventual commit, in hand before the confirmation walk runs — and the
+/// usual ascending walk then resumes from `K = 1`, reusing the hinted
+/// measurement when it reaches that rung instead of re-simulating it.
+///
+/// The committed choice is identical to the unhinted walk bit for bit
+/// (still the smallest feasible `K`; every rung below a feasible hint is
+/// still checked, and fallback tie-breaking happens in walk order). Only
+/// [`JointChoice::evaluated`] can differ: a hint above the true winner
+/// costs one extra measurement.
+pub fn adaptive_k_in_context_hinted(
+    ctx: &ScenarioContext,
+    scheme: crate::cluster::ServerScheme,
+    k_max: usize,
+    hint_k: Option<usize>,
+) -> Option<JointChoice> {
     let cfg = ctx.cfg();
     let mut evaluated = 0u64;
+    let measure = |spec: ConsolidationSpec,
+                   evaluated: &mut u64|
+     -> Option<(ClusterRunResult, bool)> {
+        match ctx.evaluate(scheme, spec) {
+            Ok(r) => {
+                *evaluated += 1;
+                let feasible = r.is_feasible(cfg);
+                journal_candidate(spec, &r, feasible);
+                Some((r, feasible))
+            }
+            Err(e) => {
+                journal_failure(spec, &e); // K too large for the capacity
+                None
+            }
+        }
+    };
+    let mut prefetched: Option<(usize, Option<(ClusterRunResult, bool)>)> = None;
+    if let Some(h) = hint_k {
+        if h > 1 && h <= k_max {
+            let spec = ConsolidationSpec::GreedyK(h as f64);
+            prefetched = Some((h, measure(spec, &mut evaluated)));
+        }
+    }
     let mut best_fallback: Option<(f64, JointChoice)> = None;
     for k in 1..=k_max {
         let spec = ConsolidationSpec::GreedyK(k as f64);
-        let result = match ctx.evaluate(scheme, spec) {
-            Ok(r) => r,
-            Err(e) => {
-                journal_failure(spec, &e);
-                continue; // K too large for the capacity: skip
-            }
+        let measured = match &prefetched {
+            Some((h, res)) if *h == k => res.clone(),
+            _ => measure(spec, &mut evaluated),
         };
-        evaluated += 1;
-        let feasible = result.is_feasible(cfg);
-        journal_candidate(spec, &result, feasible);
+        let Some((result, feasible)) = measured else {
+            continue;
+        };
         let choice = JointChoice {
             spec,
             result,

@@ -33,12 +33,14 @@
 //! equality test over every `ServerScheme` × `AggregationLevel` pair.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use eprons_net::consolidate::AggregationRouter;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
     Assignment, ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
+    PathArena,
 };
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::request::budget_with_network_slack;
@@ -56,6 +58,41 @@ use crate::cluster::{
 };
 use crate::config::{ClusterConfig, SlaConfig};
 use crate::parallel::{parallel_map, parallel_map_range};
+
+/// Process-wide switch for the per-context stage-2 plan memo. On by
+/// default; the perf bench's cold baseline turns it off to measure the
+/// pre-memo pipeline. Caching is invisible to results either way — a
+/// [`NetworkPlan`] is a pure function of (context, candidate, mask), so a
+/// memo hit returns the bit-identical plan a rebuild would produce.
+static PLAN_CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the stage-2 plan memo process-wide (default: on).
+///
+/// Results never change — only whether repeated evaluations of the same
+/// (candidate, mask) against one context pay consolidation and latency
+/// sampling again. Exists for cold-baseline measurement, not correctness.
+pub fn set_plan_cache_enabled(on: bool) {
+    PLAN_CACHE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the stage-2 plan memo is currently serving hits.
+pub fn plan_cache_enabled() -> bool {
+    PLAN_CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Memo key for one stage-2 plan: the candidate collapsed to raw bits
+/// (discriminant + level index / `K` bits) plus the normalized mask.
+type PlanKey = (u8, u64, Vec<usize>);
+
+/// `mask` must already be sorted and deduplicated.
+fn plan_key(spec: ConsolidationSpec, mask: &[NodeId]) -> PlanKey {
+    let (tag, bits) = match spec {
+        ConsolidationSpec::AllOn => (0u8, 0u64),
+        ConsolidationSpec::Level(l) => (1, l as u64),
+        ConsolidationSpec::GreedyK(k) => (2, k.to_bits()),
+    };
+    (tag, bits, mask.iter().map(|n| n.0).collect())
+}
 
 /// The axes a [`ScenarioContext`] is keyed by: everything in a
 /// [`ClusterRun`] except the per-candidate network configuration and the
@@ -93,6 +130,17 @@ impl ScenarioSpec {
 #[derive(Debug)]
 pub(crate) struct ScenarioData {
     pub(crate) ft: FatTree,
+    /// Per-pair candidate paths, enumerated once. Every consolidator the
+    /// candidate ladder runs asks the same path questions; the arena
+    /// answers from the table instead of re-walking the graph per
+    /// candidate (it returns exactly what `ft` would, so results are
+    /// unchanged).
+    pub(crate) arena: PathArena<FatTree>,
+    /// Memoized stage-2 plans keyed by (candidate, mask). A plan is a
+    /// pure function of those inputs given this context (the latency RNG
+    /// is cloned per build), so serving a cached `Arc` is bit-identical
+    /// to rebuilding. Shared across context clones via the `Arc` above.
+    pub(crate) plan_cache: Mutex<HashMap<PlanKey, Arc<NetworkPlan>>>,
     pub(crate) hosts: Vec<NodeId>,
     pub(crate) service: Arc<ServiceModel>,
     pub(crate) mean_service_s: f64,
@@ -162,6 +210,7 @@ impl ScenarioContext {
         let mut server_seed_rng = master.fork(5);
 
         let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
+        let arena = PathArena::build(ft.clone());
         let n = cfg.num_servers();
         let hosts = ft.hosts().to_vec();
 
@@ -227,6 +276,8 @@ impl ScenarioContext {
             spec: spec.clone(),
             data: Arc::new(ScenarioData {
                 ft,
+                arena,
+                plan_cache: Mutex::new(HashMap::new()),
                 hosts,
                 service: Arc::new(service),
                 mean_service_s,
@@ -312,7 +363,7 @@ impl ScenarioContext {
                 seed: self.spec.seed,
             });
         }
-        let plan = NetworkPlan::build_masked(self, consolidation, excluded)?;
+        let plan = self.plan_masked(consolidation, excluded)?;
         let eval = ServerEvaluation::run(self, &plan, scheme);
         let result = crate::accounting::assemble(self, &plan, &eval);
         if obs_on {
@@ -327,6 +378,68 @@ impl ScenarioContext {
             reg.gauge("core.cluster.total_w").set(result.breakdown.total_w());
         }
         Ok(result)
+    }
+
+    /// Stage 2 through the per-context memo: returns the cached plan for
+    /// (candidate, mask) or builds and caches it. Build failures are not
+    /// cached (they are cheap — consolidation rejects before the
+    /// expensive latency sampling). The lock is never held across a
+    /// build, so parallel candidate fan-outs only contend on the lookup;
+    /// a racing double-build inserts the same bits twice, harmlessly.
+    pub(crate) fn plan_masked(
+        &self,
+        consolidation: ConsolidationSpec,
+        excluded: &[NodeId],
+    ) -> Result<Arc<NetworkPlan>, ClusterError> {
+        let mut mask = excluded.to_vec();
+        mask.sort_unstable();
+        mask.dedup();
+        if !plan_cache_enabled() {
+            return NetworkPlan::build_masked(self, consolidation, &mask).map(Arc::new);
+        }
+        let key = plan_key(consolidation, &mask);
+        let hit = self
+            .data
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&key)
+            .cloned();
+        if let Some(plan) = hit {
+            if eprons_obs::enabled() {
+                eprons_obs::registry().counter("core.plan_cache.hits").inc();
+            }
+            return Ok(plan);
+        }
+        let plan = Arc::new(NetworkPlan::build_masked(self, consolidation, &mask)?);
+        if eprons_obs::enabled() {
+            eprons_obs::registry().counter("core.plan_cache.misses").inc();
+        }
+        self.data
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Drops every memoized stage-2 plan in this context (cold-baseline
+    /// hook for the perf bench; results are unaffected either way).
+    pub fn clear_plan_cache(&self) {
+        self.data
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .clear();
+    }
+
+    /// Number of stage-2 plans currently memoized.
+    pub fn plan_cache_len(&self) -> usize {
+        self.data
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .len()
     }
 
     /// Fans `candidates` out over the thread budget, evaluating each one
@@ -402,16 +515,18 @@ impl NetworkPlan {
             power: ctx.cfg.net_power.clone(),
             excluded: mask,
         };
+        // Consolidation routes through the shared path arena: identical
+        // candidate paths, no per-candidate graph re-enumeration.
         let assignment: Assignment = match consolidation {
             ConsolidationSpec::AllOn => {
                 AggregationRouter::for_level(&d.ft, AggregationLevel::Agg0)
-                    .consolidate(&d.ft, &d.flows, &ccfg)
+                    .consolidate(&d.arena, &d.flows, &ccfg)
             }
             ConsolidationSpec::Level(l) => {
-                AggregationRouter::for_level(&d.ft, l).consolidate(&d.ft, &d.flows, &ccfg)
+                AggregationRouter::for_level(&d.ft, l).consolidate(&d.arena, &d.flows, &ccfg)
             }
             ConsolidationSpec::GreedyK(_) => {
-                GreedyConsolidator.consolidate(&d.ft, &d.flows, &ccfg)
+                GreedyConsolidator.consolidate(&d.arena, &d.flows, &ccfg)
             }
         }
         .map_err(ClusterError::Consolidation)?;
@@ -472,6 +587,24 @@ impl NetworkPlan {
     pub fn active_switches(&self, ctx: &ScenarioContext) -> usize {
         self.assignment.active_switch_count(&ctx.data.ft)
     }
+}
+
+/// The lowest per-core power the scheme's DVFS policy can draw in any
+/// state — the same floor stage 3 integrates through trailing idle time,
+/// so every simulated `avg_core_w` is ≥ this value. The optimizer's
+/// candidate lower bound rests on that inequality.
+pub(crate) fn scheme_idle_floor_w(cfg: &ClusterConfig, scheme: ServerScheme) -> f64 {
+    let policy: Box<dyn DvfsPolicy> = match scheme {
+        ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
+        ServerScheme::Rubik => Box::new(MaxVpPolicy::rubik()),
+        ServerScheme::RubikPlus => Box::new(MaxVpPolicy::rubik_plus()),
+        ServerScheme::TimeTrader => {
+            Box::new(TimeTraderPolicy::new(cfg.sla.server_budget_s, cfg.ladder.len()))
+        }
+        ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
+        ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
+    };
+    policy.idle_power_w().unwrap_or_else(|| cfg.cpu.core_idle_w())
 }
 
 /// What one server's shard hands back to the in-order reduction.

@@ -15,6 +15,7 @@ fn quick_day() -> DayConfig {
         sim_seconds: 2.0,
         peak_utilization: 0.5,
         seed: 99,
+        warm_start: true,
     }
 }
 
@@ -56,6 +57,38 @@ fn day_timeline_is_deterministic_given_seed() {
             x.minute
         );
     }
+}
+
+#[test]
+fn warm_started_day_matches_cold_day_bit_for_bit() {
+    // PR-5 golden pin: epoch-to-epoch warm starting is an evaluation-order
+    // hint, never a result change. A day simulated with `warm_start: true`
+    // (sequential epochs, previous winner hinted forward) must reproduce
+    // the cold day (`warm_start: false`, parallel epochs, no hints) in
+    // every record bit and in total energy.
+    let cfg = ClusterConfig::default();
+    let strategy = DayStrategy::Eprons {
+        candidates: aggregation_candidates(),
+    };
+    let warm_day = quick_day();
+    let cold_day = DayConfig {
+        warm_start: false,
+        ..quick_day()
+    };
+    let warm = simulate_day(&cfg, &strategy, &warm_day);
+    let cold = simulate_day(&cfg, &strategy, &cold_day);
+    assert_eq!(warm.len(), cold.len());
+    for (w, c) in warm.iter().zip(&cold) {
+        assert_eq!(
+            record_bits(w),
+            record_bits(c),
+            "epoch at minute {} diverged between warm and cold days",
+            w.minute
+        );
+    }
+    let warm_j = day_total_energy_j(&warm, &warm_day);
+    let cold_j = day_total_energy_j(&cold, &cold_day);
+    assert_eq!(warm_j.to_bits(), cold_j.to_bits());
 }
 
 #[test]

@@ -15,8 +15,9 @@
 
 use eprons_core::scenario::{ScenarioContext, ScenarioSpec};
 use eprons_core::{
-    optimize_total_power, run_cluster, set_thread_budget, ClusterConfig, ClusterRun,
-    ClusterRunResult, ConsolidationSpec, ServerScheme,
+    candidate_power_floor_w, optimize_in_context_masked, optimize_in_context_pruned,
+    optimize_total_power, run_cluster, set_plan_cache_enabled, set_thread_budget, ClusterConfig,
+    ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
 };
 use eprons_server::clear_equiv_cache;
 use eprons_topo::AggregationLevel;
@@ -170,6 +171,147 @@ fn with_sla_reuses_the_build_without_changing_the_physics() {
     let fresh = run_cluster(&tight_cfg, &run).unwrap();
     let reused = tight_ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
     assert_eq!(result_bits(&fresh), result_bits(&reused));
+}
+
+#[test]
+fn pruned_warm_sweep_matches_exhaustive_cold_sweep_bit_for_bit() {
+    // The PR-5 golden pin: the warm path (shared context, plan cache on,
+    // bound-ordered pruned sweep, optional ordering hint) must pick the
+    // same candidate with the same float bits as the cold pre-PR path
+    // (plan cache off, exhaustive sweep) — for every server scheme over
+    // the full aggregation ladder, and for a GreedyK ladder. Pruning may
+    // only skip candidates whose *sound* power lower bound strictly
+    // exceeds a feasible incumbent's measured total, and hints only
+    // reorder evaluation, so the chosen spec, feasibility flag, and every
+    // number in the winning result must be identical.
+    let cfg = ClusterConfig::default();
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let ladder: Vec<ConsolidationSpec> = std::iter::once(ConsolidationSpec::AllOn)
+        .chain(AggregationLevel::ALL.map(ConsolidationSpec::Level))
+        .collect();
+    let greedy: Vec<ConsolidationSpec> = [1.0, 2.0, 3.0]
+        .map(ConsolidationSpec::GreedyK)
+        .to_vec();
+    let schemes = [
+        ServerScheme::NoPowerManagement,
+        ServerScheme::Rubik,
+        ServerScheme::RubikPlus,
+        ServerScheme::TimeTrader,
+        ServerScheme::EpronsServer,
+        ServerScheme::DeepSleep,
+    ];
+    for candidates in [&ladder, &greedy] {
+        for scheme in schemes {
+            let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+            set_plan_cache_enabled(false);
+            let (cold, cold_fail) = optimize_in_context_masked(&ctx, scheme, candidates, &[]);
+            set_plan_cache_enabled(true);
+            // Hints are ordering advice: correct, wrong, and absent hints
+            // must all reproduce the cold sweep exactly.
+            let hints = [None, Some(candidates[0]), cold.as_ref().map(|c| c.spec)];
+            for hint in hints {
+                let (warm, warm_fail) =
+                    optimize_in_context_pruned(&ctx, scheme, candidates, &[], hint);
+                match (&cold, &warm) {
+                    (Some(c), Some(w)) => {
+                        assert_eq!(c.spec, w.spec, "{}: spec diverged", scheme.name());
+                        assert_eq!(c.feasible, w.feasible, "{}: feasibility", scheme.name());
+                        assert_eq!(
+                            result_bits(&c.result),
+                            result_bits(&w.result),
+                            "{}: result bits diverged warm vs cold",
+                            scheme.name()
+                        );
+                    }
+                    (None, None) => {}
+                    _ => panic!("{}: warm and cold disagree on having a choice", scheme.name()),
+                }
+                assert_eq!(cold_fail.len(), warm_fail.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn candidate_power_floor_never_exceeds_measured_total() {
+    // Pruning is only sound if the analytic floor really is a lower
+    // bound: for every candidate the ladder can see, the bound computed
+    // without simulation must sit at or below the simulated total power.
+    let cfg = ClusterConfig::default();
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    let candidates: Vec<ConsolidationSpec> = std::iter::once(ConsolidationSpec::AllOn)
+        .chain(AggregationLevel::ALL.map(ConsolidationSpec::Level))
+        .chain([1.0, 2.0, 3.0].map(ConsolidationSpec::GreedyK))
+        .collect();
+    for scheme in [
+        ServerScheme::NoPowerManagement,
+        ServerScheme::EpronsServer,
+        ServerScheme::DeepSleep,
+    ] {
+        for &spec in &candidates {
+            let floor = candidate_power_floor_w(&ctx, scheme, spec, &[]);
+            let measured = ctx.evaluate(scheme, spec).unwrap();
+            assert!(
+                floor <= measured.breakdown.total_w() + 1e-9,
+                "{} / {}: floor {floor:.3} W exceeds measured {:.3} W",
+                scheme.name(),
+                spec.label(),
+                measured.breakdown.total_w()
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_skips_dominated_candidates_at_light_load() {
+    // At very light load the server draw sits near its idle floor, so the
+    // expensive network presets' bounds exceed the aggressive preset's
+    // measured total and the pruned sweep must evaluate strictly fewer
+    // candidates than the exhaustive one — while choosing identically.
+    let cfg = ClusterConfig::default();
+    let mut template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    template.server_utilization = 0.05;
+    template.background_util = 0.05;
+    let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    let candidates: Vec<ConsolidationSpec> = std::iter::once(ConsolidationSpec::AllOn)
+        .chain(AggregationLevel::ALL.map(ConsolidationSpec::Level))
+        .collect();
+    let (cold, _) = optimize_in_context_masked(&ctx, ServerScheme::EpronsServer, &candidates, &[]);
+    let (warm, _) =
+        optimize_in_context_pruned(&ctx, ServerScheme::EpronsServer, &candidates, &[], None);
+    let (cold, warm) = (cold.unwrap(), warm.unwrap());
+    assert_eq!(cold.spec, warm.spec);
+    assert_eq!(result_bits(&cold.result), result_bits(&warm.result));
+    assert_eq!(cold.evaluated, candidates.len() as u64);
+    assert!(
+        warm.evaluated < cold.evaluated,
+        "pruned sweep evaluated {} of {} — expected at least one prune at light load",
+        warm.evaluated,
+        cold.evaluated
+    );
+}
+
+#[test]
+fn plan_cache_hits_are_bit_identical_to_rebuilds() {
+    // A cached NetworkPlan must be indistinguishable from a rebuilt one:
+    // the consolidation RNG fork is stored unconsumed and cloned per
+    // build, so the plan is a pure function of (context, spec, mask).
+    let cfg = ClusterConfig::default();
+    let template = short_run(ServerScheme::EpronsServer, ConsolidationSpec::AllOn);
+    let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    let spec = ConsolidationSpec::Level(AggregationLevel::Agg2);
+    set_plan_cache_enabled(false);
+    let rebuilt = ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
+    set_plan_cache_enabled(true);
+    ctx.clear_plan_cache();
+    let miss = ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
+    assert!(ctx.plan_cache_len() >= 1, "miss path must populate the cache");
+    let hit = ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
+    assert_eq!(result_bits(&rebuilt), result_bits(&miss));
+    assert_eq!(result_bits(&miss), result_bits(&hit));
+    ctx.clear_plan_cache();
+    assert_eq!(ctx.plan_cache_len(), 0);
 }
 
 #[test]

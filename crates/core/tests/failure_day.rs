@@ -20,6 +20,7 @@ fn quick_day() -> DayConfig {
         sim_seconds: 2.0,
         peak_utilization: 0.5,
         seed: 99,
+        warm_start: true,
     }
 }
 

@@ -31,7 +31,7 @@ pub mod model;
 pub mod simplex;
 pub mod standard;
 
-pub use milp::{solve_milp, MilpOptions};
+pub use milp::{solve_milp, solve_milp_with_incumbent, MilpOptions};
 pub use model::{Cmp, Model, Sense, VarId};
-pub use simplex::{SolveError, SolveStats};
-pub use standard::Solution;
+pub use simplex::{Basis, SolveError, SolveStats};
+pub use standard::{Solution, Standardized};

@@ -22,6 +22,11 @@ pub enum SolveError {
     /// The pivot limit was exhausted (should not happen with Bland's rule;
     /// kept as a defensive backstop).
     IterationLimit,
+    /// A warm-start [`Basis`] was offered to a model with different
+    /// dimensions. Structural changes invalidate a basis outright, so this
+    /// is reported as an error rather than silently re-solving: the caller
+    /// is holding a basis from the wrong model.
+    BasisMismatch,
 }
 
 impl std::fmt::Display for SolveError {
@@ -30,6 +35,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "problem is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            SolveError::BasisMismatch => {
+                write!(f, "warm-start basis does not match the model dimensions")
+            }
         }
     }
 }
@@ -43,9 +51,53 @@ const DEGENERATE_LIMIT: u32 = 32;
 /// Work counters for one standard-form solve (both phases).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Total pivots performed, including phase-1 artificial cleanup.
+    /// Total pivots performed, including phase-1 artificial cleanup and
+    /// warm-start basis injection.
     pub iterations: u64,
+    /// `true` iff a warm-start basis was successfully injected and phase 1
+    /// was skipped. A basis that was offered but fell back to the cold
+    /// path reports `false`.
+    pub warm_started: bool,
 }
+
+/// A simplex basis snapshot: the set of basic columns of a solved
+/// standard-form tableau, one per row.
+///
+/// Extracted by [`solve_counted_warm`] after a successful solve and
+/// re-injectable into a *structurally identical* model — same row and
+/// column counts, which is exactly the relationship between adjacent
+/// K-ladder candidates (they scale demands but share the fat-tree
+/// constraint matrix). Offering a basis to a model with different
+/// dimensions returns [`SolveError::BasisMismatch`]; an injection that
+/// turns out numerically singular or primal-infeasible for the new RHS
+/// silently falls back to the cold two-phase path, so a stale basis can
+/// cost time but never correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row of the source tableau (may include artificial
+    /// columns when the source model had redundant rows; those bases are
+    /// rejected at injection time and solved cold).
+    cols: Vec<usize>,
+    /// Structural + slack column count (excluding artificials and rhs).
+    n: usize,
+}
+
+impl Basis {
+    /// Rows of the model this basis was extracted from.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Columns (structural + slack, excluding artificials and the rhs) of
+    /// the model this basis was extracted from.
+    pub fn num_cols(&self) -> usize {
+        self.n
+    }
+}
+
+/// Outcome of a counted solve: primal values, pivot statistics, and the
+/// final basis for reuse on the next structurally-identical model.
+pub type CountedSolve = Result<(Vec<f64>, SolveStats, Basis), SolveError>;
 
 /// The working tableau.
 struct Tableau {
@@ -197,6 +249,32 @@ pub fn solve_counted(
     c: &[f64],
     slack_basis: &[Option<usize>],
 ) -> Result<(Vec<f64>, SolveStats), SolveError> {
+    solve_counted_warm(a, b, c, slack_basis, None).map(|(y, stats, _)| (y, stats))
+}
+
+/// [`solve_counted`] with an optional warm-start basis, additionally
+/// returning the final [`Basis`] so the caller can chain solves across a
+/// family of structurally-identical models (the K ladder).
+///
+/// When `warm` is `Some`, the stored basis is injected by Gauss–Jordan
+/// reduction and phase 1 is skipped entirely; if the injection turns out
+/// numerically singular or primal-infeasible for the new RHS the solve
+/// falls back to the cold two-phase path (correct, just slower), reported
+/// via [`SolveStats::warm_started`].
+///
+/// # Errors
+/// Same failure modes as [`solve`], plus [`SolveError::BasisMismatch`]
+/// when the offered basis comes from a model with different dimensions.
+///
+/// # Panics
+/// Panics on dimension mismatches or negative `b`.
+pub fn solve_counted_warm(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+    warm: Option<&Basis>,
+) -> CountedSolve {
     let m = a.len();
     let n = c.len();
     assert_eq!(b.len(), m, "b length mismatch");
@@ -205,6 +283,156 @@ pub fn solve_counted(
         assert_eq!(row.len(), n, "row {i} length mismatch");
         assert!(b[i] >= 0.0, "standard form requires b >= 0");
     }
+
+    if let Some(basis) = warm {
+        if basis.cols.len() != m || basis.n != n {
+            return Err(SolveError::BasisMismatch);
+        }
+        if let Some(result) = try_warm(a, b, c, basis) {
+            return result;
+        }
+        // Injection failed structurally (artificial column, singular
+        // pivot, or negative warm RHS): solve cold below.
+    }
+
+    solve_cold(a, b, c, slack_basis)
+}
+
+/// Attempts a warm-started solve from `basis`. Returns `None` when the
+/// basis cannot be injected (fall back to the cold path), `Some(result)`
+/// when injection succeeded and phase 2 ran to completion or hit a
+/// genuine solver error.
+fn try_warm(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    basis: &Basis,
+) -> Option<CountedSolve> {
+    let m = a.len();
+    let n = c.len();
+    // Artificial columns in the stored basis (redundant source rows)
+    // don't exist in the warm tableau.
+    if basis.cols.iter().any(|&col| col >= n) {
+        return None;
+    }
+    let mut cols = basis.cols.clone();
+    cols.sort_unstable();
+    if cols.windows(2).any(|w| w[0] == w[1]) {
+        return None; // duplicate column: not a valid basis
+    }
+
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut r = Vec::with_capacity(n + 1);
+        r.extend_from_slice(&a[i]);
+        r.push(b[i]);
+        rows.push(r);
+    }
+    let mut tab = Tableau {
+        rows,
+        cost: vec![0.0; n + 1],
+        basis: vec![0; m],
+        n,
+        pivots: 0,
+    };
+
+    // Gauss–Jordan on the basis columns. The row↔column pairing of the
+    // stored basis is re-derived here with partial pivoting: the basis is
+    // a *set* of columns, and fixing the old pairing could hit a zero
+    // pivot that a permutation avoids. Columns already in reduced form
+    // (untouched slacks, typically most of the basis between adjacent K
+    // candidates) are recognized and skipped outright.
+    let mut assigned = vec![false; m];
+    for &col in &cols {
+        let mut ready: Option<usize> = None;
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if assigned[r] {
+                continue;
+            }
+            let v = tab.rows[r][col];
+            if (v - 1.0).abs() <= TOL
+                && (0..m).all(|k| k == r || tab.rows[k][col].abs() <= TOL)
+            {
+                ready = Some(r);
+                break;
+            }
+            if v.abs() > best.map_or(1e-7, |(_, bv): (usize, f64)| bv) {
+                best = Some((r, v.abs()));
+            }
+        }
+        if let Some(r) = ready {
+            assigned[r] = true;
+            tab.basis[r] = col;
+            continue;
+        }
+        let Some((r, _)) = best else {
+            return None; // singular injection
+        };
+        tab.pivot(r, col);
+        assigned[r] = true;
+    }
+
+    // Primal feasibility of the injected basis for the new RHS.
+    for i in 0..m {
+        let rhs = tab.rows[i][n];
+        if rhs < -TOL {
+            return None; // warm basis infeasible here: solve cold
+        }
+        if rhs < 0.0 {
+            tab.rows[i][n] = 0.0;
+        }
+    }
+
+    // Phase 2 directly (no artificials exist in the warm tableau).
+    tab.cost = vec![0.0; n + 1];
+    tab.cost[..n].copy_from_slice(c);
+    for i in 0..m {
+        let cb = c[tab.basis[i]];
+        if cb != 0.0 {
+            let row = tab.rows[i].clone();
+            for j in 0..=n {
+                tab.cost[j] -= cb * row[j];
+            }
+        }
+    }
+    let allowed = vec![true; n];
+    match tab.optimize(&allowed) {
+        Ok(()) => {}
+        // Unboundedness is a property of the model, not of the start.
+        Err(SolveError::Unbounded) => return Some(Err(SolveError::Unbounded)),
+        // Anything else: let the cold path have a clean try.
+        Err(_) => return None,
+    }
+
+    let mut y = vec![0.0; n];
+    for i in 0..m {
+        y[tab.basis[i]] = tab.rows[i][n];
+    }
+    let out_basis = Basis {
+        cols: tab.basis.clone(),
+        n,
+    };
+    Some(Ok((
+        y,
+        SolveStats {
+            iterations: tab.pivots,
+            warm_started: true,
+        },
+        out_basis,
+    )))
+}
+
+/// The cold two-phase path: phase-1 artificials where no slack basis is
+/// available, then phase 2 on the true objective.
+fn solve_cold(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+) -> CountedSolve {
+    let m = a.len();
+    let n = c.len();
 
     // Count artificials.
     let artificials: Vec<usize> = (0..m).filter(|&i| slack_basis[i].is_none()).collect();
@@ -300,11 +528,17 @@ pub fn solve_counted(
             y[tab.basis[i]] = tab.rows[i][total];
         }
     }
+    let basis = Basis {
+        cols: tab.basis.clone(),
+        n,
+    };
     Ok((
         y,
         SolveStats {
             iterations: tab.pivots,
+            warm_started: false,
         },
+        basis,
     ))
 }
 
@@ -371,6 +605,76 @@ mod tests {
         let (y, stats) = solve_counted(&a, &b, &c, &[Some(2)]).unwrap();
         assert!((y[1] - 3.0).abs() < 1e-9);
         assert!(stats.iterations >= 1, "at least one pivot expected");
+    }
+
+    #[test]
+    fn warm_start_skips_phase_one_and_matches_cold() {
+        // Equality system that needs phase 1 when cold.
+        let a = vec![vec![1.0, 2.0, 0.0], vec![0.0, 1.0, 1.0]];
+        let c = vec![1.0, 1.0, 1.0];
+        let b1 = vec![4.0, 3.0];
+        let (y1, s1, basis) = solve_counted_warm(&a, &b1, &c, &[None, None], None).unwrap();
+        assert!(!s1.warm_started);
+        // Same structure, new RHS: warm start from the previous basis.
+        let b2 = vec![4.4, 3.3];
+        let (y2, s2, _) =
+            solve_counted_warm(&a, &b2, &c, &[None, None], Some(&basis)).unwrap();
+        assert!(s2.warm_started, "warm injection should succeed");
+        assert!(
+            s2.iterations <= s1.iterations,
+            "warm solve should not pivot more than cold ({} vs {})",
+            s2.iterations,
+            s1.iterations
+        );
+        // And the warm answer equals a cold solve of the same model.
+        let (y2_cold, _, _) = solve_counted_warm(&a, &b2, &c, &[None, None], None).unwrap();
+        for (w, c) in y2.iter().zip(&y2_cold) {
+            assert!((w - c).abs() < 1e-9, "warm {w} vs cold {c}");
+        }
+        let _ = y1;
+    }
+
+    #[test]
+    fn mismatched_basis_is_an_error_not_a_wrong_answer() {
+        let a = vec![vec![1.0, 2.0]];
+        let b = vec![4.0];
+        let c = vec![1.0, 1.0];
+        let (_, _, basis) = solve_counted_warm(&a, &b, &c, &[None], None).unwrap();
+        // A structurally different model (extra column) must reject it.
+        let a2 = vec![vec![1.0, 2.0, 1.0]];
+        let c2 = vec![1.0, 1.0, 0.0];
+        assert_eq!(
+            solve_counted_warm(&a2, &b, &c2, &[Some(2)], Some(&basis)).unwrap_err(),
+            SolveError::BasisMismatch
+        );
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_to_cold() {
+        // x1 <= b0 (slack s0), x1 >= b1 (surplus s1, needs phase 1);
+        // min -x1, so the optimum vertex sits at x1 = b0 with basis
+        // {x1, s1}.
+        let a = vec![vec![1.0, 1.0, 0.0], vec![1.0, 0.0, -1.0]];
+        let c = vec![-1.0, 0.0, 0.0];
+        let (y1, _, basis) =
+            solve_counted_warm(&a, &[4.0, 1.0], &c, &[Some(1), None], None).unwrap();
+        assert!((y1[0] - 4.0).abs() < 1e-9);
+        // b1 > b0 makes the whole model infeasible: the injected basis
+        // prices a negative basic value, falls back cold, and the cold
+        // path reports the genuine infeasibility (never a wrong answer).
+        assert_eq!(
+            solve_counted_warm(&a, &[4.0, 6.0], &c, &[Some(1), None], Some(&basis))
+                .unwrap_err(),
+            SolveError::Infeasible
+        );
+        // A feasible new RHS warm-starts and matches the cold answer.
+        let (yw, sw, _) =
+            solve_counted_warm(&a, &[2.0, 1.0], &c, &[Some(1), None], Some(&basis)).unwrap();
+        assert!(sw.warm_started);
+        let (yc, _, _) = solve_counted_warm(&a, &[2.0, 1.0], &c, &[Some(1), None], None).unwrap();
+        for (w, cold) in yw.iter().zip(&yc) {
+            assert!((w - cold).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * free: `x = y⁺ − y⁻`.
 
 use crate::model::{Cmp, Model, Sense};
-use crate::simplex::{self, SolveError, SolveStats};
+use crate::simplex::{self, Basis, SolveError, SolveStats};
 use eprons_obs as obs;
 
 /// How an original variable maps onto standard-form column(s).
@@ -233,7 +233,39 @@ impl Standardized {
     /// # Errors
     /// Same failure modes as [`Standardized::solve`].
     pub fn solve_with_stats(&self) -> Result<(Solution, SolveStats), SolveError> {
-        let (y, stats) = simplex::solve_counted(&self.a, &self.b, &self.c, &self.slack_basis)?;
+        self.solve_warm(None).map(|(sol, stats, _)| (sol, stats))
+    }
+
+    /// [`Standardized::solve_with_stats`] with an optional warm-start
+    /// [`Basis`], additionally returning the final basis so callers can
+    /// chain solves across structurally-identical models (same variables
+    /// and constraints, different RHS / objective coefficients — the
+    /// relationship between adjacent K-ladder candidates).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Standardized::solve`], plus
+    /// [`SolveError::BasisMismatch`] when `warm` comes from a model with
+    /// different standard-form dimensions.
+    pub fn solve_warm(
+        &self,
+        warm: Option<&Basis>,
+    ) -> Result<(Solution, SolveStats, Basis), SolveError> {
+        let (y, stats, basis) =
+            simplex::solve_counted_warm(&self.a, &self.b, &self.c, &self.slack_basis, warm)?;
+        if obs::enabled() {
+            let reg = obs::registry();
+            reg.counter("lp.pivots").add(stats.iterations);
+            if stats.warm_started {
+                reg.counter("lp.warm_start_hits").inc();
+            } else if warm.is_some() {
+                reg.counter("lp.warm_start_misses").inc();
+            }
+        }
+        Ok((self.recover(&y), stats, basis))
+    }
+
+    /// Maps a standard-form point back onto the original model variables.
+    fn recover(&self, y: &[f64]) -> Solution {
         let mut values = vec![0.0; self.maps.len()];
         for (i, map) in self.maps.iter().enumerate() {
             values[i] = match *map {
@@ -242,11 +274,11 @@ impl Standardized {
                 VarMap::Split { pos, neg } => y[pos] - y[neg],
             };
         }
-        let mut objective = self.c0 + self.c.iter().zip(&y).map(|(c, y)| c * y).sum::<f64>();
+        let mut objective = self.c0 + self.c.iter().zip(y).map(|(c, y)| c * y).sum::<f64>();
         if self.negated {
             objective = -objective;
         }
-        Ok((Solution { objective, values }, stats))
+        Solution { objective, values }
     }
 }
 
@@ -403,6 +435,48 @@ mod tests {
         m.add_constraint("c", vec![(x, -1.0), (y, -1.0)], Cmp::Le, -2.0);
         let sol = solve_lp(&m).unwrap();
         assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_solves() {
+        // Two structurally identical models differing only in RHS — the
+        // K-ladder relationship — chained through one basis.
+        let build = |cap: f64| {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+            let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+            m.add_constraint("sum", vec![(x, 1.0), (y, 1.0)], Cmp::Ge, cap);
+            m.add_constraint("cap", vec![(x, 1.0)], Cmp::Le, cap * 0.75);
+            m
+        };
+        let first = Standardized::from_model(&build(8.0));
+        let (sol1, _, basis) = first.solve_warm(None).unwrap();
+        let second = Standardized::from_model(&build(10.0));
+        let (warm_sol, stats, _) = second.solve_warm(Some(&basis)).unwrap();
+        assert!(stats.warm_started, "identical structure should warm-start");
+        let (cold_sol, _) = second.solve_with_stats().unwrap();
+        assert!((warm_sol.objective - cold_sol.objective).abs() < 1e-9);
+        for (w, c) in warm_sol.values.iter().zip(&cold_sol.values) {
+            assert!((w - c).abs() < 1e-9);
+        }
+        assert!(sol1.objective < cold_sol.objective);
+    }
+
+    #[test]
+    fn structural_change_rejects_stale_basis() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let x = m1.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m1.add_constraint("c", vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let (_, _, basis) = Standardized::from_model(&m1).solve_warm(None).unwrap();
+        // Add a variable: the standard-form shape changes.
+        let mut m2 = Model::new(Sense::Minimize);
+        let x2 = m2.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y2 = m2.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m2.add_constraint("c", vec![(x2, 1.0), (y2, 1.0)], Cmp::Ge, 2.0);
+        let err = Standardized::from_model(&m2)
+            .solve_warm(Some(&basis))
+            .unwrap_err();
+        assert_eq!(err, SolveError::BasisMismatch);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Property tests for the warm-start surface (deterministic seeded cases
+//! via `eprons-proplite`), over randomly generated path-routing programs
+//! shaped like the fat-tree consolidation models the net crate builds:
+//! a demand matrix of flows, each with a handful of candidate paths over
+//! shared links, route-conservation equalities, and link-capacity rows.
+//!
+//! Invariants pinned here:
+//! - a basis recycled onto the *same* standard form warm-starts and
+//!   reproduces the cold optimum;
+//! - a basis recycled onto a *structurally changed* model (a demand
+//!   matrix with an extra flow or a different path fan-out) is rejected
+//!   with the explicit [`SolveError::BasisMismatch`] — never silently
+//!   misused;
+//! - an infeasible MILP incumbent hint falls back to the cold search and
+//!   returns the same optimum as no hint at all.
+
+use eprons_lp::{
+    solve_milp, solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError,
+    Standardized,
+};
+use eprons_proplite::{cases, Gen};
+
+/// A random path-routing program: `nflows` demands, each choosing among
+/// `npaths` candidate paths, every path crossing 2 of `nlinks` shared
+/// links. Objective: minimize total link activation cost weighted by the
+/// (random) demand matrix. Mirrors the structure of the consolidation
+/// MILP's LP relaxation on a small fat tree.
+fn random_routing_model(g: &mut Gen, nflows: usize, npaths: usize, integer: bool) -> Model {
+    let nlinks = 6;
+    let mut m = Model::new(Sense::Minimize);
+    let cost = g.vec_f64(nlinks, 0.5, 3.0);
+    // Per-link capacity rows are accumulated across flows.
+    let mut cap_terms: Vec<Vec<(eprons_lp::VarId, f64)>> = vec![Vec::new(); nlinks];
+    for f in 0..nflows {
+        let demand = g.f64_in(0.2, 1.5);
+        let mut route = Vec::with_capacity(npaths);
+        for p in 0..npaths {
+            // Path cost: sum of its two links' costs, scaled by demand.
+            let l0 = g.usize_in(0, nlinks - 1);
+            let l1 = g.usize_in(0, nlinks - 1);
+            let c = demand * (cost[l0] + cost[l1]);
+            let v = if integer {
+                m.add_int_var(format!("z[{f},{p}]"), 0.0, 1.0, c)
+            } else {
+                m.add_var(format!("z[{f},{p}]"), 0.0, 1.0, c)
+            };
+            cap_terms[l0].push((v, demand));
+            cap_terms[l1].push((v, demand));
+            route.push((v, 1.0));
+        }
+        // Exactly one path per flow.
+        m.add_constraint(format!("route[{f}]"), route, Cmp::Eq, 1.0);
+    }
+    for (l, terms) in cap_terms.into_iter().enumerate() {
+        if terms.is_empty() {
+            continue;
+        }
+        // Loose enough that the route constraints stay satisfiable.
+        m.add_constraint(format!("cap[{l}]"), terms, Cmp::Le, nflows as f64 * 2.0);
+    }
+    m
+}
+
+#[test]
+fn warm_basis_on_unchanged_model_reproduces_the_cold_optimum() {
+    cases(64, |g, case| {
+        let (nflows, npaths) = (g.usize_in(2, 4), g.usize_in(2, 3));
+        let m = random_routing_model(g, nflows, npaths, false);
+        let sf = Standardized::from_model(&m);
+        let (cold, cold_stats, basis) = sf.solve_warm(None).expect("routing LP is feasible");
+        assert!(!cold_stats.warm_started);
+        let (warm, warm_stats, _) = sf
+            .solve_warm(Some(&basis))
+            .expect("recycling the optimal basis cannot fail");
+        assert!(warm_stats.warm_started, "case {case}: hint was not used");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "case {case}: warm optimum {} != cold {}",
+            warm.objective,
+            cold.objective
+        );
+        // No assertion on pivot counts: on degenerate routing models a
+        // recycled basis can legally pivot more than a cold start. The
+        // warm-start contract is correctness, not per-instance speed.
+    });
+}
+
+#[test]
+fn stale_basis_on_structurally_changed_model_is_rejected() {
+    cases(64, |g, case| {
+        let (nflows, npaths) = (g.usize_in(2, 4), g.usize_in(2, 3));
+        let a = random_routing_model(g, nflows, npaths, false);
+        // Structural change: grow the demand matrix by one flow, or give
+        // each flow one more candidate path. Either way the standard form
+        // has different dimensions and the old basis must be refused.
+        let b = if g.bool() {
+            random_routing_model(g, nflows + 1, npaths, false)
+        } else {
+            random_routing_model(g, nflows, npaths + 1, false)
+        };
+        let (_, _, stale) = Standardized::from_model(&a)
+            .solve_warm(None)
+            .expect("routing LP is feasible");
+        let err = Standardized::from_model(&b)
+            .solve_warm(Some(&stale))
+            .expect_err("stale basis must not be accepted");
+        assert_eq!(
+            err,
+            SolveError::BasisMismatch,
+            "case {case}: wrong rejection"
+        );
+    });
+}
+
+#[test]
+fn infeasible_incumbent_hint_falls_back_to_the_cold_search() {
+    cases(64, |g, case| {
+        let nflows = g.usize_in(2, 3);
+        let m = random_routing_model(g, nflows, 2, true);
+        let opts = MilpOptions::default();
+        let cold = solve_milp(&m, &opts).expect("routing MILP is feasible");
+        // All-zeros violates every route[f] == 1 equality, so the hint is
+        // infeasible and must be ignored, not trusted.
+        let bad = vec![0.0; m.num_vars()];
+        assert!(!m.is_feasible(&bad, 1e-9), "case {case}: hint accidentally feasible");
+        let hinted =
+            solve_milp_with_incumbent(&m, &opts, Some(&bad)).expect("cold fallback must succeed");
+        assert!(
+            (hinted.objective - cold.objective).abs() < 1e-7,
+            "case {case}: infeasible hint changed the optimum: {} vs {}",
+            hinted.objective,
+            cold.objective
+        );
+        assert!(m.is_feasible(&hinted.values, 1e-6), "case {case}");
+        // A feasible hint (the cold optimum itself) must also keep the
+        // optimum unchanged — it can only prune, never mislead.
+        let seeded = solve_milp_with_incumbent(&m, &opts, Some(&cold.values))
+            .expect("seeding with the optimum must succeed");
+        assert!(
+            (seeded.objective - cold.objective).abs() < 1e-7,
+            "case {case}: feasible hint changed the optimum"
+        );
+    });
+}

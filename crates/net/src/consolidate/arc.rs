@@ -16,7 +16,9 @@
 //! instances and cross-validated against [`super::path`], which is the
 //! tractable equivalent on fat-trees.
 
-use eprons_lp::{solve_milp, Cmp, MilpOptions, Model, Sense, SolveError, VarId};
+use eprons_lp::{
+    solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, VarId,
+};
 use eprons_topo::{LinkId, MultipathTopology, Path};
 
 use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator};
@@ -44,13 +46,65 @@ impl Default for ArcMilpConsolidator {
     }
 }
 
-impl Consolidator for ArcMilpConsolidator {
-    fn consolidate(
+/// The built arc MILP plus variable handles, mirroring
+/// [`super::path::PathModel`] so solves can be chained across candidates.
+pub struct ArcModel {
+    /// The MILP.
+    pub model: Model,
+    /// X variable per undirected link (indexed by `LinkId`).
+    pub x: Vec<VarId>,
+    /// Y variable per node (`None` for hosts), indexed by `NodeId`.
+    pub y: Vec<Option<VarId>>,
+    /// Z variable per (flow, link, direction), row-major.
+    pub z: Vec<VarId>,
+    /// Link count (stride for `z` indexing).
+    pub nl: usize,
+}
+
+impl ArcModel {
+    /// The Z selector of flow `fi` on link `l`, direction `dir`.
+    pub fn z_at(&self, fi: usize, l: LinkId, dir: usize) -> VarId {
+        self.z[(fi * self.nl + l.0) * 2 + dir]
+    }
+
+    /// Expands a previous assignment's paths (one per flow, same flow
+    /// order, from a structurally-identical instance) into a full variable
+    /// vector usable as a MILP incumbent. Returns `None` on a shape
+    /// mismatch; the result may still be infeasible for this instance
+    /// (higher `K`, masked switch), which the MILP detects and ignores.
+    pub fn incumbent_from_paths(
         &self,
-        net: &dyn MultipathTopology,
-        flows: &FlowSet,
-        cfg: &ConsolidationConfig,
-    ) -> Result<Assignment, ConsolidationError> {
+        topo: &eprons_topo::Topology,
+        paths: &[Path],
+        num_flows: usize,
+    ) -> Option<Vec<f64>> {
+        if paths.len() != num_flows {
+            return None;
+        }
+        let mut vals = vec![0.0; self.model.num_vars()];
+        for (fi, p) in paths.iter().enumerate() {
+            for (from, to, l) in p.hops() {
+                let link = topo.link(l);
+                let dir = if from == link.a { 0 } else { 1 };
+                vals[self.z_at(fi, l, dir).index()] = 1.0;
+                vals[self.x[l.0].index()] = 1.0;
+                for endpoint in [from, to] {
+                    if let Some(yv) = self.y[endpoint.0] {
+                        vals[yv.index()] = 1.0;
+                    }
+                }
+            }
+        }
+        Some(vals)
+    }
+}
+
+/// Builds the arc-based consolidation MILP (paper eqs. 2–9).
+pub fn build_arc_model(
+    net: &dyn MultipathTopology,
+    flows: &FlowSet,
+    cfg: &ConsolidationConfig,
+) -> ArcModel {
         let topo = net.topology();
         let mut model = Model::new(Sense::Minimize);
 
@@ -165,7 +219,34 @@ impl Consolidator for ArcMilpConsolidator {
             }
         }
 
-        let sol = match solve_milp(&model, &self.options) {
+        let _ = nf;
+        ArcModel { model, x, y, z, nl }
+}
+
+impl ArcMilpConsolidator {
+    /// [`Consolidator::consolidate`] with warm-start chaining: a previous
+    /// assignment from a structurally-identical instance (same flows and
+    /// topology, different `K` or power weights) seeds the branch-and-
+    /// bound's initial incumbent so dominated subtrees prune immediately.
+    /// An infeasible or mismatched hint degrades silently to the cold
+    /// path; with alternate optima a warm solve may return a different
+    /// equal-power assignment than a cold one.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Consolidator::consolidate`].
+    pub fn consolidate_warm(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+        prev: Option<&Assignment>,
+    ) -> Result<Assignment, ConsolidationError> {
+        let topo = net.topology();
+        let am = build_arc_model(net, flows, cfg);
+        let nf = flows.len();
+        let incumbent = prev.and_then(|a| am.incumbent_from_paths(topo, a.paths(), nf));
+        let sol = match solve_milp_with_incumbent(&am.model, &self.options, incumbent.as_deref())
+        {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(ConsolidationError::Infeasible),
             Err(e) => return Err(ConsolidationError::SolverFailed(e.to_string())),
@@ -189,7 +270,7 @@ impl Consolidator for ArcMilpConsolidator {
                 for &(nbr, l) in topo.neighbors(cur) {
                     let link = topo.link(l);
                     let out_dir = if cur == link.a { 0 } else { 1 };
-                    if sol.value(z_at(fi, l, out_dir)) > 0.5 && !links.contains(&l) {
+                    if sol.value(am.z_at(fi, l, out_dir)) > 0.5 && !links.contains(&l) {
                         nodes.push(nbr);
                         links.push(l);
                         cur = nbr;
@@ -206,6 +287,17 @@ impl Consolidator for ArcMilpConsolidator {
             chosen.push(Path { nodes, links });
         }
         Ok(Assignment::from_paths(net, flows, chosen))
+    }
+}
+
+impl Consolidator for ArcMilpConsolidator {
+    fn consolidate(
+        &self,
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        cfg: &ConsolidationConfig,
+    ) -> Result<Assignment, ConsolidationError> {
+        self.consolidate_warm(net, flows, cfg, None)
     }
 }
 
@@ -283,6 +375,35 @@ mod tests {
         // Same-pod route: 3 switches (2 edges + 1 agg), 4 hops.
         assert_eq!(arc.active_switch_count(&ft), 3);
         arc.validate(&ft, &fs, &cfg).unwrap();
+    }
+
+    #[test]
+    fn warm_incumbent_chain_matches_cold_power() {
+        let ft = FatTree::new(2, 1000.0);
+        let mut fs = FlowSet::new();
+        fs.add(
+            ft.hosts()[0],
+            ft.hosts()[1],
+            100.0,
+            FlowClass::LatencySensitive,
+        );
+        let milp = ArcMilpConsolidator::default();
+        let power = NetworkPowerModel::default();
+        let mut prev: Option<Assignment> = None;
+        for k in [1.0, 2.0, 3.0] {
+            let cfg = ConsolidationConfig::with_k(k);
+            let warm = milp
+                .consolidate_warm(&ft, &fs, &cfg, prev.as_ref())
+                .unwrap();
+            warm.validate(&ft, &fs, &cfg).unwrap();
+            let cold = milp.consolidate(&ft, &fs, &cfg).unwrap();
+            assert!(
+                (warm.network_power_w(&ft, &power) - cold.network_power_w(&ft, &power)).abs()
+                    < 1e-6,
+                "K={k}: warm and cold optima disagree on power"
+            );
+            prev = Some(warm);
+        }
     }
 
     #[test]

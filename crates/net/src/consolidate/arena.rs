@@ -1,0 +1,103 @@
+//! Shared candidate-path arena.
+//!
+//! Every consolidator asks the topology for each flow's ECMP candidate
+//! paths. Enumeration walks the graph and allocates per call, and the K
+//! ladder repeats the identical question once per candidate — the demands
+//! scale with `K` but the endpoints never change. [`PathArena`] enumerates
+//! every ordered host pair once up front and serves clones from the arena
+//! thereafter. It implements [`MultipathTopology`] itself, so the greedy,
+//! aggregation-preset, and MILP consolidators all benefit through the
+//! trait without code changes.
+
+use std::collections::HashMap;
+
+use eprons_topo::{MultipathTopology, NodeId, Path, Topology};
+
+/// A precomputed candidate-path table over an inner topology.
+///
+/// Cheap to share: build once per scenario (`ScenarioContext` holds one)
+/// and pass `&arena` wherever a `&dyn MultipathTopology` is expected.
+/// Lookup order has no effect on results — the arena returns exactly what
+/// the inner topology would, so consolidation stays bit-identical.
+#[derive(Debug, Clone)]
+pub struct PathArena<T> {
+    inner: T,
+    paths: HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+impl<T: MultipathTopology> PathArena<T> {
+    /// Enumerates candidate paths for every ordered host pair of `inner`.
+    pub fn build(inner: T) -> Self {
+        let hosts: Vec<NodeId> = inner.host_list().to_vec();
+        let mut paths = HashMap::with_capacity(hosts.len() * hosts.len());
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src != dst {
+                    paths.insert((src, dst), inner.candidate_paths(src, dst));
+                }
+            }
+        }
+        PathArena { inner, paths }
+    }
+
+    /// Number of precomputed (src, dst) pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The wrapped topology.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: MultipathTopology> MultipathTopology for PathArena<T> {
+    fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    fn host_list(&self) -> &[NodeId] {
+        self.inner.host_list()
+    }
+
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        match self.paths.get(&(src, dst)) {
+            Some(p) => p.clone(),
+            // Not a precomputed pair (e.g. a switch endpoint): delegate.
+            None => self.inner.candidate_paths(src, dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eprons_topo::FatTree;
+
+    #[test]
+    fn arena_serves_identical_paths() {
+        let ft = FatTree::new(4, 1000.0);
+        let arena = PathArena::build(&ft);
+        assert_eq!(arena.num_pairs(), 16 * 15);
+        let hosts = arena.host_list().to_vec();
+        for &src in &hosts[..4] {
+            for &dst in &hosts[12..] {
+                assert_eq!(
+                    arena.candidate_paths(src, dst),
+                    ft.candidate_paths(src, dst),
+                    "arena must be invisible to results"
+                );
+            }
+        }
+        assert_eq!(arena.topology().num_links(), ft.topology().num_links());
+    }
+
+    #[test]
+    fn arena_is_shareable_through_the_trait() {
+        let ft = std::sync::Arc::new(FatTree::new(4, 1000.0));
+        let arena = PathArena::build(ft.clone());
+        let dynamic: &dyn MultipathTopology = &arena;
+        let paths = dynamic.candidate_paths(dynamic.host_list()[0], dynamic.host_list()[15]);
+        assert_eq!(paths.len(), 4);
+    }
+}

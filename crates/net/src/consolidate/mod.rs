@@ -19,6 +19,7 @@
 //! (Fig. 9 presets) for the sensitivity experiments of Figs. 10 and 13.
 
 pub mod arc;
+pub mod arena;
 pub mod greedy;
 pub mod path;
 

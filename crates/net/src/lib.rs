@@ -40,8 +40,9 @@ pub mod queuesim;
 pub mod transition;
 
 pub use consolidate::{
-    arc::ArcMilpConsolidator, greedy::GreedyConsolidator, path::PathMilpConsolidator,
-    Assignment, ConsolidationConfig, ConsolidationError, Consolidator,
+    arc::ArcMilpConsolidator, arena::PathArena, greedy::GreedyConsolidator,
+    path::PathMilpConsolidator, Assignment, ConsolidationConfig, ConsolidationError,
+    Consolidator,
 };
 pub use failure::{
     DegradationPolicy, DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,

@@ -6,7 +6,7 @@ use eprons_net::flow::FlowSet;
 use eprons_net::queuesim::simulate_mm1;
 use eprons_net::{
     ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator, LatencyModel,
-    NetworkPowerModel,
+    NetworkPowerModel, PathArena, PathMilpConsolidator,
 };
 use eprons_proplite::{cases, Gen};
 use eprons_sim::SimRng;
@@ -121,6 +121,58 @@ fn aggregation_router_stays_on_preset() {
             }
         }
         assert_eq!(a.active_switch_count(&ft), active.len(), "case {case}");
+    });
+}
+
+#[test]
+fn warm_consolidation_matches_cold_power_on_random_demand_matrices() {
+    // Warm-start chaining over a K ladder is an *incumbent seed*, never a
+    // constraint: whatever previous choices are fed in — valid ones from
+    // an adjacent K, stale garbage, or nothing — the consolidator must
+    // land on an assignment with the same optimal network power, and the
+    // assignment must validate. Randomized over fat-tree demand matrices.
+    cases(8, |g, case| {
+        let spec: Vec<(usize, usize, f64, bool)> = random_flows(g)
+            .into_iter()
+            .take(3) // keep the MILP small enough for a property sweep
+            .collect();
+        let garbage = g.usize_in(0, 99);
+        let ft = FatTree::new(4, 1000.0);
+        let arena = PathArena::build(&ft);
+        let flows = build(&ft, &spec);
+        let solver = PathMilpConsolidator::default();
+        let pm = NetworkPowerModel::default();
+        let k_ladder = [1.0, 1.5];
+        let mut prev: Option<Vec<usize>> = None;
+        for k in k_ladder {
+            let cfg = ConsolidationConfig::with_k(k);
+            let cold = solver.consolidate(&arena, &flows, &cfg);
+            let warm = solver.consolidate_warm(&arena, &flows, &cfg, prev.as_deref());
+            match (cold, warm) {
+                (Ok(c), Ok((w, choices))) => {
+                    assert!(w.validate(&arena, &flows, &cfg).is_ok(), "case {case}");
+                    let (cp, wp) = (c.network_power_w(&ft, &pm), w.network_power_w(&ft, &pm));
+                    assert!(
+                        (cp - wp).abs() < 1e-6,
+                        "case {case} k={k}: warm power {wp} != cold {cp}"
+                    );
+                    prev = Some(choices);
+                }
+                (Err(_), Err(_)) => prev = None,
+                (c, w) => panic!("case {case} k={k}: cold/warm disagree: {c:?} vs {w:?}"),
+            }
+        }
+        // A stale hint of the wrong shape must degrade silently to the
+        // cold answer, not fail or corrupt the solution.
+        let cfg = ConsolidationConfig::with_k(1.0);
+        let junk = vec![garbage; flows.len() + 3];
+        if let (Ok(c), Ok((w, _))) = (
+            solver.consolidate(&arena, &flows, &cfg),
+            solver.consolidate_warm(&arena, &flows, &cfg, Some(&junk)),
+        ) {
+            let (cp, wp) = (c.network_power_w(&ft, &pm), w.network_power_w(&ft, &pm));
+            assert!((cp - wp).abs() < 1e-6, "case {case}: junk hint changed power");
+        }
     });
 }
 

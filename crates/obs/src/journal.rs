@@ -68,6 +68,18 @@ pub enum Event {
     },
     /// A candidate's cluster evaluation failed outright (no result).
     CandidateFailed { k: String, error: String },
+    /// The optimizer skipped a candidate without simulating it: its cheap
+    /// power lower bound already exceeded the feasible incumbent's
+    /// measured total, so it cannot win.
+    CandidatePruned {
+        k: String,
+        bound_w: f64,
+        incumbent_w: f64,
+    },
+    /// An epoch's ladder search started from the previous epoch's winner
+    /// (hint) because the failure mask and demand fingerprint carried
+    /// over unchanged.
+    WarmStartApplied { epoch: u64, hint: String },
     /// The optimizer committed to a candidate.
     OptimizerChoice {
         k: String,
@@ -160,6 +172,8 @@ impl Event {
             Event::EpochSnapshot(_) => "EpochSnapshot",
             Event::OptimizerCandidate { .. } => "OptimizerCandidate",
             Event::CandidateFailed { .. } => "CandidateFailed",
+            Event::CandidatePruned { .. } => "CandidatePruned",
+            Event::WarmStartApplied { .. } => "WarmStartApplied",
             Event::OptimizerChoice { .. } => "OptimizerChoice",
             Event::LpSolve { .. } => "LpSolve",
             Event::FreqTransition { .. } => "FreqTransition",
@@ -232,6 +246,18 @@ impl Event {
             ]),
             Event::CandidateFailed { k, error } => {
                 f(vec![("k", s(k)), ("error", s(error))])
+            }
+            Event::CandidatePruned {
+                k,
+                bound_w,
+                incumbent_w,
+            } => f(vec![
+                ("k", s(k)),
+                ("bound_w", n(*bound_w)),
+                ("incumbent_w", n(*incumbent_w)),
+            ]),
+            Event::WarmStartApplied { epoch, hint } => {
+                f(vec![("epoch", u(*epoch)), ("hint", s(hint))])
             }
             Event::OptimizerChoice {
                 k,
@@ -414,6 +440,15 @@ impl Event {
             "CandidateFailed" => Event::CandidateFailed {
                 k: fs("k")?,
                 error: fs("error")?,
+            },
+            "CandidatePruned" => Event::CandidatePruned {
+                k: fs("k")?,
+                bound_w: fn_("bound_w")?,
+                incumbent_w: fn_("incumbent_w")?,
+            },
+            "WarmStartApplied" => Event::WarmStartApplied {
+                epoch: fu("epoch")?,
+                hint: fs("hint")?,
             },
             "OptimizerChoice" => Event::OptimizerChoice {
                 k: fs("k")?,
@@ -677,6 +712,15 @@ mod tests {
             Event::CandidateFailed {
                 k: "agg3".into(),
                 error: "no feasible path for flow 7".into(),
+            },
+            Event::CandidatePruned {
+                k: "agg0".into(),
+                bound_w: 1356.8,
+                incumbent_w: 1212.4,
+            },
+            Event::WarmStartApplied {
+                epoch: 4,
+                hint: "agg3".into(),
             },
             Event::OptimizerChoice {
                 k: "k=2".into(),

@@ -24,6 +24,34 @@ pub trait MultipathTopology {
     fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
 }
 
+impl<T: MultipathTopology + ?Sized> MultipathTopology for &T {
+    fn topology(&self) -> &Topology {
+        (**self).topology()
+    }
+
+    fn host_list(&self) -> &[NodeId] {
+        (**self).host_list()
+    }
+
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        (**self).candidate_paths(src, dst)
+    }
+}
+
+impl<T: MultipathTopology + ?Sized> MultipathTopology for std::sync::Arc<T> {
+    fn topology(&self) -> &Topology {
+        (**self).topology()
+    }
+
+    fn host_list(&self) -> &[NodeId] {
+        (**self).host_list()
+    }
+
+    fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        (**self).candidate_paths(src, dst)
+    }
+}
+
 impl MultipathTopology for crate::FatTree {
     fn topology(&self) -> &Topology {
         crate::FatTree::topology(self)

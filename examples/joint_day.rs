@@ -21,6 +21,7 @@ fn main() {
         sim_seconds: 6.0,
         peak_utilization: 0.5,
         seed: 77,
+        warm_start: true,
     };
 
     println!("simulating one diurnal day (hourly epochs)\n");

@@ -44,6 +44,7 @@ fn day_simulation_is_seed_pure() {
         sim_seconds: 2.0,
         peak_utilization: 0.4,
         seed: 321,
+        warm_start: true,
     };
     let a = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
     let b = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
@@ -64,6 +65,7 @@ fn different_seeds_give_different_days() {
         sim_seconds: 2.0,
         peak_utilization: 0.4,
         seed,
+        warm_start: true,
     };
     let a = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &mk(1));
     let b = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &mk(2));
