@@ -1,0 +1,132 @@
+//! `obsctl` — journal analysis and audit CLI.
+//!
+//! Every fig binary dumps its run journal with `--journal <path>`; this
+//! tool turns those JSON-lines dumps into summaries, flamegraph input,
+//! CI-gating diffs, and conservation audits. All logic lives in
+//! `eprons_bench::obsctl`; this wrapper only parses arguments and maps
+//! results to exit codes (0 = clean, 1 = violations/differences found,
+//! 2 = usage error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eprons_bench::obsctl;
+
+const USAGE: &str = "\
+usage: obsctl <command> [args]
+
+commands:
+  summarize <journal>                     event, span, epoch, and energy tables
+  flame <journal>                         collapsed stacks (pipe to flamegraph.pl)
+  diff <a> <b> [--rel-tol X] [--time-tol X]
+                                          order-insensitive journal comparison;
+                                          exit 1 if the journals differ
+  audit <journal> [--rel-tol X]           check conservation invariants
+                                          (default tolerance 1e-9); exit 1 on
+                                          any violation
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs one subcommand; `Ok(true)` means a clean exit, `Ok(false)` a
+/// finding (differences or violations), `Err` a usage problem.
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "summarize" => {
+            let (paths, _) = split_flags(&args[1..], &[])?;
+            let [path] = paths.as_slice() else {
+                return Err("summarize takes exactly one journal path".into());
+            };
+            let entries = obsctl::load(path)?;
+            print!("{}", obsctl::summarize(&entries));
+            Ok(true)
+        }
+        "flame" => {
+            let (paths, _) = split_flags(&args[1..], &[])?;
+            let [path] = paths.as_slice() else {
+                return Err("flame takes exactly one journal path".into());
+            };
+            let entries = obsctl::load(path)?;
+            print!("{}", obsctl::flame(&entries));
+            Ok(true)
+        }
+        "diff" => {
+            let (paths, flags) = split_flags(&args[1..], &["--rel-tol", "--time-tol"])?;
+            let [a, b] = paths.as_slice() else {
+                return Err("diff takes exactly two journal paths".into());
+            };
+            let opts = obsctl::DiffOptions {
+                rel_tol: flags.get("--rel-tol").copied().unwrap_or(0.0),
+                time_tol: flags.get("--time-tol").copied(),
+            };
+            let diffs = obsctl::diff(&obsctl::load(a)?, &obsctl::load(b)?, &opts);
+            if diffs.is_empty() {
+                println!("journals agree ({} vs {})", a.display(), b.display());
+                Ok(true)
+            } else {
+                for d in &diffs {
+                    println!("{d}");
+                }
+                println!("{} difference(s)", diffs.len());
+                Ok(false)
+            }
+        }
+        "audit" => {
+            let (paths, flags) = split_flags(&args[1..], &["--rel-tol"])?;
+            let [path] = paths.as_slice() else {
+                return Err("audit takes exactly one journal path".into());
+            };
+            let rel_tol = flags.get("--rel-tol").copied().unwrap_or(1.0e-9);
+            let report = obsctl::audit(&obsctl::load(path)?, rel_tol);
+            print!("{}", report.render());
+            Ok(report.is_clean())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Splits positional paths from `--flag <f64>` pairs (only `allowed`
+/// flags are accepted).
+fn split_flags(
+    args: &[String],
+    allowed: &[&'static str],
+) -> Result<(Vec<PathBuf>, std::collections::HashMap<&'static str, f64>), String> {
+    let mut paths = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(&flag) = allowed.iter().find(|&&f| f == a.as_str()) {
+            let v = it
+                .next()
+                .ok_or(format!("{flag} requires a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            if v.is_nan() || v < 0.0 {
+                return Err(format!("{flag} must be non-negative"));
+            }
+            flags.insert(flag, v);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag '{a}'"));
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    Ok((paths, flags))
+}

@@ -14,9 +14,10 @@
 use std::path::PathBuf;
 
 use eprons_core::config::ClusterConfig;
-use eprons_core::report::{journal_kind_table, metrics_table};
+use eprons_core::report::{journal_kind_table_with_drops, metrics_table};
 
 pub mod harness;
+pub mod obsctl;
 
 /// Master seed shared by the harness binaries.
 pub const BASE_SEED: u64 = 2018;
@@ -105,10 +106,10 @@ pub fn finish() {
             std::process::exit(1);
         }
     }
-    if journal.dropped() > 0 {
-        println!("journal dropped {} events past capacity", journal.dropped());
-    }
-    println!("{}", journal_kind_table(&journal.snapshot()));
+    println!(
+        "{}",
+        journal_kind_table_with_drops(&journal.snapshot(), journal.dropped())
+    );
     println!("{}", metrics_table(&eprons_obs::registry().snapshot()));
 }
 

@@ -1,0 +1,155 @@
+//! End-to-end `obsctl` test over a real fault-injected day journal.
+//!
+//! Runs `simulate_day_with_failures` (the failure-day scenario: core
+//! switch dies mid-epoch, recovers 40 minutes later) with telemetry on,
+//! dumps the journal, and drives every obsctl engine over it:
+//!
+//! * `audit` reports **zero** violations at 1e-9 relative tolerance —
+//!   power segments integrate to snapshot energy, repair boot energy
+//!   reconciles against `RepairOutcome` events, snapshots sum to the
+//!   `DayEnergy` roll-up, winners are unique per epoch;
+//! * `flame` attributes ≥ 95 % of day wall-time to leaf spans;
+//! * `diff` of two identical-seed runs finds no differences;
+//! * `summarize` renders without panicking on the real journal.
+//!
+//! One `#[test]` because the telemetry sinks are process-wide globals.
+
+use eprons_bench::obsctl;
+use eprons_core::controller::{simulate_day_with_failures, DayConfig, DayStrategy};
+use eprons_core::optimizer::aggregation_candidates;
+use eprons_core::{ClusterConfig, FailureEvent, FailureEventKind, FailureSchedule};
+use eprons_obs::Event;
+use eprons_topo::FatTree;
+
+#[test]
+fn obsctl_audits_a_fault_injected_day_clean() {
+    eprons_obs::set_enabled(true);
+    eprons_obs::reset();
+
+    let cfg = ClusterConfig::default();
+    let day = DayConfig {
+        epoch_minutes: 240, // 6 epochs, for test speed
+        sim_seconds: 2.0,
+        peak_utilization: 0.5,
+        seed: 2018,
+        warm_start: true,
+    };
+    let strategy = DayStrategy::Eprons {
+        candidates: aggregation_candidates(),
+    };
+    // Core (0,0) is active in every aggregation preset: fail at 12:10,
+    // recover at 12:50 — both inside epoch 3 ([720, 960)).
+    let core = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps).core(0, 0).0;
+    let schedule = FailureSchedule::scripted(vec![
+        FailureEvent {
+            minute: 730.0,
+            switch: core,
+            kind: FailureEventKind::Fail,
+        },
+        FailureEvent {
+            minute: 770.0,
+            switch: core,
+            kind: FailureEventKind::Recover,
+        },
+    ]);
+
+    let records = simulate_day_with_failures(&cfg, &strategy, &day, &schedule);
+    assert_eq!(records.len(), 6);
+    let boot_j: f64 = records.iter().map(|r| r.boot_energy_j).sum();
+    assert!(boot_j > 0.0, "the repair + recovery must charge boot energy");
+
+    // Dump and reload through the real file path (what CI does).
+    let journal = eprons_obs::journal();
+    assert_eq!(journal.dropped(), 0, "nothing may fall off the journal");
+    let mut path = std::env::temp_dir();
+    path.push(format!("eprons-obsctl-{}.jsonl", std::process::id()));
+    journal.write_jsonl(&path).expect("journal writes");
+    let entries = obsctl::load(&path).expect("journal reloads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(entries.len(), journal.len());
+
+    // --- audit: zero violations at 1e-9 relative tolerance. ---
+    let report = obsctl::audit(&entries, 1.0e-9);
+    assert!(
+        report.is_clean(),
+        "conservation violations on a real day journal:\n{}",
+        report.render()
+    );
+    assert_eq!(report.days, 1);
+    assert_eq!(report.epochs, 6);
+    // 5 clean epochs × 1 segment + the failure epoch split at minutes
+    // 730 and 770 into 3 segments.
+    assert_eq!(report.segments, 8, "{}", report.render());
+
+    // --- span forest: structurally sound, hierarchy as documented. ---
+    let forest = obsctl::span_forest(&entries);
+    assert!(forest.errors.is_empty(), "span damage: {:?}", forest.errors);
+    let count = |name: &str| forest.spans.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("day"), 1);
+    assert_eq!(count("epoch"), 6);
+    assert!(count("optimizer.search") >= 6);
+    assert!(count("stage.server_eval") > 0);
+    assert!(count("server_shard") > 0);
+    assert!(count("net.repair") >= 1, "the mid-epoch repair must span");
+    // Every epoch span hangs off the day span, shards off their eval.
+    let day_span = forest
+        .spans
+        .iter()
+        .find(|s| s.name == "day")
+        .expect("day span");
+    for s in forest.spans.iter().filter(|s| s.name == "epoch") {
+        assert_eq!(s.parent, day_span.id, "epoch spans attach to the day");
+    }
+
+    // --- flame: ≥ 95 % of day wall-time lands on leaf spans. ---
+    let coverage = obsctl::flame_leaf_coverage(&entries).expect("day span present");
+    assert!(
+        coverage >= 0.95,
+        "flame attributes only {:.1}% of the day to leaf spans",
+        coverage * 100.0
+    );
+    let collapsed = obsctl::flame(&entries);
+    assert!(
+        collapsed.lines().any(|l| l.starts_with("day;epoch;")),
+        "collapsed stacks must be rooted at the day span:\n{collapsed}"
+    );
+
+    // --- summarize renders every section on the real journal. ---
+    let summary = obsctl::summarize(&entries);
+    assert!(summary.contains("journal events"));
+    assert!(summary.contains("span wall-time by stage"));
+    assert!(summary.contains("day energy (eprons)"));
+
+    // --- diff: an identical-seed rerun is indistinguishable. ---
+    eprons_obs::reset();
+    let records2 = simulate_day_with_failures(&cfg, &strategy, &day, &schedule);
+    assert_eq!(records.len(), records2.len());
+    let entries2 = eprons_obs::journal().snapshot();
+    let diffs = obsctl::diff(&entries, &entries2, &obsctl::DiffOptions::default());
+    assert!(
+        diffs.is_empty(),
+        "identical-seed runs must journal identically:\n{}",
+        diffs.join("\n")
+    );
+    // ... and a genuine change is caught: drop a RepairOutcome that
+    // carries boot energy (some rungs, e.g. repair-failed, charge none).
+    let mut tampered = entries2.clone();
+    let idx = tampered
+        .iter()
+        .position(|e| {
+            matches!(&e.event, Event::RepairOutcome { boot_energy_j, .. } if *boot_energy_j > 0.0)
+        })
+        .expect("an energy-carrying repair outcome is present");
+    tampered.remove(idx);
+    assert!(
+        !obsctl::diff(&entries, &tampered, &obsctl::DiffOptions::default()).is_empty(),
+        "a missing event must register as a difference"
+    );
+    assert!(
+        !obsctl::audit(&tampered, 1.0e-9).is_clean(),
+        "removing a RepairOutcome must break boot-energy reconciliation"
+    );
+
+    eprons_obs::reset();
+    eprons_obs::set_enabled(false);
+}

@@ -19,6 +19,7 @@ pub(crate) fn assemble(
     eval: &ServerEvaluation,
 ) -> ClusterRunResult {
     let _t = eprons_obs::Timer::scoped("core.stage.accounting_s");
+    let _sp = eprons_obs::Span::enter("stage.accounting");
     let d = &*ctx.data;
     let cfg = &ctx.cfg;
 

@@ -165,6 +165,11 @@ pub fn simulate_day_with_failures(
     let background = DiurnalProfile::background_traffic().sample_day(&mut rng.fork(2));
     let epochs = MINUTES_PER_DAY / day.epoch_minutes;
     let obs_on = eprons_obs::enabled();
+    // Root of the day's causal-span tree; epoch spans attach to it by id
+    // because the cold path fans epochs out across worker threads.
+    let mut day_span = eprons_obs::Span::enter("day");
+    day_span.note(format!("strategy={} epochs={epochs}", strategy.name()));
+    let day_span_id = day_span.id();
     if obs_on {
         eprons_obs::record(eprons_obs::Event::DayStart {
             strategy: strategy.name().to_string(),
@@ -216,6 +221,7 @@ pub fn simulate_day_with_failures(
                       warm_hint: Option<ConsolidationSpec>|
      -> (DayRecord, ConsolidationSpec) {
         let bg = predicted_bg[e];
+        let mut epoch_span = eprons_obs::Span::enter_under(day_span_id, "epoch");
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochStart {
                 epoch: e as u64,
@@ -351,6 +357,15 @@ pub fn simulate_day_with_failures(
             for ev in &events {
                 acc_server += cur_server * (ev.minute - last_m);
                 acc_net += cur_net * (ev.minute - last_m);
+                if obs_on && ev.minute > last_m {
+                    eprons_obs::record(eprons_obs::Event::PowerSegment {
+                        epoch: e as u64,
+                        from_min: last_m,
+                        to_min: ev.minute,
+                        server_w: cur_server,
+                        network_w: cur_net,
+                    });
+                }
                 last_m = ev.minute;
                 match ev.kind {
                     FailureEventKind::Recover => {
@@ -488,9 +503,10 @@ pub fn simulate_day_with_failures(
                             if let Some((nspec, r, f, stage)) = rerun {
                                 let woken =
                                     Churn::between(&cur_ids, &r.active_switch_ids).turned_on;
-                                boot_energy_j += woken.len() as f64
+                                let rung_boot_j = woken.len() as f64
                                     * policy.transition.boot_power_w
                                     * policy.transition.power_on_s;
+                                boot_energy_j += rung_boot_j;
                                 // The hung switch keeps drawing until the
                                 // epoch-boundary power cycle.
                                 dead_draw_w += cfg.net_power.switch_w;
@@ -507,6 +523,18 @@ pub fn simulate_day_with_failures(
                                 choice_label = spec.label();
                                 worsen(&mut degradation, stage);
                                 if obs_on {
+                                    // Journal the rung's boot charge so the
+                                    // audit can reconcile every joule of
+                                    // `boot_energy_j` against RepairOutcome
+                                    // events, whichever rung charged it.
+                                    eprons_obs::record(eprons_obs::Event::RepairOutcome {
+                                        switch: ev.switch as u64,
+                                        minute: ev.minute,
+                                        outcome: stage.label().to_string(),
+                                        rerouted: 0,
+                                        woken: woken.len() as u64,
+                                        boot_energy_j: rung_boot_j,
+                                    });
                                     eprons_obs::record(eprons_obs::Event::DegradedEpoch {
                                         epoch: e as u64,
                                         reason: format!(
@@ -521,6 +549,16 @@ pub fn simulate_day_with_failures(
                                 feasible = false;
                                 worsen(&mut degradation, DegradationStage::Unprotected);
                                 if obs_on {
+                                    eprons_obs::record(eprons_obs::Event::RepairOutcome {
+                                        switch: ev.switch as u64,
+                                        minute: ev.minute,
+                                        outcome: DegradationStage::Unprotected
+                                            .label()
+                                            .to_string(),
+                                        rerouted: 0,
+                                        woken: 0,
+                                        boot_energy_j: 0.0,
+                                    });
                                     eprons_obs::record(eprons_obs::Event::DegradedEpoch {
                                         epoch: e as u64,
                                         reason: format!(
@@ -539,6 +577,15 @@ pub fn simulate_day_with_failures(
             }
             acc_server += cur_server * (end - last_m);
             acc_net += cur_net * (end - last_m);
+            if obs_on && end > last_m {
+                eprons_obs::record(eprons_obs::Event::PowerSegment {
+                    epoch: e as u64,
+                    from_min: last_m,
+                    to_min: end,
+                    server_w: cur_server,
+                    network_w: cur_net,
+                });
+            }
             let span = end - start;
             rec.breakdown = PowerBreakdown {
                 server_w: acc_server / span,
@@ -552,6 +599,23 @@ pub fn simulate_day_with_failures(
         rec.failed_switches = failed_switches;
         rec.boot_energy_j = boot_energy_j;
         rec.degradation = degradation;
+        // Clean epochs carry one power segment covering the whole window
+        // (event epochs journaled theirs between events above); together
+        // the segments must integrate to the day energy (`obsctl audit`).
+        if obs_on && events.is_empty() {
+            eprons_obs::record(eprons_obs::Event::PowerSegment {
+                epoch: e as u64,
+                from_min: start,
+                to_min: end,
+                server_w: rec.breakdown.server_w,
+                network_w: rec.breakdown.network_w,
+            });
+        }
+        epoch_span.note(format!(
+            "epoch={e} choice={choice_label} feasible={} degradation={}",
+            rec.feasible,
+            rec.degradation.map_or("-", |d| d.label()),
+        ));
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
                 epoch: e as u64,
@@ -563,6 +627,7 @@ pub fn simulate_day_with_failures(
                 active_switches: rec.active_switches as u64,
                 e2e_p95_us: rec.e2e_p95_s * 1.0e6,
                 feasible: rec.feasible,
+                boot_energy_j: rec.boot_energy_j,
             }));
         }
         (rec, spec)
@@ -618,6 +683,7 @@ pub fn simulate_day_with_failures(
         // Epoch-boundary churn: rebuild each epoch's NetworkState from its
         // active switch set and diff consecutive states, journaling the
         // links/switches toggled by every reconfiguration.
+        let _churn_span = eprons_obs::Span::enter("day.churn");
         let ft = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps);
         let topo = ft.topology();
         let state_of = |ids: &[usize]| {
@@ -634,7 +700,16 @@ pub fn simulate_day_with_failures(
                 switches_off: d.switches_off as u64,
             });
         }
+        // Day-level energy roll-up the audit reconciles against the
+        // per-epoch snapshots and power segments.
+        eprons_obs::record(eprons_obs::Event::DayEnergy {
+            strategy: strategy.name().to_string(),
+            epochs: records.len() as u64,
+            energy_j: day_total_energy_j(&records, day),
+            boot_energy_j: records.iter().map(|r| r.boot_energy_j).sum(),
+        });
     }
+    drop(day_span);
     records
 }
 

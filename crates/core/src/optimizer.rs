@@ -137,6 +137,10 @@ pub fn optimize_in_context_masked(
     excluded: &[eprons_topo::NodeId],
 ) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
     let cfg = ctx.cfg();
+    let mut search_span = eprons_obs::Span::enter("optimizer.search");
+    if eprons_obs::enabled() {
+        search_span.note(format!("mode=exhaustive candidates={}", candidates.len()));
+    }
     let results = ctx.evaluate_candidates_masked(scheme, candidates, excluded);
     let mut ok: Vec<(ConsolidationSpec, ClusterRunResult, bool)> = Vec::new();
     let mut failures: Vec<(ConsolidationSpec, ClusterError)> = Vec::new();
@@ -310,10 +314,22 @@ pub fn optimize_in_context_pruned(
 ) -> (Option<JointChoice>, Vec<(ConsolidationSpec, ClusterError)>) {
     let cfg = ctx.cfg();
     let obs_on = eprons_obs::enabled();
+    let mut search_span = eprons_obs::Span::enter("optimizer.search");
+    if obs_on {
+        search_span.note(format!(
+            "mode=pruned candidates={} warm={}",
+            candidates.len(),
+            warm_hint.is_some()
+        ));
+    }
+    // Leaf span: bound computation is the search's only serial work of
+    // note, so give the flame view a frame for it.
+    let bounds_span = eprons_obs::Span::enter("optimizer.bounds");
     let floors: Vec<f64> = candidates
         .iter()
         .map(|&spec| candidate_power_floor_w(ctx, scheme, spec, excluded))
         .collect();
+    drop(bounds_span);
     // Cheapest bound first: the likely winner is measured early, so the
     // incumbent that powers the pruning exists as soon as possible.
     let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -349,6 +365,10 @@ pub fn optimize_in_context_pruned(
                 }
                 continue;
             }
+        }
+        let mut cand_span = eprons_obs::Span::enter("optimizer.candidate");
+        if obs_on {
+            cand_span.note(format!("spec={}", spec.label()));
         }
         match ctx.evaluate_masked(scheme, spec, excluded) {
             Ok(r) => {
@@ -476,10 +496,18 @@ pub fn adaptive_k_in_context_hinted(
     hint_k: Option<usize>,
 ) -> Option<JointChoice> {
     let cfg = ctx.cfg();
+    let mut search_span = eprons_obs::Span::enter("optimizer.search");
+    if eprons_obs::enabled() {
+        search_span.note(format!("mode=adaptive-k k_max={k_max}"));
+    }
     let mut evaluated = 0u64;
     let measure = |spec: ConsolidationSpec,
                    evaluated: &mut u64|
      -> Option<(ClusterRunResult, bool)> {
+        let mut cand_span = eprons_obs::Span::enter("optimizer.candidate");
+        if eprons_obs::enabled() {
+            cand_span.note(format!("spec={}", spec.label()));
+        }
         match ctx.evaluate(scheme, spec) {
             Ok(r) => {
                 *evaluated += 1;

@@ -84,6 +84,16 @@ impl fmt::Display for Table {
 /// quick "what happened this run" summary the fig binaries print when
 /// `--journal` is active.
 pub fn journal_kind_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    journal_kind_table_with_drops(entries, 0)
+}
+
+/// [`journal_kind_table`] with the journal's dropped-event count appended
+/// as a `(dropped)` row when non-zero, so cap overflow is visible in
+/// every `--journal` summary instead of silently truncating the record.
+pub fn journal_kind_table_with_drops(
+    entries: &[eprons_obs::JournalEntry],
+    dropped: u64,
+) -> Table {
     let mut counts: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
     for e in entries {
@@ -93,6 +103,9 @@ pub fn journal_kind_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     for (kind, n) in counts {
         t.row(&[kind.to_string(), n.to_string()]);
     }
+    if dropped > 0 {
+        t.row(&["(dropped)".to_string(), dropped.to_string()]);
+    }
     t
 }
 
@@ -101,7 +114,10 @@ pub fn journal_kind_table(entries: &[eprons_obs::JournalEntry]) -> Table {
 pub fn journal_epoch_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     let mut t = Table::new(
         "epoch snapshots",
-        &["epoch", "minute", "choice", "server_w", "network_w", "total_w", "p95_ms", "ok"],
+        &[
+            "epoch", "minute", "choice", "server_w", "network_w", "total_w", "boot_j",
+            "p95_ms", "ok",
+        ],
     );
     for e in entries {
         if let eprons_obs::Event::EpochSnapshot(s) = &e.event {
@@ -112,6 +128,7 @@ pub fn journal_epoch_table(entries: &[eprons_obs::JournalEntry]) -> Table {
                 watts(s.server_w),
                 watts(s.network_w),
                 watts(s.total_w()),
+                format!("{:.1}", s.boot_energy_j),
                 format!("{:.2}", s.e2e_p95_us * 1.0e-3),
                 s.feasible.to_string(),
             ]);
@@ -202,6 +219,7 @@ mod tests {
             active_switches: 15,
             e2e_p95_us: 21_500.0,
             feasible: true,
+            boot_energy_j: 0.0,
         }));
         journal.record(eprons_obs::Event::EpochSnapshot(eprons_obs::Snapshot {
             epoch: 1,
@@ -213,6 +231,7 @@ mod tests {
             active_switches: 13,
             e2e_p95_us: 24_000.0,
             feasible: true,
+            boot_energy_j: 2610.7,
         }));
         let entries = journal.snapshot();
         let kinds = journal_kind_table(&entries);

@@ -197,6 +197,7 @@ impl ScenarioContext {
     /// snapshots.
     pub fn build(cfg: &ClusterConfig, spec: &ScenarioSpec) -> ScenarioContext {
         let _t = eprons_obs::Timer::scoped("core.scenario.build_s");
+        let mut sp = eprons_obs::Span::enter("scenario.build");
         let obs_on = eprons_obs::enabled();
 
         // The master RNG's forks are drawn in the exact order the
@@ -269,6 +270,11 @@ impl ScenarioContext {
                 flows: flows.len() as u64,
                 servers: n as u64,
             });
+            sp.note(format!(
+                "servers={n} queries={} flows={}",
+                queries.len(),
+                flows.len()
+            ));
         }
 
         ScenarioContext {
@@ -355,7 +361,9 @@ impl ScenarioContext {
     ) -> Result<ClusterRunResult, ClusterError> {
         let obs_on = eprons_obs::enabled();
         let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
+        let mut sp = eprons_obs::Span::enter("evaluate");
         if obs_on {
+            sp.note(format!("scheme={} spec={}", scheme.name(), consolidation.label()));
             eprons_obs::registry().counter("core.cluster.runs").inc();
             eprons_obs::record(eprons_obs::Event::RunTag {
                 scheme: scheme.name().to_string(),
@@ -461,7 +469,14 @@ impl ScenarioContext {
         candidates: &[ConsolidationSpec],
         excluded: &[NodeId],
     ) -> Vec<(ConsolidationSpec, Result<ClusterRunResult, ClusterError>)> {
+        // Candidates land on worker threads; attach each one's span to
+        // the caller's (normally `optimizer.search`) explicitly.
+        let parent = eprons_obs::current_span_id();
         parallel_map(candidates, |spec| {
+            let mut sp = eprons_obs::Span::enter_under(parent, "optimizer.candidate");
+            if eprons_obs::enabled() {
+                sp.note(format!("spec={}", spec.label()));
+            }
             (*spec, self.evaluate_masked(scheme, *spec, excluded))
         })
     }
@@ -501,6 +516,10 @@ impl NetworkPlan {
         excluded: &[NodeId],
     ) -> Result<NetworkPlan, ClusterError> {
         let _t = eprons_obs::Timer::scoped("core.stage.network_plan_s");
+        let mut sp = eprons_obs::Span::enter("stage.network_plan");
+        if eprons_obs::enabled() {
+            sp.note(format!("spec={}", consolidation.label()));
+        }
         let d = &*ctx.data;
         let n = d.hosts.len();
         let mut mask = excluded.to_vec();
@@ -517,6 +536,7 @@ impl NetworkPlan {
         };
         // Consolidation routes through the shared path arena: identical
         // candidate paths, no per-candidate graph re-enumeration.
+        let consolidate_span = eprons_obs::Span::enter("consolidate");
         let assignment: Assignment = match consolidation {
             ConsolidationSpec::AllOn => {
                 AggregationRouter::for_level(&d.ft, AggregationLevel::Agg0)
@@ -530,6 +550,7 @@ impl NetworkPlan {
             }
         }
         .map_err(ClusterError::Consolidation)?;
+        drop(consolidate_span);
 
         let max_link_utilization = assignment.max_utilization(&d.ft);
         let congested = max_link_utilization > ctx.cfg.congestion_threshold;
@@ -543,6 +564,7 @@ impl NetworkPlan {
         // the latency *sampling* stays per sub-query — it consumes the
         // same RNG draws either way, so the stream (and every downstream
         // bit) is unchanged.
+        let _latency_span = eprons_obs::Span::enter("latency_sample");
         let state = assignment.state();
         let topo = d.ft.topology();
         let mut net_rng = d.net_rng.clone();
@@ -634,6 +656,7 @@ impl ServerEvaluation {
         scheme: ServerScheme,
     ) -> ServerEvaluation {
         let _t = eprons_obs::Timer::scoped("core.stage.server_eval_s");
+        let mut eval_span = eprons_obs::Span::enter("stage.server_eval");
         let obs_on = eprons_obs::enabled();
         let d = &*ctx.data;
         let cfg = &ctx.cfg;
@@ -644,6 +667,10 @@ impl ServerEvaluation {
         // network budget − observed round-trip p95). A congested subnet
         // (ECN/queue build-up) withdraws the slack entirely — the
         // over-conservatism the paper criticizes (§I).
+        // Leaf span: the serial arrival-trace build (and TimeTrader's
+        // budget probe) would otherwise be invisible self-time of
+        // `stage.server_eval` in the flame view.
+        let arrivals_span = eprons_obs::Span::enter("server_arrivals");
         let timetrader_target = if scheme == ServerScheme::TimeTrader {
             let round_trips: Vec<f64> = plan
                 .net_lat
@@ -690,6 +717,7 @@ impl ServerEvaluation {
                     .expect("finite times")
             });
         }
+        drop(arrivals_span);
 
         // --- Per-ISN DVFS simulation, sharded across the thread budget.
         //
@@ -711,8 +739,18 @@ impl ServerEvaluation {
                 .gauge("core.cluster.worker_threads")
                 .set(crate::parallel::thread_budget() as f64);
         }
+        if obs_on {
+            eval_span.note(format!("scheme={} servers={n}", scheme.name()));
+        }
+        // Shards run on worker threads whose span stacks are empty, so
+        // each attaches to the evaluation span by id.
+        let eval_span_id = eval_span.id();
         let shards: Vec<ServerShard> = parallel_map_range(n, |s| {
             let _t = eprons_obs::Timer::scoped("core.cluster.server_shard_s");
+            let mut shard_span = eprons_obs::Span::enter_under(eval_span_id, "server_shard");
+            if eprons_obs::enabled() {
+                shard_span.note(format!("server={s}"));
+            }
             let arrivals = &per_server[s];
             let mut engine = VpEngine::shared(Arc::clone(&d.service));
             let mut policy: Box<dyn DvfsPolicy> = match scheme {

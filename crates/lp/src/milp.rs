@@ -118,6 +118,7 @@ pub fn solve_milp_with_incumbent(
     if int_vars.is_empty() {
         return solve_lp(model);
     }
+    let mut milp_span = eprons_obs::Span::enter("lp.milp");
 
     let mut heap = BinaryHeap::new();
     heap.push(Node {
@@ -258,6 +259,9 @@ pub fn solve_milp_with_incumbent(
         }
     }
 
+    if eprons_obs::enabled() {
+        milp_span.note(format!("nodes={nodes} found={}", incumbent.is_some()));
+    }
     match incumbent {
         Some(sol) => Ok(sol),
         None if root_infeasible => Err(SolveError::Infeasible),

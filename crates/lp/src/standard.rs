@@ -293,8 +293,16 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
         return std_form.solve();
     }
     let _t = obs::Timer::scoped("lp.solve_s");
+    let mut sp = obs::Span::enter("lp.solve");
     match std_form.solve_with_stats() {
         Ok((sol, stats)) => {
+            sp.note(format!(
+                "rows={} cols={} pivots={} warm={}",
+                std_form.num_rows(),
+                std_form.num_cols(),
+                stats.iterations,
+                stats.warm_started
+            ));
             obs::registry().counter("lp.solve.ok").inc();
             obs::record(obs::Event::LpSolve {
                 rows: std_form.num_rows() as u64,
@@ -305,6 +313,7 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
             Ok(sol)
         }
         Err(e) => {
+            sp.note(format!("error={e}"));
             obs::registry().counter("lp.solve.err").inc();
             Err(e)
         }

@@ -39,6 +39,10 @@ impl Consolidator for GreedyConsolidator {
         cfg: &ConsolidationConfig,
     ) -> Result<Assignment, ConsolidationError> {
         let _t = eprons_obs::Timer::scoped("net.consolidate.greedy_s");
+        let mut sp = eprons_obs::Span::enter("net.consolidate");
+        if eprons_obs::enabled() {
+            sp.note(format!("algo=greedy flows={}", flows.len()));
+        }
         let topo = net.topology();
         // Largest scaled demand first; ties broken by flow id so the
         // placement is deterministic.

@@ -374,6 +374,10 @@ impl Consolidator for AggregationRouter {
         cfg: &ConsolidationConfig,
     ) -> Result<Assignment, ConsolidationError> {
         let _t = eprons_obs::Timer::scoped("net.consolidate.aggregation_s");
+        let mut sp = eprons_obs::Span::enter("net.consolidate");
+        if eprons_obs::enabled() {
+            sp.note(format!("algo=aggregation flows={}", flows.len()));
+        }
         let topo = net.topology();
         let allowed = |n: NodeId| {
             !topo.node(n).kind.is_switch() || (self.active.contains(&n) && !cfg.is_excluded(n))

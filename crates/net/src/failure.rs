@@ -252,6 +252,10 @@ impl DegradationPolicy {
         failed: NodeId,
         power: &NetworkPowerModel,
     ) -> Result<RepairReport, ConsolidationError> {
+        let mut sp = eprons_obs::Span::enter("net.repair");
+        if eprons_obs::enabled() {
+            sp.note(format!("failed={}", failed.0));
+        }
         let topo = net.topology();
         let mut dead_draw_w = 0.0;
         if assignment.state().node_on(failed) {

@@ -33,6 +33,10 @@ pub struct Snapshot {
     pub e2e_p95_us: f64,
     /// Whether the chosen config met the latency SLA.
     pub feasible: bool,
+    /// One-shot switch boot/transition energy spent on repairs inside
+    /// this epoch, J (0 for clean epochs). Audited against the epoch's
+    /// `RepairOutcome` events by `obsctl audit`.
+    pub boot_energy_j: f64,
 }
 
 impl Snapshot {
@@ -161,6 +165,49 @@ pub enum Event {
         reason: String,
         fallback: String,
     },
+    /// A causal span opened (see `eprons_obs::Span`). `id` is process-wide
+    /// and unique; `parent` is 0 for roots; `thread` is a dense
+    /// per-process thread index; `start_s` is seconds since the process
+    /// telemetry epoch (only deltas are meaningful).
+    SpanStart {
+        id: u64,
+        parent: u64,
+        thread: u64,
+        name: String,
+        start_s: f64,
+    },
+    /// The matching span closed after `elapsed_s` wall seconds. `detail`
+    /// carries stage-specific stats (e.g. `pivots=131 warm=true`), empty
+    /// when unset.
+    SpanEnd {
+        id: u64,
+        name: String,
+        elapsed_s: f64,
+        detail: String,
+    },
+    /// One time-weighted power segment of an epoch: total draw was
+    /// (`server_w` + `network_w`) over minutes `[from_min, to_min)` of the
+    /// day. Clean epochs emit one segment spanning the whole epoch;
+    /// epochs with mid-epoch failures emit one per inter-event stretch.
+    /// Integrating segments must reproduce the epoch snapshot's average
+    /// power exactly (`obsctl audit` checks this).
+    PowerSegment {
+        epoch: u64,
+        from_min: f64,
+        to_min: f64,
+        server_w: f64,
+        network_w: f64,
+    },
+    /// Day-level energy roll-up emitted once at the end of a
+    /// `simulate_day_with_failures` sweep: `energy_j` is the reported
+    /// total (time-integrated power + boot energy), `boot_energy_j` the
+    /// one-shot repair share included in it.
+    DayEnergy {
+        strategy: String,
+        epochs: u64,
+        energy_j: f64,
+        boot_energy_j: f64,
+    },
 }
 
 impl Event {
@@ -185,6 +232,10 @@ impl Event {
             Event::FailureInjected { .. } => "FailureInjected",
             Event::RepairOutcome { .. } => "RepairOutcome",
             Event::DegradedEpoch { .. } => "DegradedEpoch",
+            Event::SpanStart { .. } => "SpanStart",
+            Event::SpanEnd { .. } => "SpanEnd",
+            Event::PowerSegment { .. } => "PowerSegment",
+            Event::DayEnergy { .. } => "DayEnergy",
         }
     }
 
@@ -232,6 +283,7 @@ impl Event {
                 ("active_switches", u(snap.active_switches)),
                 ("e2e_p95_us", n(snap.e2e_p95_us)),
                 ("feasible", b(snap.feasible)),
+                ("boot_energy_j", n(snap.boot_energy_j)),
             ]),
             Event::OptimizerCandidate {
                 k,
@@ -375,6 +427,54 @@ impl Event {
                 ("reason", s(reason)),
                 ("fallback", s(fallback)),
             ]),
+            Event::SpanStart {
+                id,
+                parent,
+                thread,
+                name,
+                start_s,
+            } => f(vec![
+                ("id", u(*id)),
+                ("parent", u(*parent)),
+                ("thread", u(*thread)),
+                ("name", s(name)),
+                ("start_s", n(*start_s)),
+            ]),
+            Event::SpanEnd {
+                id,
+                name,
+                elapsed_s,
+                detail,
+            } => f(vec![
+                ("id", u(*id)),
+                ("name", s(name)),
+                ("elapsed_s", n(*elapsed_s)),
+                ("detail", s(detail)),
+            ]),
+            Event::PowerSegment {
+                epoch,
+                from_min,
+                to_min,
+                server_w,
+                network_w,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("from_min", n(*from_min)),
+                ("to_min", n(*to_min)),
+                ("server_w", n(*server_w)),
+                ("network_w", n(*network_w)),
+            ]),
+            Event::DayEnergy {
+                strategy,
+                epochs,
+                energy_j,
+                boot_energy_j,
+            } => f(vec![
+                ("strategy", s(strategy)),
+                ("epochs", u(*epochs)),
+                ("energy_j", n(*energy_j)),
+                ("boot_energy_j", n(*boot_energy_j)),
+            ]),
         }
     }
 
@@ -430,6 +530,7 @@ impl Event {
                 active_switches: fu("active_switches")?,
                 e2e_p95_us: fn_("e2e_p95_us")?,
                 feasible: fb("feasible")?,
+                boot_energy_j: fn_("boot_energy_j")?,
             }),
             "OptimizerCandidate" => Event::OptimizerCandidate {
                 k: fs("k")?,
@@ -524,6 +625,32 @@ impl Event {
                 reason: fs("reason")?,
                 fallback: fs("fallback")?,
             },
+            "SpanStart" => Event::SpanStart {
+                id: fu("id")?,
+                parent: fu("parent")?,
+                thread: fu("thread")?,
+                name: fs("name")?,
+                start_s: fn_("start_s")?,
+            },
+            "SpanEnd" => Event::SpanEnd {
+                id: fu("id")?,
+                name: fs("name")?,
+                elapsed_s: fn_("elapsed_s")?,
+                detail: fs("detail")?,
+            },
+            "PowerSegment" => Event::PowerSegment {
+                epoch: fu("epoch")?,
+                from_min: fn_("from_min")?,
+                to_min: fn_("to_min")?,
+                server_w: fn_("server_w")?,
+                network_w: fn_("network_w")?,
+            },
+            "DayEnergy" => Event::DayEnergy {
+                strategy: fs("strategy")?,
+                epochs: fu("epochs")?,
+                energy_j: fn_("energy_j")?,
+                boot_energy_j: fn_("boot_energy_j")?,
+            },
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -598,15 +725,20 @@ impl Journal {
         }
     }
 
-    /// Appends an event, assigning it the next sequence number. Events
-    /// past the capacity are counted in [`Journal::dropped`] instead.
-    pub fn record(&self, event: Event) {
+    /// Appends an event, assigning it the next sequence number. Returns
+    /// `true` if the event was stored; events past the capacity are
+    /// counted in [`Journal::dropped`] instead and return `false` so the
+    /// caller can surface the loss (the global sink bumps the
+    /// `obs.journal.dropped` counter).
+    pub fn record(&self, event: Event) -> bool {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().unwrap();
         if entries.len() < self.cap {
             entries.push(JournalEntry { seq, event });
+            true
         } else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 
@@ -660,11 +792,21 @@ impl Journal {
         out
     }
 
-    /// Writes the journal as JSON-lines, returning the entry count.
+    /// Writes the journal as JSON-lines, returning the entry count. If
+    /// events were dropped at the cap, warns on stderr — a silently
+    /// truncated journal would fail `obsctl audit` in confusing ways.
     ///
     /// # Errors
     /// Propagates I/O errors from creating or writing the file.
     pub fn write_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        let dropped = self.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "warning: journal dropped {dropped} event(s) at cap {}; {} is incomplete",
+                self.cap,
+                path.display()
+            );
+        }
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         let entries = self.snapshot();
         for e in &entries {
@@ -772,6 +914,7 @@ mod tests {
                 active_switches: 12,
                 e2e_p95_us: 61_250.0,
                 feasible: true,
+                boot_energy_j: 2610.72,
             }),
             Event::FailureInjected {
                 switch: 17,
@@ -790,6 +933,32 @@ mod tests {
                 epoch: 73,
                 reason: "switch 17 failed mid-epoch; repair found no path".into(),
                 fallback: "all-on-fallback".into(),
+            },
+            Event::SpanStart {
+                id: 42,
+                parent: 7,
+                thread: 3,
+                name: "stage.server_eval".into(),
+                start_s: 0.0051234,
+            },
+            Event::SpanEnd {
+                id: 42,
+                name: "stage.server_eval".into(),
+                elapsed_s: 0.0132,
+                detail: "servers=16".into(),
+            },
+            Event::PowerSegment {
+                epoch: 73,
+                from_min: 730.0,
+                to_min: 730.5,
+                server_w: 4000.0,
+                network_w: 1120.5,
+            },
+            Event::DayEnergy {
+                strategy: "eprons".into(),
+                epochs: 144,
+                energy_j: 4.42e8,
+                boot_energy_j: 5221.44,
             },
         ]
     }

@@ -32,6 +32,7 @@
 mod json;
 mod journal;
 mod metrics;
+mod span;
 mod timer;
 
 pub use json::Json;
@@ -41,6 +42,7 @@ pub use journal::{
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, DURATION_EDGES_S,
 };
+pub use span::{current_span_id, Span, NO_SPAN};
 pub use timer::Timer;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,7 +90,17 @@ pub fn journal() -> &'static Journal {
 #[inline]
 pub fn record(event: Event) {
     if enabled() {
-        journal().record(event);
+        record_unguarded(event);
+    }
+}
+
+/// Appends `event` without re-checking [`enabled`] and surfaces cap
+/// overflow on the `obs.journal.dropped` counter. Used by [`record`] and
+/// by span guards, which must emit their `SpanEnd` even if telemetry was
+/// flipped off mid-span so starts and ends stay paired.
+pub(crate) fn record_unguarded(event: Event) {
+    if !journal().record(event) {
+        registry().counter("obs.journal.dropped").inc();
     }
 }
 

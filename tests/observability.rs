@@ -102,6 +102,46 @@ fn day_run_journals_the_control_loop() {
         assert_eq!(a.event, b.event);
     }
 
+    // Causal spans: every SpanStart pairs with exactly one SpanEnd, the
+    // day has a single root span, and each epoch got its own child span
+    // parented to it (the documented day → epoch hierarchy).
+    let mut starts = std::collections::HashMap::new();
+    let mut ends = 0usize;
+    for entry in &entries {
+        match &entry.event {
+            obs::Event::SpanStart {
+                id, parent, name, ..
+            } => {
+                let prev = starts.insert(*id, (parent, name.as_str()));
+                assert!(prev.is_none(), "span id {id} started twice");
+            }
+            obs::Event::SpanEnd { id, name, .. } => {
+                ends += 1;
+                let (_, started_as) = starts
+                    .get(id)
+                    .unwrap_or_else(|| panic!("SpanEnd {id} without a SpanStart"));
+                assert_eq!(*started_as, name, "span {id} changed name at end");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(starts.len(), ends, "every span must start and end once");
+    let named = |want: &str| starts.values().filter(|(_, n)| *n == want).count();
+    assert_eq!(named("day"), 1, "exactly one root day span");
+    assert_eq!(named("epoch"), epochs, "one epoch span per epoch");
+    let day_id = *starts
+        .iter()
+        .find(|(_, (_, n))| *n == "day")
+        .map(|(id, _)| id)
+        .expect("day span present");
+    assert!(
+        starts
+            .values()
+            .filter(|(_, n)| *n == "epoch")
+            .all(|(p, _)| **p == day_id),
+        "epoch spans must be children of the day span"
+    );
+
     // Metrics side: the run timer and counters must have fired.
     let metrics = obs::registry().snapshot();
     let counter = |name: &str| {
