@@ -12,6 +12,11 @@
 //!
 //! The full timeline lands in `results/failure_day.csv`; two invocations
 //! with the same seed are bit-identical.
+//!
+//! `--k <arity>` (or `--k=<arity>`) replays the day on a larger fat-tree
+//! (default 4). The per-pair query demand is rescaled so total egress
+//! per host stays within the edge-uplink budget — at the default demand
+//! the all-pairs flow count oversubscribes uplinks once k ≥ 8.
 
 use eprons_bench::{banner, finish, quick, BASE_SEED};
 use eprons_core::controller::{day_total_energy_j, save_day_csv, DayConfig};
@@ -23,12 +28,49 @@ use eprons_core::{
 };
 use eprons_topo::FatTree;
 
+/// The `--k <arity>` (or `--k=<arity>`) argument, if given.
+fn k_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|k| *k >= 4 && k % 2 == 0)
+            .unwrap_or_else(|| {
+                eprintln!("error: --k requires an even fat-tree arity >= 4, got {s:?}");
+                std::process::exit(2);
+            })
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--k" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("error: --k requires an arity");
+                std::process::exit(2);
+            };
+            return Some(parse(v));
+        }
+        if let Some(v) = a.strip_prefix("--k=") {
+            return Some(parse(v));
+        }
+    }
+    None
+}
+
 fn main() {
     banner(
         "Failure day",
         "fault-injected diurnal day with graceful degradation (§IV-B)",
     );
-    let cfg = ClusterConfig::default();
+    let mut cfg = ClusterConfig::default();
+    if let Some(k) = k_arg() {
+        cfg.fat_tree_k = k;
+    }
+    // Hold total query egress per host at 300 Mbps: one flow per peer
+    // means per-flow demand must shrink as the host count grows, or the
+    // K-scaled aggregate oversubscribes the 1 Gbps edge uplinks at k>=8.
+    // At k=4 the cap is not binding, so the default day is untouched.
+    let n = cfg.num_servers() as f64;
+    cfg.query_flow_mbps = cfg.query_flow_mbps.min(300.0 / (n - 1.0));
+    println!("fat-tree k = {} ({} servers)\n", cfg.fat_tree_k, cfg.num_servers());
     let day = DayConfig {
         epoch_minutes: if quick() { 120 } else { 60 },
         sim_seconds: if quick() { 2.0 } else { 4.0 },

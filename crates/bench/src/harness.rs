@@ -119,6 +119,17 @@ impl Runner {
             .map(|s| s.mean_s)
     }
 
+    /// The fastest iteration of the most recent sample named `name` —
+    /// the statistic ratio gates compare (means absorb scheduler noise,
+    /// minima track the work itself).
+    pub fn min_of(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.name == name)
+            .map(|s| s.min_s)
+    }
+
     /// All samples as a JSON array (the `suites` field of
     /// `BENCH_cluster.json`).
     pub fn to_json(&self) -> Json {

@@ -257,18 +257,24 @@ pub fn candidate_power_floor_w(
                 if !seen.insert((fl.src, fl.dst)) {
                     continue; // same pair ⇒ same candidate paths
                 }
-                let paths = d.arena.candidate_paths(fl.src, fl.dst);
-                let Some((first, rest)) = paths.split_first() else {
-                    continue;
-                };
-                let mut sw: HashSet<NodeId> = first.interior().iter().copied().collect();
-                let mut ln: HashSet<LinkId> = first.hops().map(|(_, _, l)| l).collect();
-                for p in rest {
-                    let psw: HashSet<NodeId> = p.interior().iter().copied().collect();
-                    let pln: HashSet<LinkId> = p.hops().map(|(_, _, l)| l).collect();
-                    sw.retain(|x| psw.contains(x));
-                    ln.retain(|x| pln.contains(x));
-                }
+                // Intersect interior switches / links across the pair's
+                // candidates without materializing them (borrowed walk
+                // straight out of the arena's segment store).
+                let mut sw: HashSet<NodeId> = HashSet::new();
+                let mut ln: HashSet<LinkId> = HashSet::new();
+                let mut first = true;
+                d.arena.for_each_candidate(fl.src, fl.dst, &mut |p| {
+                    if first {
+                        sw.extend(p.interior().iter().copied());
+                        ln.extend(p.hops().map(|(_, _, l)| l));
+                        first = false;
+                    } else {
+                        let psw: HashSet<NodeId> = p.interior().iter().copied().collect();
+                        let pln: HashSet<LinkId> = p.hops().map(|(_, _, l)| l).collect();
+                        sw.retain(|x| psw.contains(x));
+                        ln.retain(|x| pln.contains(x));
+                    }
+                });
                 m_sw.extend(sw);
                 m_ln.extend(ln);
             }

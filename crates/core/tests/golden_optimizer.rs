@@ -1,0 +1,58 @@
+//! Golden pin: `optimize_total_power` is bit-identical across substrate
+//! refactors.
+//!
+//! The flat-CSR topology, arena segment store, and visitor-based
+//! consolidators are all designed to be *invisible* to results. This test
+//! pins the full joint-optimizer output (chosen spec, active switches,
+//! exact `f64` bits of total power) at k=4 and k=8 so any accidental
+//! behavioral drift in the substrate fails loudly rather than skewing
+//! figures. Run with `--nocapture` to print current values when
+//! regenerating.
+
+use eprons_core::cluster::{ClusterRun, ConsolidationSpec, ServerScheme};
+use eprons_core::config::ClusterConfig;
+use eprons_core::optimizer::optimize_total_power;
+
+fn probe(k: usize) -> (String, usize, u64) {
+    let cfg = ClusterConfig {
+        fat_tree_k: k,
+        ..ClusterConfig::default()
+    };
+    let template = ClusterRun {
+        scheme: ServerScheme::EpronsServer,
+        consolidation: ConsolidationSpec::AllOn, // overwritten per candidate
+        server_utilization: 0.3,
+        background_util: 0.1,
+        duration_s: 0.5,
+        warmup_s: 0.0,
+        seed: 7,
+    };
+    let candidates = [
+        ConsolidationSpec::AllOn,
+        ConsolidationSpec::GreedyK(2.0),
+    ];
+    let choice = optimize_total_power(&cfg, &template, &candidates).expect("candidates exist");
+    (
+        choice.spec.label(),
+        choice.result.active_switches,
+        choice.result.breakdown.total_w().to_bits(),
+    )
+}
+
+#[test]
+fn k4_choice_is_bit_identical_to_golden() {
+    let (label, switches, bits) = probe(4);
+    println!("golden k=4: label={label} switches={switches} total_w_bits={bits:#018x}");
+    assert_eq!(label, "k=2");
+    assert_eq!(switches, 14);
+    assert_eq!(bits, 0x4092796444756c62, "total power drifted at k=4");
+}
+
+#[test]
+fn k8_choice_is_bit_identical_to_golden() {
+    let (label, switches, bits) = probe(8);
+    println!("golden k=8: label={label} switches={switches} total_w_bits={bits:#018x}");
+    assert_eq!(label, "all-on");
+    assert_eq!(switches, 80);
+    assert_eq!(bits, 0x40c0714e80ccd63e, "total power drifted at k=8");
+}

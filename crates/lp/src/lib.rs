@@ -10,18 +10,24 @@
 //!   integer/binary), linear constraints, minimize/maximize objective.
 //! * [`standard`] — conversion to standard form (`min c·x`, `Ax = b`,
 //!   `x ≥ 0`) with slack/surplus variables and bound shifting.
-//! * [`simplex`] — a dense two-phase primal simplex with Bland's
-//!   anti-cycling rule.
+//! * [`simplex`] — a dense two-phase primal simplex (flat row-major
+//!   tableau) with Bland's anti-cycling rule: the solver of record for
+//!   tiny models and the differential-test oracle.
+//! * [`sparse`] — a sparse revised simplex over a CSC constraint matrix
+//!   with a product-form LU basis and refactorization-on-threshold
+//!   updates: the solver of record past the size cutoff (k≥8
+//!   consolidation LPs are >99% zeros).
 //! * [`milp`] — branch-and-bound over the integer variables (the paper's
 //!   X/Y/Z on-off indicators are binary), with most-fractional branching
 //!   and incumbent pruning.
 //! * [`diagnostics`] — constraint-activity analysis (which capacities
 //!   bind at the optimum).
 //!
-//! The solver is deliberately dense and simple: the paper's own data point
-//! is that the exact model is *slow* (42 min for 3000 flows on CPLEX) and a
-//! greedy heuristic is used in deployment — reproduced in
-//! `eprons-net::consolidate`.
+//! The paper's own data point is that the exact model is *slow* (42 min
+//! for 3000 flows on CPLEX) and a greedy heuristic is used in deployment
+//! — reproduced in `eprons-net::consolidate`. The sparse core exists so
+//! the exact model stays solvable while the substrate scales to k=16–24
+//! fat-trees; [`standard::LpEngine`] picks the core per model size.
 
 #![warn(missing_docs)]
 
@@ -29,9 +35,11 @@ pub mod diagnostics;
 pub mod milp;
 pub mod model;
 pub mod simplex;
+pub mod sparse;
 pub mod standard;
 
 pub use milp::{solve_milp, solve_milp_with_incumbent, MilpOptions};
 pub use model::{Cmp, Model, Sense, VarId};
 pub use simplex::{Basis, SolveError, SolveStats};
-pub use standard::{Solution, Standardized};
+pub use sparse::CscMatrix;
+pub use standard::{LpEngine, Solution, Standardized};

@@ -7,6 +7,13 @@
 //! after a run of non-improving (degenerate) iterations so the method
 //! provably terminates (Beale's cycling example is a unit test in
 //! [`crate::standard`]).
+//!
+//! The tableau lives in a single flat row-major buffer (`m × (n+1)`
+//! doubles, stride `n+1`) rather than a `Vec<Vec<f64>>`: one allocation,
+//! no per-row pointer chase, and the pivot's row updates walk contiguous
+//! memory. This dense path remains the solver of record for tiny models
+//! and the differential-test oracle for the sparse revised simplex in
+//! [`crate::sparse`]; [`crate::standard`] picks between them by size.
 
 // Dense-tableau pivoting is clearer with explicit indices than with
 // iterator adapters; silence the style lint for this module.
@@ -44,9 +51,14 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-const TOL: f64 = 1e-9;
+pub(crate) const TOL: f64 = 1e-9;
 /// Consecutive degenerate pivots tolerated before switching to Bland's rule.
-const DEGENERATE_LIMIT: u32 = 32;
+pub(crate) const DEGENERATE_LIMIT: u32 = 32;
+
+/// Pivot cap shared by the dense and sparse cores so neither can spin.
+pub(crate) fn max_iters(n_total: usize, m: usize) -> usize {
+    50_000 + 200 * (n_total + m)
+}
 
 /// Work counters for one standard-form solve (both phases).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +70,10 @@ pub struct SolveStats {
     /// was skipped. A basis that was offered but fell back to the cold
     /// path reports `false`.
     pub warm_started: bool,
+    /// Basis refactorizations performed by the sparse revised simplex
+    /// (always 0 on the dense tableau path, which carries the explicit
+    /// inverse in the tableau itself).
+    pub refactorizations: u64,
 }
 
 /// A simplex basis snapshot: the set of basic columns of a solved
@@ -72,14 +88,19 @@ pub struct SolveStats {
 /// turns out numerically singular or primal-infeasible for the new RHS
 /// silently falls back to the cold two-phase path, so a stale basis can
 /// cost time but never correctness.
+///
+/// The dense tableau and the sparse revised simplex share this type:
+/// a basis extracted from either core injects into the other, because
+/// both number columns identically (structural+slack first, artificials
+/// past `n`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Basis {
     /// Basic column per row of the source tableau (may include artificial
     /// columns when the source model had redundant rows; those bases are
     /// rejected at injection time and solved cold).
-    cols: Vec<usize>,
+    pub(crate) cols: Vec<usize>,
     /// Structural + slack column count (excluding artificials and rhs).
-    n: usize,
+    pub(crate) n: usize,
 }
 
 impl Basis {
@@ -99,59 +120,107 @@ impl Basis {
 /// final basis for reuse on the next structurally-identical model.
 pub type CountedSolve = Result<(Vec<f64>, SolveStats, Basis), SolveError>;
 
-/// The working tableau.
+/// The working tableau: one flat row-major buffer, stride `n+1` (last
+/// column is the rhs), plus the reduced-cost row.
 struct Tableau {
-    /// `m × (n+1)` rows; last column is the rhs.
-    rows: Vec<Vec<f64>>,
+    /// `m × (n+1)` values, row-major; entry `(i, j)` is `data[i*(n+1)+j]`.
+    data: Vec<f64>,
     /// Reduced-cost row, length `n+1`; last entry is `-objective`.
     cost: Vec<f64>,
     /// Basic column per row.
     basis: Vec<usize>,
-    /// Total columns excluding rhs.
+    /// Total columns excluding rhs (the row stride is `n+1`).
     n: usize,
+    /// Row count.
+    m: usize,
     /// Pivots performed so far (all phases).
     pivots: u64,
+    /// Reusable snapshot of the pivot row (avoids a per-pivot allocation).
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
+    /// `m × (n+1)` zero tableau.
+    fn zeroed(m: usize, n: usize) -> Self {
+        Tableau {
+            data: vec![0.0; m * (n + 1)],
+            cost: vec![0.0; n + 1],
+            basis: vec![0; m],
+            n,
+            m,
+            pivots: 0,
+            scratch: vec![0.0; n + 1],
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * (self.n + 1) + j]
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        let s = self.n + 1;
+        &self.data[i * s..(i + 1) * s]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let s = self.n + 1;
+        &mut self.data[i * s..(i + 1) * s]
+    }
+
     fn pivot(&mut self, row: usize, col: usize) {
         self.pivots += 1;
-        let n1 = self.n + 1;
-        let piv = self.rows[row][col];
+        let piv = self.at(row, col);
         debug_assert!(piv.abs() > TOL, "pivot on (near-)zero element");
         let inv = 1.0 / piv;
-        for v in self.rows[row].iter_mut() {
+        for v in self.row_mut(row).iter_mut() {
             *v *= inv;
         }
         // Snapshot the pivot row to avoid aliasing while updating others.
-        let prow = self.rows[row].clone();
-        for (i, r) in self.rows.iter_mut().enumerate() {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.copy_from_slice(self.row(row));
+        for i in 0..self.m {
             if i == row {
                 continue;
             }
-            let factor = r[col];
+            let factor = self.at(i, col);
             if factor.abs() > 0.0 {
-                for j in 0..n1 {
-                    r[j] -= factor * prow[j];
+                let r = self.row_mut(i);
+                for (v, &p) in r.iter_mut().zip(&scratch) {
+                    *v -= factor * p;
                 }
                 r[col] = 0.0; // kill round-off exactly
             }
         }
         let factor = self.cost[col];
         if factor.abs() > 0.0 {
-            for j in 0..n1 {
-                self.cost[j] -= factor * prow[j];
+            for (v, &p) in self.cost.iter_mut().zip(&scratch) {
+                *v -= factor * p;
             }
             self.cost[col] = 0.0;
         }
+        self.scratch = scratch;
         self.basis[row] = col;
+    }
+
+    /// Subtracts `cb ×` row `i` from the cost row (reduced-cost setup).
+    fn price_out(&mut self, i: usize, cb: f64) {
+        let s = self.n + 1;
+        let (head, tail) = self.data.split_at(i * s);
+        let _ = head;
+        let row = &tail[..s];
+        for (v, &p) in self.cost.iter_mut().zip(row) {
+            *v -= cb * p;
+        }
     }
 
     /// Runs the simplex loop to optimality on the current cost row.
     /// `allowed` masks columns that may enter the basis.
     fn optimize(&mut self, allowed: &[bool]) -> Result<(), SolveError> {
-        let m = self.rows.len();
-        let max_iters = 50_000 + 200 * (self.n + m);
+        let m = self.m;
+        let max_iters = max_iters(self.n, m);
         let mut degenerate_run = 0u32;
         let mut bland = false;
         let mut last_obj = self.cost[self.n];
@@ -182,9 +251,9 @@ impl Tableau {
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for i in 0..m {
-                let a = self.rows[i][col];
+                let a = self.at(i, col);
                 if a > TOL {
-                    let ratio = self.rows[i][self.n] / a;
+                    let ratio = self.at(i, self.n) / a;
                     let better = ratio < best_ratio - TOL
                         || (ratio < best_ratio + TOL
                             && leave.is_none_or(|l| self.basis[i] < self.basis[l]));
@@ -278,24 +347,56 @@ pub fn solve_counted_warm(
     let m = a.len();
     let n = c.len();
     assert_eq!(b.len(), m, "b length mismatch");
-    assert_eq!(slack_basis.len(), m, "slack_basis length mismatch");
     for (i, row) in a.iter().enumerate() {
         assert_eq!(row.len(), n, "row {i} length mismatch");
-        assert!(b[i] >= 0.0, "standard form requires b >= 0");
     }
+    let mut flat = Vec::with_capacity(m * n);
+    for row in a {
+        flat.extend_from_slice(row);
+    }
+    solve_counted_warm_flat(&flat, m, n, b, c, slack_basis, warm)
+}
+
+/// The dense core over a flat row-major `m × n` matrix. Shared by the
+/// slice-of-rows front above and [`crate::standard`]'s CSC dispatch
+/// (which densifies only when the model is small enough for the tableau
+/// to win).
+///
+/// # Errors
+/// Same failure modes as [`solve_counted_warm`].
+///
+/// # Panics
+/// Panics on dimension mismatches or negative `b`.
+pub(crate) fn solve_counted_warm_flat(
+    a_flat: &[f64],
+    m: usize,
+    n: usize,
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+    warm: Option<&Basis>,
+) -> CountedSolve {
+    assert_eq!(a_flat.len(), m * n, "flat matrix size mismatch");
+    assert_eq!(b.len(), m, "b length mismatch");
+    assert_eq!(c.len(), n, "c length mismatch");
+    assert_eq!(slack_basis.len(), m, "slack_basis length mismatch");
+    assert!(
+        b.iter().all(|&v| v >= 0.0),
+        "standard form requires b >= 0"
+    );
 
     if let Some(basis) = warm {
         if basis.cols.len() != m || basis.n != n {
             return Err(SolveError::BasisMismatch);
         }
-        if let Some(result) = try_warm(a, b, c, basis) {
+        if let Some(result) = try_warm(a_flat, m, n, b, c, basis) {
             return result;
         }
         // Injection failed structurally (artificial column, singular
         // pivot, or negative warm RHS): solve cold below.
     }
 
-    solve_cold(a, b, c, slack_basis)
+    solve_cold(a_flat, m, n, b, c, slack_basis)
 }
 
 /// Attempts a warm-started solve from `basis`. Returns `None` when the
@@ -303,13 +404,13 @@ pub fn solve_counted_warm(
 /// when injection succeeded and phase 2 ran to completion or hit a
 /// genuine solver error.
 fn try_warm(
-    a: &[Vec<f64>],
+    a_flat: &[f64],
+    m: usize,
+    n: usize,
     b: &[f64],
     c: &[f64],
     basis: &Basis,
 ) -> Option<CountedSolve> {
-    let m = a.len();
-    let n = c.len();
     // Artificial columns in the stored basis (redundant source rows)
     // don't exist in the warm tableau.
     if basis.cols.iter().any(|&col| col >= n) {
@@ -321,20 +422,13 @@ fn try_warm(
         return None; // duplicate column: not a valid basis
     }
 
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut tab = Tableau::zeroed(m, n);
     for i in 0..m {
-        let mut r = Vec::with_capacity(n + 1);
-        r.extend_from_slice(&a[i]);
-        r.push(b[i]);
-        rows.push(r);
+        let src = &a_flat[i * n..(i + 1) * n];
+        let r = tab.row_mut(i);
+        r[..n].copy_from_slice(src);
+        r[n] = b[i];
     }
-    let mut tab = Tableau {
-        rows,
-        cost: vec![0.0; n + 1],
-        basis: vec![0; m],
-        n,
-        pivots: 0,
-    };
 
     // Gauss–Jordan on the basis columns. The row↔column pairing of the
     // stored basis is re-derived here with partial pivoting: the basis is
@@ -350,9 +444,9 @@ fn try_warm(
             if assigned[r] {
                 continue;
             }
-            let v = tab.rows[r][col];
+            let v = tab.at(r, col);
             if (v - 1.0).abs() <= TOL
-                && (0..m).all(|k| k == r || tab.rows[k][col].abs() <= TOL)
+                && (0..m).all(|k| k == r || tab.at(k, col).abs() <= TOL)
             {
                 ready = Some(r);
                 break;
@@ -375,25 +469,22 @@ fn try_warm(
 
     // Primal feasibility of the injected basis for the new RHS.
     for i in 0..m {
-        let rhs = tab.rows[i][n];
+        let rhs = tab.at(i, n);
         if rhs < -TOL {
             return None; // warm basis infeasible here: solve cold
         }
         if rhs < 0.0 {
-            tab.rows[i][n] = 0.0;
+            tab.row_mut(i)[n] = 0.0;
         }
     }
 
     // Phase 2 directly (no artificials exist in the warm tableau).
-    tab.cost = vec![0.0; n + 1];
+    tab.cost.fill(0.0);
     tab.cost[..n].copy_from_slice(c);
     for i in 0..m {
         let cb = c[tab.basis[i]];
         if cb != 0.0 {
-            let row = tab.rows[i].clone();
-            for j in 0..=n {
-                tab.cost[j] -= cb * row[j];
-            }
+            tab.price_out(i, cb);
         }
     }
     let allowed = vec![true; n];
@@ -407,7 +498,7 @@ fn try_warm(
 
     let mut y = vec![0.0; n];
     for i in 0..m {
-        y[tab.basis[i]] = tab.rows[i][n];
+        y[tab.basis[i]] = tab.at(i, n);
     }
     let out_basis = Basis {
         cols: tab.basis.clone(),
@@ -418,6 +509,7 @@ fn try_warm(
         SolveStats {
             iterations: tab.pivots,
             warm_started: true,
+            refactorizations: 0,
         },
         out_basis,
     )))
@@ -426,47 +518,36 @@ fn try_warm(
 /// The cold two-phase path: phase-1 artificials where no slack basis is
 /// available, then phase 2 on the true objective.
 fn solve_cold(
-    a: &[Vec<f64>],
+    a_flat: &[f64],
+    m: usize,
+    n: usize,
     b: &[f64],
     c: &[f64],
     slack_basis: &[Option<usize>],
 ) -> CountedSolve {
-    let m = a.len();
-    let n = c.len();
-
     // Count artificials.
     let artificials: Vec<usize> = (0..m).filter(|&i| slack_basis[i].is_none()).collect();
     let n_art = artificials.len();
     let total = n + n_art;
 
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut basis = vec![0usize; m];
+    let mut tab = Tableau::zeroed(m, total);
     {
         let mut next_art = n;
         for i in 0..m {
-            let mut r = Vec::with_capacity(total + 1);
-            r.extend_from_slice(&a[i]);
-            r.resize(total, 0.0);
-            r.push(b[i]);
+            let src = &a_flat[i * n..(i + 1) * n];
+            let r = tab.row_mut(i);
+            r[..n].copy_from_slice(src);
+            r[total] = b[i];
             match slack_basis[i] {
-                Some(col) => basis[i] = col,
+                Some(col) => tab.basis[i] = col,
                 None => {
-                    r[next_art] = 1.0;
-                    basis[i] = next_art;
+                    tab.row_mut(i)[next_art] = 1.0;
+                    tab.basis[i] = next_art;
                     next_art += 1;
                 }
             }
-            rows.push(r);
         }
     }
-
-    let mut tab = Tableau {
-        rows,
-        cost: vec![0.0; total + 1],
-        basis,
-        n: total,
-        pivots: 0,
-    };
 
     // ---- Phase 1: minimize the sum of artificials. ----
     if n_art > 0 {
@@ -476,10 +557,7 @@ fn solve_cold(
         // Make reduced costs of the basic artificials zero.
         for i in 0..m {
             if tab.basis[i] >= n {
-                let row = tab.rows[i].clone();
-                for j in 0..=total {
-                    tab.cost[j] -= row[j];
-                }
+                tab.price_out(i, 1.0);
             }
         }
         let allowed = vec![true; total];
@@ -491,7 +569,7 @@ fn solve_cold(
         // Drive any artificial still basic (at zero) out of the basis.
         for i in 0..m {
             if tab.basis[i] >= n {
-                let col = (0..n).find(|&j| tab.rows[i][j].abs() > 1e-7);
+                let col = (0..n).find(|&j| tab.at(i, j).abs() > 1e-7);
                 if let Some(j) = col {
                     tab.pivot(i, j);
                 }
@@ -503,16 +581,13 @@ fn solve_cold(
     }
 
     // ---- Phase 2: the true objective. ----
-    tab.cost = vec![0.0; total + 1];
+    tab.cost.fill(0.0);
     tab.cost[..n].copy_from_slice(c);
     for i in 0..m {
         let bcol = tab.basis[i];
         let cb = if bcol < n { c[bcol] } else { 0.0 };
         if cb != 0.0 {
-            let row = tab.rows[i].clone();
-            for j in 0..=total {
-                tab.cost[j] -= cb * row[j];
-            }
+            tab.price_out(i, cb);
         }
     }
     let mut allowed = vec![true; total];
@@ -525,7 +600,7 @@ fn solve_cold(
     let mut y = vec![0.0; n];
     for i in 0..m {
         if tab.basis[i] < n {
-            y[tab.basis[i]] = tab.rows[i][total];
+            y[tab.basis[i]] = tab.at(i, total);
         }
     }
     let basis = Basis {
@@ -537,6 +612,7 @@ fn solve_cold(
         SolveStats {
             iterations: tab.pivots,
             warm_started: false,
+            refactorizations: 0,
         },
         basis,
     ))

@@ -1,0 +1,852 @@
+//! Sparse revised simplex over a CSC-stored constraint matrix.
+//!
+//! The consolidation LPs are network-flow structured: >99% of the dense
+//! tableau is zero at k ≥ 8, so the dense two-phase method in
+//! [`crate::simplex`] pays O(m·n) per pivot on work that is almost
+//! entirely multiplication by zero. This module keeps the constraint
+//! matrix in compressed-sparse-column form ([`CscMatrix`]) and runs the
+//! *revised* simplex instead: the basis inverse is carried as a product
+//! of sparse eta matrices (product-form LU — each refactorization is a
+//! Gaussian LU of the basis with partial pivoting, stored as an eta
+//! file), pivots touch only the nonzeros of the entering column, and
+//! pricing walks CSC columns in O(nnz).
+//!
+//! Basis updates are product-form appends with
+//! **refactorization-on-threshold**: each pivot appends one eta vector,
+//! and once the eta file exceeds its budget the basis is refactorized
+//! from scratch — the simple, robust cousin of Forrest–Tomlin updates
+//! (which rearrange the U factor instead of appending; with the
+//! near-identity bases these LPs produce, the eta file stays short and
+//! the threshold policy wins on simplicity). Entering-variable selection
+//! is Dantzig's rule evaluated with **partial pricing**: candidate
+//! columns are scanned in rotating blocks and the most negative reduced
+//! cost of the first block containing any wins, falling back to Bland's
+//! rule after a degenerate run exactly like the dense core.
+//!
+//! Semantics are bit-compatible with [`crate::simplex`] at the contract
+//! level: same standard form, same [`SolveError`] cases, same [`Basis`]
+//! type (either core's basis injects into the other), same silent
+//! cold-fallback rules for warm starts. The dense core remains the
+//! differential-test oracle — see `crates/lp/tests/diff_sparse.rs`.
+
+use crate::simplex::{
+    max_iters, Basis, CountedSolve, SolveError, SolveStats, DEGENERATE_LIMIT, TOL,
+};
+
+/// A compressed-sparse-column matrix: `values[col_ptr[j]..col_ptr[j+1]]`
+/// are column `j`'s nonzeros, at rows `row_idx[..]` (u32 handles — the
+/// substrate never exceeds 2³² rows). Built once per standardized model
+/// and shared by every solve against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    m: usize,
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds from `(row, col, value)` triplets in any order. Duplicate
+    /// coordinates are summed; explicit and summed-to-zero entries are
+    /// kept (they are harmless and rare).
+    ///
+    /// # Panics
+    /// Panics when a triplet indexes outside `m × n`.
+    pub fn from_triplets(m: usize, n: usize, mut trip: Vec<(u32, u32, f64)>) -> Self {
+        trip.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(trip.len());
+        let mut values: Vec<f64> = Vec::with_capacity(trip.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &trip {
+            assert!((r as usize) < m && (c as usize) < n, "triplet out of range");
+            if last == Some((c, r)) {
+                // Same (col, row) as the previous triplet: merge.
+                *values.last_mut().expect("non-empty") += v;
+                continue;
+            }
+            row_idx.push(r);
+            values.push(v);
+            col_ptr[c as usize + 1] += 1;
+            last = Some((c, r));
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        CscMatrix {
+            m,
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Builds from a dense slice-of-rows matrix (the differential-test
+    /// entry point; production models are built as triplets directly).
+    pub fn from_dense(a: &[Vec<f64>]) -> Self {
+        let m = a.len();
+        let n = a.first().map_or(0, Vec::len);
+        let mut trip = Vec::new();
+        for (i, row) in a.iter().enumerate() {
+            assert_eq!(row.len(), n, "ragged dense matrix");
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    trip.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        Self::from_triplets(m, n, trip)
+    }
+
+    /// Row count.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Column count.
+    pub fn num_cols(&self) -> usize {
+        self.n
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column `j` as parallel `(rows, values)` slices.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// `y · a_j` in O(nnz(a_j)).
+    #[inline]
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut acc = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc += y[r as usize] * v;
+        }
+        acc
+    }
+
+    /// Densifies into a flat row-major `m × n` buffer (the small-model
+    /// path in [`crate::standard`] hands this to the dense tableau).
+    pub fn to_row_major(&self) -> Vec<f64> {
+        let mut flat = vec![0.0; self.m * self.n];
+        for j in 0..self.n {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                flat[r as usize * self.n + j] = v;
+            }
+        }
+        flat
+    }
+}
+
+/// One product-form update: the basis inverse gains a factor `E` that is
+/// the identity except in column `r`.
+struct Eta {
+    r: u32,
+    /// `1 / w_r` where `w` was the FTRANed entering column.
+    diag: f64,
+    /// Off-diagonal column-`r` entries `(i, -w_i / w_r)`, sparse.
+    entries: Vec<(u32, f64)>,
+}
+
+/// The basis inverse as an eta file: `B⁻¹ = E_k ··· E_1`.
+struct Factor {
+    etas: Vec<Eta>,
+}
+
+impl Factor {
+    /// `x ← B⁻¹ x` (forward transformation: oldest eta first).
+    fn ftran(&self, x: &mut [f64]) {
+        for e in &self.etas {
+            let r = e.r as usize;
+            let xr = x[r];
+            if xr != 0.0 {
+                x[r] = e.diag * xr;
+                for &(i, v) in &e.entries {
+                    x[i as usize] += v * xr;
+                }
+            }
+        }
+    }
+
+    /// `yᵀ ← yᵀ B⁻¹` (backward transformation: newest eta first; each
+    /// eta only rewrites component `r`).
+    fn btran(&self, y: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            let r = e.r as usize;
+            let mut s = e.diag * y[r];
+            for &(i, v) in &e.entries {
+                s += v * y[i as usize];
+            }
+            y[r] = s;
+        }
+    }
+
+    /// Appends the eta for a pivot on row `r` of the FTRANed column `w`.
+    fn push_pivot(&mut self, w: &[f64], r: usize) {
+        let diag = 1.0 / w[r];
+        let entries: Vec<(u32, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &wi)| i != r && wi != 0.0)
+            .map(|(i, &wi)| (i as u32, -wi * diag))
+            .collect();
+        self.etas.push(Eta {
+            r: r as u32,
+            diag,
+            entries,
+        });
+    }
+}
+
+/// Revised-simplex working state for one standard-form solve.
+struct Revised<'a> {
+    a: &'a CscMatrix,
+    b: &'a [f64],
+    m: usize,
+    n: usize,
+    /// Row of each artificial; artificial `k` is column `n + k`.
+    art_row: Vec<u32>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Membership flags over all `n + art_row.len()` columns.
+    in_basis: Vec<bool>,
+    factor: Factor,
+    /// Basic variable values, one per row (paired with `basis`).
+    xb: Vec<f64>,
+    pivots: u64,
+    refactorizations: u64,
+    /// Number of *update* etas (appended by pivots since the last
+    /// refactorization) that triggers a refactorization. The LU itself
+    /// contributes one eta per basis column, so the trigger must count
+    /// `etas.len() - base_etas`, not the raw file length — comparing the
+    /// raw length would re-trip immediately after every refactorization
+    /// and turn each pivot into an O(m³) rebuild.
+    refresh: usize,
+    /// Eta-file length right after the last refactorization (the LU's
+    /// own etas, excluded from the refresh budget).
+    base_etas: usize,
+    /// Rotating partial-pricing cursor.
+    cursor: usize,
+    /// Dense scratch vectors (allocated once).
+    w: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl<'a> Revised<'a> {
+    fn new(a: &'a CscMatrix, b: &'a [f64]) -> Self {
+        let m = a.num_rows();
+        Revised {
+            a,
+            b,
+            m,
+            n: a.num_cols(),
+            art_row: Vec::new(),
+            basis: vec![0; m],
+            in_basis: Vec::new(),
+            factor: Factor { etas: Vec::new() },
+            xb: b.to_vec(),
+            pivots: 0,
+            refactorizations: 0,
+            refresh: (m / 4).max(64),
+            base_etas: 0,
+            cursor: 0,
+            w: vec![0.0; m],
+            y: vec![0.0; m],
+        }
+    }
+
+    fn total_cols(&self) -> usize {
+        self.n + self.art_row.len()
+    }
+
+    /// Scatters column `j` (structural/slack, or artificial unit column)
+    /// into the dense scratch `out`.
+    fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        if j < self.n {
+            let (rows, vals) = self.a.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                out[r as usize] = v;
+            }
+        } else {
+            out[self.art_row[j - self.n] as usize] = 1.0;
+        }
+    }
+
+    /// `y · a_j` without scattering.
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            self.a.col_dot(j, y)
+        } else {
+            y[self.art_row[j - self.n] as usize]
+        }
+    }
+
+    /// Rebuilds the eta file as a fresh LU of the current basis columns
+    /// (Gaussian elimination with partial pivoting, product form) and
+    /// recomputes `xb = B⁻¹ b`. The row↔column pairing is re-derived —
+    /// the basis is a *set* of columns. Fails when the column set is
+    /// numerically singular.
+    fn refactorize(&mut self) -> Result<(), ()> {
+        self.factor.etas.clear();
+        // Fill-reducing order: eliminate sparse columns first. Unit
+        // columns (slacks, artificials) pivot with zero fill, and short
+        // structural columns fill less than long ones, so ascending nnz
+        // keeps the LU etas — and with them every later FTRAN/BTRAN —
+        // near the basis's own sparsity. The basis is a *set*: the
+        // row↔column pairing is re-derived below, so elimination order
+        // is free to choose.
+        let mut cols: Vec<usize> = self.basis.clone();
+        cols.sort_by_key(|&j| {
+            if j < self.n {
+                self.a.col(j).0.len()
+            } else {
+                1
+            }
+        });
+        let mut assigned = vec![false; self.m];
+        let mut pivot_row = vec![0usize; self.m];
+        for (s, &j) in cols.iter().enumerate() {
+            // w = (E_built_so_far) a_j
+            let mut w = std::mem::take(&mut self.w);
+            self.scatter_col(j, &mut w);
+            self.factor.ftran(&mut w);
+            let mut best_r = usize::MAX;
+            let mut best_v = 1e-7;
+            for (r, &wr) in w.iter().enumerate() {
+                if !assigned[r] && wr.abs() > best_v {
+                    best_v = wr.abs();
+                    best_r = r;
+                }
+            }
+            if best_r == usize::MAX {
+                self.w = w;
+                return Err(()); // singular basis
+            }
+            self.factor.push_pivot(&w, best_r);
+            assigned[best_r] = true;
+            pivot_row[s] = best_r;
+            self.w = w;
+        }
+        for (s, &j) in cols.iter().enumerate() {
+            self.basis[pivot_row[s]] = j;
+        }
+        self.refactorizations += 1;
+        self.base_etas = self.factor.etas.len();
+        self.xb.copy_from_slice(self.b);
+        self.factor.ftran(&mut self.xb);
+        Ok(())
+    }
+
+    /// Current objective under `cost`.
+    fn objective(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&j, &x)| cost[j] * x)
+            .sum()
+    }
+
+    /// Dantzig + partial pricing: scans rotating blocks of columns and
+    /// returns the most negative reduced cost in the first block that
+    /// has one. `None` means every allowed column priced ≥ −TOL.
+    fn price(&mut self, cost: &[f64], allowed_hi: usize, y: &[f64]) -> Option<usize> {
+        let total = self.total_cols();
+        let block = (total / 8).max(256);
+        let mut scanned = 0;
+        let mut j = self.cursor % total;
+        while scanned < total {
+            let mut best: Option<(usize, f64)> = None;
+            for _ in 0..block.min(total - scanned) {
+                if !self.in_basis[j] && j < allowed_hi {
+                    let d = cost[j] - self.col_dot(j, y);
+                    if d < -TOL && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((j, d));
+                    }
+                }
+                j += 1;
+                if j == total {
+                    j = 0;
+                }
+            }
+            scanned += block;
+            if let Some((q, _)) = best {
+                self.cursor = j;
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    /// Bland's rule: first allowed column with a negative reduced cost.
+    fn price_bland(&self, cost: &[f64], allowed_hi: usize, y: &[f64]) -> Option<usize> {
+        (0..allowed_hi.min(self.total_cols()))
+            .find(|&j| !self.in_basis[j] && cost[j] - self.col_dot(j, y) < -TOL)
+    }
+
+    /// Runs the revised simplex to optimality on `cost`. Columns at index
+    /// `allowed_hi` and beyond may not enter the basis (phase 2 bars the
+    /// artificials this way).
+    fn optimize(&mut self, cost: &[f64], allowed_hi: usize) -> Result<(), SolveError> {
+        let cap = max_iters(self.total_cols(), self.m);
+        let mut degenerate_run = 0u32;
+        let mut bland = false;
+        let mut last_obj = self.objective(cost);
+        for _ in 0..cap {
+            if self.factor.etas.len() - self.base_etas > self.refresh {
+                self.refactorize().map_err(|()| SolveError::IterationLimit)?;
+            }
+            // Pricing vector yᵀ = c_B ᵀ B⁻¹.
+            let mut y = std::mem::take(&mut self.y);
+            for (yr, &j) in y.iter_mut().zip(&self.basis) {
+                *yr = cost[j];
+            }
+            self.factor.btran(&mut y);
+            let enter = if bland {
+                self.price_bland(cost, allowed_hi, &y)
+            } else {
+                self.price(cost, allowed_hi, &y)
+            };
+            self.y = y;
+            let Some(q) = enter else {
+                return Ok(()); // optimal
+            };
+
+            // w = B⁻¹ a_q.
+            let mut w = std::mem::take(&mut self.w);
+            self.scatter_col(q, &mut w);
+            self.factor.ftran(&mut w);
+
+            // Ratio test (Bland tie-break: smallest basis column), same
+            // tolerances as the dense core.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (r, &wr) in w.iter().enumerate() {
+                if wr > TOL {
+                    let ratio = self.xb[r] / wr;
+                    let better = ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && leave.is_none_or(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                self.w = w;
+                return Err(SolveError::Unbounded);
+            };
+
+            self.pivot_on(q, r, &w);
+            self.w = w;
+
+            let obj = self.objective(cost);
+            if (obj - last_obj).abs() <= TOL {
+                degenerate_run += 1;
+                if degenerate_run >= DEGENERATE_LIMIT {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+            }
+            last_obj = obj;
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    /// Applies the basis change: column `q` enters on row `r` with
+    /// FTRANed column `w`.
+    fn pivot_on(&mut self, q: usize, r: usize, w: &[f64]) {
+        let theta = self.xb[r] / w[r];
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                self.xb[i] -= theta * wi;
+                if self.xb[i] < 0.0 && self.xb[i] > -TOL {
+                    self.xb[i] = 0.0;
+                }
+            }
+        }
+        self.xb[r] = theta;
+        self.factor.push_pivot(w, r);
+        self.in_basis[self.basis[r]] = false;
+        self.in_basis[q] = true;
+        self.basis[r] = q;
+        self.pivots += 1;
+    }
+
+    /// Extracts the structural solution and final basis. Refactorizes
+    /// first so `xb` comes from a fresh factorization rather than a long
+    /// eta product (keeps the differential-test 1e-9 bound honest).
+    fn extract(&mut self) -> (Vec<f64>, Basis) {
+        if !self.factor.etas.is_empty() {
+            // A basis that just solved to optimality cannot be singular;
+            // if refactorization still fails numerically, the eta-file
+            // values already in xb stand.
+            let _ = self.refactorize();
+        }
+        let mut sol = vec![0.0; self.n];
+        for (r, &j) in self.basis.iter().enumerate() {
+            if j < self.n {
+                let v = self.xb[r];
+                sol[j] = if v < 0.0 && v > -TOL { 0.0 } else { v };
+            }
+        }
+        (
+            sol,
+            Basis {
+                cols: self.basis.clone(),
+                n: self.n,
+            },
+        )
+    }
+}
+
+/// Sparse twin of [`crate::simplex::solve_counted_warm`]: solves
+/// `min c·y` s.t. `A·y = b`, `y ≥ 0` for CSC-stored `A`, with the same
+/// slack-basis convention, warm-start semantics, and error cases as the
+/// dense core.
+///
+/// # Errors
+/// [`SolveError::Infeasible`] / [`SolveError::Unbounded`] /
+/// [`SolveError::IterationLimit`] as usual, plus
+/// [`SolveError::BasisMismatch`] when `warm` comes from a model with
+/// different dimensions.
+///
+/// # Panics
+/// Panics on dimension mismatches or negative `b`.
+pub fn solve_counted_warm_csc(
+    a: &CscMatrix,
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+    warm: Option<&Basis>,
+) -> CountedSolve {
+    let m = a.num_rows();
+    let n = a.num_cols();
+    assert_eq!(b.len(), m, "b length mismatch");
+    assert_eq!(c.len(), n, "c length mismatch");
+    assert_eq!(slack_basis.len(), m, "slack_basis length mismatch");
+    assert!(b.iter().all(|&v| v >= 0.0), "standard form requires b >= 0");
+
+    if let Some(basis) = warm {
+        if basis.cols.len() != m || basis.n != n {
+            return Err(SolveError::BasisMismatch);
+        }
+        if let Some(result) = try_warm_csc(a, b, c, basis) {
+            return result;
+        }
+    }
+
+    solve_cold_csc(a, b, c, slack_basis)
+}
+
+/// Warm path: refactorize straight from the stored basis columns, check
+/// primal feasibility for the new RHS, run phase 2 only. `None` ⇒ fall
+/// back cold (same rules as the dense `try_warm`).
+fn try_warm_csc(a: &CscMatrix, b: &[f64], c: &[f64], basis: &Basis) -> Option<CountedSolve> {
+    let n = a.num_cols();
+    if basis.cols.iter().any(|&col| col >= n) {
+        return None; // artificial columns don't exist in the warm solve
+    }
+    let mut sorted = basis.cols.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return None; // duplicate column: not a valid basis
+    }
+
+    let mut rs = Revised::new(a, b);
+    rs.basis.copy_from_slice(&basis.cols);
+    rs.in_basis = vec![false; rs.total_cols()];
+    for &j in &basis.cols {
+        rs.in_basis[j] = true;
+    }
+    if rs.refactorize().is_err() {
+        return None; // singular injection
+    }
+    rs.refactorizations = 0; // injection LU is not a *re*-factorization
+    if rs.xb.iter().any(|&v| v < -TOL) {
+        return None; // warm basis infeasible here: solve cold
+    }
+    for v in rs.xb.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+
+    match rs.optimize(c, n) {
+        Ok(()) => {}
+        // Unboundedness is a property of the model, not of the start.
+        Err(SolveError::Unbounded) => return Some(Err(SolveError::Unbounded)),
+        // Anything else: let the cold path have a clean try.
+        Err(_) => return None,
+    }
+
+    let (sol, out_basis) = rs.extract();
+    Some(Ok((
+        sol,
+        SolveStats {
+            iterations: rs.pivots,
+            warm_started: true,
+            refactorizations: rs.refactorizations,
+        },
+        out_basis,
+    )))
+}
+
+/// Cold two-phase path on the revised core.
+fn solve_cold_csc(
+    a: &CscMatrix,
+    b: &[f64],
+    c: &[f64],
+    slack_basis: &[Option<usize>],
+) -> CountedSolve {
+    let m = a.num_rows();
+    let n = a.num_cols();
+    let mut rs = Revised::new(a, b);
+
+    // Initial basis: the ready slack per row where one exists, a fresh
+    // artificial elsewhere. Both are unit columns, so B = I exactly: the
+    // eta file starts empty and xb = b.
+    for (i, sb) in slack_basis.iter().enumerate() {
+        match sb {
+            Some(col) => rs.basis[i] = *col,
+            None => {
+                rs.basis[i] = n + rs.art_row.len();
+                rs.art_row.push(i as u32);
+            }
+        }
+    }
+    let n_art = rs.art_row.len();
+    rs.in_basis = vec![false; n + n_art];
+    for &j in &rs.basis {
+        rs.in_basis[j] = true;
+    }
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    if n_art > 0 {
+        let mut cost1 = vec![0.0; n + n_art];
+        for v in cost1[n..].iter_mut() {
+            *v = 1.0;
+        }
+        rs.optimize(&cost1, n + n_art)?;
+        if rs.objective(&cost1) > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any artificial still basic (at zero) out of the basis:
+        // BTRAN the row's unit vector to price row r of B⁻¹A, then pivot
+        // in the first structural column with a usable entry. Redundant
+        // (all-zero) rows keep their artificial basic at 0, which is
+        // harmless because phase 2 bars artificials from entering.
+        for r in 0..m {
+            if rs.basis[r] >= n {
+                let mut rho = vec![0.0; m];
+                rho[r] = 1.0;
+                rs.factor.btran(&mut rho);
+                let entering = (0..n)
+                    .find(|&j| !rs.in_basis[j] && rs.col_dot(j, &rho).abs() > 1e-7);
+                if let Some(q) = entering {
+                    let mut w = std::mem::take(&mut rs.w);
+                    rs.scatter_col(q, &mut w);
+                    rs.factor.ftran(&mut w);
+                    rs.pivot_on(q, r, &w);
+                    rs.w = w;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: the true objective (artificials barred). ----
+    let mut cost2 = vec![0.0; n + n_art];
+    cost2[..n].copy_from_slice(c);
+    rs.optimize(&cost2, n)?;
+
+    let (sol, basis) = rs.extract();
+    Ok((
+        sol,
+        SolveStats {
+            iterations: rs.pivots,
+            warm_started: false,
+            refactorizations: rs.refactorizations,
+        },
+        basis,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve_counted_warm;
+
+    fn csc(a: &[Vec<f64>]) -> CscMatrix {
+        CscMatrix::from_dense(a)
+    }
+
+    #[test]
+    fn csc_round_trips_dense() {
+        let a = vec![
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 0.0, -3.0, 4.0],
+            vec![5.0, 6.0, 0.0, 0.0],
+        ];
+        let s = csc(&a);
+        assert_eq!((s.num_rows(), s.num_cols(), s.nnz()), (3, 4, 6));
+        let flat = s.to_row_major();
+        for (i, row) in a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(flat[i * 4 + j], v);
+            }
+        }
+    }
+
+    #[test]
+    fn triplets_merge_duplicates() {
+        let s = CscMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (0, 0, 3.0), (1, 0, 0.5)],
+        );
+        assert_eq!(s.nnz(), 3);
+        let flat = s.to_row_major();
+        assert_eq!(flat, vec![4.0, 0.0, 0.5, 2.0]);
+    }
+
+    /// `(A, b, c, slack_basis)` fixture rows.
+    type Fixture = (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<Option<usize>>);
+
+    #[test]
+    fn matches_dense_on_basic_cases() {
+        // Same fixtures as the dense unit tests.
+        let cases: Vec<Fixture> = vec![
+            (
+                vec![vec![1.0, 1.0, 1.0]],
+                vec![3.0],
+                vec![-1.0, -2.0, 0.0],
+                vec![Some(2)],
+            ),
+            (vec![vec![1.0, 1.0]], vec![4.0], vec![1.0, 1.0], vec![None]),
+            (
+                vec![
+                    vec![1.0, 2.0, 0.0, 1.0, 0.0],
+                    vec![0.0, 1.0, 1.0, 0.0, 1.0],
+                    vec![2.0, 0.0, 1.0, 0.0, 0.0],
+                ],
+                vec![4.0, 3.0, 5.0],
+                vec![1.0, 1.0, 1.0, 0.1, 0.1],
+                vec![None, None, None],
+            ),
+        ];
+        for (a, b, c, sb) in cases {
+            let dense = solve_counted_warm(&a, &b, &c, &sb, None).unwrap();
+            let sparse = solve_counted_warm_csc(&csc(&a), &b, &c, &sb, None).unwrap();
+            let od: f64 = c.iter().zip(&dense.0).map(|(c, y)| c * y).sum();
+            let os: f64 = c.iter().zip(&sparse.0).map(|(c, y)| c * y).sum();
+            assert!((od - os).abs() < 1e-9, "objective {od} vs {os}");
+        }
+    }
+
+    #[test]
+    fn error_cases_match_dense() {
+        let a = vec![vec![1.0], vec![1.0]];
+        assert_eq!(
+            solve_counted_warm_csc(&csc(&a), &[2.0, 3.0], &[0.0], &[None, None], None)
+                .unwrap_err(),
+            SolveError::Infeasible
+        );
+        let a = vec![vec![1.0, -1.0]];
+        assert_eq!(
+            solve_counted_warm_csc(&csc(&a), &[0.0], &[-1.0, 0.0], &[None], None).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn warm_start_round_trips_across_cores() {
+        // Basis extracted from the dense core injects into the sparse
+        // core (and back), with warm_started reported.
+        let a = vec![vec![1.0, 2.0, 0.0], vec![0.0, 1.0, 1.0]];
+        let c = vec![1.0, 1.0, 1.0];
+        let sb = vec![None, None];
+        let (_, _, basis) = solve_counted_warm(&a, &[4.0, 3.0], &c, &sb, None).unwrap();
+        let (ys, ss, basis2) =
+            solve_counted_warm_csc(&csc(&a), &[4.4, 3.3], &c, &sb, Some(&basis)).unwrap();
+        assert!(ss.warm_started);
+        let (yd, _, _) = solve_counted_warm(&a, &[4.4, 3.3], &c, &sb, Some(&basis)).unwrap();
+        for (s, d) in ys.iter().zip(&yd) {
+            assert!((s - d).abs() < 1e-9, "warm sparse {s} vs dense {d}");
+        }
+        // And back into the dense core.
+        let (yd2, sd2, _) =
+            solve_counted_warm(&a, &[4.0, 3.0], &c, &sb, Some(&basis2)).unwrap();
+        assert!(sd2.warm_started);
+        assert!(yd2.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mismatched_basis_is_rejected() {
+        let a = vec![vec![1.0, 2.0]];
+        let (_, _, basis) =
+            solve_counted_warm(&a, &[4.0], &[1.0, 1.0], &[None], None).unwrap();
+        let a2 = vec![vec![1.0, 2.0, 1.0]];
+        assert_eq!(
+            solve_counted_warm_csc(
+                &csc(&a2),
+                &[4.0],
+                &[1.0, 1.0, 0.0],
+                &[Some(2)],
+                Some(&basis)
+            )
+            .unwrap_err(),
+            SolveError::BasisMismatch
+        );
+    }
+
+    #[test]
+    fn refactorization_threshold_is_exercised() {
+        // A long chain of pivots on a staircase system forces the eta
+        // file past its budget: refactorizations must be counted and the
+        // answer still match the dense oracle.
+        let n = 80;
+        let mut a = vec![vec![0.0; 2 * n]; n];
+        let mut b = vec![0.0; n];
+        let mut c = vec![0.0; 2 * n];
+        let mut sb = vec![None; n];
+        for i in 0..n {
+            a[i][i] = 1.0;
+            if i > 0 {
+                a[i][i - 1] = -0.5;
+            }
+            a[i][n + i] = 1.0; // slack
+            b[i] = 1.0 + (i as f64) * 0.01;
+            c[i] = -1.0 - (i % 7) as f64 * 0.1;
+            sb[i] = Some(n + i);
+        }
+        let dense = solve_counted_warm(&a, &b, &c, &sb, None).unwrap();
+        let mat = csc(&a);
+        let mut small = Revised::new(&mat, &b);
+        small.refresh = 8; // force frequent refactorization
+        for (i, s) in sb.iter().enumerate() {
+            small.basis[i] = s.unwrap();
+        }
+        small.in_basis = vec![false; small.total_cols()];
+        for &j in &small.basis {
+            small.in_basis[j] = true;
+        }
+        small.optimize(&c, 2 * n).unwrap();
+        assert!(small.refactorizations > 0, "threshold never hit");
+        let (sol, _) = small.extract();
+        let od: f64 = c.iter().zip(&dense.0).map(|(c, y)| c * y).sum();
+        let os: f64 = c.iter().zip(&sol).map(|(c, y)| c * y).sum();
+        assert!((od - os).abs() < 1e-9, "objective {od} vs {os}");
+    }
+}

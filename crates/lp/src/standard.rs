@@ -11,7 +11,31 @@
 
 use crate::model::{Cmp, Model, Sense};
 use crate::simplex::{self, Basis, SolveError, SolveStats};
+use crate::sparse::{self, CscMatrix};
 use eprons_obs as obs;
+
+/// Which simplex core executes a [`Standardized`] solve.
+///
+/// The constraint matrices this crate sees are network-structured and
+/// overwhelmingly sparse, but the dense tableau has lower constant
+/// factors on tiny models and is the differential-test oracle; `Auto`
+/// picks by matrix area so k=4-scale models keep their historical dense
+/// path (and bit-exact results) while anything k≥8-sized runs on the
+/// sparse revised simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Size-based choice: dense when `m·n ≤ 150_000`, sparse otherwise.
+    #[default]
+    Auto,
+    /// Force the dense flat-tableau two-phase simplex.
+    Dense,
+    /// Force the sparse revised simplex (CSC + product-form LU).
+    Sparse,
+}
+
+/// `Auto` runs dense at or below this `m·n`: every k=4-scale
+/// consolidation model lands under it, the k=8 ladder and beyond above.
+const DENSE_CUTOFF_AREA: usize = 150_000;
 
 /// How an original variable maps onto standard-form column(s).
 #[derive(Debug, Clone, Copy)]
@@ -43,8 +67,11 @@ impl Solution {
 
 /// A standard-form program plus the mapping back to model variables.
 pub struct Standardized {
-    /// Dense constraint matrix, `m × n`.
-    a: Vec<Vec<f64>>,
+    /// Constraint matrix, `m × n`, stored sparse (CSC). Constraint rows
+    /// arrive as sparse term lists from [`Model`], so the matrix is
+    /// assembled as triplets without ever materializing dense rows; the
+    /// dense tableau path densifies on demand for small models only.
+    a: CscMatrix,
     /// Right-hand sides, all non-negative.
     b: Vec<f64>,
     /// Objective coefficients (always minimize).
@@ -152,17 +179,20 @@ impl Standardized {
             });
         }
 
-        // Allocate slack/surplus columns and emit the dense matrix with
-        // non-negative rhs.
+        // Allocate slack/surplus columns and emit the matrix as sparse
+        // triplets with non-negative rhs.
         let m = rows.len();
         let mut slack_cols = 0usize;
+        let mut nnz_guess = 0usize;
         for row in &rows {
             if row.cmp != Cmp::Eq {
                 slack_cols += 1;
+                nnz_guess += 1;
             }
+            nnz_guess += row.coeffs.len();
         }
         let total = n + slack_cols;
-        let mut a = vec![vec![0.0; total]; m];
+        let mut trip: Vec<(u32, u32, f64)> = Vec::with_capacity(nnz_guess);
         let mut b = vec![0.0; m];
         let mut slack_basis = vec![None; m];
         let mut next_slack = n;
@@ -180,22 +210,23 @@ impl Standardized {
             };
             let s = if flip { -1.0 } else { 1.0 };
             for &(col, coef) in &row.coeffs {
-                a[i][col] += s * coef;
+                trip.push((i as u32, col as u32, s * coef));
             }
             b[i] = rhs;
             match cmp {
                 Cmp::Le => {
-                    a[i][next_slack] = 1.0;
+                    trip.push((i as u32, next_slack as u32, 1.0));
                     slack_basis[i] = Some(next_slack);
                     next_slack += 1;
                 }
                 Cmp::Ge => {
-                    a[i][next_slack] = -1.0;
+                    trip.push((i as u32, next_slack as u32, -1.0));
                     next_slack += 1;
                 }
                 Cmp::Eq => {}
             }
         }
+        let a = CscMatrix::from_triplets(m, total, trip);
 
         // Slack columns carry zero cost.
         c.resize(total, 0.0);
@@ -218,7 +249,21 @@ impl Standardized {
 
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
-        self.a.len()
+        self.a.num_rows()
+    }
+
+    /// Stored nonzeros of the constraint matrix.
+    pub fn nnz(&self) -> usize {
+        self.a.nnz()
+    }
+
+    /// The engine `Auto` resolves to for this model's dimensions.
+    pub fn auto_engine(&self) -> LpEngine {
+        if self.num_rows() * self.num_cols() <= DENSE_CUTOFF_AREA {
+            LpEngine::Dense
+        } else {
+            LpEngine::Sparse
+        }
     }
 
     /// Solves the standard-form program with the two-phase simplex and maps
@@ -250,8 +295,40 @@ impl Standardized {
         &self,
         warm: Option<&Basis>,
     ) -> Result<(Solution, SolveStats, Basis), SolveError> {
-        let (y, stats, basis) =
-            simplex::solve_counted_warm(&self.a, &self.b, &self.c, &self.slack_basis, warm)?;
+        self.solve_warm_with(warm, LpEngine::Auto)
+    }
+
+    /// [`Standardized::solve_warm`] with an explicit engine choice.
+    /// `Auto` (the default everywhere else) picks dense for tiny models
+    /// and the sparse revised simplex past the size cutoff; forcing
+    /// `Dense`/`Sparse` is how the differential tests and the
+    /// `scale_ladder` bench compare the two cores on identical input.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Standardized::solve_warm`].
+    pub fn solve_warm_with(
+        &self,
+        warm: Option<&Basis>,
+        engine: LpEngine,
+    ) -> Result<(Solution, SolveStats, Basis), SolveError> {
+        let engine = match engine {
+            LpEngine::Auto => self.auto_engine(),
+            e => e,
+        };
+        let (y, stats, basis) = match engine {
+            LpEngine::Sparse => {
+                sparse::solve_counted_warm_csc(&self.a, &self.b, &self.c, &self.slack_basis, warm)?
+            }
+            _ => simplex::solve_counted_warm_flat(
+                &self.a.to_row_major(),
+                self.num_rows(),
+                self.num_cols(),
+                &self.b,
+                &self.c,
+                &self.slack_basis,
+                warm,
+            )?,
+        };
         if obs::enabled() {
             let reg = obs::registry();
             reg.counter("lp.pivots").add(stats.iterations);
@@ -259,6 +336,12 @@ impl Standardized {
                 reg.counter("lp.warm_start_hits").inc();
             } else if warm.is_some() {
                 reg.counter("lp.warm_start_misses").inc();
+            }
+            if engine == LpEngine::Sparse {
+                reg.counter("lp.sparse.solves").inc();
+                reg.counter("lp.sparse.nnz").add(self.nnz() as u64);
+                reg.counter("lp.sparse.refactorizations")
+                    .add(stats.refactorizations);
             }
         }
         Ok((self.recover(&y), stats, basis))

@@ -62,11 +62,15 @@ impl Consolidator for GreedyConsolidator {
         for &fi in &order {
             let flow = &flows.flows()[fi];
             let demand = flow.scaled_demand(cfg.scale_k);
-            let candidates = net.candidate_paths(flow.src, flow.dst);
+            // Selection pass: walk candidates as borrowed slices (no
+            // allocation per path); only the winner is materialized.
             let mut best: Option<(usize, usize)> = None; // (new_switches, idx)
-            for (idx, p) in candidates.iter().enumerate() {
+            let mut idx = 0usize;
+            net.for_each_candidate(flow.src, flow.dst, &mut |p| {
+                let this = idx;
+                idx += 1;
                 if p.nodes.iter().any(|&n| cfg.is_excluded(n)) {
-                    continue;
+                    return;
                 }
                 let fits = p.hops().all(|(from, _, l)| {
                     let usable = cfg.usable_capacity(topo.link(l).capacity_mbps);
@@ -74,18 +78,18 @@ impl Consolidator for GreedyConsolidator {
                     reserved[l.0 * 2 + dir] + demand <= usable + 1e-9
                 });
                 if !fits {
-                    continue;
+                    return;
                 }
                 let new_switches = p
                     .interior()
                     .iter()
                     .filter(|&&n| !switch_active[n.0])
                     .count();
-                let key = (new_switches, idx);
+                let key = (new_switches, this);
                 if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
-            }
+            });
             let Some((_, idx)) = best else {
                 if eprons_obs::enabled() {
                     eprons_obs::registry()
@@ -94,7 +98,9 @@ impl Consolidator for GreedyConsolidator {
                 }
                 return Err(ConsolidationError::NoFeasiblePath { flow: fi });
             };
-            let p = candidates.into_iter().nth(idx).expect("index valid");
+            let p = net
+                .nth_candidate(flow.src, flow.dst, idx)
+                .expect("index valid");
             for (from, _, l) in p.hops() {
                 let dir = crate::links::direction_from(topo, l, from);
                 reserved[l.0 * 2 + dir] += demand;

@@ -288,11 +288,13 @@ impl Assignment {
 
         for &i in &victims {
             let flow = &flows.flows()[i];
-            let candidates = net.candidate_paths(flow.src, flow.dst);
             let mut best: Option<(usize, f64, usize)> = None; // (new switches, bottleneck, idx)
-            for (idx, p) in candidates.iter().enumerate() {
+            let mut idx = 0usize;
+            net.for_each_candidate(flow.src, flow.dst, &mut |p| {
+                let this = idx;
+                idx += 1;
                 if p.nodes.contains(&failed) {
-                    continue;
+                    return;
                 }
                 let new_switches = p
                     .interior()
@@ -301,19 +303,20 @@ impl Assignment {
                     .count();
                 let bottleneck = self
                     .state
-                    .path_utilizations(topo, p)
-                    .into_iter()
+                    .path_utilizations_ref(topo, p)
                     .fold(0.0, f64::max);
-                let key = (new_switches, bottleneck, idx);
+                let key = (new_switches, bottleneck, this);
                 if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
-            }
+            });
             let Some((_, _, idx)) = best else {
                 *self = checkpoint;
                 return Err(ConsolidationError::NoFeasiblePath { flow: i });
             };
-            let p = candidates.into_iter().nth(idx).expect("index valid");
+            let p = net
+                .nth_candidate(flow.src, flow.dst, idx)
+                .expect("index valid");
             for &n in &p.nodes {
                 if n != failed {
                     self.state.set_node(n, true);
@@ -387,10 +390,12 @@ impl Consolidator for AggregationRouter {
         for flow in flows.flows() {
             let demand = flow.scaled_demand(cfg.scale_k);
             let mut best: Option<(f64, usize)> = None;
-            let candidates = net.candidate_paths(flow.src, flow.dst);
-            for (idx, p) in candidates.iter().enumerate() {
+            let mut idx = 0usize;
+            net.for_each_candidate(flow.src, flow.dst, &mut |p| {
+                let this = idx;
+                idx += 1;
                 if !p.nodes.iter().all(|&n| allowed(n)) {
-                    continue;
+                    return;
                 }
                 // Bottleneck directional reservation if this path were
                 // chosen (full-duplex links: only the traversal direction
@@ -403,15 +408,17 @@ impl Consolidator for AggregationRouter {
                     })
                     .fold(0.0, f64::max);
                 if best.is_none_or(|(b, _)| bottleneck < b - 1e-9) {
-                    best = Some((bottleneck, idx));
+                    best = Some((bottleneck, this));
                 }
-            }
+            });
             let Some((_, idx)) = best else {
                 return Err(ConsolidationError::NoFeasiblePath {
                     flow: flow.id.0,
                 });
             };
-            let p = candidates.into_iter().nth(idx).expect("index valid");
+            let p = net
+                .nth_candidate(flow.src, flow.dst, idx)
+                .expect("index valid");
             for (from, _, l) in p.hops() {
                 let dir = crate::links::direction_from(topo, l, from);
                 reserved[l.0 * 2 + dir] += demand;

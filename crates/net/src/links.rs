@@ -6,7 +6,7 @@
 //! load and utilization are tracked per `(link, direction)`. Direction 0
 //! is `a → b` in the topology's link record, direction 1 is `b → a`.
 
-use eprons_topo::{LinkId, NodeId, Path, Topology};
+use eprons_topo::{LinkId, NodeId, Path, PathRef, Topology};
 
 /// Which switches and links are powered on, and how much traffic each link
 /// direction carries. Hosts are always "on".
@@ -179,6 +179,18 @@ impl NetworkState {
             path.hops()
                 .map(|(from, _, l)| self.utilization_dir(l, direction_from(topo, l, from))),
         );
+    }
+
+    /// Utilizations along a borrowed path view, as an iterator — the
+    /// zero-allocation counterpart of [`Self::path_utilizations`] for
+    /// arena-backed candidate walks.
+    pub fn path_utilizations_ref<'a>(
+        &'a self,
+        topo: &'a Topology,
+        path: PathRef<'a>,
+    ) -> impl Iterator<Item = f64> + 'a {
+        path.hops()
+            .map(move |(from, _, l)| self.utilization_dir(l, direction_from(topo, l, from)))
     }
 
     /// Whether every node and link of `path` is powered.

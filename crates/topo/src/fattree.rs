@@ -26,6 +26,10 @@ pub struct FatTree {
     edges: Vec<NodeId>,
     aggs: Vec<NodeId>,
     cores: Vec<NodeId>,
+    /// `NodeId.0` → host ordinal in `hosts`, or `u32::MAX` for
+    /// non-hosts. Makes `host_pod`/`host_edge` O(1) instead of a linear
+    /// scan — at k=16 those run once per flow (~1M flows per scenario).
+    host_index: Vec<u32>,
 }
 
 impl FatTree {
@@ -36,7 +40,12 @@ impl FatTree {
     pub fn new(k: usize, capacity_mbps: f64) -> Self {
         assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
         let half = k / 2;
-        let mut topo = Topology::new();
+        // Closed-form totals: k³/4 hosts + k²/4 cores + k²/2 aggs +
+        // k²/2 edges nodes; 3·k³/4 links (host–edge, edge–agg, agg–core
+        // tiers contribute k³/4 each).
+        let n_nodes = k * k * k / 4 + 5 * k * k / 4;
+        let n_links = 3 * k * k * k / 4;
+        let mut topo = Topology::with_capacity(n_nodes, n_links);
 
         // Core switches: group j in 0..half, member m in 0..half.
         let mut cores = Vec::with_capacity(half * half);
@@ -97,6 +106,14 @@ impl FatTree {
             }
         }
 
+        debug_assert_eq!(topo.num_nodes(), n_nodes, "fat-tree node total (k={k})");
+        debug_assert_eq!(topo.num_links(), n_links, "fat-tree link total (k={k})");
+
+        let mut host_index = vec![u32::MAX; topo.num_nodes()];
+        for (ord, h) in hosts.iter().enumerate() {
+            host_index[h.0] = ord as u32;
+        }
+
         FatTree {
             k,
             topo,
@@ -104,7 +121,19 @@ impl FatTree {
             edges,
             aggs,
             cores,
+            host_index,
         }
+    }
+
+    /// Ordinal of `host` in `hosts()`, i.e. its `(pod, edge, slot)` rank.
+    fn host_ordinal(&self, host: NodeId) -> usize {
+        let ord = self
+            .host_index
+            .get(host.0)
+            .copied()
+            .unwrap_or(u32::MAX);
+        assert_ne!(ord, u32::MAX, "not a host of this fat-tree");
+        ord as usize
     }
 
     /// The arity `k`.
@@ -166,24 +195,13 @@ impl FatTree {
 
     /// Pod of a host.
     pub fn host_pod(&self, host: NodeId) -> usize {
-        let pos = self
-            .hosts
-            .iter()
-            .position(|&h| h == host)
-            .expect("not a host of this fat-tree");
         let half = self.k / 2;
-        pos / (half * half)
+        self.host_ordinal(host) / (half * half)
     }
 
     /// Edge switch a host hangs off.
     pub fn host_edge(&self, host: NodeId) -> NodeId {
-        let pos = self
-            .hosts
-            .iter()
-            .position(|&h| h == host)
-            .expect("not a host of this fat-tree");
-        let half = self.k / 2;
-        self.edges[pos / half]
+        self.edges[self.host_ordinal(host) / (self.k / 2)]
     }
 
     /// The uplink of a host (host↔edge link).
@@ -220,6 +238,30 @@ mod tests {
             assert_eq!(ft.core_switches().len(), half * half);
             assert_eq!(ft.agg_switches().len(), k * half);
             assert_eq!(ft.edge_switches().len(), k * half);
+        }
+    }
+
+    #[test]
+    fn closed_form_totals_up_to_k24() {
+        // The builder pre-sizes from these formulas and debug-asserts
+        // them; this re-checks in release builds across the scale
+        // ladder, including the k=20/24 build-only bench points.
+        for k in [4usize, 8, 12, 16, 20, 24] {
+            let ft = FatTree::new(k, 1000.0);
+            let t = ft.topology();
+            assert_eq!(t.num_nodes(), k * k * k / 4 + 5 * k * k / 4, "nodes k={k}");
+            assert_eq!(t.num_links(), 3 * k * k * k / 4, "links k={k}");
+            assert_eq!(ft.hosts().len(), k * k * k / 4, "hosts k={k}");
+        }
+    }
+
+    #[test]
+    fn host_lookups_are_consistent_at_scale() {
+        let ft = FatTree::new(8, 1000.0);
+        let half = 4;
+        for (ord, &h) in ft.hosts().iter().enumerate() {
+            assert_eq!(ft.host_pod(h), ord / (half * half));
+            assert_eq!(ft.host_edge(h), ft.edge_switches()[ord / half]);
         }
     }
 

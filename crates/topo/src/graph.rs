@@ -71,18 +71,68 @@ impl Link {
     }
 }
 
+/// Flat CSR adjacency: node `i`'s neighbors live in
+/// `nbr[off[i]..off[i+1]]`. One contiguous buffer instead of a
+/// `Vec<Vec<_>>` of per-node allocations, so neighbor walks at k=16–24
+/// scale stay cache-resident. Per-node neighbor order equals link
+/// insertion order, matching the old per-node push order exactly (BFS
+/// and path enumeration stay bit-identical).
+#[derive(Debug, Clone)]
+struct CsrAdj {
+    off: Vec<u32>,
+    nbr: Vec<(NodeId, LinkId)>,
+}
+
 /// The topology: nodes, links, adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    adj: Vec<Vec<(NodeId, LinkId)>>,
+    /// Built lazily from `links` on first neighbor query; cleared by any
+    /// mutation. A build from an immutable borrow is safe to race — both
+    /// writers compute the same value.
+    csr: std::sync::OnceLock<CsrAdj>,
 }
 
 impl Topology {
     /// Creates an empty topology.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty topology with pre-sized node/link storage —
+    /// builders that know their closed-form counts (fat-tree,
+    /// leaf–spine) avoid every reallocation during construction.
+    pub fn with_capacity(nodes: usize, links: usize) -> Self {
+        Topology {
+            nodes: Vec::with_capacity(nodes),
+            links: Vec::with_capacity(links),
+            csr: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn csr(&self) -> &CsrAdj {
+        self.csr.get_or_init(|| {
+            let n = self.nodes.len();
+            let mut off = vec![0u32; n + 1];
+            for l in &self.links {
+                off[l.a.0 + 1] += 1;
+                off[l.b.0 + 1] += 1;
+            }
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut cursor: Vec<u32> = off[..n].to_vec();
+            let mut nbr = vec![(NodeId(0), LinkId(0)); 2 * self.links.len()];
+            for (i, l) in self.links.iter().enumerate() {
+                let id = LinkId(i);
+                nbr[cursor[l.a.0] as usize] = (l.b, id);
+                cursor[l.a.0] += 1;
+                nbr[cursor[l.b.0] as usize] = (l.a, id);
+                cursor[l.b.0] += 1;
+            }
+            CsrAdj { off, nbr }
+        })
     }
 
     /// Adds a node and returns its id.
@@ -92,7 +142,7 @@ impl Topology {
             kind,
             name: name.into(),
         });
-        self.adj.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -110,8 +160,7 @@ impl Topology {
             b,
             capacity_mbps,
         });
-        self.adj[a.0].push((b, id));
-        self.adj[b.0].push((a, id));
+        self.csr.take();
         id
     }
 
@@ -150,9 +199,13 @@ impl Topology {
     }
 
     /// Neighbors of `n` as `(neighbor, connecting link)` pairs.
+    ///
+    /// Pairs appear in link-insertion order; the slice points into one
+    /// flat CSR buffer shared by all nodes.
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
-        &self.adj[n.0]
+        let csr = self.csr();
+        &csr.nbr[csr.off[n.0] as usize..csr.off[n.0 + 1] as usize]
     }
 
     /// All host nodes.
@@ -173,7 +226,7 @@ impl Topology {
 
     /// The link between `a` and `b`, if any (first match).
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adj[a.0]
+        self.neighbors(a)
             .iter()
             .find(|(n, _)| *n == b)
             .map(|&(_, l)| l)
@@ -182,7 +235,7 @@ impl Topology {
     /// Degree of a node.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adj[n.0].len()
+        self.neighbors(n).len()
     }
 }
 
@@ -234,6 +287,28 @@ mod tests {
         let (t, _, _) = triangle();
         assert_eq!(t.hosts().len(), 1);
         assert_eq!(t.switches().len(), 2);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let (mut t, [a, b, c], _) = triangle();
+        // Force the CSR to materialize, then mutate.
+        assert_eq!(t.degree(a), 2);
+        let d = t.add_node(NodeKind::Host, "d");
+        assert_eq!(t.degree(d), 0);
+        let cd = t.add_link(c, d, 1000.0);
+        assert!(t.neighbors(c).contains(&(d, cd)));
+        assert!(t.neighbors(d).contains(&(c, cd)));
+        assert_eq!(t.degree(c), 3);
+        assert_eq!(t.degree(b), 2);
+        assert_eq!(t.link_between(d, c), Some(cd));
+    }
+
+    #[test]
+    fn neighbor_order_is_link_insertion_order() {
+        let (t, [a, b, c], [ab, _, ca]) = triangle();
+        // a's links were added in order ab (first), ca (last).
+        assert_eq!(t.neighbors(a), &[(b, ab), (c, ca)]);
     }
 
     #[test]

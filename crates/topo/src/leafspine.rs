@@ -22,6 +22,9 @@ pub struct LeafSpine {
     leaves: Vec<NodeId>,
     spines: Vec<NodeId>,
     hosts_per_leaf: usize,
+    /// `NodeId.0` → host ordinal in `hosts`, or `u32::MAX` for
+    /// non-hosts; gives O(1) `host_leaf`.
+    host_index: Vec<u32>,
 }
 
 impl LeafSpine {
@@ -31,7 +34,11 @@ impl LeafSpine {
     /// Panics if any dimension is zero or the capacity is non-positive.
     pub fn new(leaves: usize, spines: usize, hosts_per_leaf: usize, capacity_mbps: f64) -> Self {
         assert!(leaves > 0 && spines > 0 && hosts_per_leaf > 0, "dimensions must be positive");
-        let mut topo = Topology::new();
+        // Closed-form totals: spines + leaves + hosts nodes; one uplink
+        // per host plus the full leaf×spine bipartite tier.
+        let n_nodes = spines + leaves + leaves * hosts_per_leaf;
+        let n_links = leaves * hosts_per_leaf + leaves * spines;
+        let mut topo = Topology::with_capacity(n_nodes, n_links);
         let spine_ids: Vec<NodeId> = (0..spines)
             .map(|s| topo.add_node(NodeKind::CoreSwitch, format!("spine[{s}]")))
             .collect();
@@ -51,12 +58,21 @@ impl LeafSpine {
                 topo.add_link(leaf, spine, capacity_mbps);
             }
         }
+        debug_assert_eq!(topo.num_nodes(), n_nodes, "leaf-spine node total");
+        debug_assert_eq!(topo.num_links(), n_links, "leaf-spine link total");
+
+        let mut host_index = vec![u32::MAX; topo.num_nodes()];
+        for (ord, h) in host_ids.iter().enumerate() {
+            host_index[h.0] = ord as u32;
+        }
+
         LeafSpine {
             topo,
             hosts: host_ids,
             leaves: leaf_ids,
             spines: spine_ids,
             hosts_per_leaf,
+            host_index,
         }
     }
 
@@ -77,12 +93,13 @@ impl LeafSpine {
 
     /// The leaf a host hangs off.
     pub fn host_leaf(&self, host: NodeId) -> NodeId {
-        let pos = self
-            .hosts
-            .iter()
-            .position(|&h| h == host)
-            .expect("not a host of this fabric");
-        self.leaves[pos / self.hosts_per_leaf]
+        let ord = self
+            .host_index
+            .get(host.0)
+            .copied()
+            .unwrap_or(u32::MAX);
+        assert_ne!(ord, u32::MAX, "not a host of this fabric");
+        self.leaves[ord as usize / self.hosts_per_leaf]
     }
 
     fn link(&self, a: NodeId, b: NodeId) -> crate::graph::LinkId {

@@ -31,4 +31,4 @@ pub use fattree::FatTree;
 pub use graph::{LinkId, NodeId, NodeKind, Topology};
 pub use leafspine::LeafSpine;
 pub use multipath::MultipathTopology;
-pub use paths::Path;
+pub use paths::{Path, PathRef};

@@ -7,7 +7,7 @@
 //! multipath fabric ([`crate::FatTree`], [`crate::LeafSpine`], …).
 
 use crate::graph::{NodeId, Topology};
-use crate::paths::Path;
+use crate::paths::{Path, PathRef};
 
 /// A topology offering a finite candidate-path set per host pair.
 pub trait MultipathTopology {
@@ -22,6 +22,23 @@ pub trait MultipathTopology {
     /// # Panics
     /// Implementations may panic if `src == dst` or either is not a host.
     fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
+
+    /// Visits each candidate path as a borrowed [`PathRef`], in the same
+    /// order as [`candidate_paths`](Self::candidate_paths). Implementors
+    /// with arena-backed storage override this to avoid allocating a
+    /// `Vec<Path>` per pair; the default delegates to `candidate_paths`.
+    fn for_each_candidate(&self, src: NodeId, dst: NodeId, f: &mut dyn FnMut(PathRef<'_>)) {
+        for p in self.candidate_paths(src, dst) {
+            f(PathRef::of(&p));
+        }
+    }
+
+    /// The `idx`-th candidate path (same order as
+    /// [`candidate_paths`](Self::candidate_paths)), or `None` past the
+    /// end. Lets a caller materialize only the one path it selected.
+    fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
+        self.candidate_paths(src, dst).into_iter().nth(idx)
+    }
 }
 
 impl<T: MultipathTopology + ?Sized> MultipathTopology for &T {
@@ -36,6 +53,14 @@ impl<T: MultipathTopology + ?Sized> MultipathTopology for &T {
     fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
         (**self).candidate_paths(src, dst)
     }
+
+    fn for_each_candidate(&self, src: NodeId, dst: NodeId, f: &mut dyn FnMut(PathRef<'_>)) {
+        (**self).for_each_candidate(src, dst, f)
+    }
+
+    fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
+        (**self).nth_candidate(src, dst, idx)
+    }
 }
 
 impl<T: MultipathTopology + ?Sized> MultipathTopology for std::sync::Arc<T> {
@@ -49,6 +74,14 @@ impl<T: MultipathTopology + ?Sized> MultipathTopology for std::sync::Arc<T> {
 
     fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
         (**self).candidate_paths(src, dst)
+    }
+
+    fn for_each_candidate(&self, src: NodeId, dst: NodeId, f: &mut dyn FnMut(PathRef<'_>)) {
+        (**self).for_each_candidate(src, dst, f)
+    }
+
+    fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
+        (**self).nth_candidate(src, dst, idx)
     }
 }
 
@@ -79,5 +112,24 @@ mod tests {
         let paths = t.candidate_paths(t.host_list()[0], t.host_list()[15]);
         assert_eq!(paths.len(), 4);
         assert_eq!(t.topology().num_links(), 48);
+    }
+
+    #[test]
+    fn default_visitors_agree_with_candidate_paths() {
+        let ft = FatTree::new(4, 1000.0);
+        let (a, b) = (ft.hosts()[0], ft.hosts()[15]);
+        let owned = ft.candidate_paths(a, b);
+        let mut seen = Vec::new();
+        ft.for_each_candidate(a, b, &mut |p| seen.push(p.to_path()));
+        assert_eq!(seen, owned);
+        for (i, p) in owned.iter().enumerate() {
+            assert_eq!(ft.nth_candidate(a, b, i).as_ref(), Some(p));
+        }
+        assert!(ft.nth_candidate(a, b, owned.len()).is_none());
+        // Blanket impls forward the visitors too.
+        let arc = std::sync::Arc::new(FatTree::new(4, 1000.0));
+        let mut n = 0usize;
+        arc.for_each_candidate(arc.host_list()[0], arc.host_list()[15], &mut |_| n += 1);
+        assert_eq!(n, 4);
     }
 }

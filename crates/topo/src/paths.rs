@@ -73,6 +73,74 @@ impl Path {
     }
 }
 
+/// A borrowed view of a path: two slices into storage owned elsewhere
+/// (a [`Path`], or an arena's flat buffers). Lets path consumers walk
+/// candidate sets without a heap allocation per path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathRef<'a> {
+    /// Visited nodes, source first.
+    pub nodes: &'a [NodeId],
+    /// Traversed links, in order; `nodes.len() == links.len() + 1`.
+    pub links: &'a [LinkId],
+}
+
+impl<'a> PathRef<'a> {
+    /// Borrows an owned [`Path`].
+    #[inline]
+    pub fn of(path: &'a Path) -> Self {
+        PathRef {
+            nodes: &path.nodes,
+            links: &path.links,
+        }
+    }
+
+    /// Number of hops (links).
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Source node.
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// The switches on the path (all interior nodes).
+    #[inline]
+    pub fn interior(&self) -> &'a [NodeId] {
+        &self.nodes[1..self.nodes.len() - 1]
+    }
+
+    /// `true` iff the path uses `link`.
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Iterates the path's hops as `(from, to, link)` triples.
+    pub fn hops(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkId)> + 'a {
+        let nodes = self.nodes;
+        self.links
+            .iter()
+            .enumerate()
+            .map(move |(i, &l)| (nodes[i], nodes[i + 1], l))
+    }
+
+    /// Copies into an owned [`Path`].
+    pub fn to_path(&self) -> Path {
+        Path {
+            nodes: self.nodes.to_vec(),
+            links: self.links.to_vec(),
+        }
+    }
+}
+
 fn link(topo: &Topology, a: NodeId, b: NodeId) -> LinkId {
     topo.link_between(a, b)
         .expect("fat-tree wiring guarantees this link exists")
