@@ -20,7 +20,7 @@
 
 use eprons_bench::{banner, finish, quick, BASE_SEED};
 use eprons_core::controller::{day_total_energy_j, save_day_csv, DayConfig};
-use eprons_core::optimizer::aggregation_candidates;
+use eprons_core::optimizer::{aggregation_candidates, scale_factor_candidates};
 use eprons_core::report::Table;
 use eprons_core::{
     simulate_day, simulate_day_with_failures, ClusterConfig, DayStrategy, FailureEvent,
@@ -71,15 +71,36 @@ fn main() {
     let n = cfg.num_servers() as f64;
     cfg.query_flow_mbps = cfg.query_flow_mbps.min(300.0 / (n - 1.0));
     println!("fat-tree k = {} ({} servers)\n", cfg.fat_tree_k, cfg.num_servers());
+    // From k = 12 up the default Auto strategy consolidates pod-by-pod,
+    // so a K-ladder candidate set routes every epoch plan — and the
+    // rung-2 masked replan after the failure — through the hierarchical
+    // decomposition (pod-masked repair: re-solve the failed pod, serve
+    // the rest from the epoch's PodSolveCache). The aggregation presets
+    // stay at small k, where Auto is monolithic and the presets are the
+    // paper's Fig. 15 day. The quick day is coarser at large k so the
+    // CI journal-audit pass at k=16 (1024 servers) stays affordable.
+    let large_k = cfg.fat_tree_k >= 12;
     let day = DayConfig {
-        epoch_minutes: if quick() { 120 } else { 60 },
-        sim_seconds: if quick() { 2.0 } else { 4.0 },
+        epoch_minutes: match (quick(), large_k) {
+            (true, true) => 240,
+            (true, false) => 120,
+            (false, _) => 60,
+        },
+        sim_seconds: match (quick(), large_k) {
+            (true, true) => 1.0,
+            (true, false) => 2.0,
+            (false, _) => 4.0,
+        },
         peak_utilization: 0.5,
         seed: BASE_SEED,
         warm_start: true,
     };
     let strategy = DayStrategy::Eprons {
-        candidates: aggregation_candidates(),
+        candidates: if large_k {
+            scale_factor_candidates(2)
+        } else {
+            aggregation_candidates()
+        },
     };
 
     // The victim: core(0,0) is active in every aggregation preset, so the

@@ -25,7 +25,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
-use eprons_core::report::{journal_epoch_table, journal_kind_table, Table};
+use eprons_core::report::{journal_epoch_table, journal_kind_table, journal_pods_table, Table};
 use eprons_obs::{Event, JournalEntry, Snapshot};
 
 /// Reads and parses a JSON-lines journal dump.
@@ -229,6 +229,11 @@ pub fn summarize(entries: &[JournalEntry]) -> String {
     if !epoch_table.is_empty() {
         out.push('\n');
         out.push_str(&epoch_table.to_string());
+    }
+    let pods_table = journal_pods_table(entries);
+    if !pods_table.is_empty() {
+        out.push('\n');
+        out.push_str(&pods_table.to_string());
     }
     for e in entries {
         if let Event::DayEnergy {
@@ -582,6 +587,9 @@ pub struct AuditReport {
     pub epochs: usize,
     /// Power segments integrated.
     pub segments: usize,
+    /// Pod-decomposed consolidation passes checked for per-pod span
+    /// coverage and round-0 conservation.
+    pub pod_passes: usize,
 }
 
 impl AuditReport {
@@ -596,6 +604,12 @@ impl AuditReport {
             "audited {} day sweep(s), {} epoch(s), {} power segment(s)\n",
             self.days, self.epochs, self.segments
         );
+        if self.pod_passes > 0 {
+            out.push_str(&format!(
+                "audited {} pod-decomposed consolidation pass(es)\n",
+                self.pod_passes
+            ));
+        }
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
         }
@@ -626,11 +640,18 @@ impl AuditReport {
 /// 5. **Winner uniqueness** — per serial epoch window, at least one
 ///    `OptimizerChoice`, at most one per `optimizer.search`, and the
 ///    committed snapshot carries the last choice's label.
+/// 6. **Pod coverage** — every pod-decomposed pass that did not fall
+///    back covers each pod exactly once in round 0 (one
+///    `pod.consolidate` span per pod, `pod=P of=N` notes span `0..N`),
+///    `solved + cached = pods` on each `PodConsolidation` event, and
+///    the span-level cache-hit/resolve tallies reconcile with the
+///    event-level `net.pods.*` tallies.
 pub fn audit(entries: &[JournalEntry], rel_tol: f64) -> AuditReport {
     let mut r = AuditReport::default();
 
     let forest = span_forest(entries);
     r.violations.extend(forest.errors.iter().cloned());
+    audit_pods(entries, &forest, &mut r);
 
     // Split into day sweeps at DayStart boundaries (simulate_day calls
     // are serial; everything a day records lands before the next
@@ -652,6 +673,125 @@ pub fn audit(entries: &[JournalEntry], rel_tol: f64) -> AuditReport {
         audit_day(group, &tag, *epochs, rel_tol, &mut r);
     }
     r
+}
+
+/// Pod-decomposition coverage and conservation (check 6). Runs over the
+/// whole journal, not per day: perfbench journals consolidate without a
+/// `DayStart`, and the span↔event pairing is per pass either way.
+fn audit_pods(entries: &[JournalEntry], f: &SpanForest, r: &mut AuditReport) {
+    // Event side: round-0 conservation and clean/fallback tallies.
+    let (mut ev_pass, mut ev_fallback) = (0usize, 0usize);
+    let (mut ev_resolves, mut ev_cached) = (0u64, 0u64);
+    for e in entries {
+        if let Event::PodConsolidation {
+            pods,
+            solved,
+            cached,
+            resolves,
+            fallback,
+            ..
+        } = &e.event
+        {
+            if *fallback {
+                ev_fallback += 1;
+                continue;
+            }
+            if solved + cached != *pods {
+                r.violations.push(format!(
+                    "pod pass #{ev_pass}: round 0 solved {solved} + cached {cached} \
+                     ≠ {pods} pod(s)"
+                ));
+            }
+            ev_pass += 1;
+            ev_resolves += resolves;
+            ev_cached += cached;
+        }
+    }
+
+    // Span side: each clean pass's round-0 children cover 0..pods once.
+    let (mut sp_pass, mut sp_fallback) = (0usize, 0usize);
+    let (mut sp_resolves, mut sp_cached) = (0u64, 0u64);
+    let passes = f
+        .spans
+        .iter()
+        .filter(|s| s.name == "net.consolidate" && s.detail.contains("algo=pod_decomposed"));
+    for s in passes {
+        if s.detail.contains("fallback=") {
+            sp_fallback += 1;
+            continue;
+        }
+        sp_pass += 1;
+        let Some(n) = parse_detail_u64(&s.detail, "pods") else {
+            r.violations.push(format!(
+                "pod pass span {}: no pods= note in '{}'",
+                s.id, s.detail
+            ));
+            continue;
+        };
+        let mut round0 = vec![0u64; n as usize];
+        for &c in &s.children {
+            let c = &f.spans[c];
+            if c.name != "pod.consolidate" {
+                continue;
+            }
+            let Some(p) = parse_detail_u64(&c.detail, "pod") else {
+                r.violations
+                    .push(format!("pod.consolidate span {}: no pod= note", c.id));
+                continue;
+            };
+            if parse_detail_u64(&c.detail, "of") != Some(n) {
+                r.violations.push(format!(
+                    "pod.consolidate span {}: of≠{n} in '{}'",
+                    c.id, c.detail
+                ));
+            }
+            if p >= n {
+                r.violations.push(format!(
+                    "pod.consolidate span {}: pod={p} out of range 0..{n}",
+                    c.id
+                ));
+                continue;
+            }
+            if c.detail.contains("resolve=true") {
+                sp_resolves += 1;
+            } else {
+                if c.detail.contains("cached=true") {
+                    sp_cached += 1;
+                }
+                round0[p as usize] += 1;
+            }
+        }
+        for (p, &count) in round0.iter().enumerate() {
+            if count != 1 {
+                r.violations.push(format!(
+                    "pod pass span {}: pod {p} has {count} round-0 span(s), expected 1",
+                    s.id
+                ));
+            }
+        }
+    }
+
+    if ev_pass + ev_fallback + sp_pass + sp_fallback == 0 {
+        return; // journal never took the pod-decomposed path
+    }
+    r.pod_passes = ev_pass + ev_fallback;
+    if (sp_pass, sp_fallback) != (ev_pass, ev_fallback) {
+        r.violations.push(format!(
+            "pod passes: {sp_pass} clean + {sp_fallback} fallback span(s) vs \
+             {ev_pass} + {ev_fallback} PodConsolidation event(s)"
+        ));
+        return; // aggregate reconciliation is meaningless on a mismatch
+    }
+    if sp_cached != ev_cached {
+        r.violations.push(format!(
+            "pod cache hits: {sp_cached} cached=true span(s) vs {ev_cached} on events"
+        ));
+    }
+    if sp_resolves != ev_resolves {
+        r.violations.push(format!(
+            "pod resolves: {sp_resolves} resolve=true span(s) vs {ev_resolves} on events"
+        ));
+    }
 }
 
 fn audit_day(group: &[JournalEntry], tag: &str, epochs: u64, rel_tol: f64, r: &mut AuditReport) {
@@ -1179,5 +1319,104 @@ mod tests {
         assert!(s.contains("epoch snapshots"), "{s}");
         assert!(s.contains("day energy (eprons)"), "{s}");
         assert!(s.contains("flame attribution"), "{s}");
+        // No PodConsolidation events → no pods table.
+        assert!(!s.contains("net.pods"), "{s}");
+    }
+
+    /// One clean pod-decomposed pass over a 2-pod tree: pod 0 solved
+    /// fresh then re-solved once under push-back, pod 1 a cache hit.
+    fn pod_pass() -> Vec<JournalEntry> {
+        let j = Journal::with_capacity(64);
+        let start = |id, parent, name: &str| Event::SpanStart {
+            id,
+            parent,
+            thread: 0,
+            name: name.into(),
+            start_s: 0.0,
+        };
+        let end = |id, name: &str, detail: &str| Event::SpanEnd {
+            id,
+            name: name.into(),
+            elapsed_s: 0.01,
+            detail: detail.into(),
+        };
+        j.record(start(301, 0, "net.consolidate"));
+        j.record(start(302, 301, "pod.consolidate"));
+        j.record(end(302, "pod.consolidate", "pod=0 of=2 cached=false"));
+        j.record(start(303, 301, "pod.consolidate"));
+        j.record(end(303, "pod.consolidate", "pod=1 of=2 cached=true"));
+        j.record(start(304, 301, "pod.consolidate"));
+        j.record(end(304, "pod.consolidate", "pod=0 of=2 cached=false resolve=true"));
+        j.record(end(301, "net.consolidate", "algo=pod_decomposed flows=64 pods=2"));
+        j.record(Event::PodConsolidation {
+            pods: 2,
+            solved: 1,
+            cached: 1,
+            resolves: 1,
+            rounds: 2,
+            balanced: 1,
+            fallback: false,
+        });
+        j.snapshot()
+    }
+
+    #[test]
+    fn summarize_tabulates_pod_counters() {
+        let s = summarize(&pod_pass());
+        assert!(s.contains("pod consolidation (net.pods.*)"), "{s}");
+        assert!(s.contains("net.pods.cache_hits"), "{s}");
+        assert!(s.contains("net.pods.balanced_stitches"), "{s}");
+    }
+
+    #[test]
+    fn audit_accepts_covering_pod_pass() {
+        let r = audit(&pod_pass(), 1.0e-9);
+        let pod_violations: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.contains("pod"))
+            .collect();
+        assert!(pod_violations.is_empty(), "{pod_violations:?}");
+        assert_eq!(r.pod_passes, 1);
+        assert!(r.render().contains("1 pod-decomposed"));
+    }
+
+    #[test]
+    fn audit_flags_missing_pod_coverage() {
+        // Drop pod 1's round-0 span (start and end): coverage breaks and
+        // the span-level cache tally no longer matches the event.
+        let entries: Vec<JournalEntry> = pod_pass()
+            .into_iter()
+            .filter(|e| !matches!(&e.event,
+                Event::SpanStart { id: 303, .. } | Event::SpanEnd { id: 303, .. }))
+            .collect();
+        let r = audit(&entries, 1.0e-9);
+        assert!(
+            r.violations.iter().any(|v| v.contains("pod 1 has 0 round-0")),
+            "{:?}",
+            r.violations
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("pod cache hits")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn audit_flags_pod_round0_deficit() {
+        // An event claiming 1 solved + 0 cached on 2 pods leaks a pod.
+        let mut entries = pod_pass();
+        for e in &mut entries {
+            if let Event::PodConsolidation { cached, .. } = &mut e.event {
+                *cached = 0;
+            }
+        }
+        let r = audit(&entries, 1.0e-9);
+        assert!(
+            r.violations.iter().any(|v| v.contains("round 0 solved")),
+            "{:?}",
+            r.violations
+        );
     }
 }

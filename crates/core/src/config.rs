@@ -36,6 +36,66 @@ impl Default for FailurePolicyConfig {
     }
 }
 
+/// Which consolidation architecture `GreedyK` network plans run.
+///
+/// `Monolithic` is the flat greedy over all flows — the differential
+/// oracle. `PodDecomposed` solves each pod's intra traffic locally
+/// (parallel across pods) and stitches inter-pod flows at the core
+/// layer, falling back to monolithic whenever the decomposition cannot
+/// place everything. `Auto` picks per fabric size: small trees stay
+/// monolithic (bit-stable with historical goldens), large trees
+/// decompose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsolidateStrategy {
+    /// Flat greedy consolidation over the whole flow set.
+    Monolithic,
+    /// Pod-local solves stitched at the core layer.
+    PodDecomposed,
+    /// `PodDecomposed` for k ≥ 12 fabrics, `Monolithic` below.
+    #[default]
+    Auto,
+}
+
+impl ConsolidateStrategy {
+    /// Resolves `Auto` for a k-ary fat-tree.
+    pub fn effective(self, fat_tree_k: usize) -> ConsolidateStrategy {
+        match self {
+            ConsolidateStrategy::Auto => {
+                if fat_tree_k >= 12 {
+                    ConsolidateStrategy::PodDecomposed
+                } else {
+                    ConsolidateStrategy::Monolithic
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Stable name for reports and bench schemas.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConsolidateStrategy::Monolithic => "monolithic",
+            ConsolidateStrategy::PodDecomposed => "pod_decomposed",
+            ConsolidateStrategy::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for ConsolidateStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "monolithic" | "mono" => Ok(ConsolidateStrategy::Monolithic),
+            "pod_decomposed" | "pod" => Ok(ConsolidateStrategy::PodDecomposed),
+            "auto" => Ok(ConsolidateStrategy::Auto),
+            other => Err(format!(
+                "unknown consolidate strategy {other:?} (expected monolithic|pod_decomposed|auto)"
+            )),
+        }
+    }
+}
+
 /// The SLA split between network and servers (paper §V-B2: "30 ms
 /// constraint (25 ms server budget and 5 ms network budget)").
 #[derive(Debug, Clone)]
@@ -119,6 +179,8 @@ pub struct ClusterConfig {
     pub work_pmf_bins: usize,
     /// Switch-failure degradation policy.
     pub failure: FailurePolicyConfig,
+    /// Consolidation architecture for `GreedyK` network plans.
+    pub consolidate_strategy: ConsolidateStrategy,
 }
 
 impl Default for ClusterConfig {
@@ -137,6 +199,7 @@ impl Default for ClusterConfig {
             service_log_samples: 30_000,
             work_pmf_bins: 160,
             failure: FailurePolicyConfig::default(),
+            consolidate_strategy: ConsolidateStrategy::default(),
         }
     }
 }
@@ -198,6 +261,40 @@ mod tests {
         // 60 × 16/15 = 64/s.
         let r = c.query_rate_for_utilization(0.3, 5.0e-3);
         assert!((r - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strategy_auto_resolves_by_fabric_size() {
+        assert_eq!(
+            ConsolidateStrategy::Auto.effective(4),
+            ConsolidateStrategy::Monolithic
+        );
+        assert_eq!(
+            ConsolidateStrategy::Auto.effective(8),
+            ConsolidateStrategy::Monolithic
+        );
+        assert_eq!(
+            ConsolidateStrategy::Auto.effective(12),
+            ConsolidateStrategy::PodDecomposed
+        );
+        assert_eq!(
+            ConsolidateStrategy::Auto.effective(16),
+            ConsolidateStrategy::PodDecomposed
+        );
+        // Explicit choices pass through untouched.
+        assert_eq!(
+            ConsolidateStrategy::Monolithic.effective(24),
+            ConsolidateStrategy::Monolithic
+        );
+        assert_eq!(
+            ConsolidateStrategy::PodDecomposed.effective(4),
+            ConsolidateStrategy::PodDecomposed
+        );
+        for s in ["monolithic", "pod_decomposed", "auto", "pod", "mono"] {
+            let parsed: ConsolidateStrategy = s.parse().unwrap();
+            let _ = parsed.name();
+        }
+        assert!("bogus".parse::<ConsolidateStrategy>().is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use accounting::PowerBreakdown;
 pub use cluster::{
     run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
 };
-pub use config::{ClusterConfig, FailurePolicyConfig};
+pub use config::{ClusterConfig, ConsolidateStrategy, FailurePolicyConfig};
 pub use controller::{
     simulate_day, simulate_day_with_failures, DayConfig, DayRecord, DayStrategy,
 };

@@ -16,7 +16,7 @@
 //! context is already in hand (the day controller builds one per epoch);
 //! the template-taking entry points build it for you.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use eprons_topo::{AggregationLevel, LinkId, MultipathTopology, NodeId};
 
@@ -253,9 +253,61 @@ pub fn candidate_power_floor_w(
             let mut m_sw: HashSet<NodeId> = HashSet::new();
             let mut m_ln: HashSet<LinkId> = HashSet::new();
             let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+            // In the shared-segment arena a pair's interior candidates
+            // are a pure function of its ordered (access-src, access-dst)
+            // switch pair, so the candidate intersection collapses to one
+            // walk per access class (O((k²/2)²) classes) instead of one
+            // per host pair (O(hosts²) — the dominant cost of every bound
+            // at k ≥ 16). The per-pair leftovers are exactly the two host
+            // links, mandatory in any candidate of a single-homed fabric.
+            // A per-pair store has no class structure: keep the direct
+            // walk there (and for the no-candidate degenerate pair).
+            let shared = d.arena.is_shared();
+            let mut class: HashMap<(NodeId, NodeId), (Vec<NodeId>, Vec<LinkId>)> =
+                HashMap::new();
+            let mut nodes_buf: Vec<NodeId> = Vec::new();
+            let mut links_buf: Vec<LinkId> = Vec::new();
             for fl in d.flows.flows() {
                 if !seen.insert((fl.src, fl.dst)) {
                     continue; // same pair ⇒ same candidate paths
+                }
+                if shared
+                    && d.arena.nth_candidate_into(
+                        fl.src,
+                        fl.dst,
+                        0,
+                        &mut nodes_buf,
+                        &mut links_buf,
+                    )
+                    && nodes_buf.len() >= 3
+                {
+                    let acc = (nodes_buf[1], nodes_buf[nodes_buf.len() - 2]);
+                    let (csw, cln) = class.entry(acc).or_insert_with(|| {
+                        let mut sw: Vec<NodeId> = Vec::new();
+                        let mut ln: Vec<LinkId> = Vec::new();
+                        let mut first = true;
+                        d.arena.for_each_candidate(fl.src, fl.dst, &mut |p| {
+                            let interior_ln = &p.links[1..p.links.len() - 1];
+                            if first {
+                                sw.extend_from_slice(p.interior());
+                                ln.extend_from_slice(interior_ln);
+                                first = false;
+                            } else {
+                                let psw: HashSet<NodeId> =
+                                    p.interior().iter().copied().collect();
+                                let pln: HashSet<LinkId> =
+                                    interior_ln.iter().copied().collect();
+                                sw.retain(|x| psw.contains(x));
+                                ln.retain(|x| pln.contains(x));
+                            }
+                        });
+                        (sw, ln)
+                    });
+                    m_sw.extend(csw.iter().copied());
+                    m_ln.extend(cln.iter().copied());
+                    m_ln.insert(links_buf[0]);
+                    m_ln.insert(links_buf[links_buf.len() - 1]);
+                    continue;
                 }
                 // Intersect interior switches / links across the pair's
                 // candidates without materializing them (borrowed walk
@@ -331,9 +383,16 @@ pub fn optimize_in_context_pruned(
     // Leaf span: bound computation is the search's only serial work of
     // note, so give the flame view a frame for it.
     let bounds_span = eprons_obs::Span::enter("optimizer.bounds");
+    // The GreedyK bound counts mandatory elements only, so it does not
+    // depend on K: every rung of a K ladder shares one computation.
+    let mut greedy_floor: Option<f64> = None;
     let floors: Vec<f64> = candidates
         .iter()
-        .map(|&spec| candidate_power_floor_w(ctx, scheme, spec, excluded))
+        .map(|&spec| match spec {
+            ConsolidationSpec::GreedyK(_) => *greedy_floor
+                .get_or_insert_with(|| candidate_power_floor_w(ctx, scheme, spec, excluded)),
+            _ => candidate_power_floor_w(ctx, scheme, spec, excluded),
+        })
         .collect();
     drop(bounds_span);
     // Cheapest bound first: the likely winner is measured early, so the

@@ -137,6 +137,52 @@ pub fn journal_epoch_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     t
 }
 
+/// Tabulates the pod-decomposition work of a journal as the `net.pods.*`
+/// counter view: every `PodConsolidation` event carries the same fields
+/// the consolidator adds to the registry counters, so summing them over
+/// the journal reproduces the counters a live process would report.
+/// Empty (no rows) when the run never took the pod-decomposed path.
+pub fn journal_pods_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    let mut t = Table::new("pod consolidation (net.pods.*)", &["counter", "value"]);
+    let (mut passes, mut solved, mut cached, mut resolves) = (0u64, 0u64, 0u64, 0u64);
+    let (mut rounds, mut balanced, mut fallbacks) = (0u64, 0u64, 0u64);
+    for e in entries {
+        if let eprons_obs::Event::PodConsolidation {
+            solved: s,
+            cached: c,
+            resolves: r,
+            rounds: ro,
+            balanced: b,
+            fallback,
+            ..
+        } = &e.event
+        {
+            passes += 1;
+            solved += s;
+            cached += c;
+            resolves += r;
+            rounds += ro;
+            balanced += b;
+            fallbacks += u64::from(*fallback);
+        }
+    }
+    if passes == 0 {
+        return t;
+    }
+    for (name, v) in [
+        ("passes", passes),
+        ("net.pods.solved", solved),
+        ("net.pods.cache_hits", cached),
+        ("net.pods.resolves", resolves),
+        ("net.pods.balanced_stitches", balanced),
+        ("net.pods.fallbacks", fallbacks),
+        ("stitch rounds", rounds),
+    ] {
+        t.row(&[name.to_string(), v.to_string()]);
+    }
+    t
+}
+
 /// Tabulates a metrics snapshot: counters, gauges, then histograms (with
 /// count/mean/max) in one name-sorted table.
 pub fn metrics_table(snap: &eprons_obs::MetricsSnapshot) -> Table {

@@ -36,6 +36,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use eprons_net::consolidate::pod::{
+    consolidate_pod_decomposed, PodDecompOptions, PodRunner, PodSolveCache,
+};
 use eprons_net::consolidate::AggregationRouter;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
@@ -56,7 +59,7 @@ use eprons_workload::{xapian_like_samples, Query, QueryGenerator};
 use crate::cluster::{
     ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
 };
-use crate::config::{ClusterConfig, SlaConfig};
+use crate::config::{ClusterConfig, ConsolidateStrategy, SlaConfig};
 use crate::parallel::{parallel_map, parallel_map_range};
 
 /// Process-wide switch for the per-context stage-2 plan memo. On by
@@ -81,17 +84,28 @@ pub fn plan_cache_enabled() -> bool {
 }
 
 /// Memo key for one stage-2 plan: the candidate collapsed to raw bits
-/// (discriminant + level index / `K` bits) plus the normalized mask.
-type PlanKey = (u8, u64, Vec<usize>);
+/// (discriminant + level index / `K` bits), the effective consolidation
+/// architecture (only `GreedyK` plans depend on it — normalized to 0
+/// elsewhere so preset plans keep hitting across strategy changes), plus
+/// the normalized mask.
+type PlanKey = (u8, u64, u8, Vec<usize>);
 
 /// `mask` must already be sorted and deduplicated.
-fn plan_key(spec: ConsolidationSpec, mask: &[NodeId]) -> PlanKey {
-    let (tag, bits) = match spec {
-        ConsolidationSpec::AllOn => (0u8, 0u64),
-        ConsolidationSpec::Level(l) => (1, l as u64),
-        ConsolidationSpec::GreedyK(k) => (2, k.to_bits()),
+fn plan_key(spec: ConsolidationSpec, strategy: ConsolidateStrategy, mask: &[NodeId]) -> PlanKey {
+    let (tag, bits, strat) = match spec {
+        ConsolidationSpec::AllOn => (0u8, 0u64, 0u8),
+        ConsolidationSpec::Level(l) => (1, l as u64, 0),
+        ConsolidationSpec::GreedyK(k) => (
+            2,
+            k.to_bits(),
+            match strategy {
+                ConsolidateStrategy::Monolithic => 0,
+                ConsolidateStrategy::PodDecomposed => 1,
+                ConsolidateStrategy::Auto => unreachable!("strategy resolved before keying"),
+            },
+        ),
     };
-    (tag, bits, mask.iter().map(|n| n.0).collect())
+    (tag, bits, strat, mask.iter().map(|n| n.0).collect())
 }
 
 /// The axes a [`ScenarioContext`] is keyed by: everything in a
@@ -153,7 +167,15 @@ pub(crate) struct ScenarioData {
     /// host pair (any server may aggregate, so query traffic exists
     /// between every pair).
     pub(crate) flows: FlowSet,
-    pub(crate) pair_flow: HashMap<(usize, usize), FlowId>,
+    /// Ordered host pair `a·n + b` → query-flow id, flat (`a == b` holds
+    /// a sentinel that is never read). A plain table rather than a map:
+    /// the latency-sampling hot loop indexes it ~n² times per plan.
+    pub(crate) pair_flow: Vec<FlowId>,
+    /// Round-0 pod-solve cache for the pod-decomposed consolidator,
+    /// shared across the candidate ladder and failure masks (sound: the
+    /// context's flow set is immutable, which is exactly the cache's
+    /// validity condition).
+    pub(crate) pod_cache: PodSolveCache,
     /// Per-server DVFS-simulation seeds, drawn serially in index order.
     pub(crate) server_seeds: Vec<u64>,
     /// The *unconsumed* network-latency RNG (stream 4 of the master).
@@ -241,7 +263,7 @@ impl ScenarioContext {
                 flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
             }
         }
-        let mut pair_flow: HashMap<(usize, usize), FlowId> = HashMap::new();
+        let mut pair_flow: Vec<FlowId> = vec![FlowId(usize::MAX); n * n];
         for a in 0..n {
             for b in 0..n {
                 if a != b {
@@ -251,7 +273,7 @@ impl ScenarioContext {
                         cfg.query_flow_mbps,
                         FlowClass::LatencySensitive,
                     );
-                    pair_flow.insert((a, b), id);
+                    pair_flow[a * n + b] = id;
                 }
             }
         }
@@ -292,6 +314,7 @@ impl ScenarioContext {
                 queries,
                 flows,
                 pair_flow,
+                pod_cache: PodSolveCache::new(),
                 server_seeds,
                 net_rng,
             }),
@@ -405,7 +428,7 @@ impl ScenarioContext {
         if !plan_cache_enabled() {
             return NetworkPlan::build_masked(self, consolidation, &mask).map(Arc::new);
         }
-        let key = plan_key(consolidation, &mask);
+        let key = plan_key(consolidation, self.effective_strategy(), &mask);
         let hit = self
             .data
             .plan_cache
@@ -429,6 +452,12 @@ impl ScenarioContext {
             .expect("plan cache poisoned")
             .insert(key, Arc::clone(&plan));
         Ok(plan)
+    }
+
+    /// The consolidation architecture `GreedyK` plans of this context
+    /// run, with `Auto` resolved against the fabric size.
+    pub fn effective_strategy(&self) -> ConsolidateStrategy {
+        self.cfg.consolidate_strategy.effective(self.cfg.fat_tree_k)
     }
 
     /// Drops every memoized stage-2 plan in this context (cold-baseline
@@ -545,9 +574,23 @@ impl NetworkPlan {
             ConsolidationSpec::Level(l) => {
                 AggregationRouter::for_level(&d.ft, l).consolidate(&d.arena, &d.flows, &ccfg)
             }
-            ConsolidationSpec::GreedyK(_) => {
-                GreedyConsolidator.consolidate(&d.arena, &d.flows, &ccfg)
-            }
+            ConsolidationSpec::GreedyK(_) => match ctx.effective_strategy() {
+                ConsolidateStrategy::PodDecomposed => {
+                    // Pod solves fan out over the session's thread budget;
+                    // `parallel_map_range` preserves pod order, which the
+                    // decomposition's determinism contract requires.
+                    let runner: PodRunner<'_> =
+                        &|pods, solve| parallel_map_range(pods, solve);
+                    let opts = PodDecompOptions {
+                        runner: Some(runner),
+                        cache: Some(&d.pod_cache),
+                        ..Default::default()
+                    };
+                    consolidate_pod_decomposed(&d.ft, &d.arena, &d.flows, &ccfg, &opts)
+                        .map(|report| report.assignment)
+                }
+                _ => GreedyConsolidator.consolidate(&d.arena, &d.flows, &ccfg),
+            },
         }
         .map_err(ClusterError::Consolidation)?;
         drop(consolidate_span);
@@ -568,21 +611,35 @@ impl NetworkPlan {
         let state = assignment.state();
         let topo = d.ft.topology();
         let mut net_rng = d.net_rng.clone();
-        let mut pair_utils: HashMap<(usize, usize), Vec<f64>> =
-            HashMap::with_capacity(d.pair_flow.len());
-        for (&pair, &fid) in &d.pair_flow {
-            let mut utils = Vec::new();
-            state.path_utilizations_into(topo, assignment.path(fid), &mut utils);
-            pair_utils.insert(pair, utils);
+        // One flat buffer of per-hop utilizations for all n·(n−1) pairs
+        // (offsets index it) instead of a map of n² small vectors — the
+        // utilizations are RNG-free, so the layout change is invisible to
+        // the sampled stream.
+        let mut util_off: Vec<u32> = Vec::with_capacity(n * n + 1);
+        let mut util_buf: Vec<f64> = Vec::new();
+        let mut scratch = Vec::new();
+        util_off.push(0);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let fid = d.pair_flow[a * n + b];
+                    state.path_utilizations_into(topo, assignment.path(fid), &mut scratch);
+                    util_buf.extend_from_slice(&scratch);
+                }
+                util_off.push(util_buf.len() as u32);
+            }
         }
+        let pair_utils = |a: usize, b: usize| {
+            &util_buf[util_off[a * n + b] as usize..util_off[a * n + b + 1] as usize]
+        };
         let mut net_lat: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); d.queries.len()];
         for q in &d.queries {
             for s in 0..n {
                 if s == q.aggregator {
                     continue;
                 }
-                let req_utils = &pair_utils[&(q.aggregator, s)];
-                let rep_utils = &pair_utils[&(s, q.aggregator)];
+                let req_utils = pair_utils(q.aggregator, s);
+                let rep_utils = pair_utils(s, q.aggregator);
                 let req_lat =
                     ctx.cfg.latency.sample_path_latency_us(&mut net_rng, req_utils) * 1.0e-6;
                 let rep_lat =

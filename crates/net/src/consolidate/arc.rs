@@ -72,17 +72,17 @@ impl ArcModel {
     /// vector usable as a MILP incumbent. Returns `None` on a shape
     /// mismatch; the result may still be infeasible for this instance
     /// (higher `K`, masked switch), which the MILP detects and ignores.
-    pub fn incumbent_from_paths(
+    pub fn incumbent_from_paths<'a>(
         &self,
         topo: &eprons_topo::Topology,
-        paths: &[Path],
+        paths: impl ExactSizeIterator<Item = eprons_topo::PathRef<'a>>,
         num_flows: usize,
     ) -> Option<Vec<f64>> {
         if paths.len() != num_flows {
             return None;
         }
         let mut vals = vec![0.0; self.model.num_vars()];
-        for (fi, p) in paths.iter().enumerate() {
+        for (fi, p) in paths.enumerate() {
             for (from, to, l) in p.hops() {
                 let link = topo.link(l);
                 let dir = if from == link.a { 0 } else { 1 };
@@ -244,7 +244,7 @@ impl ArcMilpConsolidator {
         let topo = net.topology();
         let am = build_arc_model(net, flows, cfg);
         let nf = flows.len();
-        let incumbent = prev.and_then(|a| am.incumbent_from_paths(topo, a.paths(), nf));
+        let incumbent = prev.and_then(|a| am.incumbent_from_paths(topo, a.iter_paths(), nf));
         let sol = match solve_milp_with_incumbent(&am.model, &self.options, incumbent.as_deref())
         {
             Ok(s) => s,
@@ -327,7 +327,7 @@ mod tests {
             .unwrap();
         a.validate(&ft, &fs, &cfg).unwrap();
         assert_eq!(a.active_switch_count(&ft), 5);
-        assert_eq!(a.paths()[0].hop_count(), 6);
+        assert_eq!(a.iter_paths().next().unwrap().hop_count(), 6);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! and (3) among ties prefers the leftmost (lowest-index) candidate — the
 //! deterministic bias that concentrates traffic on a minimal subtree.
 
-use eprons_topo::{MultipathTopology, Path};
+use eprons_topo::{MultipathTopology, PathRef};
 
-use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator};
+use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator, PathCollector};
 use crate::flow::FlowSet;
 
 /// Greedy first-fit-decreasing consolidator.
@@ -57,7 +57,9 @@ impl Consolidator for GreedyConsolidator {
 
         let mut reserved = vec![0.0; topo.num_links() * 2];
         let mut switch_active = vec![false; topo.num_nodes()];
-        let mut chosen: Vec<Option<Path>> = vec![None; flows.len()];
+        let mut chosen = PathCollector::for_flows(flows.len());
+        let mut nbuf = Vec::new();
+        let mut lbuf = Vec::new();
 
         for &fi in &order {
             let flow = &flows.flows()[fi];
@@ -98,24 +100,25 @@ impl Consolidator for GreedyConsolidator {
                 }
                 return Err(ConsolidationError::NoFeasiblePath { flow: fi });
             };
-            let p = net
-                .nth_candidate(flow.src, flow.dst, idx)
-                .expect("index valid");
+            assert!(
+                net.nth_candidate_into(flow.src, flow.dst, idx, &mut nbuf, &mut lbuf),
+                "index valid"
+            );
+            let p = PathRef {
+                nodes: &nbuf,
+                links: &lbuf,
+            };
             for (from, _, l) in p.hops() {
                 let dir = crate::links::direction_from(topo, l, from);
                 reserved[l.0 * 2 + dir] += demand;
             }
-            for &n in &p.nodes {
+            for &n in p.nodes {
                 switch_active[n.0] = true;
             }
-            chosen[fi] = Some(p);
+            chosen.set(fi, p);
         }
 
-        let paths: Vec<Path> = chosen
-            .into_iter()
-            .map(|p| p.expect("every flow placed"))
-            .collect();
-        let assignment = Assignment::from_paths(net, flows, paths);
+        let assignment = Assignment::from_collector(net, flows, chosen);
         if eprons_obs::enabled() {
             eprons_obs::registry().counter("net.consolidate.passes").inc();
             eprons_obs::record(eprons_obs::Event::ConsolidationPass {

@@ -22,8 +22,9 @@ pub mod arc;
 pub mod arena;
 pub mod greedy;
 pub mod path;
+pub mod pod;
 
-use eprons_topo::{FatTree, MultipathTopology, NodeId, Path};
+use eprons_topo::{FatTree, LinkId, MultipathTopology, NodeId, Path, PathRef};
 
 use crate::flow::FlowSet;
 use crate::links::NetworkState;
@@ -113,33 +114,149 @@ impl std::fmt::Display for ConsolidationError {
 
 impl std::error::Error for ConsolidationError {}
 
+/// One flow's path inside a [`PathCollector`]'s flat pools.
+#[derive(Debug, Clone, Copy)]
+struct PathSpan {
+    node_off: u32,
+    link_off: u32,
+    /// Hop count; `u32::MAX` marks a slot not yet filled.
+    hops: u32,
+}
+
+const UNSET_SPAN: PathSpan = PathSpan {
+    node_off: 0,
+    link_off: 0,
+    hops: u32::MAX,
+};
+
+/// Flat, pooled storage for one chosen path per flow.
+///
+/// An all-pairs mesh on a k=24 fat-tree is ~1.2·10⁷ flows; holding each
+/// path as an owned [`Path`] (two heap `Vec`s) keeps ~2.4·10⁷ small
+/// allocations live at once, which costs tens of seconds of allocator
+/// time on its own — an order of magnitude more than computing the paths.
+/// The collector instead appends every path into three shared pools and
+/// hands out [`PathRef`] views, so an assignment of any size is exactly
+/// three allocations.
+#[derive(Debug, Clone, Default)]
+pub struct PathCollector {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+    spans: Vec<PathSpan>,
+}
+
+impl PathCollector {
+    /// An empty collector expecting sequential [`push`](Self::push)es.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A collector with one pre-sized slot per flow, for consolidators
+    /// that place flows out of flow-id order (set each slot with
+    /// [`set`](Self::set)).
+    pub fn for_flows(n: usize) -> Self {
+        PathCollector {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            spans: vec![UNSET_SPAN; n],
+        }
+    }
+
+    /// Pre-sizes the pools for `flows` paths of at most `max_hops` hops
+    /// each. Growth-by-doubling would copy the (large) pools several
+    /// times; on machines where faulting in fresh pages is the dominant
+    /// cost of bulk storage, reserving once roughly halves the bill.
+    pub fn reserve(&mut self, flows: usize, max_hops: usize) {
+        self.spans.reserve(flows);
+        self.nodes.reserve(flows * (max_hops + 1));
+        self.links.reserve(flows * max_hops);
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the collector has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn append(&mut self, p: PathRef<'_>) -> PathSpan {
+        debug_assert_eq!(p.nodes.len(), p.links.len() + 1, "malformed path");
+        let span = PathSpan {
+            node_off: u32::try_from(self.nodes.len()).expect("node pool fits u32 offsets"),
+            link_off: u32::try_from(self.links.len()).expect("link pool fits u32 offsets"),
+            hops: p.links.len() as u32,
+        };
+        self.nodes.extend_from_slice(p.nodes);
+        self.links.extend_from_slice(p.links);
+        span
+    }
+
+    /// Appends the next flow's path (flow-id order).
+    pub fn push(&mut self, p: PathRef<'_>) {
+        let span = self.append(p);
+        self.spans.push(span);
+    }
+
+    /// Sets flow `i`'s path. Replacing an already-set slot appends fresh
+    /// storage and strands the old bytes — fine for the rare repair path,
+    /// wasteful in a loop.
+    pub fn set(&mut self, i: usize, p: PathRef<'_>) {
+        self.spans[i] = self.append(p);
+    }
+
+    /// Flow `i`'s path as a borrowed view.
+    #[inline]
+    pub fn get(&self, i: usize) -> PathRef<'_> {
+        let s = self.spans[i];
+        debug_assert_ne!(s.hops, u32::MAX, "slot {i} never set");
+        let (no, lo, h) = (s.node_off as usize, s.link_off as usize, s.hops as usize);
+        PathRef {
+            nodes: &self.nodes[no..no + h + 1],
+            links: &self.links[lo..lo + h],
+        }
+    }
+
+    /// Iterates all paths in flow-id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = PathRef<'_>> + '_ {
+        (0..self.spans.len()).map(|i| self.get(i))
+    }
+}
+
 /// The result of consolidation: one path per flow plus the implied active
 /// subgraph and (unscaled) link loads.
 #[derive(Debug, Clone)]
 pub struct Assignment {
-    paths: Vec<Path>,
+    store: PathCollector,
     state: NetworkState,
 }
 
 impl Assignment {
-    /// Builds an assignment from chosen paths: switches on a path are
+    /// Builds an assignment from collected paths: switches on a path are
     /// activated, links used by at least one flow are activated, and each
     /// flow's *actual* (unscaled) demand is added along its path.
-    pub fn from_paths(net: &dyn MultipathTopology, flows: &FlowSet, paths: Vec<Path>) -> Self {
-        assert_eq!(paths.len(), flows.len(), "one path per flow");
+    pub fn from_collector(
+        net: &dyn MultipathTopology,
+        flows: &FlowSet,
+        store: PathCollector,
+    ) -> Self {
+        assert_eq!(store.len(), flows.len(), "one path per flow");
         let topo = net.topology();
         let mut state = NetworkState::with_active_switches(topo, &[]);
-        // Activate path switches.
-        for p in &paths {
-            for &n in &p.nodes {
+        // Activate path switches. Walk spans rather than the raw pools:
+        // replaced slots may have stranded stale bytes in the pools.
+        for p in store.iter() {
+            for &n in p.nodes {
                 state.set_node(n, true);
             }
         }
         state.refresh_links(topo);
         // Only links actually carrying traffic stay on.
         let mut used = vec![false; topo.num_links()];
-        for p in &paths {
-            for &l in &p.links {
+        for p in store.iter() {
+            for &l in p.links {
                 used[l.0] = true;
             }
         }
@@ -150,22 +267,33 @@ impl Assignment {
                 state.set_link(id, false);
             }
         }
-        for (flow, p) in flows.flows().iter().zip(&paths) {
-            state.add_path_load(topo, p, flow.demand_mbps);
+        for (i, flow) in flows.flows().iter().enumerate() {
+            state.add_path_load(topo, store.get(i), flow.demand_mbps);
         }
-        Assignment { paths, state }
+        Assignment { store, state }
     }
 
-    /// The chosen path of a flow.
+    /// [`Self::from_collector`] over owned paths, for small-instance
+    /// callers (the MILP consolidators, tests) that already hold a
+    /// `Vec<Path>`.
+    pub fn from_paths(net: &dyn MultipathTopology, flows: &FlowSet, paths: Vec<Path>) -> Self {
+        let mut store = PathCollector::new();
+        for p in &paths {
+            store.push(PathRef::of(p));
+        }
+        Self::from_collector(net, flows, store)
+    }
+
+    /// The chosen path of a flow, as a view into the pooled storage.
     #[inline]
-    pub fn path(&self, flow: crate::flow::FlowId) -> &Path {
-        &self.paths[flow.0]
+    pub fn path(&self, flow: crate::flow::FlowId) -> PathRef<'_> {
+        self.store.get(flow.0)
     }
 
     /// All paths, flow-id order.
     #[inline]
-    pub fn paths(&self) -> &[Path] {
-        &self.paths
+    pub fn iter_paths(&self) -> impl ExactSizeIterator<Item = PathRef<'_>> + '_ {
+        self.store.iter()
     }
 
     /// The resulting network state (active sets + loads).
@@ -209,7 +337,7 @@ impl Assignment {
     ) -> Result<(), String> {
         let topo = net.topology();
         let mut reserved = vec![0.0; topo.num_links() * 2];
-        for (flow, p) in flows.flows().iter().zip(&self.paths) {
+        for (flow, p) in flows.flows().iter().zip(self.store.iter()) {
             if p.src() != flow.src || p.dst() != flow.dst {
                 return Err(format!("flow {:?} routed between wrong endpoints", flow.id));
             }
@@ -272,7 +400,7 @@ impl Assignment {
         let mut rerouted = Vec::new();
         // Which flows cross the failed switch?
         let victims: Vec<usize> = (0..flows.len())
-            .filter(|&i| self.paths[i].nodes.contains(&failed))
+            .filter(|&i| self.store.get(i).nodes.contains(&failed))
             .collect();
         if victims.is_empty() {
             take_down(&mut self.state);
@@ -282,7 +410,8 @@ impl Assignment {
         // Remove the victims' load, then mark the switch down.
         for &i in &victims {
             let demand = flows.flows()[i].demand_mbps;
-            self.state.remove_path_load(topo, &self.paths[i], demand);
+            let Assignment { store, state } = &mut *self;
+            state.remove_path_load(topo, store.get(i), demand);
         }
         take_down(&mut self.state);
 
@@ -326,7 +455,7 @@ impl Assignment {
                 self.state.set_link(l, true);
             }
             self.state.add_path_load(topo, &p, flow.demand_mbps);
-            self.paths[i] = p;
+            self.store.set(i, PathRef::of(&p));
             rerouted.push(i);
         }
         Ok(rerouted)
@@ -386,7 +515,9 @@ impl Consolidator for AggregationRouter {
             !topo.node(n).kind.is_switch() || (self.active.contains(&n) && !cfg.is_excluded(n))
         };
         let mut reserved = vec![0.0; topo.num_links() * 2];
-        let mut chosen: Vec<Path> = Vec::with_capacity(flows.len());
+        let mut chosen = PathCollector::new();
+        let mut nbuf = Vec::new();
+        let mut lbuf = Vec::new();
         for flow in flows.flows() {
             let demand = flow.scaled_demand(cfg.scale_k);
             let mut best: Option<(f64, usize)> = None;
@@ -416,9 +547,14 @@ impl Consolidator for AggregationRouter {
                     flow: flow.id.0,
                 });
             };
-            let p = net
-                .nth_candidate(flow.src, flow.dst, idx)
-                .expect("index valid");
+            assert!(
+                net.nth_candidate_into(flow.src, flow.dst, idx, &mut nbuf, &mut lbuf),
+                "index valid"
+            );
+            let p = PathRef {
+                nodes: &nbuf,
+                links: &lbuf,
+            };
             for (from, _, l) in p.hops() {
                 let dir = crate::links::direction_from(topo, l, from);
                 reserved[l.0 * 2 + dir] += demand;
@@ -428,7 +564,7 @@ impl Consolidator for AggregationRouter {
         // The preset keeps its whole active set powered (that is the point
         // of the Fig. 10/13 experiments), so build state from the preset,
         // not from used paths. Masked (failed) switches stay dark.
-        let mut assignment = Assignment::from_paths(net, flows, chosen);
+        let mut assignment = Assignment::from_collector(net, flows, chosen);
         for &s in &self.active {
             if !cfg.is_excluded(s) {
                 assignment.state.set_node(s, true);
@@ -485,7 +621,7 @@ mod tests {
         let cfg = ConsolidationConfig::with_k(1.0);
         let a = router.consolidate(&ft, &fs, &cfg).unwrap();
         let active = AggregationLevel::Agg3.active_switches(&ft);
-        for p in a.paths() {
+        for p in a.iter_paths() {
             for &n in p.interior() {
                 assert!(active.contains(&n), "path used inactive switch");
             }

@@ -40,9 +40,15 @@ pub mod queuesim;
 pub mod transition;
 
 pub use consolidate::{
-    arc::ArcMilpConsolidator, arena::PathArena, greedy::GreedyConsolidator,
-    path::PathMilpConsolidator, Assignment, ConsolidationConfig, ConsolidationError,
-    Consolidator,
+    arc::ArcMilpConsolidator,
+    arena::{ArenaByteBreakdown, PathArena},
+    greedy::GreedyConsolidator,
+    path::PathMilpConsolidator,
+    pod::{
+        consolidate_pod_decomposed, PodDecompOptions, PodDecompReport, PodDecompStats,
+        PodOutcome, PodRunner, PodSolve, PodSolveCache,
+    },
+    Assignment, ConsolidationConfig, ConsolidationError, Consolidator,
 };
 pub use failure::{
     DegradationPolicy, DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,

@@ -6,7 +6,7 @@
 //! load and utilization are tracked per `(link, direction)`. Direction 0
 //! is `a → b` in the topology's link record, direction 1 is `b → a`.
 
-use eprons_topo::{LinkId, NodeId, Path, PathRef, Topology};
+use eprons_topo::{LinkId, NodeId, PathRef, Topology};
 
 /// Which switches and links are powered on, and how much traffic each link
 /// direction carries. Hosts are always "on".
@@ -139,17 +139,28 @@ impl NetworkState {
         (self.capacity_mbps[l.0] - margin_mbps - self.load_dir(l, dir)).max(0.0)
     }
 
-    /// Adds `mbps` of load along a path (directional).
-    pub fn add_path_load(&mut self, topo: &Topology, path: &Path, mbps: f64) {
-        for (from, _, l) in path.hops() {
+    /// Adds `mbps` of load along a path (directional). Accepts owned
+    /// paths (`&Path`) and borrowed views ([`PathRef`]) alike.
+    pub fn add_path_load<'a>(
+        &mut self,
+        topo: &Topology,
+        path: impl Into<PathRef<'a>>,
+        mbps: f64,
+    ) {
+        for (from, _, l) in path.into().hops() {
             let dir = direction_from(topo, l, from);
             self.load_mbps[l.0 * 2 + dir] += mbps;
         }
     }
 
     /// Removes `mbps` of load along a path (clamped at zero).
-    pub fn remove_path_load(&mut self, topo: &Topology, path: &Path, mbps: f64) {
-        for (from, _, l) in path.hops() {
+    pub fn remove_path_load<'a>(
+        &mut self,
+        topo: &Topology,
+        path: impl Into<PathRef<'a>>,
+        mbps: f64,
+    ) {
+        for (from, _, l) in path.into().hops() {
             let dir = direction_from(topo, l, from);
             let slot = &mut self.load_mbps[l.0 * 2 + dir];
             *slot = (*slot - mbps).max(0.0);
@@ -163,7 +174,12 @@ impl NetworkState {
 
     /// Utilizations along a path in hop order, each taken in the traversal
     /// direction.
-    pub fn path_utilizations(&self, topo: &Topology, path: &Path) -> Vec<f64> {
+    pub fn path_utilizations<'a>(
+        &self,
+        topo: &Topology,
+        path: impl Into<PathRef<'a>>,
+    ) -> Vec<f64> {
+        let path = path.into();
         let mut out = Vec::with_capacity(path.links.len());
         self.path_utilizations_into(topo, path, &mut out);
         out
@@ -173,10 +189,16 @@ impl NetworkState {
     /// first). The cluster pipeline samples two paths per (query, ISN)
     /// pair and reuses one buffer across the whole sweep instead of
     /// allocating per call.
-    pub fn path_utilizations_into(&self, topo: &Topology, path: &Path, out: &mut Vec<f64>) {
+    pub fn path_utilizations_into<'a>(
+        &self,
+        topo: &Topology,
+        path: impl Into<PathRef<'a>>,
+        out: &mut Vec<f64>,
+    ) {
         out.clear();
         out.extend(
-            path.hops()
+            path.into()
+                .hops()
                 .map(|(from, _, l)| self.utilization_dir(l, direction_from(topo, l, from))),
         );
     }
@@ -194,7 +216,8 @@ impl NetworkState {
     }
 
     /// Whether every node and link of `path` is powered.
-    pub fn path_available(&self, path: &Path) -> bool {
+    pub fn path_available<'a>(&self, path: impl Into<PathRef<'a>>) -> bool {
+        let path = path.into();
         path.nodes.iter().all(|&n| self.node_on[n.0])
             && path.links.iter().all(|&l| self.link_on[l.0])
     }

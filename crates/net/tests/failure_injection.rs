@@ -23,7 +23,7 @@ fn snapshot(
     a: &Assignment,
 ) -> (Vec<Path>, Vec<bool>, Vec<bool>, Vec<(f64, f64)>) {
     let topo = ft.topology();
-    let paths = fs.flows().iter().map(|f| a.path(f.id).clone()).collect();
+    let paths = fs.flows().iter().map(|f| a.path(f.id).to_path()).collect();
     let nodes = topo.nodes().map(|(id, _)| a.state().node_on(id)).collect();
     let links = topo.links().map(|(id, _)| a.state().link_on(id)).collect();
     let loads = topo
@@ -117,11 +117,11 @@ fn killing_an_idle_switch_is_a_no_op_for_paths() {
         .into_iter()
         .find(|&s| !a.state().node_on(s))
         .expect("greedy leaves spares");
-    let paths_before: Vec<_> = fs.flows().iter().map(|f| a.path(f.id).nodes.clone()).collect();
+    let paths_before: Vec<_> = fs.flows().iter().map(|f| a.path(f.id).nodes.to_vec()).collect();
     let rerouted = a.repair_after_switch_failure(&ft, &fs, spare).unwrap();
     assert!(rerouted.is_empty());
     for (f, before) in fs.flows().iter().zip(&paths_before) {
-        assert_eq!(&a.path(f.id).nodes, before);
+        assert_eq!(a.path(f.id).nodes, &before[..]);
     }
 }
 

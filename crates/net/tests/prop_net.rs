@@ -115,7 +115,7 @@ fn aggregation_router_stays_on_preset() {
         let cfg = ConsolidationConfig::with_k(1.0);
         let a = router.consolidate(&ft, &flows, &cfg).unwrap();
         let active = level.active_switches(&ft);
-        for p in a.paths() {
+        for p in a.iter_paths() {
             for &n in p.interior() {
                 assert!(active.contains(&n), "case {case}: {level:?} breached");
             }

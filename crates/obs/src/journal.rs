@@ -122,6 +122,23 @@ pub enum Event {
         placed: u64,
         active_switches: u64,
     },
+    /// One pod-decomposed consolidation pass completed: `solved` pods
+    /// were solved fresh, `cached` served from the pod-solve cache,
+    /// `resolves` re-solved under a tightened uplink budget after core-
+    /// stitch push-back, over `rounds` stitch rounds of which `balanced`
+    /// took the balanced-floor retry. `fallback` is true when the
+    /// decomposition gave up and the monolithic path produced the
+    /// assignment instead. The fields mirror the `net.pods.*` counters,
+    /// so a journal alone reconstructs the counter view.
+    PodConsolidation {
+        pods: u64,
+        solved: u64,
+        cached: u64,
+        resolves: u64,
+        rounds: u64,
+        balanced: u64,
+        fallback: bool,
+    },
     /// A recorder was driven with a clock that went backwards (recovered,
     /// not fatal — see `TimeWeighted::try_set`).
     ClockSkew { at_s: f64, last_s: f64 },
@@ -226,6 +243,7 @@ impl Event {
             Event::FreqTransition { .. } => "FreqTransition",
             Event::LinkStateChange { .. } => "LinkStateChange",
             Event::ConsolidationPass { .. } => "ConsolidationPass",
+            Event::PodConsolidation { .. } => "PodConsolidation",
             Event::ClockSkew { .. } => "ClockSkew",
             Event::RunTag { .. } => "RunTag",
             Event::ScenarioBuilt { .. } => "ScenarioBuilt",
@@ -370,6 +388,23 @@ impl Event {
                 ("flows", u(*flows)),
                 ("placed", u(*placed)),
                 ("active_switches", u(*active_switches)),
+            ]),
+            Event::PodConsolidation {
+                pods,
+                solved,
+                cached,
+                resolves,
+                rounds,
+                balanced,
+                fallback,
+            } => f(vec![
+                ("pods", u(*pods)),
+                ("solved", u(*solved)),
+                ("cached", u(*cached)),
+                ("resolves", u(*resolves)),
+                ("rounds", u(*rounds)),
+                ("balanced", u(*balanced)),
+                ("fallback", b(*fallback)),
             ]),
             Event::ClockSkew { at_s, last_s } => {
                 f(vec![("at_s", n(*at_s)), ("last_s", n(*last_s))])
@@ -591,6 +626,15 @@ impl Event {
                 flows: fu("flows")?,
                 placed: fu("placed")?,
                 active_switches: fu("active_switches")?,
+            },
+            "PodConsolidation" => Event::PodConsolidation {
+                pods: fu("pods")?,
+                solved: fu("solved")?,
+                cached: fu("cached")?,
+                resolves: fu("resolves")?,
+                rounds: fu("rounds")?,
+                balanced: fu("balanced")?,
+                fallback: fb("fallback")?,
             },
             "ClockSkew" => Event::ClockSkew {
                 at_s: fn_("at_s")?,
@@ -894,6 +938,15 @@ mod tests {
                 flows: 272,
                 placed: 272,
                 active_switches: 12,
+            },
+            Event::PodConsolidation {
+                pods: 16,
+                solved: 14,
+                cached: 2,
+                resolves: 1,
+                rounds: 2,
+                balanced: 1,
+                fallback: false,
             },
             Event::ClockSkew {
                 at_s: 1.25,

@@ -115,6 +115,15 @@ fn all_variants(g: &mut Gen) -> Vec<Event> {
             placed: arb_u64(g),
             active_switches: arb_u64(g),
         },
+        Event::PodConsolidation {
+            pods: arb_u64(g),
+            solved: arb_u64(g),
+            cached: arb_u64(g),
+            resolves: arb_u64(g),
+            rounds: arb_u64(g),
+            balanced: arb_u64(g),
+            fallback: g.bool(),
+        },
         Event::ClockSkew {
             at_s: arb_f64(g),
             last_s: arb_f64(g),

@@ -30,6 +30,17 @@ pub struct FatTree {
     /// non-hosts. Makes `host_pod`/`host_edge` O(1) instead of a linear
     /// scan — at k=16 those run once per flow (~1M flows per scenario).
     host_index: Vec<u32>,
+    /// `NodeId.0` → owning pod for hosts/edges/aggs, `u32::MAX` for
+    /// cores. The O(1) ordinal-remapping table [`PodView`] and the pod-
+    /// decomposed consolidator key their sub-problems on.
+    ///
+    /// [`PodView`]: crate::podview::PodView
+    pod_index: Vec<u32>,
+    /// `NodeId.0` → tier-local ordinal: aggs/edges get their in-pod index
+    /// `j`/`i`, hosts their in-pod ordinal `i·(k/2)+slot`, cores their
+    /// global `(group·(k/2)+member)` rank. Paired with `pod_index` this
+    /// inverts every `edge(p,i)`/`agg(p,j)`/`core(g,m)` accessor in O(1).
+    tier_local: Vec<u32>,
 }
 
 impl FatTree {
@@ -113,6 +124,23 @@ impl FatTree {
         for (ord, h) in hosts.iter().enumerate() {
             host_index[h.0] = ord as u32;
         }
+        let mut pod_index = vec![u32::MAX; topo.num_nodes()];
+        let mut tier_local = vec![u32::MAX; topo.num_nodes()];
+        for (ord, c) in cores.iter().enumerate() {
+            tier_local[c.0] = ord as u32;
+        }
+        for (ord, a) in aggs.iter().enumerate() {
+            pod_index[a.0] = (ord / half) as u32;
+            tier_local[a.0] = (ord % half) as u32;
+        }
+        for (ord, e) in edges.iter().enumerate() {
+            pod_index[e.0] = (ord / half) as u32;
+            tier_local[e.0] = (ord % half) as u32;
+        }
+        for (ord, h) in hosts.iter().enumerate() {
+            pod_index[h.0] = (ord / (half * half)) as u32;
+            tier_local[h.0] = (ord % (half * half)) as u32;
+        }
 
         FatTree {
             k,
@@ -122,6 +150,8 @@ impl FatTree {
             aggs,
             cores,
             host_index,
+            pod_index,
+            tier_local,
         }
     }
 
@@ -210,6 +240,71 @@ impl FatTree {
         self.topo
             .link_between(host, e)
             .expect("fat-tree invariant: host connects to its edge switch")
+    }
+
+    /// Number of pods (= `k`).
+    #[inline]
+    pub fn num_pods(&self) -> usize {
+        self.k
+    }
+
+    /// Owning pod of a host, edge, or aggregation switch; `None` for
+    /// cores (they belong to the stitch layer, not a pod) and foreign
+    /// ids.
+    #[inline]
+    pub fn pod_of(&self, n: NodeId) -> Option<usize> {
+        match self.pod_index.get(n.0).copied() {
+            Some(p) if p != u32::MAX => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    /// Inverts [`FatTree::edge`]: the `(pod, index)` of an edge switch.
+    pub fn edge_ordinal(&self, n: NodeId) -> Option<(usize, usize)> {
+        if self.topo.node(n).kind == crate::graph::NodeKind::EdgeSwitch {
+            Some((self.pod_index[n.0] as usize, self.tier_local[n.0] as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Inverts [`FatTree::agg`]: the `(pod, index)` of an agg switch.
+    pub fn agg_ordinal(&self, n: NodeId) -> Option<(usize, usize)> {
+        if self.topo.node(n).kind == crate::graph::NodeKind::AggSwitch {
+            Some((self.pod_index[n.0] as usize, self.tier_local[n.0] as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Inverts [`FatTree::core`]: the `(group, member)` of a core switch.
+    pub fn core_ordinal(&self, n: NodeId) -> Option<(usize, usize)> {
+        if self.topo.node(n).kind == crate::graph::NodeKind::CoreSwitch {
+            let r = self.tier_local[n.0] as usize;
+            let half = self.k / 2;
+            Some((r / half, r % half))
+        } else {
+            None
+        }
+    }
+
+    /// Inverts [`FatTree::host`]: the `(pod, edge index, slot)` of a host.
+    pub fn host_slot(&self, n: NodeId) -> Option<(usize, usize, usize)> {
+        let ord = self.host_index.get(n.0).copied()?;
+        if ord == u32::MAX {
+            return None;
+        }
+        let half = self.k / 2;
+        let local = self.tier_local[n.0] as usize;
+        Some((self.pod_index[n.0] as usize, local / half, local % half))
+    }
+
+    /// A borrowed [`PodView`] over one pod's sub-fabric.
+    ///
+    /// # Panics
+    /// Panics if `pod >= k`.
+    pub fn pod_view(&self, pod: usize) -> crate::podview::PodView<'_> {
+        crate::podview::PodView::new(self, pod)
     }
 }
 

@@ -25,6 +25,7 @@ pub mod graph;
 pub mod leafspine;
 pub mod multipath;
 pub mod paths;
+pub mod podview;
 
 pub use aggregation::AggregationLevel;
 pub use fattree::FatTree;
@@ -32,3 +33,4 @@ pub use graph::{LinkId, NodeId, NodeKind, Topology};
 pub use leafspine::LeafSpine;
 pub use multipath::MultipathTopology;
 pub use paths::{Path, PathRef};
+pub use podview::PodView;

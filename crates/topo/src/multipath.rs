@@ -39,6 +39,32 @@ pub trait MultipathTopology {
     fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
         self.candidate_paths(src, dst).into_iter().nth(idx)
     }
+
+    /// Assembles the `idx`-th candidate into caller-owned buffers (cleared
+    /// first), or returns `false` past the end. Lets per-flow selection
+    /// loops and bulk path materialization reuse two scratch buffers
+    /// instead of paying two heap allocations per
+    /// [`nth_candidate`](Self::nth_candidate) call — at fat-tree scale
+    /// (10⁷ flows) the allocator traffic dominates the arithmetic.
+    fn nth_candidate_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        idx: usize,
+        nodes: &mut Vec<NodeId>,
+        links: &mut Vec<crate::graph::LinkId>,
+    ) -> bool {
+        match self.nth_candidate(src, dst, idx) {
+            Some(p) => {
+                nodes.clear();
+                links.clear();
+                nodes.extend_from_slice(&p.nodes);
+                links.extend_from_slice(&p.links);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl<T: MultipathTopology + ?Sized> MultipathTopology for &T {
@@ -61,6 +87,17 @@ impl<T: MultipathTopology + ?Sized> MultipathTopology for &T {
     fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
         (**self).nth_candidate(src, dst, idx)
     }
+
+    fn nth_candidate_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        idx: usize,
+        nodes: &mut Vec<NodeId>,
+        links: &mut Vec<crate::graph::LinkId>,
+    ) -> bool {
+        (**self).nth_candidate_into(src, dst, idx, nodes, links)
+    }
 }
 
 impl<T: MultipathTopology + ?Sized> MultipathTopology for std::sync::Arc<T> {
@@ -82,6 +119,17 @@ impl<T: MultipathTopology + ?Sized> MultipathTopology for std::sync::Arc<T> {
 
     fn nth_candidate(&self, src: NodeId, dst: NodeId, idx: usize) -> Option<Path> {
         (**self).nth_candidate(src, dst, idx)
+    }
+
+    fn nth_candidate_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        idx: usize,
+        nodes: &mut Vec<NodeId>,
+        links: &mut Vec<crate::graph::LinkId>,
+    ) -> bool {
+        (**self).nth_candidate_into(src, dst, idx, nodes, links)
     }
 }
 

@@ -139,6 +139,27 @@ impl<'a> PathRef<'a> {
             links: self.links.to_vec(),
         }
     }
+
+    /// Validates internal consistency against a topology (each link joins
+    /// consecutive nodes). Mirror of [`Path::is_consistent`].
+    pub fn is_consistent(&self, topo: &Topology) -> bool {
+        if self.nodes.len() != self.links.len() + 1 {
+            return false;
+        }
+        self.links.iter().enumerate().all(|(i, &l)| {
+            let link = topo.link(l);
+            link.touches(self.nodes[i])
+                && link.touches(self.nodes[i + 1])
+                && self.nodes[i] != self.nodes[i + 1]
+        })
+    }
+}
+
+impl<'a> From<&'a Path> for PathRef<'a> {
+    #[inline]
+    fn from(path: &'a Path) -> Self {
+        PathRef::of(path)
+    }
 }
 
 fn link(topo: &Topology, a: NodeId, b: NodeId) -> LinkId {
