@@ -4,8 +4,8 @@
 use eprons_bench::harness::Runner;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
-    coresim::poisson_trace, simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig,
-    MaxFreqPolicy, MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+    coresim::poisson_trace, simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, MaxFreqPolicy,
+    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
 };
 use eprons_sim::SimRng;
 use std::hint::black_box;

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn random_lp(nvars: usize, nrows: usize, seed: u64) -> Model {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut m = Model::new(Sense::Minimize);

@@ -50,7 +50,14 @@ fn main() {
     };
     let mut t = Table::new(
         "avg-VP vs max-VP and EDF vs FIFO (per-core, 25 ms budget + 0-5 ms random slack)",
-        &["util%", "max-vp-W", "avg-vp-fifo-W", "avg-vp-edf-W", "edf-miss%", "fifo-miss%"],
+        &[
+            "util%",
+            "max-vp-W",
+            "avg-vp-fifo-W",
+            "avg-vp-edf-W",
+            "edf-miss%",
+            "fifo-miss%",
+        ],
     );
     for util in [0.2, 0.35, 0.5] {
         let max_vp = run_varslack(&mut MaxVpPolicy::rubik_plus(), util, BASE_SEED + 1);
@@ -86,7 +93,9 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("expected: sleeping wins at low load (idle dominates), DVFS competitive as load grows\n");
+    println!(
+        "expected: sleeping wins at low load (idle dominates), DVFS competitive as load grows\n"
+    );
 
     // --- 4: transition overheads over a day. ---
     let ccfg = ClusterConfig::default();
@@ -96,6 +105,7 @@ fn main() {
         peak_utilization: 0.5,
         seed: BASE_SEED,
         warm_start: true,
+        ..DayConfig::default()
     };
     let eprons = simulate_day(
         &ccfg,

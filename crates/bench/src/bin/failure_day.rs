@@ -70,7 +70,11 @@ fn main() {
     // At k=4 the cap is not binding, so the default day is untouched.
     let n = cfg.num_servers() as f64;
     cfg.query_flow_mbps = cfg.query_flow_mbps.min(300.0 / (n - 1.0));
-    println!("fat-tree k = {} ({} servers)\n", cfg.fat_tree_k, cfg.num_servers());
+    println!(
+        "fat-tree k = {} ({} servers)\n",
+        cfg.fat_tree_k,
+        cfg.num_servers()
+    );
     // From k = 12 up the default Auto strategy consolidates pod-by-pod,
     // so a K-ladder candidate set routes every epoch plan — and the
     // rung-2 masked replan after the failure — through the hierarchical
@@ -94,6 +98,7 @@ fn main() {
         peak_utilization: 0.5,
         seed: BASE_SEED,
         warm_start: true,
+        ..DayConfig::default()
     };
     let strategy = DayStrategy::Eprons {
         candidates: if large_k {
@@ -120,9 +125,7 @@ fn main() {
             kind: FailureEventKind::Recover,
         },
     ]);
-    println!(
-        "injecting: switch {core} (core 0,0) fails at minute 730, recovers at 770\n"
-    );
+    println!("injecting: switch {core} (core 0,0) fails at minute 730, recovers at 770\n");
 
     let baseline = simulate_day(&cfg, &strategy, &day);
     let degraded = simulate_day_with_failures(&cfg, &strategy, &day, &schedule);
@@ -182,7 +185,10 @@ fn main() {
         r.degradation.is_some(),
         "the failed epoch must record its degradation rung"
     );
-    assert!(r.boot_energy_j > 0.0, "repair/recovery must charge boot energy");
+    assert!(
+        r.boot_energy_j > 0.0,
+        "repair/recovery must charge boot energy"
+    );
     for (b, d) in baseline.iter().zip(&degraded) {
         assert!(
             d.feasible || d.degradation.is_some() || !b.feasible,

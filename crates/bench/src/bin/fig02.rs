@@ -10,13 +10,16 @@ use eprons_bench::banner;
 use eprons_core::report::Table;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
-    ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
-    NetworkPowerModel, PathMilpConsolidator,
+    ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator, NetworkPowerModel,
+    PathMilpConsolidator,
 };
 use eprons_topo::FatTree;
 
 fn main() {
-    banner("Fig. 2", "scale factor K vs active switches (3-flow scenario)");
+    banner(
+        "Fig. 2",
+        "scale factor K vs active switches (3-flow scenario)",
+    );
     let ft = FatTree::new(4, 1000.0);
     let mut flows = FlowSet::new();
     let red = flows.add(
@@ -56,11 +59,13 @@ fn main() {
         let milp = PathMilpConsolidator::default()
             .consolidate(&ft, &flows, &cfg)
             .expect("fig2 instance is feasible");
-        milp.validate(&ft, &flows, &cfg).expect("milp respects capacity");
+        milp.validate(&ft, &flows, &cfg)
+            .expect("milp respects capacity");
         let heur = GreedyConsolidator
             .consolidate(&ft, &flows, &cfg)
             .expect("fig2 instance is feasible");
-        heur.validate(&ft, &flows, &cfg).expect("greedy respects capacity");
+        heur.validate(&ft, &flows, &cfg)
+            .expect("greedy respects capacity");
         let shares = |a: &eprons_net::Assignment, f: FlowId| {
             let e = a.path(red);
             a.path(f).links.iter().any(|l| e.links.contains(l))
@@ -76,6 +81,8 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("paper shape: switches grow with K; at K=3 both query flows leave the elephant's path");
+    println!(
+        "paper shape: switches grow with K; at K=3 both query flows leave the elephant's path"
+    );
     eprons_bench::finish();
 }

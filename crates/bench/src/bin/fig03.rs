@@ -11,13 +11,15 @@ use eprons_bench::{banner, BASE_SEED};
 use eprons_core::report::Table;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
-    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, MaxVpPolicy, ServiceModel,
-    VpEngine,
+    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, MaxVpPolicy, ServiceModel, VpEngine,
 };
 use eprons_sim::SimRng;
 
 fn main() {
-    banner("Fig. 3", "four queued requests: just-in-time vs average-tail");
+    banner(
+        "Fig. 3",
+        "four queued requests: just-in-time vs average-tail",
+    );
     let mut rng = SimRng::seed_from_u64(BASE_SEED);
     let service = ServiceModel::synthetic_xapian(&mut rng, 30_000, 160);
     let cfg = CoreSimConfig::default();

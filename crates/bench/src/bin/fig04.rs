@@ -8,8 +8,8 @@
 
 use eprons_bench::{banner, BASE_SEED};
 use eprons_core::report::Table;
-use eprons_server::{AvgVpPolicy, FreqLadder, MaxVpPolicy, ServiceModel, VpEngine};
 use eprons_server::policy::DvfsPolicy;
+use eprons_server::{AvgVpPolicy, FreqLadder, MaxVpPolicy, ServiceModel, VpEngine};
 use eprons_sim::SimRng;
 
 fn main() {

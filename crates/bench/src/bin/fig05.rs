@@ -12,7 +12,10 @@ use eprons_server::{ServiceModel, VpEngine};
 use eprons_sim::SimRng;
 
 fn main() {
-    banner("Fig. 5", "CCDF of equivalent work distributions R1e/R2e/R3e");
+    banner(
+        "Fig. 5",
+        "CCDF of equivalent work distributions R1e/R2e/R3e",
+    );
     let mut rng = SimRng::seed_from_u64(BASE_SEED);
     let service = ServiceModel::synthetic_xapian(&mut rng, 30_000, 160);
     let mut engine = VpEngine::new(service);

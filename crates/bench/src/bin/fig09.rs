@@ -18,7 +18,14 @@ fn main() {
 
     let mut t = Table::new(
         "active elements per aggregation level",
-        &["level", "switches", "links", "net-power-W", "connected", "off-switches"],
+        &[
+            "level",
+            "switches",
+            "links",
+            "net-power-W",
+            "connected",
+            "off-switches",
+        ],
     );
     for level in AggregationLevel::ALL {
         let active = level.active_switches(&ft);
@@ -33,17 +40,15 @@ fn main() {
         // All-pairs connectivity on the active subgraph.
         let ok = |n: NodeId| !ft.topology().node(n).kind.is_switch() || active.contains(&n);
         let hosts = ft.hosts();
-        let connected = hosts.iter().skip(1).all(|&d| {
-            bfs_path(ft.topology(), hosts[0], d, ok, |l| links.contains(&l)).is_some()
-        });
+        let connected = hosts
+            .iter()
+            .skip(1)
+            .all(|&d| bfs_path(ft.topology(), hosts[0], d, ok, |l| links.contains(&l)).is_some());
         t.row(&[
             format!("{}", level.index()),
             format!("{}", active.len()),
             format!("{}", links.len()),
-            format!(
-                "{:.0}",
-                power.power_w_for_counts(active.len(), links.len())
-            ),
+            format!("{:.0}", power.power_w_for_counts(active.len(), links.len())),
             format!("{connected}"),
             if off.is_empty() {
                 "-".to_string()
@@ -53,6 +58,8 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("paper shape: 20 → 18 → 14 → 13 active switches, all levels keep full host connectivity");
+    println!(
+        "paper shape: 20 → 18 → 14 → 13 active switches, all levels keep full host connectivity"
+    );
     eprons_bench::finish();
 }

@@ -20,7 +20,10 @@ const BACKGROUNDS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.50];
 const KS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
 
 fn main() {
-    banner("Fig. 11", "scale factor K vs tail latency and active switches");
+    banner(
+        "Fig. 11",
+        "scale factor K vs tail latency and active switches",
+    );
     let cfg = ClusterConfig::default();
     let candidates: Vec<ConsolidationSpec> =
         KS.iter().map(|&k| ConsolidationSpec::GreedyK(k)).collect();

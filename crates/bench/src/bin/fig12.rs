@@ -47,7 +47,10 @@ fn scheme_ctx<'c>(
 }
 
 fn main() {
-    banner("Fig. 12", "server power sensitivity (CPU watts, 16 servers × 12 cores)");
+    banner(
+        "Fig. 12",
+        "server power sensitivity (CPU watts, 16 servers × 12 cores)",
+    );
     let schemes = ServerScheme::ALL;
 
     let mut a = Table::new(
@@ -67,12 +70,22 @@ fn main() {
         a.row(&row);
     }
     println!("{a}");
-    println!("paper shape (a): Rubik highest of the managed schemes; EPRONS-Server lowest everywhere;");
+    println!(
+        "paper shape (a): Rubik highest of the managed schemes; EPRONS-Server lowest everywhere;"
+    );
     println!("Rubik+ and EPRONS beat TimeTrader except possibly at 10% load\n");
 
     let mut b = Table::new(
         "(b) CPU power (W) and e2e miss rate vs tail-latency constraint, 30% utilization",
-        &["constraint-ms", "no-pm", "rubik", "timetrader", "rubik+", "eprons", "eprons-miss%"],
+        &[
+            "constraint-ms",
+            "no-pm",
+            "rubik",
+            "timetrader",
+            "rubik+",
+            "eprons",
+            "eprons-miss%",
+        ],
     );
     let plain_b = context(0.3, 30.0, BASE_SEED + 1, 0.0);
     let tt_b = context(0.3, 30.0, BASE_SEED + 1, 60.0);

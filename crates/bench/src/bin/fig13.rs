@@ -22,7 +22,10 @@ use eprons_topo::AggregationLevel;
 const CONSTRAINTS_MS: [f64; 8] = [19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0];
 
 fn main() {
-    banner("Fig. 13", "total system power vs constraint × aggregation × background");
+    banner(
+        "Fig. 13",
+        "total system power vs constraint × aggregation × background",
+    );
     for (label, bg) in [("(a) 1%", 0.01), ("(b) 20%", 0.2), ("(c) 50%", 0.5)] {
         let base = ScenarioContext::build(
             &cfg_with_total_ms(CONSTRAINTS_MS[0]),

@@ -10,10 +10,14 @@ use eprons_sim::SimRng;
 use eprons_workload::diurnal::DiurnalProfile;
 
 fn main() {
-    banner("Fig. 14", "diurnal search-load and background-traffic traces");
+    banner(
+        "Fig. 14",
+        "diurnal search-load and background-traffic traces",
+    );
     let mut rng = SimRng::seed_from_u64(BASE_SEED);
     let search = DiurnalProfile::search_load().sample_day(&mut rng);
-    let bg = DiurnalProfile::background_traffic().sample_day(&mut SimRng::seed_from_u64(BASE_SEED + 1));
+    let bg =
+        DiurnalProfile::background_traffic().sample_day(&mut SimRng::seed_from_u64(BASE_SEED + 1));
 
     let mut t = Table::new(
         "hourly trace values",

@@ -14,7 +14,10 @@ use eprons_core::report::{pct, Table};
 use eprons_core::{simulate_day, ClusterConfig, DayStrategy};
 
 fn main() {
-    banner("Fig. 15", "diurnal total-power timeline and average savings");
+    banner(
+        "Fig. 15",
+        "diurnal total-power timeline and average savings",
+    );
     let cfg = ClusterConfig::default();
     let day = DayConfig {
         epoch_minutes: if quick() { 120 } else { 30 },
@@ -22,6 +25,7 @@ fn main() {
         peak_utilization: 0.5,
         seed: BASE_SEED,
         warm_start: true,
+        ..DayConfig::default()
     };
 
     let nopm = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
@@ -93,7 +97,9 @@ fn main() {
     println!("{b}");
     println!("paper anchors: EPRONS ≈25% avg / ≤31.25% peak total saving (peak at night);");
     println!("TimeTrader ≈8% avg / ≤12.5% peak, with zero network saving;");
-    println!("EPRONS total saving ≥ 2× TimeTrader's; EPRONS server-side saving alone beats TimeTrader");
+    println!(
+        "EPRONS total saving ≥ 2× TimeTrader's; EPRONS server-side saving alone beats TimeTrader"
+    );
     let feas = eprons.iter().filter(|r| r.feasible).count();
     println!("EPRONS feasible epochs: {feas}/{}", eprons.len());
 
@@ -106,8 +112,18 @@ fn main() {
         use eprons_topo::FatTree;
         let ft = FatTree::new(2, 1000.0);
         let mut fs = FlowSet::new();
-        fs.add(ft.hosts()[0], ft.hosts()[1], 300.0, FlowClass::LatencySensitive);
-        fs.add(ft.hosts()[1], ft.hosts()[0], 200.0, FlowClass::LatencyTolerant);
+        fs.add(
+            ft.hosts()[0],
+            ft.hosts()[1],
+            300.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.hosts()[1],
+            ft.hosts()[0],
+            200.0,
+            FlowClass::LatencyTolerant,
+        );
         let a = PathMilpConsolidator::default()
             .consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
             .expect("small exact instance solves");

@@ -68,8 +68,8 @@ use eprons_core::{
     set_thread_budget, ClusterConfig, ClusterRun, ConsolidateStrategy, ConsolidationSpec,
     ServerScheme,
 };
-use eprons_lp::Standardized;
 use eprons_lp::LpEngine;
+use eprons_lp::Standardized;
 use eprons_net::consolidate::path::build_path_model;
 use eprons_net::flow::FlowSet;
 use eprons_net::{ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator, PathArena};
@@ -108,7 +108,9 @@ fn main() {
 
     // --- Convolution kernel. ---
     let taps: Vec<f64> = (0..700).map(|i| 1.0 / (i + 1) as f64).collect();
-    r.bench("convolve/fft_planned/700x700", || convolve_fft(&taps, &taps));
+    r.bench("convolve/fft_planned/700x700", || {
+        convolve_fft(&taps, &taps)
+    });
     r.bench("convolve/fft_plan_per_call/2048", || {
         // What every call paid before the plan cache: build the twiddle
         // tables, transform, multiply, inverse.
@@ -198,9 +200,10 @@ fn main() {
     let warm_ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
     let mut warm_hint: Option<ConsolidationSpec> = None;
     r.bench("optimize_total_power/agg_ladder/serial_warm", || {
-        let choice = optimize_in_context_pruned(&warm_ctx, template.scheme, &candidates, &[], warm_hint)
-            .0
-            .unwrap();
+        let choice =
+            optimize_in_context_pruned(&warm_ctx, template.scheme, &candidates, &[], warm_hint)
+                .0
+                .unwrap();
         warm_hint = Some(choice.spec);
         choice.spec
     });
@@ -381,7 +384,11 @@ fn main() {
     // a curve whose shape one point per k already fixes. The LP pair
     // gets its own runner so `--quick` stays a smoke test while full
     // runs still average a few solves.
-    let ladder_ks: &[usize] = if quick() { &[4, 8] } else { &[4, 8, 16, 20, 24] };
+    let ladder_ks: &[usize] = if quick() {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 20, 24]
+    };
     let mut slow = Runner::new(0.0, 1);
     let mut lp_runner = if quick() {
         Runner::new(0.0, 1)
@@ -425,7 +432,9 @@ fn main() {
         let flows = antipodal_flows(&ft);
         let runner = if k >= 16 { &mut slow } else { &mut r };
         runner.bench(&format!("scale_ladder/consolidate/k{k}"), || {
-            GreedyConsolidator.consolidate(&ft, &flows, &greedy_cfg).unwrap()
+            GreedyConsolidator
+                .consolidate(&ft, &flows, &greedy_cfg)
+                .unwrap()
         });
     }
     // Engine shoot-out on the k=8 relaxation: six cross-pod flows give
@@ -453,9 +462,8 @@ fn main() {
         }
         fs
     };
-    let lp_sf = Standardized::from_model(
-        &build_path_model(&lp_arena, &lp_flows, &greedy_cfg).model,
-    );
+    let lp_sf =
+        Standardized::from_model(&build_path_model(&lp_arena, &lp_flows, &greedy_cfg).model);
     lp_runner.bench("scale_ladder/lp_dense/k8", || {
         lp_sf
             .solve_warm_with(None, LpEngine::Dense)
@@ -572,8 +580,12 @@ fn main() {
         .mean_of("optimize_total_power/agg_ladder/parallel_warm")
         .unwrap_or(serial_warm);
     let combined = serial_cold / parallel_warm;
-    let ladder_cold = r.mean_of("ladder_warm_start/cold_chain").expect("suite ran");
-    let ladder_warm = r.mean_of("ladder_warm_start/warm_chain").expect("suite ran");
+    let ladder_cold = r
+        .mean_of("ladder_warm_start/cold_chain")
+        .expect("suite ran");
+    let ladder_warm = r
+        .mean_of("ladder_warm_start/warm_chain")
+        .expect("suite ran");
     let reuse_cold = r
         .mean_of("scenario_reuse/cold_per_candidate")
         .expect("suite ran");
@@ -663,7 +675,10 @@ fn main() {
                 (
                     "ladder_warm_start".into(),
                     Json::Obj(vec![
-                        ("warm_over_cold".into(), Json::Num(ladder_cold / ladder_warm)),
+                        (
+                            "warm_over_cold".into(),
+                            Json::Num(ladder_cold / ladder_warm),
+                        ),
                         (
                             "chain_pivots_cold".into(),
                             Json::Num(chain_pivots_cold as f64),
@@ -681,16 +696,10 @@ fn main() {
                 (
                     "scale_ladder".into(),
                     Json::Obj(vec![
-                        (
-                            "sparse_over_dense_k8".into(),
-                            Json::Num(sparse_over_dense),
-                        ),
+                        ("sparse_over_dense_k8".into(), Json::Num(sparse_over_dense)),
                         ("target".into(), Json::Num(5.0)),
                         ("met".into(), Json::Bool(sparse_over_dense >= 5.0)),
-                        (
-                            "consolidate_k8_over_k4".into(),
-                            Json::Num(cons_blowup),
-                        ),
+                        ("consolidate_k8_over_k4".into(), Json::Num(cons_blowup)),
                         ("blowup_bound".into(), Json::Num(CONS_BLOWUP_BOUND)),
                         (
                             "within_bound".into(),
@@ -702,17 +711,11 @@ fn main() {
                     "pod_decomp".into(),
                     Json::Obj(vec![
                         ("k".into(), Json::Num(pd_k as f64)),
-                        (
-                            "decomposed_over_monolithic".into(),
-                            Json::Num(pd_speedup),
-                        ),
+                        ("decomposed_over_monolithic".into(), Json::Num(pd_speedup)),
                         ("target".into(), Json::Num(PD_TARGET)),
                         ("met".into(), Json::Bool(pd_speedup >= PD_TARGET)),
                         ("power_rel_gap".into(), Json::Num(pd_rel_gap)),
-                        (
-                            "verdicts_agree".into(),
-                            Json::Bool(pd_verdicts_agree),
-                        ),
+                        ("verdicts_agree".into(), Json::Bool(pd_verdicts_agree)),
                     ]),
                 ),
             ]),

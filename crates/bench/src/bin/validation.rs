@@ -11,13 +11,16 @@ use eprons_bench::{banner, pct_or_na, quick, BASE_SEED};
 use eprons_core::report::Table;
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
-    coresim::poisson_trace, simulate_core, AvgVpPolicy, CoreSimConfig, MaxVpPolicy,
-    ServiceModel, VpEngine,
+    coresim::poisson_trace, simulate_core, AvgVpPolicy, CoreSimConfig, MaxVpPolicy, ServiceModel,
+    VpEngine,
 };
 use eprons_sim::SimRng;
 
 fn main() {
-    banner("Validation", "measured miss rate vs VP target (the §III guarantee)");
+    banner(
+        "Validation",
+        "measured miss rate vs VP target (the §III guarantee)",
+    );
     let mut rng = SimRng::seed_from_u64(BASE_SEED);
     let service = ServiceModel::synthetic_xapian(&mut rng, 30_000, 160);
     let mean_t = service.mean_service_time(2.7);

@@ -25,7 +25,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
-use eprons_core::report::{journal_epoch_table, journal_kind_table, journal_pods_table, Table};
+use eprons_core::report::{
+    journal_epoch_table, journal_kind_table, journal_online_table, journal_pods_table, Table,
+};
 use eprons_obs::{Event, JournalEntry, Snapshot};
 
 /// Reads and parses a JSON-lines journal dump.
@@ -33,8 +35,7 @@ use eprons_obs::{Event, JournalEntry, Snapshot};
 /// # Errors
 /// Reports I/O failures and the first malformed line.
 pub fn load(path: &Path) -> Result<Vec<JournalEntry>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprons_obs::parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
@@ -80,7 +81,9 @@ impl SpanForest {
     /// (clamped at zero: parallel children can sum past the parent).
     pub fn self_s(&self, i: usize) -> f64 {
         let s = &self.spans[i];
-        let Some(elapsed) = s.elapsed_s else { return 0.0 };
+        let Some(elapsed) = s.elapsed_s else {
+            return 0.0;
+        };
         let in_children: f64 = s
             .children
             .iter()
@@ -235,6 +238,11 @@ pub fn summarize(entries: &[JournalEntry]) -> String {
         out.push('\n');
         out.push_str(&pods_table.to_string());
     }
+    let online_table = journal_online_table(entries);
+    if !online_table.is_empty() {
+        out.push('\n');
+        out.push_str(&online_table.to_string());
+    }
     for e in entries {
         if let Event::DayEnergy {
             strategy,
@@ -316,7 +324,9 @@ pub fn flame_leaf_coverage(entries: &[JournalEntry]) -> Option<f64> {
     let mut covered = 0.0;
     for &di in f.roots.iter().filter(|&&i| f.spans[i].name == "day") {
         let day = &f.spans[di];
-        let Some(day_elapsed) = day.elapsed_s else { continue };
+        let Some(day_elapsed) = day.elapsed_s else {
+            continue;
+        };
         let (d0, d1) = (day.start_s, day.start_s + day_elapsed);
         // Collect leaf intervals in this day's subtree.
         let mut ivs: Vec<(f64, f64)> = Vec::new();
@@ -416,8 +426,16 @@ pub fn diff(a: &[JournalEntry], b: &[JournalEntry], opts: &DiffOptions) -> Vec<S
         m
     };
     let (ka, kb) = (kind_counts(a), kind_counts(b));
-    for kind in ka.keys().copied().chain(kb.keys().copied()).collect::<std::collections::BTreeSet<_>>() {
-        let (na, nb) = (ka.get(kind).copied().unwrap_or(0), kb.get(kind).copied().unwrap_or(0));
+    for kind in ka
+        .keys()
+        .copied()
+        .chain(kb.keys().copied())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let (na, nb) = (
+            ka.get(kind).copied().unwrap_or(0),
+            kb.get(kind).copied().unwrap_or(0),
+        );
         if na != nb {
             out.push(format!("event count {kind}: {na} vs {nb}"));
         }
@@ -434,8 +452,15 @@ pub fn diff(a: &[JournalEntry], b: &[JournalEntry], opts: &DiffOptions) -> Vec<S
         m
     };
     let (sa, sb) = (name_counts(a), name_counts(b));
-    for name in sa.keys().chain(sb.keys()).collect::<std::collections::BTreeSet<_>>() {
-        let (na, nb) = (sa.get(name).copied().unwrap_or(0), sb.get(name).copied().unwrap_or(0));
+    for name in sa
+        .keys()
+        .chain(sb.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let (na, nb) = (
+            sa.get(name).copied().unwrap_or(0),
+            sb.get(name).copied().unwrap_or(0),
+        );
         if na != nb {
             out.push(format!("span count {name}: {na} vs {nb}"));
         }
@@ -455,7 +480,11 @@ pub fn diff(a: &[JournalEntry], b: &[JournalEntry], opts: &DiffOptions) -> Vec<S
             .into_iter()
             .filter(|&(_, n)| n != 0)
             .map(|(line, n)| {
-                let side = if n > 0 { "only in first" } else { "only in second" };
+                let side = if n > 0 {
+                    "only in first"
+                } else {
+                    "only in second"
+                };
                 format!("{side} (×{}): {line}", n.abs())
             })
             .collect();
@@ -544,14 +573,21 @@ pub fn diff(a: &[JournalEntry], b: &[JournalEntry], opts: &DiffOptions) -> Vec<S
         let totals = |es: &[JournalEntry]| -> BTreeMap<String, f64> {
             let mut m = BTreeMap::new();
             for e in es {
-                if let Event::SpanEnd { name, elapsed_s, .. } = &e.event {
+                if let Event::SpanEnd {
+                    name, elapsed_s, ..
+                } = &e.event
+                {
                     *m.entry(name.clone()).or_insert(0.0) += elapsed_s;
                 }
             }
             m
         };
         let (ta, tb) = (totals(a), totals(b));
-        for name in ta.keys().chain(tb.keys()).collect::<std::collections::BTreeSet<_>>() {
+        for name in ta
+            .keys()
+            .chain(tb.keys())
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let (v1, v2) = (
                 ta.get(name).copied().unwrap_or(0.0),
                 tb.get(name).copied().unwrap_or(0.0),
@@ -590,6 +626,10 @@ pub struct AuditReport {
     /// Pod-decomposed consolidation passes checked for per-pod span
     /// coverage and round-0 conservation.
     pub pod_passes: usize,
+    /// Hysteresis holds seen (online-controller days).
+    pub holds: usize,
+    /// Megabit-minutes of deferred demand whose conservation was checked.
+    pub deferred_mbps_min: f64,
 }
 
 impl AuditReport {
@@ -608,6 +648,13 @@ impl AuditReport {
             out.push_str(&format!(
                 "audited {} pod-decomposed consolidation pass(es)\n",
                 self.pod_passes
+            ));
+        }
+        if self.holds > 0 || self.deferred_mbps_min > 0.0 {
+            out.push_str(&format!(
+                "audited online controller: {} hysteresis hold(s), \
+                 {:.1} mbps-min deferred\n",
+                self.holds, self.deferred_mbps_min
             ));
         }
         for n in &self.notes {
@@ -646,6 +693,11 @@ impl AuditReport {
 ///    `solved + cached = pods` on each `PodConsolidation` event, and
 ///    the span-level cache-hit/resolve tallies reconcile with the
 ///    event-level `net.pods.*` tallies.
+/// 7. **Deferral conservation** — per day, every megabit-minute a
+///    `DeferralEnqueued` event adds to the online controller's queue is
+///    eventually accounted by a `DeferralDrained` event as drained or
+///    dropped; the books must close exactly because the controller
+///    flushes leftovers as dropped at the day boundary.
 pub fn audit(entries: &[JournalEntry], rel_tol: f64) -> AuditReport {
     let mut r = AuditReport::default();
 
@@ -879,7 +931,9 @@ fn audit_day(group: &[JournalEntry], tag: &str, epochs: u64, rel_tol: f64, r: &m
         })
         .collect();
     for (&epoch, &(w0, w1)) in &windows {
-        let Some((_, snap)) = snaps.get(&epoch) else { continue };
+        let Some((_, snap)) = snaps.get(&epoch) else {
+            continue;
+        };
         // Half-open [w0, w1): the same binning `events_in` used when the
         // controller charged the epoch.
         let repaired_j: f64 = outcomes
@@ -948,6 +1002,45 @@ fn audit_day(group: &[JournalEntry], tag: &str, epochs: u64, rel_tol: f64, r: &m
         None => r.violations.push(format!("{tag}: no DayEnergy roll-up")),
     }
 
+    // --- Deferral conservation (check 7): the day's queue ledger must
+    // close — enqueued == drained + dropped, exactly, because the
+    // controller flushes leftovers as dropped at the day boundary. ---
+    let (mut def_in, mut def_out, mut def_events) = (0.0f64, 0.0f64, 0usize);
+    for e in group {
+        match &e.event {
+            Event::DeferralEnqueued { mbps_min, .. } => {
+                def_in += mbps_min;
+                def_events += 1;
+            }
+            Event::DeferralDrained {
+                drained_mbps_min,
+                dropped_mbps_min,
+                ..
+            } => {
+                def_out += drained_mbps_min + dropped_mbps_min;
+                def_events += 1;
+            }
+            _ => {}
+        }
+    }
+    if def_events > 0 {
+        r.deferred_mbps_min += def_in;
+        if !within(def_in, def_out, rel_tol) {
+            r.violations.push(format!(
+                "{tag}: deferral books don't close: {def_in:.6} mbps-min \
+                 enqueued ≠ {def_out:.6} drained+dropped"
+            ));
+        }
+    }
+
+    // --- Hysteresis holds: tallied here, and consumed below to relax
+    // the winner check on epochs where the online controller overrode
+    // the optimizer's committed winner. ---
+    r.holds += group
+        .iter()
+        .filter(|e| matches!(&e.event, Event::HysteresisHold { .. }))
+        .count();
+
     // --- Winner uniqueness per serial epoch window. ---
     let epoch_starts: BTreeMap<u64, usize> = group
         .iter()
@@ -982,7 +1075,9 @@ fn audit_day(group: &[JournalEntry], tag: &str, epochs: u64, rel_tol: f64, r: &m
         let window = &group[start_pos..=snap_pos];
         let searches = window
             .iter()
-            .filter(|e| matches!(&e.event, Event::SpanStart { name, .. } if name == "optimizer.search"))
+            .filter(
+                |e| matches!(&e.event, Event::SpanStart { name, .. } if name == "optimizer.search"),
+            )
             .count();
         let choices: Vec<&str> = window
             .iter()
@@ -1008,11 +1103,24 @@ fn audit_day(group: &[JournalEntry], tag: &str, epochs: u64, rel_tol: f64, r: &m
         }
         let last = choices[choices.len() - 1];
         if last != snap.choice {
-            r.violations.push(format!(
-                "{tag}: epoch {epoch} snapshot carries '{}' but the last \
-                 committed winner was '{last}'",
-                snap.choice
-            ));
+            // An online hysteresis hold legitimately overrides the
+            // optimizer's committed winner: accept the mismatch iff a
+            // HysteresisHold inside this epoch's window held exactly the
+            // snapshot's configuration against exactly that winner.
+            let overridden = window.iter().any(|e| {
+                matches!(
+                    &e.event,
+                    Event::HysteresisHold { desired, held, .. }
+                        if desired == last && held == &snap.choice
+                )
+            });
+            if !overridden {
+                r.violations.push(format!(
+                    "{tag}: epoch {epoch} snapshot carries '{}' but the last \
+                     committed winner was '{last}'",
+                    snap.choice
+                ));
+            }
         }
     }
 }
@@ -1168,7 +1276,10 @@ mod tests {
         }
         let r = audit(&entries, 1.0e-9);
         assert!(r.violations.iter().any(|v| v.contains("segment energy")));
-        assert!(r.violations.iter().any(|v| v.contains("RepairOutcome boot")));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("RepairOutcome boot")));
         assert!(r.violations.iter().any(|v| v.contains("DayEnergy")));
     }
 
@@ -1176,12 +1287,109 @@ mod tests {
     fn audit_flags_missing_winner_and_double_commit() {
         let mut entries = clean_day();
         // Remove epoch 0's OptimizerChoice: a search with no winner.
-        entries.retain(|e| {
-            !matches!(&e.event, Event::OptimizerChoice { k, .. } if k == "agg2")
-        });
+        entries.retain(|e| !matches!(&e.event, Event::OptimizerChoice { k, .. } if k == "agg2"));
         let r = audit(&entries, 1.0e-9);
         assert!(
             r.violations.iter().any(|v| v.contains("no winner")),
+            "got: {:?}",
+            r.violations
+        );
+    }
+
+    /// `clean_day` with epoch 1 held by hysteresis: the snapshot keeps
+    /// epoch 0's configuration while the optimizer committed `agg1`.
+    fn held_day(held: &str) -> Vec<JournalEntry> {
+        let mut entries = clean_day();
+        let snap_pos = entries
+            .iter()
+            .position(|e| matches!(&e.event, Event::EpochSnapshot(s) if s.epoch == 1))
+            .expect("epoch 1 snapshot");
+        entries.insert(
+            snap_pos,
+            JournalEntry {
+                seq: 900,
+                event: Event::HysteresisHold {
+                    epoch: 1,
+                    desired: "agg1".into(),
+                    held: held.to_string(),
+                    saving_w: 2.0,
+                    transition_j: 400.0,
+                    reason: "payback".into(),
+                },
+            },
+        );
+        for e in &mut entries {
+            if let Event::EpochSnapshot(s) = &mut e.event {
+                if s.epoch == 1 {
+                    s.choice = held.to_string();
+                }
+            }
+        }
+        entries
+    }
+
+    #[test]
+    fn audit_accepts_hysteresis_override_of_the_committed_winner() {
+        let r = audit(&held_day("agg2"), 1.0e-9);
+        assert!(r.is_clean(), "unexpected violations: {:?}", r.violations);
+        assert_eq!(r.holds, 1);
+        assert!(r.render().contains("hysteresis hold"));
+    }
+
+    #[test]
+    fn audit_still_flags_a_snapshot_the_hold_does_not_explain() {
+        // The hold says the controller kept "agg4"; the snapshot carries
+        // "agg8". Neither matches the committed winner, so this is a
+        // genuine winner/snapshot divergence, not a hysteresis override.
+        let mut entries = held_day("agg4");
+        for e in &mut entries {
+            if let Event::EpochSnapshot(s) = &mut e.event {
+                if s.epoch == 1 {
+                    s.choice = "agg8".into();
+                }
+            }
+        }
+        let r = audit(&entries, 1.0e-9);
+        assert!(
+            r.violations.iter().any(|v| v.contains("committed winner")),
+            "got: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn audit_closes_and_flags_the_deferral_books() {
+        // Balanced ledger: 500 enqueued, 300 drained + 200 dropped.
+        let mut entries = clean_day();
+        entries.push(JournalEntry {
+            seq: 901,
+            event: Event::DeferralEnqueued {
+                epoch: 0,
+                mbps_min: 500.0,
+                queue_mbps_min: 500.0,
+                slack_epochs: 12,
+            },
+        });
+        entries.push(JournalEntry {
+            seq: 902,
+            event: Event::DeferralDrained {
+                epoch: 1,
+                drained_mbps_min: 300.0,
+                dropped_mbps_min: 200.0,
+                queue_mbps_min: 0.0,
+            },
+        });
+        let r = audit(&entries, 1.0e-9);
+        assert!(r.is_clean(), "unexpected violations: {:?}", r.violations);
+        assert_eq!(r.deferred_mbps_min, 500.0);
+
+        // Losing the drain event leaves 500 mbps-min unaccounted.
+        entries.pop();
+        let r = audit(&entries, 1.0e-9);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("deferral books don't close")),
             "got: {:?}",
             r.violations
         );
@@ -1346,8 +1554,16 @@ mod tests {
         j.record(start(303, 301, "pod.consolidate"));
         j.record(end(303, "pod.consolidate", "pod=1 of=2 cached=true"));
         j.record(start(304, 301, "pod.consolidate"));
-        j.record(end(304, "pod.consolidate", "pod=0 of=2 cached=false resolve=true"));
-        j.record(end(301, "net.consolidate", "algo=pod_decomposed flows=64 pods=2"));
+        j.record(end(
+            304,
+            "pod.consolidate",
+            "pod=0 of=2 cached=false resolve=true",
+        ));
+        j.record(end(
+            301,
+            "net.consolidate",
+            "algo=pod_decomposed flows=64 pods=2",
+        ));
         j.record(Event::PodConsolidation {
             pods: 2,
             solved: 1,
@@ -1371,11 +1587,7 @@ mod tests {
     #[test]
     fn audit_accepts_covering_pod_pass() {
         let r = audit(&pod_pass(), 1.0e-9);
-        let pod_violations: Vec<_> = r
-            .violations
-            .iter()
-            .filter(|v| v.contains("pod"))
-            .collect();
+        let pod_violations: Vec<_> = r.violations.iter().filter(|v| v.contains("pod")).collect();
         assert!(pod_violations.is_empty(), "{pod_violations:?}");
         assert_eq!(r.pod_passes, 1);
         assert!(r.render().contains("1 pod-decomposed"));
@@ -1387,12 +1599,18 @@ mod tests {
         // the span-level cache tally no longer matches the event.
         let entries: Vec<JournalEntry> = pod_pass()
             .into_iter()
-            .filter(|e| !matches!(&e.event,
-                Event::SpanStart { id: 303, .. } | Event::SpanEnd { id: 303, .. }))
+            .filter(|e| {
+                !matches!(
+                    &e.event,
+                    Event::SpanStart { id: 303, .. } | Event::SpanEnd { id: 303, .. }
+                )
+            })
             .collect();
         let r = audit(&entries, 1.0e-9);
         assert!(
-            r.violations.iter().any(|v| v.contains("pod 1 has 0 round-0")),
+            r.violations
+                .iter()
+                .any(|v| v.contains("pod 1 has 0 round-0")),
             "{:?}",
             r.violations
         );

@@ -33,13 +33,16 @@ fn obsctl_audits_a_fault_injected_day_clean() {
         peak_utilization: 0.5,
         seed: 2018,
         warm_start: true,
+        ..DayConfig::default()
     };
     let strategy = DayStrategy::Eprons {
         candidates: aggregation_candidates(),
     };
     // Core (0,0) is active in every aggregation preset: fail at 12:10,
     // recover at 12:50 — both inside epoch 3 ([720, 960)).
-    let core = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps).core(0, 0).0;
+    let core = FatTree::new(cfg.fat_tree_k, cfg.link_capacity_mbps)
+        .core(0, 0)
+        .0;
     let schedule = FailureSchedule::scripted(vec![
         FailureEvent {
             minute: 730.0,
@@ -56,7 +59,10 @@ fn obsctl_audits_a_fault_injected_day_clean() {
     let records = simulate_day_with_failures(&cfg, &strategy, &day, &schedule);
     assert_eq!(records.len(), 6);
     let boot_j: f64 = records.iter().map(|r| r.boot_energy_j).sum();
-    assert!(boot_j > 0.0, "the repair + recovery must charge boot energy");
+    assert!(
+        boot_j > 0.0,
+        "the repair + recovery must charge boot energy"
+    );
 
     // Dump and reload through the real file path (what CI does).
     let journal = eprons_obs::journal();

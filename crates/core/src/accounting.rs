@@ -69,14 +69,13 @@ pub(crate) fn assemble(
     let e2e_misses = e2e.iter().filter(|&&l| l > cfg.sla.total_s()).count();
 
     let network_w = plan.assignment.network_power_w(&d.ft, &cfg.net_power);
-    let active_switch_ids: Vec<usize> = d
-        .ft
-        .topology()
-        .switches()
-        .into_iter()
-        .filter(|&node| plan.assignment.state().node_on(node))
-        .map(|node| node.0)
-        .collect();
+    let active_switch_ids: Vec<usize> =
+        d.ft.topology()
+            .switches()
+            .into_iter()
+            .filter(|&node| plan.assignment.state().node_on(node))
+            .map(|node| node.0)
+            .collect();
     ClusterRunResult {
         breakdown: PowerBreakdown {
             server_w,

@@ -36,6 +36,103 @@ impl Default for FailurePolicyConfig {
     }
 }
 
+/// Hysteresis on epoch-boundary switch transitions (the online
+/// controller's flap damper).
+///
+/// The epoch-batch day loop re-decides every epoch from scratch, so a
+/// demand point sitting on a candidate boundary toggles switches each
+/// epoch even though [`TransitionModel`] prices every toggle. Under
+/// hysteresis the controller only commits a reconfiguration when the
+/// priced transition energy is recovered within `payback_horizon_epochs`
+/// (the projected saving `saving_w × horizon` must exceed
+/// `margin × transition_energy_j`), and every switch a transition
+/// toggles enters a `cooldown_epochs`-epoch quarantine during which
+/// further toggles of that switch are held. Holding is never allowed to
+/// break the SLA: when the held configuration is infeasible and the
+/// optimizer's pick is feasible, the controller switches regardless.
+#[derive(Debug, Clone)]
+pub struct HysteresisConfig {
+    /// Epochs over which a transition's energy must pay for itself.
+    pub payback_horizon_epochs: usize,
+    /// Per-switch quarantine after a toggle, epochs.
+    pub cooldown_epochs: usize,
+    /// Multiplier on the priced transition energy (>1 = more reluctant).
+    pub margin: f64,
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        HysteresisConfig {
+            payback_horizon_epochs: 3,
+            cooldown_epochs: 2,
+            margin: 1.0,
+        }
+    }
+}
+
+/// Temporal deferral of latency-tolerant background flows into demand
+/// troughs ("Dynamic Deferral of Workload for Capacity Provisioning in
+/// Data Centers", PAPERS.md).
+///
+/// Background (elephant) traffic above `defer_threshold` of link
+/// capacity is shaved into a bounded queue — at most `max_defer_fraction`
+/// of the epoch's demand, and only while the queue holds less than
+/// `queue_cap_mbps_min` megabit-minutes. Each enqueued slab carries a
+/// slack budget of `slack_epochs`; the queue drains greedily (FIFO)
+/// whenever demand sits below `drain_headroom`, and slabs that outlive
+/// their slack are dropped (counted, journaled, and conserved by
+/// `obsctl audit`: enqueued == drained + dropped).
+#[derive(Debug, Clone)]
+pub struct DeferralConfig {
+    /// Background utilization above which demand is shaved into the queue.
+    pub defer_threshold: f64,
+    /// Background utilization the drain path is allowed to fill up to.
+    pub drain_headroom: f64,
+    /// Largest fraction of an epoch's background demand that may defer.
+    pub max_defer_fraction: f64,
+    /// Queue bound, megabit-minutes of deferred traffic.
+    pub queue_cap_mbps_min: f64,
+    /// Epochs a deferred slab may wait before it is dropped.
+    pub slack_epochs: usize,
+}
+
+impl Default for DeferralConfig {
+    fn default() -> Self {
+        DeferralConfig {
+            defer_threshold: 0.35,
+            drain_headroom: 0.30,
+            max_defer_fraction: 0.5,
+            // Two utilization-epochs at a 1 Gbps link and 60-minute
+            // epochs: enough to shave both diurnal background peaks
+            // without becoming an unbounded sink for dropped work.
+            queue_cap_mbps_min: 120_000.0,
+            slack_epochs: 12,
+        }
+    }
+}
+
+/// The online streaming controller's knobs: hysteresis on switch
+/// transitions and workload deferral, each independently optional.
+/// `OnlineConfig::default()` leaves both off (sequential streaming only);
+/// [`OnlineConfig::enabled`] turns both on with their default tuning.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineConfig {
+    /// Transition hysteresis; `None` commits every optimizer pick.
+    pub hysteresis: Option<HysteresisConfig>,
+    /// Background-flow deferral; `None` admits all demand immediately.
+    pub deferral: Option<DeferralConfig>,
+}
+
+impl OnlineConfig {
+    /// Both mechanisms on, default tuning.
+    pub fn enabled() -> Self {
+        OnlineConfig {
+            hysteresis: Some(HysteresisConfig::default()),
+            deferral: Some(DeferralConfig::default()),
+        }
+    }
+}
+
 /// Which consolidation architecture `GreedyK` network plans run.
 ///
 /// `Monolithic` is the flat greedy over all flows — the differential
@@ -295,6 +392,22 @@ mod tests {
             let _ = parsed.name();
         }
         assert!("bogus".parse::<ConsolidateStrategy>().is_err());
+    }
+
+    #[test]
+    fn online_defaults_are_coherent() {
+        let o = OnlineConfig::enabled();
+        let h = o.hysteresis.unwrap();
+        let d = o.deferral.unwrap();
+        assert!(h.payback_horizon_epochs >= 1 && h.margin > 0.0);
+        // Draining must stop below the defer threshold or the controller
+        // would re-defer what it just drained, ping-ponging the queue.
+        assert!(d.drain_headroom <= d.defer_threshold);
+        assert!(d.max_defer_fraction > 0.0 && d.max_defer_fraction <= 1.0);
+        assert!(d.queue_cap_mbps_min > 0.0 && d.slack_epochs >= 1);
+        // Off by default: the epoch-batch day loop stays the default path.
+        let off = OnlineConfig::default();
+        assert!(off.hysteresis.is_none() && off.deferral.is_none());
     }
 
     #[test]

@@ -13,19 +13,33 @@
 //! (charging boot energy for woken backups), re-consolidation around the
 //! failure, all-on fallback, or, when even that cannot route, an
 //! unprotected epoch whose SLA flag is forced false.
+//!
+//! Setting [`DayConfig::online`] turns the loop into an **online
+//! streaming controller**: epochs run strictly in sequence carrying
+//! state across boundaries — per-switch cooldowns and a payback-priced
+//! hysteresis filter on reconfigurations ([`HysteresisConfig`]), plus a
+//! bounded deferral queue that shaves latency-tolerant background demand
+//! off peaks and drains it into troughs ([`DeferralConfig`]). Demand is
+//! still observed per minute through [`DemandPredictor`] (§II's 90th
+//! percentile); predictions are exogenous to the control decisions, so
+//! the streamed timeline stays a deterministic pure function of its
+//! inputs and is bit-identical across thread budgets.
+
+use std::collections::{BTreeMap, VecDeque};
 
 use eprons_net::failure::{DegradationPolicy, DegradationStage, FailureEventKind, FailureSchedule};
-use eprons_net::transition::{Churn, TransitionModel};
-use eprons_net::{Assignment, DemandPredictor, NetworkState};
 use eprons_net::flow::FlowId;
+use eprons_net::transition::{worth_switching, Churn, TransitionModel};
+use eprons_net::{Assignment, DemandPredictor, NetworkState};
 use eprons_sim::SimRng;
 use eprons_topo::{FatTree, NodeId};
+use eprons_workload::adversarial::TraceScenario;
 use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
-use crate::cluster::{ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
-use crate::config::ClusterConfig;
-use crate::optimizer::{optimize_in_context, optimize_in_context_pruned};
 use crate::accounting::PowerBreakdown;
+use crate::cluster::{ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
+use crate::config::{ClusterConfig, DeferralConfig, HysteresisConfig, OnlineConfig};
+use crate::optimizer::{optimize_in_context, optimize_in_context_pruned};
 use crate::parallel::parallel_map;
 use crate::scenario::{ScenarioContext, ScenarioSpec};
 
@@ -87,6 +101,15 @@ pub struct DayRecord {
     /// Worst degradation-ladder rung a mid-epoch failure forced, if any.
     /// `None` on epochs that ran their chosen configuration untouched.
     pub degradation: Option<DegradationStage>,
+    /// Megabit-minutes of background demand the online controller
+    /// deferred out of this epoch (always 0 in epoch-batch mode).
+    pub deferred_mbps_min: f64,
+    /// Megabit-minutes of previously deferred demand drained into this
+    /// epoch's trough (always 0 in epoch-batch mode).
+    pub drained_mbps_min: f64,
+    /// True when the hysteresis filter held the previous epoch's
+    /// configuration against the optimizer's preferred pick.
+    pub held_by_hysteresis: bool,
 }
 
 /// Day-simulation knobs.
@@ -108,6 +131,16 @@ pub struct DayConfig {
     /// the evaluation order). The hint is dropped whenever the failure
     /// mask or the demand fingerprint moved since the previous epoch.
     pub warm_start: bool,
+    /// Search-load trace for the day. Defaults to the paper's sinusoidal
+    /// diurnal profile; swap in a [`TraceScenario::FlashCrowd`] or
+    /// [`TraceScenario::Step`] to stress the controller adversarially.
+    pub search_trace: TraceScenario,
+    /// Background-traffic trace (same default/options as `search_trace`).
+    pub background_trace: TraceScenario,
+    /// Online streaming-controller extensions (hysteresis + deferral).
+    /// `None` keeps the epoch-batch loop; `Some` forces sequential
+    /// epochs with cross-epoch state.
+    pub online: Option<OnlineConfig>,
 }
 
 impl Default for DayConfig {
@@ -118,6 +151,198 @@ impl Default for DayConfig {
             peak_utilization: 0.5,
             seed: 2018,
             warm_start: true,
+            search_trace: TraceScenario::Diurnal(DiurnalProfile::search_load()),
+            background_trace: TraceScenario::Diurnal(DiurnalProfile::background_traffic()),
+            online: None,
+        }
+    }
+}
+
+/// Cross-epoch hysteresis state: the configuration that was live when
+/// the previous epoch closed, plus per-switch cooldown counters.
+struct HysteresisState {
+    knobs: HysteresisConfig,
+    model: TransitionModel,
+    /// Epoch length in seconds (the payback horizon's time unit).
+    epoch_s: f64,
+    /// Spec live at the end of the previous epoch.
+    prev_spec: Option<ConsolidationSpec>,
+    /// Active switch ids at the end of the previous epoch.
+    prev_ids: Option<Vec<usize>>,
+    /// Switch id → epochs of quarantine left after its last toggle.
+    cooldown: BTreeMap<usize, usize>,
+}
+
+impl HysteresisState {
+    fn new(knobs: HysteresisConfig, model: TransitionModel, epoch_s: f64) -> Self {
+        HysteresisState {
+            knobs,
+            model,
+            epoch_s,
+            prev_spec: None,
+            prev_ids: None,
+            cooldown: BTreeMap::new(),
+        }
+    }
+
+    /// True if any switch the churn would toggle is still quarantined.
+    fn any_cooling(&self, churn: &Churn) -> bool {
+        churn
+            .turned_on
+            .iter()
+            .chain(churn.turned_off.iter())
+            .any(|s| self.cooldown.get(s).is_some_and(|&c| c > 0))
+    }
+
+    /// Closes an epoch: ages every cooldown by one epoch, then quarantines
+    /// the switches this epoch actually toggled (whether the toggle came
+    /// from the optimizer or from the mid-epoch failure ladder).
+    fn finish_epoch(&mut self, spec: ConsolidationSpec, live_ids: &[usize]) {
+        self.cooldown.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+        if let Some(prev_ids) = &self.prev_ids {
+            let churn = Churn::between(prev_ids, live_ids);
+            for &s in churn.turned_on.iter().chain(churn.turned_off.iter()) {
+                if self.knobs.cooldown_epochs > 0 {
+                    self.cooldown.insert(s, self.knobs.cooldown_epochs);
+                }
+            }
+        }
+        self.prev_ids = Some(live_ids.to_vec());
+        self.prev_spec = Some(spec);
+    }
+}
+
+/// One slab of deferred background demand waiting for a trough.
+struct DeferredSlab {
+    mbps_min: f64,
+    /// Last epoch index at which this slab may still drain.
+    deadline_epoch: usize,
+}
+
+/// What the deferral queue did to one epoch's demand.
+struct DeferralOutcome {
+    /// Background utilization the controller actually admits this epoch.
+    bg: f64,
+    enqueued_mbps_min: f64,
+    drained_mbps_min: f64,
+}
+
+/// The bounded deferral queue: FIFO slabs of shaved background demand in
+/// megabit-minutes, each with a slack deadline. Conservation invariant
+/// (checked by `obsctl audit` over the journal): every megabit-minute
+/// enqueued is eventually drained or dropped — never silently lost.
+struct DeferralQueue {
+    knobs: DeferralConfig,
+    /// Converts background *utilization* to megabit-minutes per epoch.
+    util_to_mbps_min: f64,
+    slabs: VecDeque<DeferredSlab>,
+    depth_mbps_min: f64,
+}
+
+impl DeferralQueue {
+    fn new(knobs: DeferralConfig, link_capacity_mbps: f64, epoch_minutes: f64) -> Self {
+        DeferralQueue {
+            knobs,
+            util_to_mbps_min: link_capacity_mbps * epoch_minutes,
+            slabs: VecDeque::new(),
+            depth_mbps_min: 0.0,
+        }
+    }
+
+    /// Applies the queue to epoch `e`'s predicted background demand:
+    /// expired slabs drop first, then demand above the defer threshold is
+    /// shaved into the queue (bounded by the per-epoch fraction and the
+    /// queue cap), or — in a trough — queued slabs drain greedily up to
+    /// the drain headroom. Emits the journal events the conservation
+    /// audit sums.
+    fn step(&mut self, e: usize, predicted_bg: f64, obs_on: bool) -> DeferralOutcome {
+        // Uniform slack makes deadlines FIFO-monotone: expiry only ever
+        // needs to look at the front.
+        let mut dropped = 0.0;
+        while self.slabs.front().is_some_and(|s| s.deadline_epoch < e) {
+            let slab = self.slabs.pop_front().expect("front exists");
+            dropped += slab.mbps_min;
+            self.depth_mbps_min -= slab.mbps_min;
+        }
+        let mut bg = predicted_bg;
+        let mut enqueued = 0.0;
+        let mut drained = 0.0;
+        if bg > self.knobs.defer_threshold {
+            let want = (bg - self.knobs.defer_threshold).min(bg * self.knobs.max_defer_fraction);
+            let room = (self.knobs.queue_cap_mbps_min - self.depth_mbps_min).max(0.0);
+            let amount_util = want.min(room / self.util_to_mbps_min);
+            if amount_util > 1e-9 {
+                enqueued = amount_util * self.util_to_mbps_min;
+                self.slabs.push_back(DeferredSlab {
+                    mbps_min: enqueued,
+                    deadline_epoch: e + self.knobs.slack_epochs,
+                });
+                self.depth_mbps_min += enqueued;
+                bg -= amount_util;
+                if obs_on {
+                    eprons_obs::record(eprons_obs::Event::DeferralEnqueued {
+                        epoch: e as u64,
+                        mbps_min: enqueued,
+                        queue_mbps_min: self.depth_mbps_min,
+                        slack_epochs: self.knobs.slack_epochs as u64,
+                    });
+                }
+            }
+        } else if bg < self.knobs.drain_headroom {
+            let mut head = (self.knobs.drain_headroom - bg) * self.util_to_mbps_min;
+            while head > 1e-9 {
+                let Some(front) = self.slabs.front_mut() else {
+                    break;
+                };
+                let take = front.mbps_min.min(head);
+                front.mbps_min -= take;
+                self.depth_mbps_min -= take;
+                drained += take;
+                head -= take;
+                if front.mbps_min <= 1e-9 {
+                    // Absorb the sub-nanobit residue into the drain so the
+                    // running depth and the slab sum cannot drift apart.
+                    drained += front.mbps_min;
+                    self.depth_mbps_min -= front.mbps_min;
+                    self.slabs.pop_front();
+                }
+            }
+            bg += drained / self.util_to_mbps_min;
+        }
+        if obs_on && (drained > 0.0 || dropped > 0.0) {
+            eprons_obs::record(eprons_obs::Event::DeferralDrained {
+                epoch: e as u64,
+                drained_mbps_min: drained,
+                dropped_mbps_min: dropped,
+                queue_mbps_min: self.depth_mbps_min,
+            });
+        }
+        DeferralOutcome {
+            bg,
+            enqueued_mbps_min: enqueued,
+            drained_mbps_min: drained,
+        }
+    }
+
+    /// End of day: whatever is still queued missed its window and is
+    /// dropped, so the journal's conservation sum closes exactly.
+    fn flush(&mut self, e: usize, obs_on: bool) {
+        if self.slabs.is_empty() {
+            return;
+        }
+        let dropped = self.depth_mbps_min;
+        self.slabs.clear();
+        self.depth_mbps_min = 0.0;
+        if obs_on {
+            eprons_obs::record(eprons_obs::Event::DeferralDrained {
+                epoch: e as u64,
+                drained_mbps_min: 0.0,
+                dropped_mbps_min: dropped,
+                queue_mbps_min: 0.0,
+            });
         }
     }
 }
@@ -161,8 +386,8 @@ pub fn simulate_day_with_failures(
     schedule: &FailureSchedule,
 ) -> Vec<DayRecord> {
     let mut rng = SimRng::seed_from_u64(day.seed);
-    let search = DiurnalProfile::search_load().sample_day(&mut rng.fork(1));
-    let background = DiurnalProfile::background_traffic().sample_day(&mut rng.fork(2));
+    let search = day.search_trace.sample_day(&mut rng.fork(1));
+    let background = day.background_trace.sample_day(&mut rng.fork(2));
     let epochs = MINUTES_PER_DAY / day.epoch_minutes;
     let obs_on = eprons_obs::enabled();
     // Root of the day's causal-span tree; epoch spans attach to it by id
@@ -191,9 +416,7 @@ pub fn simulate_day_with_failures(
     for e in 0..epochs {
         let start = e * day.epoch_minutes;
         // Act on the last epoch's prediction (first epoch: observe only).
-        let predicted = predictor
-            .predict(FlowId(0))
-            .unwrap_or(background[start]);
+        let predicted = predictor.predict(FlowId(0)).unwrap_or(background[start]);
         predicted_bg.push(predicted.clamp(0.01, 0.95));
         for &obs in &background[start..start + day.epoch_minutes] {
             predictor.observe(FlowId(0), obs);
@@ -218,9 +441,10 @@ pub fn simulate_day_with_failures(
     let eval_epoch = |e: usize,
                       minute: f64,
                       load: f64,
-                      warm_hint: Option<ConsolidationSpec>|
+                      bg: f64,
+                      warm_hint: Option<ConsolidationSpec>,
+                      hyst: Option<&mut HysteresisState>|
      -> (DayRecord, ConsolidationSpec) {
-        let bg = predicted_bg[e];
         let mut epoch_span = eprons_obs::Span::enter_under(day_span_id, "epoch");
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochStart {
@@ -258,18 +482,14 @@ pub fn simulate_day_with_failures(
         let end = start + day.epoch_minutes as f64;
         // Switches down when the epoch opens are masked out of every
         // candidate this epoch considers.
-        let mut mask: Vec<NodeId> = schedule
-            .failed_at(start)
-            .into_iter()
-            .map(NodeId)
-            .collect();
+        let mut mask: Vec<NodeId> = schedule.failed_at(start).into_iter().map(NodeId).collect();
         let mut failed_switches: Vec<usize> = mask.iter().map(|n| n.0).collect();
 
         // One scenario build per epoch; the optimizer's candidate ladder
         // shares it, so each candidate pays only consolidation + latency
         // sampling + DVFS simulation.
         let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(&run));
-        let (result, base_feasible, mut degradation, mut spec): (
+        let (mut result, mut base_feasible, mut degradation, mut spec): (
             ClusterRunResult,
             bool,
             Option<DegradationStage>,
@@ -298,10 +518,72 @@ pub fn simulate_day_with_failures(
                     let r = ctx
                         .evaluate(scheme, ConsolidationSpec::AllOn)
                         .expect("all-on never fails");
-                    (r, false, Some(DegradationStage::Unprotected), ConsolidationSpec::AllOn)
+                    (
+                        r,
+                        false,
+                        Some(DegradationStage::Unprotected),
+                        ConsolidationSpec::AllOn,
+                    )
                 }
             },
         };
+        // --- Online hysteresis: commit the optimizer's reconfiguration
+        // only when the priced transition energy pays back within the
+        // configured horizon AND no toggled switch is still cooling down.
+        // Holding is never allowed to trade an SLA-feasible pick for an
+        // infeasible hold.
+        let mut held_by_hysteresis = false;
+        if let Some(h) = hyst {
+            if degradation.is_none() {
+                if let Some(prev_spec) = h.prev_spec {
+                    if prev_spec != spec {
+                        if let Ok(hold) = ctx.evaluate_masked(scheme, prev_spec, &mask) {
+                            let hold_feasible = hold.is_feasible(cfg);
+                            let churn =
+                                Churn::between(&hold.active_switch_ids, &result.active_switch_ids);
+                            let saving_w = hold.breakdown.total_w() - result.breakdown.total_w();
+                            let transition_j = h.model.transition_energy_j(&churn);
+                            let horizon_s = h.knobs.payback_horizon_epochs as f64 * h.epoch_s;
+                            let pays_back = worth_switching(
+                                &h.model,
+                                &churn,
+                                saving_w,
+                                horizon_s,
+                                h.knobs.margin,
+                            );
+                            // A cooldown hold is anti-flap insurance; it
+                            // is only worth buying while holding is
+                            // cheap — one epoch of the forgone power
+                            // saving must not exceed the transition
+                            // energy the hold avoids re-paying.
+                            let cooling = h.any_cooling(&churn)
+                                && saving_w.max(0.0) * h.epoch_s <= h.knobs.margin * transition_j;
+                            let must_switch = base_feasible && !hold_feasible;
+                            if !must_switch && hold_feasible && (!pays_back || cooling) {
+                                if obs_on {
+                                    eprons_obs::registry()
+                                        .counter("core.hysteresis.holds")
+                                        .inc();
+                                    eprons_obs::record(eprons_obs::Event::HysteresisHold {
+                                        epoch: e as u64,
+                                        desired: spec.label(),
+                                        held: prev_spec.label(),
+                                        saving_w,
+                                        transition_j,
+                                        reason: if cooling { "cooldown" } else { "payback" }
+                                            .to_string(),
+                                    });
+                                }
+                                result = hold;
+                                spec = prev_spec;
+                                base_feasible = hold_feasible;
+                                held_by_hysteresis = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let mut choice_label = spec.label();
         let mut rec = DayRecord {
             minute,
@@ -315,6 +597,9 @@ pub fn simulate_day_with_failures(
             failed_switches: Vec::new(),
             boot_energy_j: 0.0,
             degradation: None,
+            deferred_mbps_min: 0.0,
+            drained_mbps_min: 0.0,
+            held_by_hysteresis,
         };
 
         // --- Mid-epoch events: walk the degradation ladder. ---
@@ -408,36 +693,32 @@ pub fn simulate_day_with_failures(
                                     Ok(rep) => {
                                         boot_energy_j += rep.boot_energy_j;
                                         dead_draw_w += rep.dead_draw_w;
-                                        cur_net = a.network_power_w(&d.ft, &cfg.net_power)
-                                            + dead_draw_w;
+                                        cur_net =
+                                            a.network_power_w(&d.ft, &cfg.net_power) + dead_draw_w;
                                         cur_ids = active_ids(a);
                                         worsen(&mut degradation, DegradationStage::Repaired);
                                         if obs_on {
-                                            eprons_obs::record(
-                                                eprons_obs::Event::RepairOutcome {
-                                                    switch: ev.switch as u64,
-                                                    minute: ev.minute,
-                                                    outcome: "repaired".to_string(),
-                                                    rerouted: rep.rerouted.len() as u64,
-                                                    woken: rep.woken.len() as u64,
-                                                    boot_energy_j: rep.boot_energy_j,
-                                                },
-                                            );
+                                            eprons_obs::record(eprons_obs::Event::RepairOutcome {
+                                                switch: ev.switch as u64,
+                                                minute: ev.minute,
+                                                outcome: "repaired".to_string(),
+                                                rerouted: rep.rerouted.len() as u64,
+                                                woken: rep.woken.len() as u64,
+                                                boot_energy_j: rep.boot_energy_j,
+                                            });
                                         }
                                         handled = true;
                                     }
                                     Err(_) => {
                                         if obs_on {
-                                            eprons_obs::record(
-                                                eprons_obs::Event::RepairOutcome {
-                                                    switch: ev.switch as u64,
-                                                    minute: ev.minute,
-                                                    outcome: "repair-failed".to_string(),
-                                                    rerouted: 0,
-                                                    woken: 0,
-                                                    boot_energy_j: 0.0,
-                                                },
-                                            );
+                                            eprons_obs::record(eprons_obs::Event::RepairOutcome {
+                                                switch: ev.switch as u64,
+                                                minute: ev.minute,
+                                                outcome: "repair-failed".to_string(),
+                                                rerouted: 0,
+                                                woken: 0,
+                                                boot_energy_j: 0.0,
+                                            });
                                         }
                                     }
                                 }
@@ -468,11 +749,7 @@ pub fn simulate_day_with_failures(
                                         })
                                     }
                                     _ => ctx
-                                        .evaluate_masked(
-                                            scheme,
-                                            ConsolidationSpec::AllOn,
-                                            &mask,
-                                        )
+                                        .evaluate_masked(scheme, ConsolidationSpec::AllOn, &mask)
                                         .ok()
                                         .map(|r| {
                                             let f = r.is_feasible(cfg);
@@ -552,9 +829,7 @@ pub fn simulate_day_with_failures(
                                     eprons_obs::record(eprons_obs::Event::RepairOutcome {
                                         switch: ev.switch as u64,
                                         minute: ev.minute,
-                                        outcome: DegradationStage::Unprotected
-                                            .label()
-                                            .to_string(),
+                                        outcome: DegradationStage::Unprotected.label().to_string(),
                                         rerouted: 0,
                                         woken: 0,
                                         boot_energy_j: 0.0,
@@ -565,9 +840,7 @@ pub fn simulate_day_with_failures(
                                             "switch {} failed at minute {:.0}; no fallback routes",
                                             ev.switch, ev.minute
                                         ),
-                                        fallback: DegradationStage::Unprotected
-                                            .label()
-                                            .to_string(),
+                                        fallback: DegradationStage::Unprotected.label().to_string(),
                                     });
                                 }
                             }
@@ -633,13 +906,51 @@ pub fn simulate_day_with_failures(
         (rec, spec)
     };
 
-    // The warm-started day runs its epochs sequentially so each search
-    // can start from the previous epoch's winner; candidate- and
-    // server-level fan-out inside an epoch still fills the thread
-    // budget. The cold day fans epochs out as before. Both produce the
-    // same records bit for bit.
+    // The online streaming controller runs its epochs strictly in
+    // sequence: per-switch cooldowns, the hysteresis filter, and the
+    // deferral queue all carry state across epoch boundaries. The
+    // warm-started batch day also runs sequentially (each search starts
+    // from the previous epoch's winner); the cold batch day fans epochs
+    // out. Candidate- and server-level fan-out inside an epoch fills
+    // the thread budget in every mode, and each mode's timeline is a
+    // deterministic pure function of its inputs.
     let warm = day.warm_start && matches!(strategy, DayStrategy::Eprons { .. });
-    let records: Vec<DayRecord> = if warm {
+    let records: Vec<DayRecord> = if let Some(online) = day.online.clone() {
+        let epoch_s = day.epoch_minutes as f64 * 60.0;
+        let mut hyst = online
+            .hysteresis
+            .map(|knobs| HysteresisState::new(knobs, cfg.failure.transition.clone(), epoch_s));
+        let mut queue = online.deferral.map(|knobs| {
+            DeferralQueue::new(knobs, cfg.link_capacity_mbps, day.epoch_minutes as f64)
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        // The previous winner is always a legal ordering hint here: the
+        // hint can never change a choice, and online epochs are
+        // sequential anyway.
+        let mut hint: Option<ConsolidationSpec> = None;
+        for &(e, minute, load) in &inputs {
+            let step = match queue.as_mut() {
+                Some(q) => q.step(e, predicted_bg[e], obs_on),
+                None => DeferralOutcome {
+                    bg: predicted_bg[e],
+                    enqueued_mbps_min: 0.0,
+                    drained_mbps_min: 0.0,
+                },
+            };
+            let (mut rec, spec) = eval_epoch(e, minute, load, step.bg, hint, hyst.as_mut());
+            rec.deferred_mbps_min = step.enqueued_mbps_min;
+            rec.drained_mbps_min = step.drained_mbps_min;
+            if let Some(h) = hyst.as_mut() {
+                h.finish_epoch(spec, &rec.active_switch_ids);
+            }
+            hint = Some(spec);
+            out.push(rec);
+        }
+        if let Some(q) = queue.as_mut() {
+            q.flush(inputs.len(), obs_on);
+        }
+        out
+    } else if warm {
         let mut out = Vec::with_capacity(inputs.len());
         // The epoch's world fingerprint: failed-switch set plus the
         // quantized demand point. A hint only survives while it matches.
@@ -668,14 +979,14 @@ pub fn simulate_day_with_failures(
                     reg.counter("core.warmstart.misses").inc();
                 }
             }
-            let (rec, spec) = eval_epoch(e, minute, load, hint);
+            let (rec, spec) = eval_epoch(e, minute, load, predicted_bg[e], hint, None);
             prev = Some((spec, fp));
             out.push(rec);
         }
         out
     } else {
         parallel_map(&inputs, |&(e, minute, load)| {
-            eval_epoch(e, minute, load, None).0
+            eval_epoch(e, minute, load, predicted_bg[e], None, None).0
         })
     };
 
@@ -691,8 +1002,8 @@ pub fn simulate_day_with_failures(
             NetworkState::with_active_switches(topo, &active)
         };
         for w in records.windows(2) {
-            let d = state_of(&w[0].active_switch_ids)
-                .delta(topo, &state_of(&w[1].active_switch_ids));
+            let d =
+                state_of(&w[0].active_switch_ids).delta(topo, &state_of(&w[1].active_switch_ids));
             eprons_obs::record(eprons_obs::Event::LinkStateChange {
                 links_on: d.links_on as u64,
                 links_off: d.links_off as u64,
@@ -721,6 +1032,15 @@ pub fn day_churn(records: &[DayRecord]) -> Vec<Churn> {
         .collect()
 }
 
+/// Total number of switch power toggles (on + off transitions) across a
+/// day timeline — the scalar the hysteresis controller is graded on.
+pub fn day_churn_count(records: &[DayRecord]) -> usize {
+    day_churn(records)
+        .iter()
+        .map(|c| c.turned_on.len() + c.turned_off.len())
+        .sum()
+}
+
 /// Total transition energy (joules) a day timeline pays under the given
 /// switch transition model (§IV-B's deferred cost: 72.52 s power-on per
 /// HPE switch). The paper ignores this with software switches; this
@@ -735,13 +1055,15 @@ pub fn day_transition_energy_j(records: &[DayRecord], model: &TransitionModel) -
 /// Writes a day timeline as CSV (for external plotting): one row per
 /// epoch with minute, loads, power split, switches, tail, feasibility,
 /// plus the failure columns (`;`-joined failed switch ids or `-`, the
-/// degradation-ladder rung or `-`, and in-epoch boot energy in joules).
+/// degradation-ladder rung or `-`, and in-epoch boot energy in joules)
+/// and the online-controller columns (deferred/drained megabit-minutes
+/// and whether hysteresis held the previous configuration).
 pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::Result<()> {
     use std::io::Write;
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(
         w,
-        "minute,search_load,background_util,server_w,network_w,total_w,active_switches,e2e_p95_ms,feasible,failed_switches,degradation,boot_energy_j"
+        "minute,search_load,background_util,server_w,network_w,total_w,active_switches,e2e_p95_ms,feasible,failed_switches,degradation,boot_energy_j,deferred_mbps_min,drained_mbps_min,held"
     )?;
     for r in records {
         let failed = if r.failed_switches.is_empty() {
@@ -755,7 +1077,7 @@ pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::R
         };
         writeln!(
             w,
-            "{:.1},{:.4},{:.4},{:.2},{:.2},{:.2},{},{:.3},{},{},{},{:.1}",
+            "{:.1},{:.4},{:.4},{:.2},{:.2},{:.2},{},{:.3},{},{},{},{:.1},{:.3},{:.3},{}",
             r.minute,
             r.search_load,
             r.background_util,
@@ -768,6 +1090,9 @@ pub fn save_day_csv(records: &[DayRecord], path: &std::path::Path) -> std::io::R
             failed,
             r.degradation.map_or("-", |d| d.label()),
             r.boot_energy_j,
+            r.deferred_mbps_min,
+            r.drained_mbps_min,
+            r.held_by_hysteresis,
         )?;
     }
     w.flush()
@@ -806,6 +1131,7 @@ mod tests {
             peak_utilization: 0.5,
             seed: 99,
             warm_start: true,
+            ..DayConfig::default()
         }
     }
 
@@ -823,11 +1149,7 @@ mod tests {
     fn eprons_day_saves_power_vs_no_pm() {
         let cfg = ClusterConfig::default();
         let day = quick_day();
-        let nopm = day_average(&simulate_day(
-            &cfg,
-            &DayStrategy::NoPowerManagement,
-            &day,
-        ));
+        let nopm = day_average(&simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day));
         let eprons = day_average(&simulate_day(
             &cfg,
             &DayStrategy::Eprons {
@@ -854,11 +1176,7 @@ mod tests {
             sim_seconds: 40.0,
             ..quick_day()
         };
-        let nopm = day_average(&simulate_day(
-            &cfg,
-            &DayStrategy::NoPowerManagement,
-            &day,
-        ));
+        let nopm = day_average(&simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day));
         let tt = day_average(&simulate_day(&cfg, &DayStrategy::TimeTrader, &day));
         let saving = tt.saving_vs(&nopm);
         assert!(saving.server > 0.0, "TimeTrader saves server power");
@@ -914,6 +1232,143 @@ mod tests {
     }
 
     #[test]
+    fn deferral_queue_conserves_every_megabit_minute() {
+        let knobs = DeferralConfig::default();
+        let mut q = DeferralQueue::new(knobs, 1000.0, 10.0);
+        // A peaky then quiet profile: shave during the peak, drain after.
+        let profile = [0.6, 0.7, 0.65, 0.1, 0.05, 0.1, 0.6, 0.05, 0.05, 0.05];
+        let mut enq = 0.0;
+        let mut out = 0.0;
+        for (e, &bg) in profile.iter().enumerate() {
+            let step = q.step(e, bg, false);
+            enq += step.enqueued_mbps_min;
+            out += step.drained_mbps_min;
+            // Admitted demand conserves the epoch's arrivals.
+            let expected = bg - step.enqueued_mbps_min / q.util_to_mbps_min
+                + step.drained_mbps_min / q.util_to_mbps_min;
+            assert!((step.bg - expected).abs() < 1e-12);
+        }
+        assert!(enq > 0.0, "peak epochs must defer something");
+        assert!(out > 0.0, "trough epochs must drain something");
+        // Whatever is still queued is dropped at flush; the books close.
+        let leftover = q.depth_mbps_min;
+        q.flush(profile.len(), false);
+        assert!(q.slabs.is_empty());
+        assert!(
+            (enq - (out + leftover)).abs() < 1e-9,
+            "enqueued {enq} != drained {out} + dropped {leftover}"
+        );
+    }
+
+    #[test]
+    fn deferral_queue_drops_slabs_past_their_slack() {
+        let knobs = DeferralConfig {
+            slack_epochs: 2,
+            ..DeferralConfig::default()
+        };
+        let mut q = DeferralQueue::new(knobs, 1000.0, 10.0);
+        let step = q.step(0, 0.8, false);
+        assert!(step.enqueued_mbps_min > 0.0);
+        // Epochs 1 and 2 sit in the neutral band (above the drain
+        // headroom, below the defer threshold): nothing moves. Epoch 3 is
+        // past the deadline 0 + 2, so the slab drops instead of draining.
+        q.step(1, 0.32, false);
+        q.step(2, 0.32, false);
+        let late = q.step(3, 0.0, false);
+        assert_eq!(late.drained_mbps_min, 0.0, "expired slab must not drain");
+        assert_eq!(q.depth_mbps_min, 0.0);
+    }
+
+    #[test]
+    fn deferral_queue_respects_cap_and_fraction() {
+        let knobs = DeferralConfig {
+            queue_cap_mbps_min: 100.0,
+            max_defer_fraction: 0.25,
+            ..DeferralConfig::default()
+        };
+        let mut q = DeferralQueue::new(knobs, 1000.0, 10.0);
+        // Fraction bound: 0.8 × 0.25 = 0.2 util → 2000 mbps-min wanted,
+        // but the cap clamps to 100.
+        let step = q.step(0, 0.8, false);
+        assert!(step.enqueued_mbps_min <= 100.0 + 1e-9);
+        let step2 = q.step(1, 0.8, false);
+        assert_eq!(step2.enqueued_mbps_min, 0.0, "queue already at cap");
+    }
+
+    #[test]
+    fn hysteresis_cooldown_quarantines_for_exactly_cooldown_epochs() {
+        let knobs = HysteresisConfig {
+            cooldown_epochs: 2,
+            ..HysteresisConfig::default()
+        };
+        let mut h = HysteresisState::new(knobs, TransitionModel::default(), 600.0);
+        let toggled = Churn::between(&[1, 2], &[1, 3]);
+        // Epoch 0 ends with switches 2 and 3 toggled.
+        h.finish_epoch(ConsolidationSpec::AllOn, &[1, 2]);
+        h.finish_epoch(ConsolidationSpec::AllOn, &[1, 3]);
+        // The next two epoch decisions see the quarantine...
+        assert!(h.any_cooling(&toggled));
+        h.finish_epoch(ConsolidationSpec::AllOn, &[1, 3]);
+        assert!(h.any_cooling(&toggled));
+        // ...and the one after does not.
+        h.finish_epoch(ConsolidationSpec::AllOn, &[1, 3]);
+        assert!(!h.any_cooling(&toggled));
+    }
+
+    #[test]
+    fn online_day_is_deterministic_and_populates_new_fields() {
+        let cfg = ClusterConfig::default();
+        let day = DayConfig {
+            online: Some(OnlineConfig::enabled()),
+            ..quick_day()
+        };
+        let strategy = DayStrategy::Eprons {
+            candidates: aggregation_candidates(),
+        };
+        let a = simulate_day(&cfg, &strategy, &day);
+        let b = simulate_day(&cfg, &strategy, &day);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.breakdown.total_w(), y.breakdown.total_w());
+            assert_eq!(x.active_switch_ids, y.active_switch_ids);
+            assert_eq!(x.deferred_mbps_min, y.deferred_mbps_min);
+            assert_eq!(x.drained_mbps_min, y.drained_mbps_min);
+            assert_eq!(x.held_by_hysteresis, y.held_by_hysteresis);
+        }
+        // Batch mode leaves the online fields inert.
+        let batch = simulate_day(&cfg, &strategy, &quick_day());
+        assert!(batch
+            .iter()
+            .all(|r| r.deferred_mbps_min == 0.0 && !r.held_by_hysteresis));
+    }
+
+    #[test]
+    fn online_churn_never_exceeds_batch_on_the_same_day() {
+        let cfg = ClusterConfig::default();
+        let strategy = DayStrategy::Eprons {
+            candidates: aggregation_candidates(),
+        };
+        let batch = simulate_day(&cfg, &strategy, &quick_day());
+        let online = simulate_day(
+            &cfg,
+            &strategy,
+            &DayConfig {
+                online: Some(OnlineConfig {
+                    hysteresis: Some(HysteresisConfig::default()),
+                    deferral: None,
+                }),
+                ..quick_day()
+            },
+        );
+        assert!(
+            day_churn_count(&online) <= day_churn_count(&batch),
+            "hysteresis must not add churn: online {} vs batch {}",
+            day_churn_count(&online),
+            day_churn_count(&batch)
+        );
+    }
+
+    #[test]
     fn diurnal_load_shows_in_power_timeline() {
         let cfg = ClusterConfig::default();
         let recs = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &quick_day());
@@ -921,6 +1376,9 @@ mod tests {
         let powers: Vec<f64> = recs.iter().map(|r| r.breakdown.server_w).collect();
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = powers.iter().cloned().fold(0.0, f64::max);
-        assert!(max - min > 5.0, "diurnal swing should move power: {powers:?}");
+        assert!(
+            max - min > 5.0,
+            "diurnal swing should move power: {powers:?}"
+        );
     }
 }

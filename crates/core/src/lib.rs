@@ -38,17 +38,18 @@ pub mod report;
 pub mod scenario;
 
 pub use accounting::PowerBreakdown;
-pub use cluster::{
-    run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
-};
-pub use config::{ClusterConfig, ConsolidateStrategy, FailurePolicyConfig};
-pub use controller::{
-    simulate_day, simulate_day_with_failures, DayConfig, DayRecord, DayStrategy,
-};
 pub use cluster::ClusterError;
-pub use eprons_net::failure::{
-    DegradationStage, FailureEvent, FailureEventKind, FailureSchedule,
+pub use cluster::{run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
+pub use config::{
+    ClusterConfig, ConsolidateStrategy, DeferralConfig, FailurePolicyConfig, HysteresisConfig,
+    OnlineConfig,
 };
+pub use controller::{
+    day_churn, day_churn_count, day_total_energy_j, day_transition_energy_j, simulate_day,
+    simulate_day_with_failures, DayConfig, DayRecord, DayStrategy,
+};
+pub use eprons_net::failure::{DegradationStage, FailureEvent, FailureEventKind, FailureSchedule};
+pub use eprons_workload::adversarial::{FlashCrowd, StepLoad, TraceScenario};
 pub use optimizer::{
     adaptive_k, adaptive_k_in_context, adaptive_k_in_context_hinted, candidate_power_floor_w,
     optimize_in_context, optimize_in_context_masked, optimize_in_context_pruned,

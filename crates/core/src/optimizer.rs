@@ -20,9 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use eprons_topo::{AggregationLevel, LinkId, MultipathTopology, NodeId};
 
-use crate::cluster::{
-    ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec,
-};
+use crate::cluster::{ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec};
 use crate::config::ClusterConfig;
 use crate::scenario::{scheme_idle_floor_w, ScenarioContext, ScenarioSpec};
 
@@ -263,8 +261,7 @@ pub fn candidate_power_floor_w(
             // A per-pair store has no class structure: keep the direct
             // walk there (and for the no-candidate degenerate pair).
             let shared = d.arena.is_shared();
-            let mut class: HashMap<(NodeId, NodeId), (Vec<NodeId>, Vec<LinkId>)> =
-                HashMap::new();
+            let mut class: HashMap<(NodeId, NodeId), (Vec<NodeId>, Vec<LinkId>)> = HashMap::new();
             let mut nodes_buf: Vec<NodeId> = Vec::new();
             let mut links_buf: Vec<LinkId> = Vec::new();
             for fl in d.flows.flows() {
@@ -272,13 +269,8 @@ pub fn candidate_power_floor_w(
                     continue; // same pair ⇒ same candidate paths
                 }
                 if shared
-                    && d.arena.nth_candidate_into(
-                        fl.src,
-                        fl.dst,
-                        0,
-                        &mut nodes_buf,
-                        &mut links_buf,
-                    )
+                    && d.arena
+                        .nth_candidate_into(fl.src, fl.dst, 0, &mut nodes_buf, &mut links_buf)
                     && nodes_buf.len() >= 3
                 {
                     let acc = (nodes_buf[1], nodes_buf[nodes_buf.len() - 2]);
@@ -293,10 +285,8 @@ pub fn candidate_power_floor_w(
                                 ln.extend_from_slice(interior_ln);
                                 first = false;
                             } else {
-                                let psw: HashSet<NodeId> =
-                                    p.interior().iter().copied().collect();
-                                let pln: HashSet<LinkId> =
-                                    interior_ln.iter().copied().collect();
+                                let psw: HashSet<NodeId> = p.interior().iter().copied().collect();
+                                let pln: HashSet<LinkId> = interior_ln.iter().copied().collect();
                                 sw.retain(|x| psw.contains(x));
                                 ln.retain(|x| pln.contains(x));
                             }
@@ -421,7 +411,9 @@ pub fn optimize_in_context_pruned(
         if let Some(best_w) = incumbent_w {
             if floors[i] > best_w {
                 if obs_on {
-                    eprons_obs::registry().counter("core.optimizer.pruned").inc();
+                    eprons_obs::registry()
+                        .counter("core.optimizer.pruned")
+                        .inc();
                     eprons_obs::record(eprons_obs::Event::CandidatePruned {
                         k: spec.label(),
                         bound_w: floors[i],
@@ -522,11 +514,7 @@ pub fn scale_factor_candidates(k_max: usize) -> Vec<ConsolidationSpec> {
 /// [`optimize_total_power`] it does not evaluate the whole ladder, so it
 /// converges with fewer measurements at the cost of possibly stopping one
 /// step early on non-monotone instances.
-pub fn adaptive_k(
-    cfg: &ClusterConfig,
-    template: &ClusterRun,
-    k_max: usize,
-) -> Option<JointChoice> {
+pub fn adaptive_k(cfg: &ClusterConfig, template: &ClusterRun, k_max: usize) -> Option<JointChoice> {
     let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(template));
     adaptive_k_in_context(&ctx, template.scheme, k_max)
 }
@@ -566,26 +554,25 @@ pub fn adaptive_k_in_context_hinted(
         search_span.note(format!("mode=adaptive-k k_max={k_max}"));
     }
     let mut evaluated = 0u64;
-    let measure = |spec: ConsolidationSpec,
-                   evaluated: &mut u64|
-     -> Option<(ClusterRunResult, bool)> {
-        let mut cand_span = eprons_obs::Span::enter("optimizer.candidate");
-        if eprons_obs::enabled() {
-            cand_span.note(format!("spec={}", spec.label()));
-        }
-        match ctx.evaluate(scheme, spec) {
-            Ok(r) => {
-                *evaluated += 1;
-                let feasible = r.is_feasible(cfg);
-                journal_candidate(spec, &r, feasible);
-                Some((r, feasible))
+    let measure =
+        |spec: ConsolidationSpec, evaluated: &mut u64| -> Option<(ClusterRunResult, bool)> {
+            let mut cand_span = eprons_obs::Span::enter("optimizer.candidate");
+            if eprons_obs::enabled() {
+                cand_span.note(format!("spec={}", spec.label()));
             }
-            Err(e) => {
-                journal_failure(spec, &e); // K too large for the capacity
-                None
+            match ctx.evaluate(scheme, spec) {
+                Ok(r) => {
+                    *evaluated += 1;
+                    let feasible = r.is_feasible(cfg);
+                    journal_candidate(spec, &r, feasible);
+                    Some((r, feasible))
+                }
+                Err(e) => {
+                    journal_failure(spec, &e); // K too large for the capacity
+                    None
+                }
             }
-        }
-    };
+        };
     let mut prefetched: Option<(usize, Option<(ClusterRunResult, bool)>)> = None;
     if let Some(h) = hint_k {
         if h > 1 && h <= k_max {
@@ -643,8 +630,7 @@ mod tests {
     #[test]
     fn picks_a_feasible_minimum_power_candidate() {
         let cfg = ClusterConfig::default();
-        let choice =
-            optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
+        let choice = optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
         assert!(choice.feasible, "30 ms SLA at light load must be feasible");
         assert_eq!(choice.evaluated, 4, "the full ladder is always measured");
         // With light background and a 30 ms SLA, an aggressive aggregation
@@ -659,13 +645,11 @@ mod tests {
     #[test]
     fn tight_sla_forces_more_switches_on() {
         let mut cfg = ClusterConfig::default();
-        let loose = optimize_total_power(&cfg, &template(), &aggregation_candidates())
-            .unwrap();
+        let loose = optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
         // Tighten the SLA drastically: the optimizer must react by
         // selecting a configuration with at least as many switches.
         cfg.sla = cfg.sla.with_total(9.0e-3);
-        let tight = optimize_total_power(&cfg, &template(), &aggregation_candidates())
-            .unwrap();
+        let tight = optimize_total_power(&cfg, &template(), &aggregation_candidates()).unwrap();
         assert!(
             tight.result.active_switches >= loose.result.active_switches,
             "tight SLA kept {} switches, loose kept {}",

@@ -32,9 +32,14 @@ static LEASED: AtomicUsize = AtomicUsize::new(0);
 fn default_budget() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        match std::env::var("EPRONS_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("EPRONS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            _ => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         }
     })
 }

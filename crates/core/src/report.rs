@@ -90,10 +90,7 @@ pub fn journal_kind_table(entries: &[eprons_obs::JournalEntry]) -> Table {
 /// [`journal_kind_table`] with the journal's dropped-event count appended
 /// as a `(dropped)` row when non-zero, so cap overflow is visible in
 /// every `--journal` summary instead of silently truncating the record.
-pub fn journal_kind_table_with_drops(
-    entries: &[eprons_obs::JournalEntry],
-    dropped: u64,
-) -> Table {
+pub fn journal_kind_table_with_drops(entries: &[eprons_obs::JournalEntry], dropped: u64) -> Table {
     let mut counts: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
     for e in entries {
@@ -115,8 +112,15 @@ pub fn journal_epoch_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     let mut t = Table::new(
         "epoch snapshots",
         &[
-            "epoch", "minute", "choice", "server_w", "network_w", "total_w", "boot_j",
-            "p95_ms", "ok",
+            "epoch",
+            "minute",
+            "choice",
+            "server_w",
+            "network_w",
+            "total_w",
+            "boot_j",
+            "p95_ms",
+            "ok",
         ],
     );
     for e in entries {
@@ -180,6 +184,50 @@ pub fn journal_pods_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     ] {
         t.row(&[name.to_string(), v.to_string()]);
     }
+    t
+}
+
+/// Tabulates the online-controller activity of a journal: hysteresis
+/// holds (with the transition energy they avoided paying) and the
+/// deferral queue's megabit-minute ledger (enqueued, drained, dropped).
+/// Empty (no rows) when the run never used the online controller.
+pub fn journal_online_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    let mut t = Table::new("online controller", &["counter", "value"]);
+    let (mut holds, mut avoided_j) = (0u64, 0.0f64);
+    let (mut enq_n, mut enq, mut drained, mut dropped) = (0u64, 0.0f64, 0.0f64, 0.0f64);
+    for e in entries {
+        match &e.event {
+            eprons_obs::Event::HysteresisHold { transition_j, .. } => {
+                holds += 1;
+                avoided_j += transition_j;
+            }
+            eprons_obs::Event::DeferralEnqueued { mbps_min, .. } => {
+                enq_n += 1;
+                enq += mbps_min;
+            }
+            eprons_obs::Event::DeferralDrained {
+                drained_mbps_min,
+                dropped_mbps_min,
+                ..
+            } => {
+                drained += drained_mbps_min;
+                dropped += dropped_mbps_min;
+            }
+            _ => {}
+        }
+    }
+    if holds == 0 && enq_n == 0 && drained == 0.0 && dropped == 0.0 {
+        return t;
+    }
+    t.row(&["hysteresis holds".to_string(), holds.to_string()]);
+    t.row(&[
+        "transition energy avoided (J)".to_string(),
+        format!("{avoided_j:.1}"),
+    ]);
+    t.row(&["deferral enqueues".to_string(), enq_n.to_string()]);
+    t.row(&["deferred (mbps-min)".to_string(), format!("{enq:.1}")]);
+    t.row(&["drained (mbps-min)".to_string(), format!("{drained:.1}")]);
+    t.row(&["dropped (mbps-min)".to_string(), format!("{dropped:.1}")]);
     t
 }
 
@@ -294,7 +342,8 @@ mod tests {
         let reg = eprons_obs::Registry::new();
         reg.counter("a.count").add(3);
         reg.gauge("b.level").set(1.5);
-        reg.histogram("c.dur_s", eprons_obs::DURATION_EDGES_S).observe(0.01);
+        reg.histogram("c.dur_s", eprons_obs::DURATION_EDGES_S)
+            .observe(0.01);
         let t = metrics_table(&reg.snapshot());
         assert_eq!(t.len(), 3);
         let s = t.to_string();

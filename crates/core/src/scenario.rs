@@ -42,8 +42,7 @@ use eprons_net::consolidate::pod::{
 use eprons_net::consolidate::AggregationRouter;
 use eprons_net::flow::FlowSet;
 use eprons_net::{
-    Assignment, ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
-    PathArena,
+    Assignment, ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator, PathArena,
 };
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::request::budget_with_network_slack;
@@ -56,9 +55,7 @@ use eprons_topo::{AggregationLevel, FatTree, NodeId};
 use eprons_workload::background::background_flows;
 use eprons_workload::{xapian_like_samples, Query, QueryGenerator};
 
-use crate::cluster::{
-    ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme,
-};
+use crate::cluster::{ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
 use crate::config::{ClusterConfig, ConsolidateStrategy, SlaConfig};
 use crate::parallel::{parallel_map, parallel_map_range};
 
@@ -239,12 +236,8 @@ impl ScenarioContext {
 
         // --- Service-time model (the measured Xapian log, §V-A). ---
         let samples = xapian_like_samples(&mut service_rng, cfg.service_log_samples);
-        let service = ServiceModel::from_time_samples(
-            &samples,
-            0.2,
-            cfg.ladder.max(),
-            cfg.work_pmf_bins,
-        );
+        let service =
+            ServiceModel::from_time_samples(&samples, 0.2, cfg.ladder.max(), cfg.work_pmf_bins);
         let mean_service_s = service.mean_service_time(cfg.ladder.max());
 
         // --- Query workload (warmup + measured window). ---
@@ -257,9 +250,12 @@ impl ScenarioContext {
         // --- Flows (candidate-invariant; consolidation is per-plan). ---
         let mut flows = FlowSet::new();
         if spec.background_util > 0.0 {
-            for bf in
-                background_flows(&ft, &mut bg_rng, spec.background_util, cfg.link_capacity_mbps)
-            {
+            for bf in background_flows(
+                &ft,
+                &mut bg_rng,
+                spec.background_util,
+                cfg.link_capacity_mbps,
+            ) {
                 flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
             }
         }
@@ -386,7 +382,11 @@ impl ScenarioContext {
         let _t = eprons_obs::Timer::scoped("core.cluster.run_s");
         let mut sp = eprons_obs::Span::enter("evaluate");
         if obs_on {
-            sp.note(format!("scheme={} spec={}", scheme.name(), consolidation.label()));
+            sp.note(format!(
+                "scheme={} spec={}",
+                scheme.name(),
+                consolidation.label()
+            ));
             eprons_obs::registry().counter("core.cluster.runs").inc();
             eprons_obs::record(eprons_obs::Event::RunTag {
                 scheme: scheme.name().to_string(),
@@ -406,7 +406,8 @@ impl ScenarioContext {
                 .observe(result.e2e_latency.p95_s);
             reg.histogram("core.cluster.query_e2e_p95_s", edges)
                 .observe(result.query_e2e_latency.p95_s);
-            reg.gauge("core.cluster.total_w").set(result.breakdown.total_w());
+            reg.gauge("core.cluster.total_w")
+                .set(result.breakdown.total_w());
         }
         Ok(result)
     }
@@ -444,7 +445,9 @@ impl ScenarioContext {
         }
         let plan = Arc::new(NetworkPlan::build_masked(self, consolidation, &mask)?);
         if eprons_obs::enabled() {
-            eprons_obs::registry().counter("core.plan_cache.misses").inc();
+            eprons_obs::registry()
+                .counter("core.plan_cache.misses")
+                .inc();
         }
         self.data
             .plan_cache
@@ -567,10 +570,8 @@ impl NetworkPlan {
         // candidate paths, no per-candidate graph re-enumeration.
         let consolidate_span = eprons_obs::Span::enter("consolidate");
         let assignment: Assignment = match consolidation {
-            ConsolidationSpec::AllOn => {
-                AggregationRouter::for_level(&d.ft, AggregationLevel::Agg0)
-                    .consolidate(&d.arena, &d.flows, &ccfg)
-            }
+            ConsolidationSpec::AllOn => AggregationRouter::for_level(&d.ft, AggregationLevel::Agg0)
+                .consolidate(&d.arena, &d.flows, &ccfg),
             ConsolidationSpec::Level(l) => {
                 AggregationRouter::for_level(&d.ft, l).consolidate(&d.arena, &d.flows, &ccfg)
             }
@@ -579,8 +580,7 @@ impl NetworkPlan {
                     // Pod solves fan out over the session's thread budget;
                     // `parallel_map_range` preserves pod order, which the
                     // decomposition's determinism contract requires.
-                    let runner: PodRunner<'_> =
-                        &|pods, solve| parallel_map_range(pods, solve);
+                    let runner: PodRunner<'_> = &|pods, solve| parallel_map_range(pods, solve);
                     let opts = PodDecompOptions {
                         runner: Some(runner),
                         cache: Some(&d.pod_cache),
@@ -640,10 +640,16 @@ impl NetworkPlan {
                 }
                 let req_utils = pair_utils(q.aggregator, s);
                 let rep_utils = pair_utils(s, q.aggregator);
-                let req_lat =
-                    ctx.cfg.latency.sample_path_latency_us(&mut net_rng, req_utils) * 1.0e-6;
-                let rep_lat =
-                    ctx.cfg.latency.sample_path_latency_us(&mut net_rng, rep_utils) * 1.0e-6;
+                let req_lat = ctx
+                    .cfg
+                    .latency
+                    .sample_path_latency_us(&mut net_rng, req_utils)
+                    * 1.0e-6;
+                let rep_lat = ctx
+                    .cfg
+                    .latency
+                    .sample_path_latency_us(&mut net_rng, rep_utils)
+                    * 1.0e-6;
                 net_lat[q.id as usize].push((s, req_lat, rep_lat));
             }
         }
@@ -677,13 +683,16 @@ pub(crate) fn scheme_idle_floor_w(cfg: &ClusterConfig, scheme: ServerScheme) -> 
         ServerScheme::NoPowerManagement => Box::new(MaxFreqPolicy),
         ServerScheme::Rubik => Box::new(MaxVpPolicy::rubik()),
         ServerScheme::RubikPlus => Box::new(MaxVpPolicy::rubik_plus()),
-        ServerScheme::TimeTrader => {
-            Box::new(TimeTraderPolicy::new(cfg.sla.server_budget_s, cfg.ladder.len()))
-        }
+        ServerScheme::TimeTrader => Box::new(TimeTraderPolicy::new(
+            cfg.sla.server_budget_s,
+            cfg.ladder.len(),
+        )),
         ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
         ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
     };
-    policy.idle_power_w().unwrap_or_else(|| cfg.cpu.core_idle_w())
+    policy
+        .idle_power_w()
+        .unwrap_or_else(|| cfg.cpu.core_idle_w())
 }
 
 /// What one server's shard hands back to the in-order reduction.
@@ -768,11 +777,7 @@ impl ServerEvaluation {
             }
         }
         for arrivals in per_server.iter_mut() {
-            arrivals.sort_by(|a, b| {
-                a.arrival_s
-                    .partial_cmp(&b.arrival_s)
-                    .expect("finite times")
-            });
+            arrivals.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite times"));
         }
         drop(arrivals_span);
 

@@ -169,7 +169,9 @@ fn with_sla_reuses_the_build_without_changing_the_physics() {
     let spec = ConsolidationSpec::Level(AggregationLevel::Agg2);
     let run = short_run(ServerScheme::EpronsServer, spec);
     let fresh = run_cluster(&tight_cfg, &run).unwrap();
-    let reused = tight_ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
+    let reused = tight_ctx
+        .evaluate(ServerScheme::EpronsServer, spec)
+        .unwrap();
     assert_eq!(result_bits(&fresh), result_bits(&reused));
 }
 
@@ -189,9 +191,7 @@ fn pruned_warm_sweep_matches_exhaustive_cold_sweep_bit_for_bit() {
     let ladder: Vec<ConsolidationSpec> = std::iter::once(ConsolidationSpec::AllOn)
         .chain(AggregationLevel::ALL.map(ConsolidationSpec::Level))
         .collect();
-    let greedy: Vec<ConsolidationSpec> = [1.0, 2.0, 3.0]
-        .map(ConsolidationSpec::GreedyK)
-        .to_vec();
+    let greedy: Vec<ConsolidationSpec> = [1.0, 2.0, 3.0].map(ConsolidationSpec::GreedyK).to_vec();
     let schemes = [
         ServerScheme::NoPowerManagement,
         ServerScheme::Rubik,
@@ -224,7 +224,10 @@ fn pruned_warm_sweep_matches_exhaustive_cold_sweep_bit_for_bit() {
                         );
                     }
                     (None, None) => {}
-                    _ => panic!("{}: warm and cold disagree on having a choice", scheme.name()),
+                    _ => panic!(
+                        "{}: warm and cold disagree on having a choice",
+                        scheme.name()
+                    ),
                 }
                 assert_eq!(cold_fail.len(), warm_fail.len());
             }
@@ -306,7 +309,10 @@ fn plan_cache_hits_are_bit_identical_to_rebuilds() {
     set_plan_cache_enabled(true);
     ctx.clear_plan_cache();
     let miss = ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
-    assert!(ctx.plan_cache_len() >= 1, "miss path must populate the cache");
+    assert!(
+        ctx.plan_cache_len() >= 1,
+        "miss path must populate the cache"
+    );
     let hit = ctx.evaluate(ServerScheme::EpronsServer, spec).unwrap();
     assert_eq!(result_bits(&rebuilt), result_bits(&miss));
     assert_eq!(result_bits(&miss), result_bits(&hit));

@@ -122,8 +122,14 @@ fn randomized_matrices_agree_at_k4_and_k8() {
         }
     }
     // The sweep must actually exercise both arms.
-    assert!(feasible_checked >= 20, "only {feasible_checked} feasible cases");
-    assert!(infeasible_checked >= 5, "only {infeasible_checked} infeasible cases");
+    assert!(
+        feasible_checked >= 20,
+        "only {feasible_checked} feasible cases"
+    );
+    assert!(
+        infeasible_checked >= 5,
+        "only {infeasible_checked} infeasible cases"
+    );
 }
 
 fn scenario_ctx(k: usize, strategy: ConsolidateStrategy, seed: u64) -> ScenarioContext {

@@ -40,6 +40,7 @@ fn quick_day() -> DayConfig {
         peak_utilization: 0.5,
         seed: 99,
         warm_start: true,
+        ..DayConfig::default()
     }
 }
 

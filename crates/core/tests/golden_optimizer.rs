@@ -27,10 +27,7 @@ fn probe(k: usize) -> (String, usize, u64) {
         warmup_s: 0.0,
         seed: 7,
     };
-    let candidates = [
-        ConsolidationSpec::AllOn,
-        ConsolidationSpec::GreedyK(2.0),
-    ];
+    let candidates = [ConsolidationSpec::AllOn, ConsolidationSpec::GreedyK(2.0)];
     let choice = optimize_total_power(&cfg, &template, &candidates).expect("candidates exist");
     (
         choice.spec.label(),

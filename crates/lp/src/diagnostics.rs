@@ -25,7 +25,11 @@ pub struct ConstraintActivity {
 }
 
 /// Evaluates every constraint of `model` at `solution`.
-pub fn constraint_activity(model: &Model, solution: &Solution, tol: f64) -> Vec<ConstraintActivity> {
+pub fn constraint_activity(
+    model: &Model,
+    solution: &Solution,
+    tol: f64,
+) -> Vec<ConstraintActivity> {
     model
         .constraints()
         .iter()

@@ -153,8 +153,8 @@ pub fn solve_milp_with_incumbent(
     let mut nodes = 0usize;
     let mut root_infeasible = true;
     // Fetched once: handles are lock-free, lookups are not.
-    let node_counter = eprons_obs::enabled()
-        .then(|| eprons_obs::registry().counter("lp.milp.nodes"));
+    let node_counter =
+        eprons_obs::enabled().then(|| eprons_obs::registry().counter("lp.milp.nodes"));
 
     while let Some(node) = heap.pop() {
         if nodes >= opts.max_nodes {
@@ -177,11 +177,7 @@ pub fn solve_milp_with_incumbent(
             }
             scratch.set_bounds(v, lo, hi);
         }
-        if node
-            .overrides
-            .iter()
-            .any(|&(_, lo, hi)| lo > hi)
-        {
+        if node.overrides.iter().any(|&(_, lo, hi)| lo > hi) {
             continue;
         }
 
@@ -283,12 +279,7 @@ mod tests {
         let a = m.add_binary("a", 10.0);
         let b = m.add_binary("b", 13.0);
         let c = m.add_binary("c", 7.0);
-        m.add_constraint(
-            "cap",
-            vec![(a, 3.0), (b, 4.0), (c, 2.0)],
-            Cmp::Le,
-            6.0,
-        );
+        m.add_constraint("cap", vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
         let sol = solve_milp(&m, &MilpOptions::default()).unwrap();
         assert!((sol.objective - 20.0).abs() < 1e-6);
         assert!(sol.value(b) > 0.5 && sol.value(c) > 0.5 && sol.value(a) < 0.5);

@@ -158,8 +158,14 @@ impl Model {
     }
 
     fn push_var(&mut self, name: String, lower: f64, upper: f64, obj: f64, integer: bool) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan() && !obj.is_nan(), "NaN in variable");
-        assert!(lower <= upper, "variable {name}: lower bound exceeds upper bound");
+        assert!(
+            !lower.is_nan() && !upper.is_nan() && !obj.is_nan(),
+            "NaN in variable"
+        );
+        assert!(
+            lower <= upper,
+            "variable {name}: lower bound exceeds upper bound"
+        );
         let id = VarId(self.vars.len());
         self.vars.push(Variable {
             name,
@@ -219,11 +225,7 @@ impl Model {
 
     /// Evaluates the objective at a point (ignores feasibility).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Checks whether `x` satisfies every constraint and bound to within

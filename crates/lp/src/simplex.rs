@@ -380,10 +380,7 @@ pub(crate) fn solve_counted_warm_flat(
     assert_eq!(b.len(), m, "b length mismatch");
     assert_eq!(c.len(), n, "c length mismatch");
     assert_eq!(slack_basis.len(), m, "slack_basis length mismatch");
-    assert!(
-        b.iter().all(|&v| v >= 0.0),
-        "standard form requires b >= 0"
-    );
+    assert!(b.iter().all(|&v| v >= 0.0), "standard form requires b >= 0");
 
     if let Some(basis) = warm {
         if basis.cols.len() != m || basis.n != n {
@@ -445,9 +442,7 @@ fn try_warm(
                 continue;
             }
             let v = tab.at(r, col);
-            if (v - 1.0).abs() <= TOL
-                && (0..m).all(|k| k == r || tab.at(k, col).abs() <= TOL)
-            {
+            if (v - 1.0).abs() <= TOL && (0..m).all(|k| k == r || tab.at(k, col).abs() <= TOL) {
                 ready = Some(r);
                 break;
             }
@@ -650,7 +645,10 @@ mod tests {
         let a = vec![vec![1.0], vec![1.0]];
         let b = vec![2.0, 3.0];
         let c = vec![0.0];
-        assert_eq!(solve(&a, &b, &c, &[None, None]), Err(SolveError::Infeasible));
+        assert_eq!(
+            solve(&a, &b, &c, &[None, None]),
+            Err(SolveError::Infeasible)
+        );
     }
 
     #[test]
@@ -693,8 +691,7 @@ mod tests {
         assert!(!s1.warm_started);
         // Same structure, new RHS: warm start from the previous basis.
         let b2 = vec![4.4, 3.3];
-        let (y2, s2, _) =
-            solve_counted_warm(&a, &b2, &c, &[None, None], Some(&basis)).unwrap();
+        let (y2, s2, _) = solve_counted_warm(&a, &b2, &c, &[None, None], Some(&basis)).unwrap();
         assert!(s2.warm_started, "warm injection should succeed");
         assert!(
             s2.iterations <= s1.iterations,
@@ -739,8 +736,7 @@ mod tests {
         // prices a negative basic value, falls back cold, and the cold
         // path reports the genuine infeasibility (never a wrong answer).
         assert_eq!(
-            solve_counted_warm(&a, &[4.0, 6.0], &c, &[Some(1), None], Some(&basis))
-                .unwrap_err(),
+            solve_counted_warm(&a, &[4.0, 6.0], &c, &[Some(1), None], Some(&basis)).unwrap_err(),
             SolveError::Infeasible
         );
         // A feasible new RHS warm-starts and matches the cold answer.

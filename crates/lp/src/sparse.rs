@@ -307,13 +307,7 @@ impl<'a> Revised<'a> {
         // row↔column pairing is re-derived below, so elimination order
         // is free to choose.
         let mut cols: Vec<usize> = self.basis.clone();
-        cols.sort_by_key(|&j| {
-            if j < self.n {
-                self.a.col(j).0.len()
-            } else {
-                1
-            }
-        });
+        cols.sort_by_key(|&j| if j < self.n { self.a.col(j).0.len() } else { 1 });
         let mut assigned = vec![false; self.m];
         let mut pivot_row = vec![0usize; self.m];
         for (s, &j) in cols.iter().enumerate() {
@@ -404,7 +398,8 @@ impl<'a> Revised<'a> {
         let mut last_obj = self.objective(cost);
         for _ in 0..cap {
             if self.factor.etas.len() - self.base_etas > self.refresh {
-                self.refactorize().map_err(|()| SolveError::IterationLimit)?;
+                self.refactorize()
+                    .map_err(|()| SolveError::IterationLimit)?;
             }
             // Pricing vector yᵀ = c_B ᵀ B⁻¹.
             let mut y = std::mem::take(&mut self.y);
@@ -653,8 +648,8 @@ fn solve_cold_csc(
                 let mut rho = vec![0.0; m];
                 rho[r] = 1.0;
                 rs.factor.btran(&mut rho);
-                let entering = (0..n)
-                    .find(|&j| !rs.in_basis[j] && rs.col_dot(j, &rho).abs() > 1e-7);
+                let entering =
+                    (0..n).find(|&j| !rs.in_basis[j] && rs.col_dot(j, &rho).abs() > 1e-7);
                 if let Some(q) = entering {
                     let mut w = std::mem::take(&mut rs.w);
                     rs.scatter_col(q, &mut w);
@@ -759,8 +754,7 @@ mod tests {
     fn error_cases_match_dense() {
         let a = vec![vec![1.0], vec![1.0]];
         assert_eq!(
-            solve_counted_warm_csc(&csc(&a), &[2.0, 3.0], &[0.0], &[None, None], None)
-                .unwrap_err(),
+            solve_counted_warm_csc(&csc(&a), &[2.0, 3.0], &[0.0], &[None, None], None).unwrap_err(),
             SolveError::Infeasible
         );
         let a = vec![vec![1.0, -1.0]];
@@ -786,8 +780,7 @@ mod tests {
             assert!((s - d).abs() < 1e-9, "warm sparse {s} vs dense {d}");
         }
         // And back into the dense core.
-        let (yd2, sd2, _) =
-            solve_counted_warm(&a, &[4.0, 3.0], &c, &sb, Some(&basis2)).unwrap();
+        let (yd2, sd2, _) = solve_counted_warm(&a, &[4.0, 3.0], &c, &sb, Some(&basis2)).unwrap();
         assert!(sd2.warm_started);
         assert!(yd2.iter().all(|v| v.is_finite()));
     }
@@ -795,8 +788,7 @@ mod tests {
     #[test]
     fn mismatched_basis_is_rejected() {
         let a = vec![vec![1.0, 2.0]];
-        let (_, _, basis) =
-            solve_counted_warm(&a, &[4.0], &[1.0, 1.0], &[None], None).unwrap();
+        let (_, _, basis) = solve_counted_warm(&a, &[4.0], &[1.0, 1.0], &[None], None).unwrap();
         let a2 = vec![vec![1.0, 2.0, 1.0]];
         assert_eq!(
             solve_counted_warm_csc(

@@ -116,7 +116,10 @@ fn milp_solutions_are_integral_and_bounded_by_relaxation() {
             Ok(sol) => {
                 assert!(mi.is_feasible(&sol.values, 1e-6), "case {case}");
                 for &v in &sol.values {
-                    assert!((v - v.round()).abs() < 1e-6, "case {case}: non-integral {v}");
+                    assert!(
+                        (v - v.round()).abs() < 1e-6,
+                        "case {case}: non-integral {v}"
+                    );
                 }
                 // Relaxation is a lower bound for minimization.
                 if let Ok(rel) = solve_lp(&ml) {
@@ -161,8 +164,7 @@ fn maximization_mirrors_minimization() {
                 if row.iter().sum::<f64>() < 1e-9 {
                     continue;
                 }
-                let terms: Vec<_> =
-                    vars.iter().zip(row).map(|(&v, &co)| (v, co)).collect();
+                let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &co)| (v, co)).collect();
                 m.add_constraint(format!("r{r}"), terms, Cmp::Ge, b);
             }
             m

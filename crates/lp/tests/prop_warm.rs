@@ -15,8 +15,7 @@
 //!   returns the same optimum as no hint at all.
 
 use eprons_lp::{
-    solve_milp, solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError,
-    Standardized,
+    solve_milp, solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, Standardized,
 };
 use eprons_proplite::{cases, Gen};
 
@@ -122,7 +121,10 @@ fn infeasible_incumbent_hint_falls_back_to_the_cold_search() {
         // All-zeros violates every route[f] == 1 equality, so the hint is
         // infeasible and must be ignored, not trusted.
         let bad = vec![0.0; m.num_vars()];
-        assert!(!m.is_feasible(&bad, 1e-9), "case {case}: hint accidentally feasible");
+        assert!(
+            !m.is_feasible(&bad, 1e-9),
+            "case {case}: hint accidentally feasible"
+        );
         let hinted =
             solve_milp_with_incumbent(&m, &opts, Some(&bad)).expect("cold fallback must succeed");
         assert!(

@@ -16,9 +16,7 @@
 //! instances and cross-validated against [`super::path`], which is the
 //! tractable equivalent on fat-trees.
 
-use eprons_lp::{
-    solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, VarId,
-};
+use eprons_lp::{solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, VarId};
 use eprons_topo::{LinkId, MultipathTopology, Path};
 
 use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator};
@@ -105,122 +103,113 @@ pub fn build_arc_model(
     flows: &FlowSet,
     cfg: &ConsolidationConfig,
 ) -> ArcModel {
-        let topo = net.topology();
-        let mut model = Model::new(Sense::Minimize);
+    let topo = net.topology();
+    let mut model = Model::new(Sense::Minimize);
 
-        // X per undirected link (eq. 7 collapses the two directions).
-        let x: Vec<VarId> = topo
-            .links()
-            .map(|(id, _)| model.add_var(format!("X[{}]", id.0), 0.0, 1.0, cfg.power.link_w))
-            .collect();
-        // Y per switch. Masked (failed) switches get an upper bound of 0:
-        // eq. 7's Y ≥ X then forces their links off, and eq. 9's X ≥ Z
-        // keeps every flow away from them.
-        let mut y = vec![None; topo.num_nodes()];
-        for (id, n) in topo.nodes() {
-            if n.kind.is_switch() {
-                let ub = if cfg.is_excluded(id) { 0.0 } else { 1.0 };
-                y[id.0] =
-                    Some(model.add_var(format!("Y[{}]", n.name), 0.0, ub, cfg.power.switch_w));
-            }
+    // X per undirected link (eq. 7 collapses the two directions).
+    let x: Vec<VarId> = topo
+        .links()
+        .map(|(id, _)| model.add_var(format!("X[{}]", id.0), 0.0, 1.0, cfg.power.link_w))
+        .collect();
+    // Y per switch. Masked (failed) switches get an upper bound of 0:
+    // eq. 7's Y ≥ X then forces their links off, and eq. 9's X ≥ Z
+    // keeps every flow away from them.
+    let mut y = vec![None; topo.num_nodes()];
+    for (id, n) in topo.nodes() {
+        if n.kind.is_switch() {
+            let ub = if cfg.is_excluded(id) { 0.0 } else { 1.0 };
+            y[id.0] = Some(model.add_var(format!("Y[{}]", n.name), 0.0, ub, cfg.power.switch_w));
         }
+    }
 
-        // Z_i per directed arc. Arc (l, dir): dir 0 = a→b, dir 1 = b→a.
-        let nf = flows.len();
-        let nl = topo.num_links();
-        let mut z: Vec<VarId> = Vec::with_capacity(nf * nl * 2);
-        for flow in flows.flows() {
-            for (lid, _) in topo.links() {
-                for dir in 0..2 {
-                    z.push(model.add_binary(
-                        format!("Z[{},{},{}]", flow.id.0, lid.0, dir),
-                        ARC_EPS,
-                    ));
-                }
-            }
-        }
-        let z_at = |fi: usize, l: LinkId, dir: usize| z[(fi * nl + l.0) * 2 + dir];
-
-        // Flow conservation (eq. 5): Σ_h f_i(u,h) = K·d_i at the source,
-        // −K·d_i at the sink, 0 elsewhere. Dividing by K·d_i it becomes a
-        // unit-flow constraint on the Z indicators.
-        for (fi, flow) in flows.flows().iter().enumerate() {
-            for (nid, _) in topo.nodes() {
-                let mut terms: Vec<(VarId, f64)> = Vec::new();
-                for &(nbr, l) in topo.neighbors(nid) {
-                    let link = topo.link(l);
-                    // dir 0 is a→b: outgoing from nid iff nid == link.a.
-                    let (out_dir, in_dir) = if nid == link.a { (0, 1) } else { (1, 0) };
-                    let _ = nbr;
-                    terms.push((z_at(fi, l, out_dir), 1.0));
-                    terms.push((z_at(fi, l, in_dir), -1.0));
-                }
-                let rhs = if nid == flow.src {
-                    1.0
-                } else if nid == flow.dst {
-                    -1.0
-                } else {
-                    0.0
-                };
-                model.add_constraint(
-                    format!("cons[{},{}]", flow.id.0, nid.0),
-                    terms,
-                    Cmp::Eq,
-                    rhs,
-                );
-            }
-        }
-
-        // Capacity (eq. 3) per direction, and activation X >= Z.
-        for (lid, link) in topo.links() {
-            let usable = cfg.usable_capacity(link.capacity_mbps);
+    // Z_i per directed arc. Arc (l, dir): dir 0 = a→b, dir 1 = b→a.
+    let nf = flows.len();
+    let nl = topo.num_links();
+    let mut z: Vec<VarId> = Vec::with_capacity(nf * nl * 2);
+    for flow in flows.flows() {
+        for (lid, _) in topo.links() {
             for dir in 0..2 {
-                let mut terms: Vec<(VarId, f64)> = Vec::new();
-                for (fi, flow) in flows.flows().iter().enumerate() {
-                    let zv = z_at(fi, lid, dir);
-                    terms.push((zv, flow.scaled_demand(cfg.scale_k)));
-                    model.add_constraint(
-                        format!("act[{},{},{}]", fi, lid.0, dir),
-                        vec![(x[lid.0], 1.0), (zv, -1.0)],
-                        Cmp::Ge,
-                        0.0,
-                    );
-                }
+                z.push(model.add_binary(format!("Z[{},{},{}]", flow.id.0, lid.0, dir), ARC_EPS));
+            }
+        }
+    }
+    let z_at = |fi: usize, l: LinkId, dir: usize| z[(fi * nl + l.0) * 2 + dir];
+
+    // Flow conservation (eq. 5): Σ_h f_i(u,h) = K·d_i at the source,
+    // −K·d_i at the sink, 0 elsewhere. Dividing by K·d_i it becomes a
+    // unit-flow constraint on the Z indicators.
+    for (fi, flow) in flows.flows().iter().enumerate() {
+        for (nid, _) in topo.nodes() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &(nbr, l) in topo.neighbors(nid) {
+                let link = topo.link(l);
+                // dir 0 is a→b: outgoing from nid iff nid == link.a.
+                let (out_dir, in_dir) = if nid == link.a { (0, 1) } else { (1, 0) };
+                let _ = nbr;
+                terms.push((z_at(fi, l, out_dir), 1.0));
+                terms.push((z_at(fi, l, in_dir), -1.0));
+            }
+            let rhs = if nid == flow.src {
+                1.0
+            } else if nid == flow.dst {
+                -1.0
+            } else {
+                0.0
+            };
+            model.add_constraint(
+                format!("cons[{},{}]", flow.id.0, nid.0),
+                terms,
+                Cmp::Eq,
+                rhs,
+            );
+        }
+    }
+
+    // Capacity (eq. 3) per direction, and activation X >= Z.
+    for (lid, link) in topo.links() {
+        let usable = cfg.usable_capacity(link.capacity_mbps);
+        for dir in 0..2 {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (fi, flow) in flows.flows().iter().enumerate() {
+                let zv = z_at(fi, lid, dir);
+                terms.push((zv, flow.scaled_demand(cfg.scale_k)));
                 model.add_constraint(
-                    format!("cap[{},{}]", lid.0, dir),
-                    terms,
-                    Cmp::Le,
-                    usable,
+                    format!("act[{},{},{}]", fi, lid.0, dir),
+                    vec![(x[lid.0], 1.0), (zv, -1.0)],
+                    Cmp::Ge,
+                    0.0,
+                );
+            }
+            model.add_constraint(format!("cap[{},{}]", lid.0, dir), terms, Cmp::Le, usable);
+        }
+    }
+
+    // Link→switch coupling (eq. 7) and shutdown (eq. 8).
+    for (lid, link) in topo.links() {
+        for endpoint in [link.a, link.b] {
+            if let Some(ys) = y[endpoint.0] {
+                model.add_constraint(
+                    format!("on[{},{}]", lid.0, endpoint.0),
+                    vec![(ys, 1.0), (x[lid.0], -1.0)],
+                    Cmp::Ge,
+                    0.0,
                 );
             }
         }
-
-        // Link→switch coupling (eq. 7) and shutdown (eq. 8).
-        for (lid, link) in topo.links() {
-            for endpoint in [link.a, link.b] {
-                if let Some(ys) = y[endpoint.0] {
-                    model.add_constraint(
-                        format!("on[{},{}]", lid.0, endpoint.0),
-                        vec![(ys, 1.0), (x[lid.0], -1.0)],
-                        Cmp::Ge,
-                        0.0,
-                    );
-                }
+    }
+    for (nid, n) in topo.nodes() {
+        if let Some(ys) = y[nid.0] {
+            let _ = n;
+            let mut terms = vec![(ys, 1.0)];
+            for &(_, l) in topo.neighbors(nid) {
+                terms.push((x[l.0], -1.0));
             }
+            model.add_constraint(format!("shut[{}]", nid.0), terms, Cmp::Le, 0.0);
         }
-        for (nid, n) in topo.nodes() {
-            if let Some(ys) = y[nid.0] {
-                let _ = n;
-                let mut terms = vec![(ys, 1.0)];
-                for &(_, l) in topo.neighbors(nid) {
-                    terms.push((x[l.0], -1.0));
-                }
-                model.add_constraint(format!("shut[{}]", nid.0), terms, Cmp::Le, 0.0);
-            }
-        }
+    }
 
-        let _ = nf;
-        ArcModel { model, x, y, z, nl }
+    let _ = nf;
+    ArcModel { model, x, y, z, nl }
 }
 
 impl ArcMilpConsolidator {
@@ -245,8 +234,7 @@ impl ArcMilpConsolidator {
         let am = build_arc_model(net, flows, cfg);
         let nf = flows.len();
         let incumbent = prev.and_then(|a| am.incumbent_from_paths(topo, a.iter_paths(), nf));
-        let sol = match solve_milp_with_incumbent(&am.model, &self.options, incumbent.as_deref())
-        {
+        let sol = match solve_milp_with_incumbent(&am.model, &self.options, incumbent.as_deref()) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(ConsolidationError::Infeasible),
             Err(e) => return Err(ConsolidationError::SolverFailed(e.to_string())),
@@ -340,11 +328,8 @@ mod tests {
             990.0, // > 950 usable
             FlowClass::LatencySensitive,
         );
-        let r = ArcMilpConsolidator::default().consolidate(
-            &ft,
-            &fs,
-            &ConsolidationConfig::with_k(1.0),
-        );
+        let r =
+            ArcMilpConsolidator::default().consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0));
         assert_eq!(r.unwrap_err(), ConsolidationError::Infeasible);
     }
 

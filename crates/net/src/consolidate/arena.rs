@@ -328,15 +328,16 @@ impl<T: MultipathTopology> PathArena<T> {
     pub fn arena_bytes(&self) -> usize {
         match &self.store {
             Store::Shared(s) => s.bytes(),
-            Store::PerPair(map) => map
-                .values()
-                .flatten()
-                .map(|p| {
-                    p.nodes.len() * std::mem::size_of::<NodeId>()
-                        + p.links.len() * std::mem::size_of::<LinkId>()
-                })
-                .sum::<usize>()
-                + map.len() * 2 * std::mem::size_of::<NodeId>(),
+            Store::PerPair(map) => {
+                map.values()
+                    .flatten()
+                    .map(|p| {
+                        p.nodes.len() * std::mem::size_of::<NodeId>()
+                            + p.links.len() * std::mem::size_of::<LinkId>()
+                    })
+                    .sum::<usize>()
+                    + map.len() * 2 * std::mem::size_of::<NodeId>()
+            }
         }
     }
 

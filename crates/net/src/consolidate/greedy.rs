@@ -120,7 +120,9 @@ impl Consolidator for GreedyConsolidator {
 
         let assignment = Assignment::from_collector(net, flows, chosen);
         if eprons_obs::enabled() {
-            eprons_obs::registry().counter("net.consolidate.passes").inc();
+            eprons_obs::registry()
+                .counter("net.consolidate.passes")
+                .inc();
             eprons_obs::record(eprons_obs::Event::ConsolidationPass {
                 algo: "greedy".into(),
                 flows: flows.len() as u64,
@@ -172,7 +174,8 @@ mod tests {
         let a = GreedyConsolidator
             .consolidate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
             .unwrap();
-        a.validate(&ft, &fs, &ConsolidationConfig::with_k(1.0)).unwrap();
+        a.validate(&ft, &fs, &ConsolidationConfig::with_k(1.0))
+            .unwrap();
         // src edges: edge(0,0) and edge(0,1); dst edges: edge(1,0), edge(1,1);
         // plus 1 agg per pod + 1 core = 7 switches minimum.
         assert_eq!(a.active_switch_count(&ft), 7);

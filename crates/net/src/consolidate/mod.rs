@@ -543,9 +543,7 @@ impl Consolidator for AggregationRouter {
                 }
             });
             let Some((_, idx)) = best else {
-                return Err(ConsolidationError::NoFeasiblePath {
-                    flow: flow.id.0,
-                });
+                return Err(ConsolidationError::NoFeasiblePath { flow: flow.id.0 });
             };
             assert!(
                 net.nth_candidate_into(flow.src, flow.dst, idx, &mut nbuf, &mut lbuf),
@@ -572,7 +570,9 @@ impl Consolidator for AggregationRouter {
         }
         assignment.state.refresh_links(topo);
         if eprons_obs::enabled() {
-            eprons_obs::registry().counter("net.consolidate.passes").inc();
+            eprons_obs::registry()
+                .counter("net.consolidate.passes")
+                .inc();
             eprons_obs::record(eprons_obs::Event::ConsolidationPass {
                 algo: "aggregation".into(),
                 flows: flows.len() as u64,

@@ -10,22 +10,18 @@
 //! and the minimized power objective pins them to 0 otherwise. The optimum
 //! therefore equals the arc model's at a fraction of the binaries.
 
-use eprons_lp::{
-    solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, VarId,
-};
+use eprons_lp::{solve_milp_with_incumbent, Cmp, MilpOptions, Model, Sense, SolveError, VarId};
 use eprons_topo::{MultipathTopology, Path};
 
 use super::{Assignment, ConsolidationConfig, ConsolidationError, Consolidator};
 use crate::flow::FlowSet;
 
 /// Exact MILP consolidator over ECMP candidate paths.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PathMilpConsolidator {
     /// Branch-and-bound options.
     pub options: MilpOptions,
 }
-
 
 /// The built model plus handles, exposed so benches can time model
 /// construction and solving separately.
@@ -89,8 +85,7 @@ pub fn build_path_model(
     let mut y = vec![None; topo.num_nodes()];
     for (id, n) in topo.nodes() {
         if n.kind.is_switch() {
-            y[id.0] =
-                Some(model.add_var(format!("Y[{}]", n.name), 0.0, 1.0, cfg.power.switch_w));
+            y[id.0] = Some(model.add_var(format!("Y[{}]", n.name), 0.0, 1.0, cfg.power.switch_w));
         }
     }
 
@@ -203,8 +198,7 @@ impl PathMilpConsolidator {
             return Err(ConsolidationError::NoFeasiblePath { flow: fi });
         }
         let incumbent = prev_choices.and_then(|ch| pm.incumbent_from_choices(ch));
-        let sol = match solve_milp_with_incumbent(&pm.model, &self.options, incumbent.as_deref())
-        {
+        let sol = match solve_milp_with_incumbent(&pm.model, &self.options, incumbent.as_deref()) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(ConsolidationError::Infeasible),
             Err(e) => return Err(ConsolidationError::SolverFailed(e.to_string())),
@@ -364,8 +358,7 @@ mod tests {
             let cold_a = milp.consolidate(&ft, &fs, &cfg).unwrap();
             // Alternate optima may differ in routing, never in power.
             assert!(
-                (warm_a.network_power_w(&ft, &power) - cold_a.network_power_w(&ft, &power))
-                    .abs()
+                (warm_a.network_power_w(&ft, &power) - cold_a.network_power_w(&ft, &power)).abs()
                     < 1e-6,
                 "K={k}: warm and cold optima disagree on power"
             );

@@ -239,11 +239,7 @@ struct Prep {
 
 struct Fallback(&'static str);
 
-fn prepare(
-    ft: &FatTree,
-    flows: &FlowSet,
-    cfg: &ConsolidationConfig,
-) -> Result<Prep, Fallback> {
+fn prepare(ft: &FatTree, flows: &FlowSet, cfg: &ConsolidationConfig) -> Result<Prep, Fallback> {
     let half = ft.k() / 2;
     let n_pods = ft.num_pods();
     let topo = ft.topology();
@@ -314,8 +310,7 @@ fn prepare(
             }
         }
         pv.for_each_core_uplink(|j, m, _, l| {
-            ac_usable[(p * half + j) * half + m] =
-                cfg.usable_capacity(topo.link(l).capacity_mbps);
+            ac_usable[(p * half + j) * half + m] = cfg.usable_capacity(topo.link(l).capacity_mbps);
         });
     }
 
@@ -420,9 +415,8 @@ fn solve_pod(prep: &Prep, pod: usize, floors: Option<&PodFloors>) -> PodSolve {
             if !fits {
                 continue;
             }
-            let new = !edge_active[si] as usize
-                + !out.agg_active[j] as usize
-                + !edge_active[di] as usize;
+            let new =
+                !edge_active[si] as usize + !out.agg_active[j] as usize + !edge_active[di] as usize;
             if best.is_none_or(|b| (new, j) < b) {
                 best = Some((new, j));
             }
@@ -498,21 +492,11 @@ fn run_stitch(prep: &Prep, solves: &[Arc<PodSolve>], balance: bool) -> StitchOut
     let mut choices = Vec::with_capacity(prep.inter.len());
 
     for f in &prep.inter {
-        let (sp, si, dp, di) = (
-            f.sp as usize,
-            f.si as usize,
-            f.dp as usize,
-            f.di as usize,
-        );
+        let (sp, si, dp, di) = (f.sp as usize, f.si as usize, f.dp as usize, f.di as usize);
         if prep.edge_ex[sp * half + si] || prep.edge_ex[dp * half + di] {
             return StitchOutcome::Stuck;
         }
-        let fits = |g: usize,
-                    m: usize,
-                    ea_up: &[f64],
-                    ea_dn: &[f64],
-                    ac: &[f64],
-                    ca: &[f64]| {
+        let fits = |g: usize, m: usize, ea_up: &[f64], ea_dn: &[f64], ac: &[f64], ca: &[f64]| {
             f.d <= ea_up[(sp * half + si) * half + g] + EPS
                 && f.d <= ac[(sp * half + g) * half + m] + EPS
                 && f.d <= ca[(dp * half + g) * half + m] + EPS
@@ -625,9 +609,7 @@ fn run_stitch(prep: &Prep, solves: &[Arc<PodSolve>], balance: bool) -> StitchOut
 fn stitch_usable_groups(prep: &Prep, pod: usize) -> Vec<usize> {
     let half = prep.half;
     (0..half)
-        .filter(|&g| {
-            !prep.agg_ex[pod * half + g] && (0..half).any(|m| !prep.core_ex[g * half + m])
-        })
+        .filter(|&g| !prep.agg_ex[pod * half + g] && (0..half).any(|m| !prep.core_ex[g * half + m]))
         .collect()
 }
 
@@ -769,7 +751,8 @@ pub fn consolidate_pod_decomposed(
         reg.counter("net.pods.solved").add(stats.solved as u64);
         reg.counter("net.pods.cache_hits").add(stats.cached as u64);
         reg.counter("net.pods.resolves").add(stats.resolves as u64);
-        reg.counter("net.pods.balanced_stitches").add(stats.balanced as u64);
+        reg.counter("net.pods.balanced_stitches")
+            .add(stats.balanced as u64);
         reg.counter("net.consolidate.passes").inc();
         eprons_obs::record(eprons_obs::Event::PodConsolidation {
             pods: stats.pods as u64,
@@ -815,7 +798,12 @@ fn try_decomposed(
         let groups_bits = stitch_usable_groups(&prep, p)
             .iter()
             .fold(0u32, |m, &g| m | (1 << g));
-        let key = (cfg.scale_k.to_bits(), p, groups_bits, prep.pod_mask[p].clone());
+        let key = (
+            cfg.scale_k.to_bits(),
+            p,
+            groups_bits,
+            prep.pod_mask[p].clone(),
+        );
         if let Some(cache) = opts.cache {
             if let Some(hit) = cache.get(&key) {
                 if eprons_obs::enabled() {
@@ -844,7 +832,10 @@ fn try_decomposed(
         if eprons_obs::enabled() {
             psp.note(format!("pod={p} of={n_pods} cached=false"));
         }
-        PodOutcome { solve: s, cached: false }
+        PodOutcome {
+            solve: s,
+            cached: false,
+        }
     };
     let outcomes: Vec<PodOutcome> = match opts.runner {
         Some(run) => run(n_pods, &solve_one),
@@ -953,23 +944,49 @@ mod tests {
     use super::*;
     use crate::flow::{FlowClass, FlowId};
 
-    fn decomp(
-        ft: &FatTree,
-        flows: &FlowSet,
-        cfg: &ConsolidationConfig,
-    ) -> PodDecompReport {
+    fn decomp(ft: &FatTree, flows: &FlowSet, cfg: &ConsolidationConfig) -> PodDecompReport {
         consolidate_pod_decomposed(ft, ft, flows, cfg, &PodDecompOptions::default()).unwrap()
     }
 
     /// A representative mix: elephants, cross-pod queries, intra traffic.
     fn mixed_flows(ft: &FatTree) -> FlowSet {
         let mut fs = FlowSet::new();
-        fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 1), ft.host(1, 0, 1), 20.0, FlowClass::LatencySensitive);
-        fs.add(ft.host(0, 1, 0), ft.host(1, 1, 0), 20.0, FlowClass::LatencySensitive);
-        fs.add(ft.host(2, 0, 0), ft.host(2, 1, 0), 300.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(2, 0, 1), ft.host(2, 0, 0), 50.0, FlowClass::LatencySensitive);
-        fs.add(ft.host(3, 0, 0), ft.host(0, 1, 1), 120.0, FlowClass::LatencySensitive);
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            900.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(1, 0, 1),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.host(0, 1, 0),
+            ft.host(1, 1, 0),
+            20.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.host(2, 0, 0),
+            ft.host(2, 1, 0),
+            300.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(2, 0, 1),
+            ft.host(2, 0, 0),
+            50.0,
+            FlowClass::LatencySensitive,
+        );
+        fs.add(
+            ft.host(3, 0, 0),
+            ft.host(0, 1, 1),
+            120.0,
+            FlowClass::LatencySensitive,
+        );
         fs
     }
 
@@ -997,13 +1014,21 @@ mod tests {
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
         for p in 0..4 {
-            fs.add(ft.host(p, 0, 0), ft.host(p, 1, 0), 100.0, FlowClass::LatencySensitive);
+            fs.add(
+                ft.host(p, 0, 0),
+                ft.host(p, 1, 0),
+                100.0,
+                FlowClass::LatencySensitive,
+            );
         }
         let cfg = ConsolidationConfig::with_k(1.0);
         let r = decomp(&ft, &fs, &cfg);
         assert!(!r.stats.fell_back);
         for &c in ft.core_switches() {
-            assert!(!r.assignment.state().node_on(c), "core lit by intra-only traffic");
+            assert!(
+                !r.assignment.state().node_on(c),
+                "core lit by intra-only traffic"
+            );
         }
         r.assignment.validate(&ft, &fs, &cfg).unwrap();
     }
@@ -1014,7 +1039,12 @@ mod tests {
         let mut fs = FlowSet::new();
         for i in 0..2 {
             for h in 0..2 {
-                fs.add(ft.host(0, i, h), ft.host(2, i, h), 30.0, FlowClass::LatencySensitive);
+                fs.add(
+                    ft.host(0, i, h),
+                    ft.host(2, i, h),
+                    30.0,
+                    FlowClass::LatencySensitive,
+                );
             }
         }
         let cfg = ConsolidationConfig::with_k(1.0);
@@ -1024,7 +1054,11 @@ mod tests {
             .iter()
             .filter(|&&c| r.assignment.state().node_on(c))
             .collect();
-        assert_eq!(lit.len(), 1, "pod-pair cursor should consolidate onto one core");
+        assert_eq!(
+            lit.len(),
+            1,
+            "pod-pair cursor should consolidate onto one core"
+        );
     }
 
     #[test]
@@ -1034,8 +1068,7 @@ mod tests {
         let cfg = ConsolidationConfig::with_k(2.0);
         let base = decomp(&ft, &fs, &cfg);
         // Mask one agg of pod 1; pods 0/2/3 see identical inputs.
-        let masked_cfg =
-            ConsolidationConfig::with_k(2.0).with_excluded(vec![ft.agg(1, 0)]);
+        let masked_cfg = ConsolidationConfig::with_k(2.0).with_excluded(vec![ft.agg(1, 0)]);
         let masked = decomp(&ft, &fs, &masked_cfg);
         assert!(!base.stats.fell_back && !masked.stats.fell_back);
         for p in [0usize, 2, 3] {
@@ -1074,7 +1107,10 @@ mod tests {
         assert_eq!(c.stats.cached, 3);
         assert_eq!(c.stats.solved, 1);
         for p in [0usize, 2, 3] {
-            assert!(Arc::ptr_eq(&b.solves[p], &c.solves[p]), "pod {p} not shared");
+            assert!(
+                Arc::ptr_eq(&b.solves[p], &c.solves[p]),
+                "pod {p} not shared"
+            );
         }
     }
 
@@ -1097,12 +1133,15 @@ mod tests {
         let b = consolidate_pod_decomposed(&ft, &ft, &fs, &one, &opts).unwrap();
         assert_eq!((b.stats.solved, b.stats.cached), (0, 4));
         for p in 0..4 {
-            assert!(Arc::ptr_eq(&a.solves[p], &b.solves[p]), "pod {p} not shared");
+            assert!(
+                Arc::ptr_eq(&a.solves[p], &b.solves[p]),
+                "pod {p} not shared"
+            );
         }
         // Losing the whole group reshapes the stitch-usable set and so
         // the round-0 floors of every pod: nothing may be reused.
-        let group = ConsolidationConfig::with_k(2.0)
-            .with_excluded(vec![ft.core(1, 0), ft.core(1, 1)]);
+        let group =
+            ConsolidationConfig::with_k(2.0).with_excluded(vec![ft.core(1, 0), ft.core(1, 1)]);
         let c = consolidate_pod_decomposed(&ft, &ft, &fs, &group, &opts).unwrap();
         assert_eq!((c.stats.solved, c.stats.cached), (4, 0));
     }
@@ -1112,8 +1151,18 @@ mod tests {
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
         // One host's uplink cannot carry 1200 Mbps.
-        fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 600.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 0), ft.host(2, 0, 0), 600.0, FlowClass::LatencyTolerant);
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(2, 0, 0),
+            600.0,
+            FlowClass::LatencyTolerant,
+        );
         let cfg = ConsolidationConfig::with_k(1.0);
         let dec = consolidate_pod_decomposed(&ft, &ft, &fs, &cfg, &PodDecompOptions::default());
         let mono = GreedyConsolidator.consolidate(&ft, &fs, &cfg);
@@ -1128,19 +1177,39 @@ mod tests {
         // agg 1 and the stitch succeeds in a single round.
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
-        fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 1), ft.host(0, 1, 0), 500.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 1), ft.host(0, 1, 1), 400.0, FlowClass::LatencyTolerant);
-        let cfg = ConsolidationConfig::with_k(1.0)
-            .with_excluded(vec![ft.core(1, 0), ft.core(1, 1)]);
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            900.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(0, 1, 0),
+            500.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(0, 1, 1),
+            400.0,
+            FlowClass::LatencyTolerant,
+        );
+        let cfg =
+            ConsolidationConfig::with_k(1.0).with_excluded(vec![ft.core(1, 0), ft.core(1, 1)]);
         let r = decomp(&ft, &fs, &cfg);
-        assert!(!r.stats.fell_back, "floors should have pre-empted the contention");
+        assert!(
+            !r.stats.fell_back,
+            "floors should have pre-empted the contention"
+        );
         assert_eq!(r.stats.rounds, 1);
         assert_eq!(r.stats.resolves, 0);
         r.assignment.validate(&ft, &fs, &cfg).unwrap();
         // The inter elephant rides group 0 (the only stitch-usable one).
         let inter_path = r.assignment.path(FlowId(0));
-        assert!(inter_path.nodes.contains(&ft.core(0, 0)) || inter_path.nodes.contains(&ft.core(0, 1)));
+        assert!(
+            inter_path.nodes.contains(&ft.core(0, 0)) || inter_path.nodes.contains(&ft.core(0, 1))
+        );
     }
 
     #[test]
@@ -1154,13 +1223,36 @@ mod tests {
         // the round-2 stitch places one elephant per group.
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
-        fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 500.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 1), ft.host(1, 1, 0), 500.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 0), ft.host(0, 1, 0), 450.0, FlowClass::LatencyTolerant);
-        fs.add(ft.host(0, 0, 1), ft.host(0, 1, 1), 450.0, FlowClass::LatencyTolerant);
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            500.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(1, 1, 0),
+            500.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(0, 1, 0),
+            450.0,
+            FlowClass::LatencyTolerant,
+        );
+        fs.add(
+            ft.host(0, 0, 1),
+            ft.host(0, 1, 1),
+            450.0,
+            FlowClass::LatencyTolerant,
+        );
         let cfg = ConsolidationConfig::with_k(1.0);
         let r = decomp(&ft, &fs, &cfg);
-        assert!(!r.stats.fell_back, "even-spread push-back should have recovered");
+        assert!(
+            !r.stats.fell_back,
+            "even-spread push-back should have recovered"
+        );
         assert_eq!(r.stats.rounds, 2);
         assert_eq!(r.stats.resolves, 1);
         r.assignment.validate(&ft, &fs, &cfg).unwrap();
@@ -1169,14 +1261,22 @@ mod tests {
         let mono = GreedyConsolidator.consolidate(&ft, &fs, &cfg).unwrap();
         let dw = r.assignment.network_power_w(&ft, &cfg.power);
         let mw = mono.network_power_w(&ft, &cfg.power);
-        assert!((dw - mw).abs() <= 40.0, "decomposed {dw} W vs monolithic {mw} W");
+        assert!(
+            (dw - mw).abs() <= 40.0,
+            "decomposed {dw} W vs monolithic {mw} W"
+        );
     }
 
     #[test]
     fn excluded_edge_falls_back_with_monolithic_error() {
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
-        fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 100.0, FlowClass::LatencySensitive);
+        fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            100.0,
+            FlowClass::LatencySensitive,
+        );
         let cfg = ConsolidationConfig::with_k(1.0).with_excluded(vec![ft.edge(0, 0)]);
         let dec = consolidate_pod_decomposed(&ft, &ft, &fs, &cfg, &PodDecompOptions::default());
         let mono = GreedyConsolidator.consolidate(&ft, &fs, &cfg);
@@ -1193,7 +1293,12 @@ mod tests {
             if hosts[a] == hosts[b] {
                 continue;
             }
-            fs.add(hosts[a], hosts[b], 15.0 + a as f64, FlowClass::LatencySensitive);
+            fs.add(
+                hosts[a],
+                hosts[b],
+                15.0 + a as f64,
+                FlowClass::LatencySensitive,
+            );
         }
         let cfg = ConsolidationConfig::with_k(1.5);
         let serial = decomp(&ft, &fs, &cfg);

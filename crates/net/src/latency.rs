@@ -162,7 +162,10 @@ mod tests {
         };
         let low = p99(&mut rng, 0.1);
         let high = p99(&mut rng, 0.9);
-        assert!(high > 5.0 * low, "tail must explode past knee: {low} vs {high}");
+        assert!(
+            high > 5.0 * low,
+            "tail must explode past knee: {low} vs {high}"
+        );
     }
 
     #[test]

@@ -141,12 +141,7 @@ impl NetworkState {
 
     /// Adds `mbps` of load along a path (directional). Accepts owned
     /// paths (`&Path`) and borrowed views ([`PathRef`]) alike.
-    pub fn add_path_load<'a>(
-        &mut self,
-        topo: &Topology,
-        path: impl Into<PathRef<'a>>,
-        mbps: f64,
-    ) {
+    pub fn add_path_load<'a>(&mut self, topo: &Topology, path: impl Into<PathRef<'a>>, mbps: f64) {
         for (from, _, l) in path.into().hops() {
             let dir = direction_from(topo, l, from);
             self.load_mbps[l.0 * 2 + dir] += mbps;
@@ -174,11 +169,7 @@ impl NetworkState {
 
     /// Utilizations along a path in hop order, each taken in the traversal
     /// direction.
-    pub fn path_utilizations<'a>(
-        &self,
-        topo: &Topology,
-        path: impl Into<PathRef<'a>>,
-    ) -> Vec<f64> {
+    pub fn path_utilizations<'a>(&self, topo: &Topology, path: impl Into<PathRef<'a>>) -> Vec<f64> {
         let path = path.into();
         let mut out = Vec::with_capacity(path.links.len());
         self.path_utilizations_into(topo, path, &mut out);
@@ -241,8 +232,16 @@ impl NetworkState {
     /// # Panics
     /// Panics if the two states have different node or link counts.
     pub fn delta(&self, topo: &Topology, next: &NetworkState) -> StateDelta {
-        assert_eq!(self.node_on.len(), next.node_on.len(), "node count mismatch");
-        assert_eq!(self.link_on.len(), next.link_on.len(), "link count mismatch");
+        assert_eq!(
+            self.node_on.len(),
+            next.node_on.len(),
+            "node count mismatch"
+        );
+        assert_eq!(
+            self.link_on.len(),
+            next.link_on.len(),
+            "link count mismatch"
+        );
         let mut d = StateDelta::default();
         for (id, n) in topo.nodes() {
             if !n.kind.is_switch() {

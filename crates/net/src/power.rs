@@ -84,10 +84,7 @@ mod tests {
         let m = NetworkPowerModel::default();
         let mut prev = f64::INFINITY;
         for level in AggregationLevel::ALL {
-            let st = NetworkState::with_active_switches(
-                ft.topology(),
-                &level.active_switches(&ft),
-            );
+            let st = NetworkState::with_active_switches(ft.topology(), &level.active_switches(&ft));
             let p = m.power_w(ft.topology(), &st);
             assert!(p < prev, "{level:?} must reduce power");
             prev = p;

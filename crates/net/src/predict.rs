@@ -52,6 +52,11 @@ impl DemandPredictor {
     /// without a sample, so a flow whose path died (failure injection)
     /// does not pin stale demand forever.
     ///
+    /// The boundary is inclusive: a prediction survives **exactly**
+    /// `epochs` idle epochs and is dropped on the `epochs + 1`-th
+    /// consecutive idle roll. `with_expiry(2)` therefore still predicts
+    /// after two sample-free epochs and returns `None` after the third.
+    ///
     /// # Panics
     /// Panics if `epochs` is zero (a prediction would never survive).
     pub fn with_expiry(mut self, epochs: usize) -> Self {
@@ -93,9 +98,12 @@ impl DemandPredictor {
                 *pred = Some(percentile(samples, self.quantile));
                 samples.clear();
                 *idle = 0;
-            } else {
-                *idle += 1;
-                if self.max_idle_epochs.is_some_and(|max| *idle >= max) {
+            } else if pred.is_some() {
+                // Saturating: once a flow is at the expiry boundary (or has
+                // no expiry configured), the counter stops growing instead
+                // of creeping toward overflow over a long-running day.
+                *idle = idle.saturating_add(1);
+                if self.max_idle_epochs.is_some_and(|max| *idle > max) {
                     *pred = None;
                 }
             }
@@ -127,7 +135,10 @@ mod tests {
         }
         p.roll_epoch();
         let pred = p.predict(FlowId(0)).unwrap();
-        assert!((pred - 90.1).abs() < 0.2, "90th pct of 1..=100 ≈ 90.1, got {pred}");
+        assert!(
+            (pred - 90.1).abs() < 0.2,
+            "90th pct of 1..=100 ≈ 90.1, got {pred}"
+        );
     }
 
     #[test]
@@ -184,12 +195,81 @@ mod tests {
         assert_eq!(p.predict(FlowId(0)), Some(10.0), "one idle epoch: kept");
         p.observe(FlowId(1), 50.0);
         p.roll_epoch();
-        assert_eq!(p.predict(FlowId(0)), None, "expired after two idle epochs");
+        assert_eq!(
+            p.predict(FlowId(0)),
+            Some(10.0),
+            "survives exactly `epochs` = 2 idle epochs"
+        );
+        p.observe(FlowId(1), 50.0);
+        p.roll_epoch();
+        assert_eq!(
+            p.predict(FlowId(0)),
+            None,
+            "expired on the third idle epoch"
+        );
         assert_eq!(p.predict(FlowId(1)), Some(50.0), "live flow unaffected");
         // A fresh sample restores prediction (and resets the idle count).
         p.observe(FlowId(0), 30.0);
         p.roll_epoch();
         assert_eq!(p.predict(FlowId(0)), Some(30.0));
+    }
+
+    #[test]
+    fn expiry_boundary_is_exactly_epochs_idle_epochs() {
+        // Pin the boundary at `epochs` and `epochs ± 1` for a few budgets:
+        // after `epochs − 1` and `epochs` idle rolls the prediction is
+        // alive; after `epochs + 1` it is gone.
+        for epochs in [1usize, 3, 5] {
+            let mut p = DemandPredictor::paper_default(1).with_expiry(epochs);
+            p.observe(FlowId(0), 7.0);
+            p.roll_epoch();
+            for idle in 1..=epochs + 1 {
+                p.roll_epoch();
+                if idle <= epochs {
+                    assert_eq!(
+                        p.predict(FlowId(0)),
+                        Some(7.0),
+                        "expiry={epochs}: alive after {idle} idle epochs"
+                    );
+                } else {
+                    assert_eq!(
+                        p.predict(FlowId(0)),
+                        None,
+                        "expiry={epochs}: dropped after {idle} idle epochs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_and_unexpiring_flows_do_not_creep_toward_overflow() {
+        // An expired flow must not keep incrementing its idle counter, and
+        // a predictor without expiry saturates instead of overflowing. We
+        // can't roll 2^64 epochs, so pin the observable contract: rolling
+        // far past expiry neither panics nor resurrects the prediction,
+        // and a fresh sample still restores it (counter reset works from
+        // the saturated state).
+        let mut p = DemandPredictor::paper_default(1).with_expiry(1);
+        p.observe(FlowId(0), 3.0);
+        p.roll_epoch();
+        for _ in 0..10_000 {
+            p.roll_epoch();
+        }
+        assert_eq!(p.predict(FlowId(0)), None);
+        p.observe(FlowId(0), 4.0);
+        p.roll_epoch();
+        assert_eq!(
+            p.predict(FlowId(0)),
+            Some(4.0),
+            "recovery after long expiry"
+        );
+        // Never-observed flows have nothing to expire and never count idle.
+        let mut q = DemandPredictor::paper_default(1);
+        for _ in 0..10_000 {
+            q.roll_epoch();
+        }
+        assert_eq!(q.predict(FlowId(0)), None);
     }
 
     #[test]
@@ -201,6 +281,9 @@ mod tests {
         p.observe(FlowId(0), 100_000.0); // one outlier burst
         p.roll_epoch();
         let pred = p.predict(FlowId(0)).unwrap();
-        assert!(pred < 100.0, "90th percentile should ignore the outlier, got {pred}");
+        assert!(
+            pred < 100.0,
+            "90th percentile should ignore the outlier, got {pred}"
+        );
     }
 }

@@ -31,8 +31,16 @@ impl QueueSimResult {
         }
     }
 
-    /// Sojourn percentile.
+    /// Sojourn percentile. Total on every input the latency accounting
+    /// can produce: an empty completion set (e.g. a zero-completion
+    /// `--quick` epoch) reports `0.0` like [`Self::mean_s`], and the
+    /// level is clamped into `[0, 1]` (a NaN level clamps to `1.0`), so
+    /// neither a panic nor a NaN can escape into SLA scoring.
     pub fn percentile_s(&self, p: f64) -> f64 {
+        if self.sojourn_s.is_empty() {
+            return 0.0;
+        }
+        let p = if p.is_nan() { 1.0 } else { p.clamp(0.0, 1.0) };
         eprons_num::quantile::percentile(&self.sojourn_s, p)
     }
 }
@@ -50,7 +58,10 @@ enum Ev {
 /// # Panics
 /// Panics unless `0 < lambda < mu`.
 pub fn simulate_mm1(lambda: f64, mu: f64, n_packets: usize, seed: u64) -> QueueSimResult {
-    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu for stability");
+    assert!(
+        lambda > 0.0 && mu > lambda,
+        "need 0 < lambda < mu for stability"
+    );
     let mut rng = SimRng::seed_from_u64(seed);
     let mut q = EventQueue::new();
     q.schedule(rng.exponential(lambda), Ev::Arrival);
@@ -184,5 +195,34 @@ mod tests {
     #[should_panic(expected = "stability")]
     fn unstable_queue_rejected() {
         simulate_mm1(100.0, 100.0, 10, 0);
+    }
+
+    #[test]
+    fn percentile_is_total_on_degenerate_inputs() {
+        // Empty completion sets happen under `--quick` durations; the
+        // percentile must degrade like `mean_s` instead of panicking.
+        let empty = QueueSimResult {
+            sojourn_s: Vec::new(),
+            utilization: 0.3,
+        };
+        assert_eq!(empty.percentile_s(0.95), 0.0);
+        assert_eq!(empty.percentile_s(0.0), 0.0);
+        assert_eq!(empty.mean_s(), 0.0);
+
+        let r = QueueSimResult {
+            sojourn_s: vec![3.0, 1.0, 2.0],
+            utilization: 0.3,
+        };
+        // Exact extremes at p = 0 and p = 1.
+        assert_eq!(r.percentile_s(0.0), 1.0);
+        assert_eq!(r.percentile_s(1.0), 3.0);
+        // Out-of-range and NaN levels clamp instead of panicking, and
+        // nothing produces a NaN.
+        assert_eq!(r.percentile_s(-0.5), 1.0);
+        assert_eq!(r.percentile_s(1.5), 3.0);
+        assert_eq!(r.percentile_s(f64::NAN), 3.0);
+        for p in [0.0, 0.25, 0.5, 0.95, 1.0, -1.0, 2.0] {
+            assert!(r.percentile_s(p).is_finite());
+        }
     }
 }

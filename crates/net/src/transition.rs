@@ -134,7 +134,10 @@ mod tests {
         // Amortized over the paper's 10-minute epoch: ≈4.35 W.
         let w = m.amortized_power_w(&c, 600.0);
         assert!((w - 36.0 * 72.52 / 600.0).abs() < 1e-9);
-        assert!(w < 5.0, "booting one switch per epoch is cheap when amortized");
+        assert!(
+            w < 5.0,
+            "booting one switch per epoch is cheap when amortized"
+        );
         assert_eq!(m.amortized_power_w(&c, 0.0), 0.0);
     }
 
@@ -149,7 +152,13 @@ mod tests {
         // Saving 2 W = 1.2 kJ < 2.8 kJ → not worth it.
         assert!(!worth_switching(&m, &c, 2.0, epoch, 1.0));
         // No churn is always fine.
-        assert!(worth_switching(&m, &Churn::between(&[1], &[1]), 0.0, epoch, 1.0));
+        assert!(worth_switching(
+            &m,
+            &Churn::between(&[1], &[1]),
+            0.0,
+            epoch,
+            1.0
+        ));
     }
 
     #[test]

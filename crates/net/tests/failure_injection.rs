@@ -33,7 +33,12 @@ fn snapshot(
     (paths, nodes, links, loads)
 }
 
-fn consolidated() -> (FatTree, FlowSet, eprons_net::Assignment, ConsolidationConfig) {
+fn consolidated() -> (
+    FatTree,
+    FlowSet,
+    eprons_net::Assignment,
+    ConsolidationConfig,
+) {
     let ft = FatTree::new(4, 1000.0);
     let mut fs = FlowSet::new();
     let hosts = ft.hosts().to_vec();
@@ -65,7 +70,10 @@ fn killing_the_shared_core_reroutes_all_victims() {
     // Every path avoids the dead switch and is powered.
     for (i, f) in fs.flows().iter().enumerate() {
         let p = a.path(f.id);
-        assert!(!p.nodes.contains(&core), "flow {i} still crosses the corpse");
+        assert!(
+            !p.nodes.contains(&core),
+            "flow {i} still crosses the corpse"
+        );
         assert!(a.state().path_available(p), "flow {i} on dark elements");
     }
 }
@@ -92,7 +100,8 @@ fn load_accounting_survives_the_repair() {
         .links()
         .map(|(id, _)| a.state().load_dir(id, 0) + a.state().load_dir(id, 1))
         .sum();
-    a.repair_after_switch_failure(&ft, &fs, ft.core(0, 0)).unwrap();
+    a.repair_after_switch_failure(&ft, &fs, ft.core(0, 0))
+        .unwrap();
     let total_after: f64 = ft
         .topology()
         .links()
@@ -117,7 +126,11 @@ fn killing_an_idle_switch_is_a_no_op_for_paths() {
         .into_iter()
         .find(|&s| !a.state().node_on(s))
         .expect("greedy leaves spares");
-    let paths_before: Vec<_> = fs.flows().iter().map(|f| a.path(f.id).nodes.to_vec()).collect();
+    let paths_before: Vec<_> = fs
+        .flows()
+        .iter()
+        .map(|f| a.path(f.id).nodes.to_vec())
+        .collect();
     let rerouted = a.repair_after_switch_failure(&ft, &fs, spare).unwrap();
     assert!(rerouted.is_empty());
     for (f, before) in fs.flows().iter().zip(&paths_before) {
@@ -204,10 +217,7 @@ fn repair_does_not_relight_consolidator_darkened_links() {
     // now crosses them.
     for l in dark_before {
         if a.state().link_on(l) {
-            let used = fs
-                .flows()
-                .iter()
-                .any(|f| a.path(f.id).links.contains(&l));
+            let used = fs.flows().iter().any(|f| a.path(f.id).links.contains(&l));
             assert!(used, "link {l:?} lit without any path using it");
         }
     }
@@ -217,9 +227,14 @@ fn repair_does_not_relight_consolidator_darkened_links() {
 fn masked_greedy_avoids_excluded_switches() {
     let (ft, fs, unmasked, cfg) = consolidated();
     let core = ft.core(0, 0);
-    assert!(unmasked.state().node_on(core), "premise: greedy uses core(0,0)");
+    assert!(
+        unmasked.state().node_on(core),
+        "premise: greedy uses core(0,0)"
+    );
     let masked_cfg = cfg.clone().with_excluded(vec![core]);
-    let a = GreedyConsolidator.consolidate(&ft, &fs, &masked_cfg).unwrap();
+    let a = GreedyConsolidator
+        .consolidate(&ft, &fs, &masked_cfg)
+        .unwrap();
     assert!(!a.state().node_on(core), "excluded switch stays dark");
     for f in fs.flows() {
         assert!(!a.path(f.id).nodes.contains(&core));
@@ -284,9 +299,8 @@ fn degradation_policy_prices_repair_boot_energy() {
         .expect("core failure is survivable");
     assert!(!rep.rerouted.is_empty(), "victims must have moved");
     // Boot energy = woken × boot_power_w × power_on_s, exactly.
-    let expect = rep.woken.len() as f64
-        * policy.transition.boot_power_w
-        * policy.transition.power_on_s;
+    let expect =
+        rep.woken.len() as f64 * policy.transition.boot_power_w * policy.transition.power_on_s;
     assert!((rep.boot_energy_j - expect).abs() < 1e-9);
     // The hung core keeps drawing its own 36 W plus its lit ports.
     assert!(rep.dead_draw_w >= power.switch_w);

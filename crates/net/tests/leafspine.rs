@@ -15,10 +15,30 @@ fn fabric() -> LeafSpine {
 
 fn small_flows(ls: &LeafSpine) -> FlowSet {
     let mut fs = FlowSet::new();
-    fs.add(ls.host(0, 0), ls.host(1, 0), 800.0, FlowClass::LatencyTolerant);
-    fs.add(ls.host(0, 1), ls.host(2, 0), 20.0, FlowClass::LatencySensitive);
-    fs.add(ls.host(3, 0), ls.host(1, 1), 20.0, FlowClass::LatencySensitive);
-    fs.add(ls.host(2, 1), ls.host(2, 2), 50.0, FlowClass::LatencySensitive);
+    fs.add(
+        ls.host(0, 0),
+        ls.host(1, 0),
+        800.0,
+        FlowClass::LatencyTolerant,
+    );
+    fs.add(
+        ls.host(0, 1),
+        ls.host(2, 0),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ls.host(3, 0),
+        ls.host(1, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ls.host(2, 1),
+        ls.host(2, 2),
+        50.0,
+        FlowClass::LatencySensitive,
+    );
     fs
 }
 
@@ -77,7 +97,12 @@ fn milp_matches_or_beats_greedy_on_leafspine() {
 fn same_leaf_traffic_needs_no_spine() {
     let ls = fabric();
     let mut fs = FlowSet::new();
-    fs.add(ls.host(1, 0), ls.host(1, 3), 500.0, FlowClass::LatencyTolerant);
+    fs.add(
+        ls.host(1, 0),
+        ls.host(1, 3),
+        500.0,
+        FlowClass::LatencyTolerant,
+    );
     let cfg = ConsolidationConfig::with_k(1.0);
     let a = GreedyConsolidator.consolidate(&ls, &fs, &cfg).unwrap();
     // One leaf switch only.

@@ -171,7 +171,10 @@ fn warm_consolidation_matches_cold_power_on_random_demand_matrices() {
             solver.consolidate_warm(&arena, &flows, &cfg, Some(&junk)),
         ) {
             let (cp, wp) = (c.network_power_w(&ft, &pm), w.network_power_w(&ft, &pm));
-            assert!((cp - wp).abs() < 1e-6, "case {case}: junk hint changed power");
+            assert!(
+                (cp - wp).abs() < 1e-6,
+                "case {case}: junk hint changed power"
+            );
         }
     });
 }
@@ -198,7 +201,10 @@ fn latency_model_is_monotone_and_sampling_positive() {
         for i in 0..16 {
             let u = i as f64 / 16.0;
             let s = m.sample_path_latency_us(&mut rng, &[u, u / 2.0]);
-            assert!(s >= 2.0 * base - 1e-9, "case {case}: below deterministic floor");
+            assert!(
+                s >= 2.0 * base - 1e-9,
+                "case {case}: below deterministic floor"
+            );
         }
     });
 }
@@ -210,9 +216,22 @@ fn flow_scaling_only_touches_sensitive_class() {
         let k = g.f64_in(1.0, 5.0);
         let ft = FatTree::new(4, 1000.0);
         let mut fs = FlowSet::new();
-        let a = fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), d, FlowClass::LatencySensitive);
-        let b = fs.add(ft.host(0, 0, 1), ft.host(1, 0, 1), d, FlowClass::LatencyTolerant);
-        assert!((fs.get(a).scaled_demand(k) - d * k).abs() < 1e-9, "case {case}");
+        let a = fs.add(
+            ft.host(0, 0, 0),
+            ft.host(1, 0, 0),
+            d,
+            FlowClass::LatencySensitive,
+        );
+        let b = fs.add(
+            ft.host(0, 0, 1),
+            ft.host(1, 0, 1),
+            d,
+            FlowClass::LatencyTolerant,
+        );
+        assert!(
+            (fs.get(a).scaled_demand(k) - d * k).abs() < 1e-9,
+            "case {case}"
+        );
         assert!((fs.get(b).scaled_demand(k) - d).abs() < 1e-9, "case {case}");
     });
 }
@@ -233,7 +252,11 @@ fn leafspine_candidate_paths_are_consistent() {
             return;
         }
         let paths = ls.candidate_paths(a, b);
-        let expected = if ls.host_leaf(a) == ls.host_leaf(b) { 1 } else { spines };
+        let expected = if ls.host_leaf(a) == ls.host_leaf(b) {
+            1
+        } else {
+            spines
+        };
         assert_eq!(paths.len(), expected, "case {case}");
         for p in &paths {
             assert!(p.is_consistent(ls.topology()), "case {case}");

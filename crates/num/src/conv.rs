@@ -164,7 +164,9 @@ mod tests {
         // Deterministic pseudo-random input (LCG) — no rand dep needed here.
         let mut state = 0x243F_6A88_85A3_08D3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for (la, lb) in [(5, 7), (64, 64), (100, 3), (130, 257)] {

@@ -227,11 +227,7 @@ impl Pmf {
             cum += self.mass[hi - 1];
             hi -= 1;
         }
-        Pmf::from_masses(
-            self.value_at(lo),
-            self.step,
-            self.mass[lo..hi].to_vec(),
-        )
+        Pmf::from_masses(self.value_at(lo), self.step, self.mass[lo..hi].to_vec())
     }
 
     /// Samples a value using the provided uniform(0,1) draw, with linear
@@ -456,11 +452,18 @@ mod tests {
 
     #[test]
     fn from_empirical_matches_statistics() {
-        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.618).fract() * 10.0).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.618).fract() * 10.0)
+            .collect();
         let emp = crate::Empirical::new(samples.clone());
         let p = Pmf::from_empirical(&emp, 64);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((p.mean() - mean).abs() < 0.2, "pmf mean {} vs {}", p.mean(), mean);
+        assert!(
+            (p.mean() - mean).abs() < 0.2,
+            "pmf mean {} vs {}",
+            p.mean(),
+            mean
+        );
     }
 
     #[test]

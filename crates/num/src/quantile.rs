@@ -14,7 +14,10 @@
 /// Panics if the slice is empty or `p` is outside `[0, 1]`.
 pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=1.0).contains(&p), "percentile level must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile level must be in [0,1]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -198,11 +201,46 @@ mod tests {
     }
 
     #[test]
+    fn extreme_levels_hit_min_and_max_exactly() {
+        // p = 0.0 and p = 1.0 must return the extremes with no
+        // interpolation residue or NaN, including on unsorted input and
+        // on duplicated extremes.
+        let v = [3.0, -2.0, 7.5, 7.5, 0.0];
+        assert_eq!(percentile(&v, 0.0), -2.0);
+        assert_eq!(percentile(&v, 1.0), 7.5);
+        assert_eq!(percentile_of_sorted(&[1.0, 2.0], 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&[1.0, 2.0], 1.0), 2.0);
+        assert!(percentile(&v, 0.0).is_finite() && percentile(&v, 1.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn negative_level_panics() {
+        percentile(&[1.0, 2.0], -0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn level_above_one_panics() {
+        percentile(&[1.0, 2.0], 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn nan_level_panics() {
+        // A NaN level fails the [0,1] range check rather than silently
+        // producing a NaN rank.
+        percentile_of_sorted(&[1.0, 2.0], f64::NAN);
+    }
+
+    #[test]
     fn p2_matches_exact_on_uniform_stream() {
         // Deterministic LCG uniform stream.
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut est = P2Quantile::new(0.95);
@@ -234,7 +272,9 @@ mod tests {
         // Exponential-ish data via inverse transform of the LCG stream.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
             -u.ln()
         };

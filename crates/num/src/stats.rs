@@ -30,14 +30,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Option<f64> {
     if wsum == 0.0 {
         return None;
     }
-    Some(
-        values
-            .iter()
-            .zip(weights)
-            .map(|(x, w)| x * w)
-            .sum::<f64>()
-            / wsum,
-    )
+    Some(values.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / wsum)
 }
 
 /// Running summary of a scalar series: count, mean, min, max and variance
@@ -110,10 +103,9 @@ impl Summary {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -136,14 +128,8 @@ mod tests {
 
     #[test]
     fn weighted_mean_basics() {
-        assert_eq!(
-            weighted_mean(&[1.0, 3.0], &[1.0, 1.0]),
-            Some(2.0)
-        );
-        assert_eq!(
-            weighted_mean(&[1.0, 3.0], &[3.0, 1.0]),
-            Some(1.5)
-        );
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), Some(2.0));
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3.0, 1.0]), Some(1.5));
         assert_eq!(weighted_mean(&[1.0], &[0.0]), None);
         assert_eq!(weighted_mean(&[1.0], &[1.0, 2.0]), None);
     }

@@ -50,7 +50,10 @@ fn fft_and_direct_convolution_agree() {
         assert_eq!(d.len(), f.len(), "case {case}");
         let scale = a.iter().sum::<f64>() * b.iter().sum::<f64>();
         for (x, y) in d.iter().zip(&f) {
-            assert!((x - y).abs() < 1e-6 * scale.max(1.0), "case {case}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-6 * scale.max(1.0),
+                "case {case}: {x} vs {y}"
+            );
         }
     });
 }
@@ -77,7 +80,10 @@ fn pmf_mean_of_convolution_adds() {
         let a = Pmf::from_masses(oa, 0.25, ma);
         let b = Pmf::from_masses(ob, 0.25, mb);
         let c = a.convolve(&b);
-        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-6, "case {case}");
+        assert!(
+            (c.mean() - (a.mean() + b.mean())).abs() < 1e-6,
+            "case {case}"
+        );
         // Variances add for independent sums.
         assert!(
             (c.variance() - (a.variance() + b.variance())).abs() < 1e-5,

@@ -6,10 +6,10 @@
 //! per-epoch threads can be re-ordered offline; `t` is the event kind.
 
 use crate::json::Json;
-use std::sync::Mutex;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Per-epoch roll-up the controller emits once per control period — the
 /// journal's equivalent of one Fig. 15 timeline sample.
@@ -225,6 +225,42 @@ pub enum Event {
         energy_j: f64,
         boot_energy_j: f64,
     },
+    /// The online controller held the previous epoch's configuration
+    /// instead of switching to the optimizer's `desired` pick: either the
+    /// priced transition would not pay back its energy within the
+    /// configured horizon, or a switch it would toggle is still cooling
+    /// down. `saving_w` is what switching would have saved per second,
+    /// `transition_j` the priced cost of the toggle.
+    HysteresisHold {
+        epoch: u64,
+        desired: String,
+        held: String,
+        saving_w: f64,
+        transition_j: f64,
+        reason: String,
+    },
+    /// The online controller deferred latency-tolerant background demand
+    /// into the bounded queue: `mbps_min` megabit-minutes enqueued this
+    /// epoch with a drain deadline `slack_epochs` epochs out;
+    /// `queue_mbps_min` is the queue depth after the enqueue. `obsctl
+    /// audit` conserves deferred bytes: per day, Σ enqueued ==
+    /// Σ (drained + dropped).
+    DeferralEnqueued {
+        epoch: u64,
+        mbps_min: f64,
+        queue_mbps_min: f64,
+        slack_epochs: u64,
+    },
+    /// The online controller drained deferred background demand into a
+    /// trough (`drained_mbps_min`) and/or dropped entries whose slack
+    /// budget expired (`dropped_mbps_min`); `queue_mbps_min` is the queue
+    /// depth after both.
+    DeferralDrained {
+        epoch: u64,
+        drained_mbps_min: f64,
+        dropped_mbps_min: f64,
+        queue_mbps_min: f64,
+    },
 }
 
 impl Event {
@@ -254,6 +290,9 @@ impl Event {
             Event::SpanEnd { .. } => "SpanEnd",
             Event::PowerSegment { .. } => "PowerSegment",
             Event::DayEnergy { .. } => "DayEnergy",
+            Event::HysteresisHold { .. } => "HysteresisHold",
+            Event::DeferralEnqueued { .. } => "DeferralEnqueued",
+            Event::DeferralDrained { .. } => "DeferralDrained",
         }
     }
 
@@ -270,12 +309,8 @@ impl Event {
         fn b(v: bool) -> Json {
             Json::Bool(v)
         }
-        let f = |pairs: Vec<(&str, Json)>| {
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect()
-        };
+        let f =
+            |pairs: Vec<(&str, Json)>| pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         match self {
             Event::DayStart { strategy, epochs } => {
                 f(vec![("strategy", s(strategy)), ("epochs", u(*epochs))])
@@ -314,9 +349,7 @@ impl Event {
                 ("p95_us", n(*p95_us)),
                 ("feasible", b(*feasible)),
             ]),
-            Event::CandidateFailed { k, error } => {
-                f(vec![("k", s(k)), ("error", s(error))])
-            }
+            Event::CandidateFailed { k, error } => f(vec![("k", s(k)), ("error", s(error))]),
             Event::CandidatePruned {
                 k,
                 bound_w,
@@ -510,6 +543,43 @@ impl Event {
                 ("energy_j", n(*energy_j)),
                 ("boot_energy_j", n(*boot_energy_j)),
             ]),
+            Event::HysteresisHold {
+                epoch,
+                desired,
+                held,
+                saving_w,
+                transition_j,
+                reason,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("desired", s(desired)),
+                ("held", s(held)),
+                ("saving_w", n(*saving_w)),
+                ("transition_j", n(*transition_j)),
+                ("reason", s(reason)),
+            ]),
+            Event::DeferralEnqueued {
+                epoch,
+                mbps_min,
+                queue_mbps_min,
+                slack_epochs,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("mbps_min", n(*mbps_min)),
+                ("queue_mbps_min", n(*queue_mbps_min)),
+                ("slack_epochs", u(*slack_epochs)),
+            ]),
+            Event::DeferralDrained {
+                epoch,
+                drained_mbps_min,
+                dropped_mbps_min,
+                queue_mbps_min,
+            } => f(vec![
+                ("epoch", u(*epoch)),
+                ("drained_mbps_min", n(*drained_mbps_min)),
+                ("dropped_mbps_min", n(*dropped_mbps_min)),
+                ("queue_mbps_min", n(*queue_mbps_min)),
+            ]),
         }
     }
 
@@ -695,6 +765,26 @@ impl Event {
                 energy_j: fn_("energy_j")?,
                 boot_energy_j: fn_("boot_energy_j")?,
             },
+            "HysteresisHold" => Event::HysteresisHold {
+                epoch: fu("epoch")?,
+                desired: fs("desired")?,
+                held: fs("held")?,
+                saving_w: fn_("saving_w")?,
+                transition_j: fn_("transition_j")?,
+                reason: fs("reason")?,
+            },
+            "DeferralEnqueued" => Event::DeferralEnqueued {
+                epoch: fu("epoch")?,
+                mbps_min: fn_("mbps_min")?,
+                queue_mbps_min: fn_("queue_mbps_min")?,
+                slack_epochs: fu("slack_epochs")?,
+            },
+            "DeferralDrained" => Event::DeferralDrained {
+                epoch: fu("epoch")?,
+                drained_mbps_min: fn_("drained_mbps_min")?,
+                dropped_mbps_min: fn_("dropped_mbps_min")?,
+                queue_mbps_min: fn_("queue_mbps_min")?,
+            },
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -819,7 +909,8 @@ impl Journal {
     /// Counts entries of one kind (`Event::kind` tag).
     pub fn count_kind(&self, kind: &str) -> usize {
         self.entries
-            .lock().unwrap()
+            .lock()
+            .unwrap()
             .iter()
             .filter(|e| e.event.kind() == kind)
             .count()
@@ -1013,6 +1104,26 @@ mod tests {
                 energy_j: 4.42e8,
                 boot_energy_j: 5221.44,
             },
+            Event::HysteresisHold {
+                epoch: 74,
+                desired: "agg2".into(),
+                held: "agg1".into(),
+                saving_w: 12.5,
+                transition_j: 5221.44,
+                reason: "payback".into(),
+            },
+            Event::DeferralEnqueued {
+                epoch: 75,
+                mbps_min: 1200.0,
+                queue_mbps_min: 1800.0,
+                slack_epochs: 6,
+            },
+            Event::DeferralDrained {
+                epoch: 76,
+                drained_mbps_min: 900.0,
+                dropped_mbps_min: 0.0,
+                queue_mbps_min: 900.0,
+            },
         ]
     }
 
@@ -1053,8 +1164,10 @@ mod tests {
 
     #[test]
     fn parse_reports_malformed_line() {
-        let err = parse_jsonl("{\"seq\":0,\"t\":\"DayStart\",\"strategy\":\"a\",\"epochs\":1}\nnot json\n")
-            .unwrap_err();
+        let err = parse_jsonl(
+            "{\"seq\":0,\"t\":\"DayStart\",\"strategy\":\"a\",\"epochs\":1}\nnot json\n",
+        )
+        .unwrap_err();
         assert!(err.contains("line 2"), "got: {err}");
     }
 

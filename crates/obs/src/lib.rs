@@ -29,16 +29,14 @@
 //! suffixed (`_s`, `_w`, `_us`). The journal schema is documented on
 //! [`Event`] and in README "Observability".
 
-mod json;
 mod journal;
+mod json;
 mod metrics;
 mod span;
 mod timer;
 
+pub use journal::{parse_jsonl, Event, Journal, JournalEntry, Snapshot, DEFAULT_JOURNAL_CAP};
 pub use json::Json;
-pub use journal::{
-    parse_jsonl, Event, Journal, JournalEntry, Snapshot, DEFAULT_JOURNAL_CAP,
-};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, DURATION_EDGES_S,
 };

@@ -4,10 +4,10 @@
 //! takes a read lock) and update them lock-free from hot paths. Metric
 //! names follow `crate.subsystem.name` (see README "Observability").
 
-use std::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Monotonic event count. Cloning shares the underlying cell.
 #[derive(Clone, Debug, Default)]
@@ -51,8 +51,8 @@ impl Gauge {
 /// 1–2–5 ladder from 1 µs to 10 s (covers an LP pivot through a whole
 /// figure regeneration).
 pub const DURATION_EDGES_S: &[f64] = &[
-    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
-    1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+    2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
 ];
 
 #[derive(Debug)]
@@ -238,7 +238,8 @@ impl Registry {
             return c.clone();
         }
         self.counters
-            .write().unwrap()
+            .write()
+            .unwrap()
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -249,7 +250,8 @@ impl Registry {
             return g.clone();
         }
         self.gauges
-            .write().unwrap()
+            .write()
+            .unwrap()
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -263,7 +265,8 @@ impl Registry {
             return h.clone();
         }
         self.histograms
-            .write().unwrap()
+            .write()
+            .unwrap()
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(edges))
             .clone()
@@ -273,19 +276,22 @@ impl Registry {
         MetricsSnapshot {
             counters: self
                 .counters
-                .read().unwrap()
+                .read()
+                .unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
-                .read().unwrap()
+                .read()
+                .unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
-                .read().unwrap()
+                .read()
+                .unwrap()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

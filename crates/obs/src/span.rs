@@ -218,18 +218,25 @@ mod tests {
         let starts: Vec<_> = entries
             .iter()
             .filter_map(|e| match &e.event {
-                Event::SpanStart { id, parent, name, thread, .. } => {
-                    Some((*id, *parent, name.clone(), *thread))
-                }
+                Event::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    thread,
+                    ..
+                } => Some((*id, *parent, name.clone(), *thread)),
                 _ => None,
             })
             .collect();
         let ends: Vec<_> = entries
             .iter()
             .filter_map(|e| match &e.event {
-                Event::SpanEnd { id, name, elapsed_s, detail } => {
-                    Some((*id, name.clone(), *elapsed_s, detail.clone()))
-                }
+                Event::SpanEnd {
+                    id,
+                    name,
+                    elapsed_s,
+                    detail,
+                } => Some((*id, name.clone(), *elapsed_s, detail.clone())),
                 _ => None,
             })
             .collect();

@@ -92,7 +92,10 @@ mod tests {
         for _ in 0..3 {
             let _t = Timer::scoped_in(&reg, "loop_s");
         }
-        assert_eq!(reg.histogram("loop_s", DURATION_EDGES_S).snapshot().count, 3);
+        assert_eq!(
+            reg.histogram("loop_s", DURATION_EDGES_S).snapshot().count,
+            3
+        );
     }
 
     #[test]
@@ -101,7 +104,9 @@ mod tests {
         let t = Timer::scoped_in(&reg, "cancelled_s");
         t.cancel();
         assert_eq!(
-            reg.histogram("cancelled_s", DURATION_EDGES_S).snapshot().count,
+            reg.histogram("cancelled_s", DURATION_EDGES_S)
+                .snapshot()
+                .count,
             0
         );
     }

@@ -160,7 +160,9 @@ pub fn simulate_core(
     seed: u64,
 ) -> CoreSimResult {
     assert!(
-        arrivals.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        arrivals
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
         "arrival trace must be time-sorted"
     );
     let mut rng = SimRng::seed_from_u64(seed);
@@ -191,33 +193,31 @@ pub fn simulate_core(
     let mut decisions = 0u64;
 
     // Advances in-flight progress (and busy-time accounting) to `t`.
-    let advance = |fl: &mut Option<Inflight>,
-                   last_t: &mut f64,
-                   busy: &mut f64,
-                   cur_f: f64,
-                   t: f64| {
-        let dt = t - *last_t;
-        if let Some(f) = fl.as_mut() {
-            // Busy time counts only within the measurement window.
-            *busy += (t - last_t.max(measure_from)).max(0.0).min(dt);
-            let eat_fixed = dt.min(f.rem_fixed_s);
-            f.rem_fixed_s -= eat_fixed;
-            let work_time = dt - eat_fixed;
-            let cycles = work_time * cur_f;
-            let done = cycles.min(f.rem_work_gc);
-            f.rem_work_gc -= done;
-            f.done_work_gc += done;
-        }
-        *last_t = t;
-    };
+    let advance =
+        |fl: &mut Option<Inflight>, last_t: &mut f64, busy: &mut f64, cur_f: f64, t: f64| {
+            let dt = t - *last_t;
+            if let Some(f) = fl.as_mut() {
+                // Busy time counts only within the measurement window.
+                *busy += (t - last_t.max(measure_from)).max(0.0).min(dt);
+                let eat_fixed = dt.min(f.rem_fixed_s);
+                f.rem_fixed_s -= eat_fixed;
+                let work_time = dt - eat_fixed;
+                let cycles = work_time * cur_f;
+                let done = cycles.min(f.rem_work_gc);
+                f.rem_work_gc -= done;
+                f.done_work_gc += done;
+            }
+            *last_t = t;
+        };
 
-    let completion_time = |fl: &Inflight, t: f64, f_ghz: f64| -> f64 {
-        t + fl.rem_fixed_s + fl.rem_work_gc / f_ghz
-    };
+    let completion_time =
+        |fl: &Inflight, t: f64, f_ghz: f64| -> f64 { t + fl.rem_fixed_s + fl.rem_work_gc / f_ghz };
 
     let mut next_arrival = 0usize;
     loop {
-        let comp_at = inflight.as_ref().map(|fl| completion_time(fl, last_t, cur_f));
+        let comp_at = inflight
+            .as_ref()
+            .map(|fl| completion_time(fl, last_t, cur_f));
         let arr_at = arrivals.get(next_arrival).map(|a| a.arrival_s);
         let (t, is_arrival) = match (arr_at, comp_at) {
             (None, None) => break,
@@ -682,8 +682,12 @@ mod tests {
         // The warmed run's (tag → latency) pairs are a subset of the full
         // run's.
         use std::collections::HashMap;
-        let full_map: HashMap<u64, f64> =
-            full.tags.iter().copied().zip(full.latencies.iter().copied()).collect();
+        let full_map: HashMap<u64, f64> = full
+            .tags
+            .iter()
+            .copied()
+            .zip(full.latencies.iter().copied())
+            .collect();
         for (tag, lat) in warmed.tags.iter().zip(&warmed.latencies) {
             assert!((full_map[tag] - lat).abs() < 1e-12);
         }

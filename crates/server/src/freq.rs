@@ -159,6 +159,9 @@ mod tests {
             calls += 1;
             f >= 2.0
         });
-        assert!(calls <= 5, "binary search should need ≤ ⌈log2(16)⌉+1 calls, used {calls}");
+        assert!(
+            calls <= 5,
+            "binary search should need ≤ ⌈log2(16)⌉+1 calls, used {calls}"
+        );
     }
 }

@@ -39,8 +39,8 @@ pub mod service;
 pub mod vp;
 
 pub use coresim::{simulate_core, CoreSimConfig, CoreSimResult};
-pub use multicore::{simulate_multicore, MultiCoreResult};
 pub use freq::FreqLadder;
+pub use multicore::{simulate_multicore, MultiCoreResult};
 pub use policy::{
     AvgVpPolicy, DeepSleepPolicy, DvfsPolicy, MaxFreqPolicy, MaxVpPolicy, TimeTraderPolicy,
 };

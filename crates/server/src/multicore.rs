@@ -128,7 +128,9 @@ pub fn simulate_multicore(
 ) -> MultiCoreResult {
     assert!(cores > 0, "need at least one core");
     assert!(
-        arrivals.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        arrivals
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
         "arrival trace must be time-sorted"
     );
     let mut rng = SimRng::seed_from_u64(seed);
@@ -209,7 +211,10 @@ pub fn simulate_multicore(
                 });
             }
             Some(i) => {
-                let fl = corestates[i].inflight.take().expect("completion on idle core");
+                let fl = corestates[i]
+                    .inflight
+                    .take()
+                    .expect("completion on idle core");
                 latencies.push(t - fl.arrival);
                 budgets.push(fl.budget);
                 tags.push(fl.tag);
@@ -226,9 +231,7 @@ pub fn simulate_multicore(
                 waiting
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.deadline.partial_cmp(&b.deadline).expect("finite")
-                    })
+                    .min_by(|(_, a), (_, b)| a.deadline.partial_cmp(&b.deadline).expect("finite"))
                     .map(|(i, _)| i)
                     .expect("non-empty")
             } else {

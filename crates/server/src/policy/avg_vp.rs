@@ -79,7 +79,10 @@ mod tests {
         // For any queue, the average criterion can only choose a frequency
         // ≤ the max criterion's (avg ≤ max pointwise).
         let ladder = FreqLadder::paper_default();
-        let mut eprons = AvgVpPolicy { target: 0.3, edf: true };
+        let mut eprons = AvgVpPolicy {
+            target: 0.3,
+            edf: true,
+        };
         let mut rubik = MaxVpPolicy {
             target: 0.3,
             label: "rubik",
@@ -103,7 +106,10 @@ mod tests {
         // One roomy and one tight request (see vp.rs::fig4 test): the
         // average criterion admits a strictly lower frequency.
         let ladder = FreqLadder::paper_default();
-        let mut eprons = AvgVpPolicy { target: 0.3, edf: true };
+        let mut eprons = AvgVpPolicy {
+            target: 0.3,
+            edf: true,
+        };
         let mut rubik = MaxVpPolicy {
             target: 0.3,
             label: "rubik",

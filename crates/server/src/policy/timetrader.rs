@@ -68,9 +68,7 @@ impl DvfsPolicy for TimeTraderPolicy {
                 let tail = percentile(&self.window, self.percentile);
                 if tail > self.target_latency_s {
                     self.freq_idx = (self.freq_idx + 1).min(ladder.len() - 1);
-                } else if tail < self.down_threshold * self.target_latency_s
-                    && self.freq_idx > 0
-                {
+                } else if tail < self.down_threshold * self.target_latency_s && self.freq_idx > 0 {
                     self.freq_idx -= 1;
                 }
                 self.window.clear();

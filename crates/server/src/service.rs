@@ -52,8 +52,7 @@ impl ServiceModel {
             "fixed fraction must be in [0,1)"
         );
         assert!(bins > 0, "need at least one PMF bin");
-        let mean: f64 =
-            samples_at_fmax_s.iter().sum::<f64>() / samples_at_fmax_s.len() as f64;
+        let mean: f64 = samples_at_fmax_s.iter().sum::<f64>() / samples_at_fmax_s.len() as f64;
         let fixed_s = fixed_fraction * mean;
         // Scalable work of each sample, in giga-cycles.
         let works: Vec<f64> = samples_at_fmax_s
@@ -166,8 +165,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(12);
         let m = ServiceModel::synthetic_xapian(&mut rng, 10_000, 128);
         let n = 20_000;
-        let mean_sampled: f64 =
-            (0..n).map(|_| m.sample_work(&mut rng)).sum::<f64>() / n as f64;
+        let mean_sampled: f64 = (0..n).map(|_| m.sample_work(&mut rng)).sum::<f64>() / n as f64;
         let mean_pmf = m.work_pmf().mean();
         assert!(
             (mean_sampled - mean_pmf).abs() / mean_pmf < 0.05,

@@ -163,9 +163,10 @@ impl VpEngine {
         }
         let base = &self.prefix[0];
         while self.prefix.len() + self.tail.len() < n {
-            let prev = self.tail.last().unwrap_or_else(|| {
-                self.prefix.last().expect("prefix holds at least level 1")
-            });
+            let prev = self
+                .tail
+                .last()
+                .unwrap_or_else(|| self.prefix.last().expect("prefix holds at least level 1"));
             let next = prev.convolve(base).truncated(TRUNC_EPS);
             self.tail.push(next);
         }
@@ -211,7 +212,12 @@ impl VpEngine {
     /// `deadlines` are the absolute deadlines of all pending requests in
     /// processing order (head first when in-flight). `now` is the decision
     /// time.
-    pub fn decision(&mut self, now: f64, head: Option<InflightHead>, deadlines: &[f64]) -> Decision {
+    pub fn decision(
+        &mut self,
+        now: f64,
+        head: Option<InflightHead>,
+        deadlines: &[f64],
+    ) -> Decision {
         let fixed = self.service.fixed_s();
         let mut items: Vec<DecisionItem> = Vec::with_capacity(deadlines.len());
         match head {
@@ -306,7 +312,10 @@ impl Decision {
         if self.items.is_empty() {
             return 0.0;
         }
-        (0..self.items.len()).map(|i| self.vp(i, f_ghz)).sum::<f64>() / self.items.len() as f64
+        (0..self.items.len())
+            .map(|i| self.vp(i, f_ghz))
+            .sum::<f64>()
+            / self.items.len() as f64
     }
 
     /// Index of the *limiting request* at frequency `f_ghz` — the request

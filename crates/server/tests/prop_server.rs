@@ -5,8 +5,8 @@ use eprons_num::Pmf;
 use eprons_proplite::{cases, Gen};
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::{
-    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, FreqLadder, MaxFreqPolicy,
-    MaxVpPolicy, ServiceModel, VpEngine,
+    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, FreqLadder, MaxFreqPolicy, MaxVpPolicy,
+    ServiceModel, VpEngine,
 };
 
 fn random_service(g: &mut Gen) -> ServiceModel {
@@ -54,7 +54,10 @@ fn vp_is_monotone_in_deadline() {
         for ms in [2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
             let d = engine.decision(0.0, None, &[ms * 1.0e-3]);
             let v = d.vp(0, f);
-            assert!(v <= prev + 1e-9, "case {case}: VP rose with a looser deadline");
+            assert!(
+                v <= prev + 1e-9,
+                "case {case}: VP rose with a looser deadline"
+            );
             prev = v;
         }
     });
@@ -84,7 +87,10 @@ fn eprons_frequency_never_exceeds_rubik() {
         let d = engine.decision(0.0, None, &b);
         let fe = AvgVpPolicy::eprons().choose_frequency(0.0, &d, &ladder);
         let fr = MaxVpPolicy::rubik().choose_frequency(0.0, &d, &ladder);
-        assert!(fe <= fr + 1e-12, "case {case}: EPRONS {fe} above Rubik {fr}");
+        assert!(
+            fe <= fr + 1e-12,
+            "case {case}: EPRONS {fe} above Rubik {fr}"
+        );
     });
 }
 
@@ -111,7 +117,13 @@ fn coresim_conserves_requests_and_orders_time() {
             .collect();
         let mut engine = VpEngine::new(service);
         let mut policy = AvgVpPolicy::eprons();
-        let r = simulate_core(&mut policy, &mut engine, &arrivals, &CoreSimConfig::default(), seed);
+        let r = simulate_core(
+            &mut policy,
+            &mut engine,
+            &arrivals,
+            &CoreSimConfig::default(),
+            seed,
+        );
         assert_eq!(r.latencies.len(), arrivals.len(), "case {case}");
         // Every tag completes exactly once.
         let mut tags = r.tags.clone();
@@ -148,7 +160,10 @@ fn energy_within_physical_bounds() {
         let busy_max = cfg.power.core_busy_w(cfg.ladder.max());
         let avg = r.avg_core_power_w();
         assert!(avg >= idle - 1e-9, "case {case}: below idle floor: {avg}");
-        assert!(avg <= busy_max + 1e-9, "case {case}: above busy ceiling: {avg}");
+        assert!(
+            avg <= busy_max + 1e-9,
+            "case {case}: above busy ceiling: {avg}"
+        );
     });
 }
 

@@ -131,7 +131,9 @@ impl EnergyMeter {
     pub fn set_power(&mut self, t: f64, watts: f64) {
         if let Err(skew) = self.inner.try_set(t, watts) {
             if eprons_obs::enabled() {
-                eprons_obs::registry().counter("sim.meter.clock_skews").inc();
+                eprons_obs::registry()
+                    .counter("sim.meter.clock_skews")
+                    .inc();
                 eprons_obs::record(eprons_obs::Event::ClockSkew {
                     at_s: skew.at_s,
                     last_s: skew.last_s,
@@ -279,7 +281,13 @@ mod tests {
     fn try_set_reports_skew_without_mutating() {
         let mut tw = TimeWeighted::new(5.0, 1.0);
         let err = tw.try_set(4.0, 2.0).unwrap_err();
-        assert_eq!(err, ClockSkewError { at_s: 4.0, last_s: 5.0 });
+        assert_eq!(
+            err,
+            ClockSkewError {
+                at_s: 4.0,
+                last_s: 5.0
+            }
+        );
         // Integrator untouched: still 1.0 from t=5.
         assert_eq!(tw.current(), 1.0);
         assert_eq!(tw.integral_until(6.0), 1.0);

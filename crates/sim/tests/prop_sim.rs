@@ -119,8 +119,7 @@ fn tail_recorder_miss_rate_matches_manual_count() {
         for (i, &v) in vals.iter().enumerate() {
             r.record(i as f64, v);
         }
-        let manual =
-            vals.iter().filter(|&&v| v > threshold).count() as f64 / vals.len() as f64;
+        let manual = vals.iter().filter(|&&v| v > threshold).count() as f64 / vals.len() as f64;
         assert_eq!(r.miss_rate(threshold), Some(manual), "case {case}");
         // Percentile endpoints.
         let p0 = r.percentile(0.0).unwrap();

@@ -84,9 +84,7 @@ impl AggregationLevel {
     /// The links whose both endpoints are active (hosts count as active).
     pub fn active_links(self, ft: &FatTree) -> Vec<LinkId> {
         let active = self.active_switches(ft);
-        let is_on = |n: NodeId| {
-            !ft.topology().node(n).kind.is_switch() || active.contains(&n)
-        };
+        let is_on = |n: NodeId| !ft.topology().node(n).kind.is_switch() || active.contains(&n);
         ft.topology()
             .links()
             .filter(|(_, l)| is_on(l.a) && is_on(l.b))
@@ -132,9 +130,7 @@ mod tests {
         let hosts = ft.hosts().to_vec();
         for level in AggregationLevel::ALL {
             let active = level.active_switches(&ft);
-            let ok = |n: NodeId| {
-                !ft.topology().node(n).kind.is_switch() || active.contains(&n)
-            };
+            let ok = |n: NodeId| !ft.topology().node(n).kind.is_switch() || active.contains(&n);
             // Spot-check all pairs from the first host plus a cross-pod pair.
             for &dst in &hosts[1..] {
                 let p = bfs_path(ft.topology(), hosts[0], dst, ok, |_| true);
@@ -156,10 +152,7 @@ mod tests {
         }
         let all = AggregationLevel::Agg0.active_switches(&ft);
         for level in &AggregationLevel::ALL[1..] {
-            assert!(level
-                .active_switches(&ft)
-                .iter()
-                .all(|s| all.contains(s)));
+            assert!(level.active_switches(&ft).iter().all(|s| all.contains(s)));
         }
         let a2 = AggregationLevel::Agg2.active_switches(&ft);
         assert!(AggregationLevel::Agg3

@@ -49,7 +49,10 @@ impl FatTree {
     /// # Panics
     /// Panics if `k` is odd or less than 2, or capacity is non-positive.
     pub fn new(k: usize, capacity_mbps: f64) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
         let half = k / 2;
         // Closed-form totals: k³/4 hosts + k²/4 cores + k²/2 aggs +
         // k²/2 edges nodes; 3·k³/4 links (host–edge, edge–agg, agg–core
@@ -157,11 +160,7 @@ impl FatTree {
 
     /// Ordinal of `host` in `hosts()`, i.e. its `(pod, edge, slot)` rank.
     fn host_ordinal(&self, host: NodeId) -> usize {
-        let ord = self
-            .host_index
-            .get(host.0)
-            .copied()
-            .unwrap_or(u32::MAX);
+        let ord = self.host_index.get(host.0).copied().unwrap_or(u32::MAX);
         assert_ne!(ord, u32::MAX, "not a host of this fat-tree");
         ord as usize
     }

@@ -151,7 +151,10 @@ impl Topology {
     /// # Panics
     /// Panics on unknown endpoints, self-loops, or non-positive capacity.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity_mbps: f64) -> LinkId {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown endpoint");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "unknown endpoint"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         assert!(capacity_mbps > 0.0, "capacity must be positive");
         let id = LinkId(self.links.len());

@@ -33,7 +33,10 @@ impl LeafSpine {
     /// # Panics
     /// Panics if any dimension is zero or the capacity is non-positive.
     pub fn new(leaves: usize, spines: usize, hosts_per_leaf: usize, capacity_mbps: f64) -> Self {
-        assert!(leaves > 0 && spines > 0 && hosts_per_leaf > 0, "dimensions must be positive");
+        assert!(
+            leaves > 0 && spines > 0 && hosts_per_leaf > 0,
+            "dimensions must be positive"
+        );
         // Closed-form totals: spines + leaves + hosts nodes; one uplink
         // per host plus the full leaf×spine bipartite tier.
         let n_nodes = spines + leaves + leaves * hosts_per_leaf;
@@ -93,11 +96,7 @@ impl LeafSpine {
 
     /// The leaf a host hangs off.
     pub fn host_leaf(&self, host: NodeId) -> NodeId {
-        let ord = self
-            .host_index
-            .get(host.0)
-            .copied()
-            .unwrap_or(u32::MAX);
+        let ord = self.host_index.get(host.0).copied().unwrap_or(u32::MAX);
         assert_ne!(ord, u32::MAX, "not a host of this fabric");
         self.leaves[ord as usize / self.hosts_per_leaf]
     }

@@ -168,10 +168,7 @@ fn link(topo: &Topology, a: NodeId, b: NodeId) -> LinkId {
 }
 
 fn path_via(topo: &Topology, nodes: Vec<NodeId>) -> Path {
-    let links = nodes
-        .windows(2)
-        .map(|w| link(topo, w[0], w[1]))
-        .collect();
+    let links = nodes.windows(2).map(|w| link(topo, w[0], w[1])).collect();
     Path { nodes, links }
 }
 

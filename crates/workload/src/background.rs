@@ -190,7 +190,10 @@ mod tests {
             dsts.sort();
             dsts.dedup();
             assert_eq!(dsts.len(), 16, "seed {seed}: not a perfect matching");
-            assert!(flows.iter().all(|f| f.src != f.dst), "seed {seed}: self-flow");
+            assert!(
+                flows.iter().all(|f| f.src != f.dst),
+                "seed {seed}: self-flow"
+            );
         }
     }
 

@@ -12,8 +12,11 @@ use eprons_sim::SimRng;
 /// Minutes in a day.
 pub const MINUTES_PER_DAY: usize = 1440;
 
-/// A diurnal profile: `value(t) = mid − amp·cos(2π (t − peak)/1440)`,
-/// clamped to `[floor, ceil]`, with optional noise.
+/// A diurnal profile: `value(t) = mid + amp·cos(2π (t − peak)/1440)`,
+/// clamped to `[floor, ceil]`, with optional noise. The cosine term is
+/// **added**, so the profile peaks at `peak_minute` and bottoms out half a
+/// day away (`peak_minute ± 720`); see `peak_and_trough_are_where_the_
+/// formula_says` for the pinned placement.
 #[derive(Debug, Clone)]
 pub struct DiurnalProfile {
     /// Mid-point of the swing.
@@ -59,8 +62,8 @@ impl DiurnalProfile {
 
     /// The noiseless profile value at a minute of day.
     pub fn value_at(&self, minute: f64) -> f64 {
-        let phase = 2.0 * std::f64::consts::PI * (minute - self.peak_minute)
-            / MINUTES_PER_DAY as f64;
+        let phase =
+            2.0 * std::f64::consts::PI * (minute - self.peak_minute) / MINUTES_PER_DAY as f64;
         (self.mid + self.amplitude * phase.cos()).clamp(self.floor, self.ceil)
     }
 
@@ -96,6 +99,40 @@ mod tests {
             .unwrap()
             .0;
         assert!((argmax as f64 - 820.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn peak_and_trough_are_where_the_formula_says() {
+        // Pins the sign of the cosine term: the doc comment and the code
+        // both say `mid + amp·cos(2π (t − peak)/1440)`, so the maximum sits
+        // exactly at `peak_minute` and the minimum half a day away. A
+        // silent sign flip would move the peak to the trough and break the
+        // Fig. 14/15 phase alignment.
+        let p = DiurnalProfile {
+            mid: 0.5,
+            amplitude: 0.3,
+            peak_minute: 820.0,
+            floor: 0.0,
+            ceil: 1.0,
+            noise: 0.0,
+        };
+        assert!(
+            (p.value_at(820.0) - 0.8).abs() < 1e-12,
+            "peak value at peak_minute"
+        );
+        assert!(
+            (p.value_at(820.0 - 720.0) - 0.2).abs() < 1e-12,
+            "trough half a day before"
+        );
+        assert!(
+            (p.value_at(820.0 + 720.0) - 0.2).abs() < 1e-12,
+            "trough half a day after"
+        );
+        // No other minute beats the peak or undercuts the trough.
+        for m in 0..MINUTES_PER_DAY {
+            let v = p.value_at(m as f64);
+            assert!((0.2 - 1e-12..=0.8 + 1e-12).contains(&v), "minute {m}: {v}");
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   arrival processes;
 //! * [`diurnal`] — the 24 h search-load and background-traffic profiles
 //!   (Fig. 14's shape: diurnal swing with noise);
+//! * [`adversarial`] — flash-crowd / step-load day traces and
+//!   ramp-correlated switch failures for stressing online controllers;
 //! * [`queries`] — partition–aggregate query generation (random
 //!   aggregator broadcasting sub-queries to the other 15 ISNs);
 //! * [`background`] — latency-tolerant elephant-flow sets targeting a
@@ -22,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod arrivals;
 pub mod background;
 pub mod diurnal;
@@ -29,6 +32,9 @@ pub mod queries;
 pub mod service_dist;
 pub mod trace;
 
+pub use adversarial::{
+    correlated_failures_during_ramp, CorrelatedFailure, FlashCrowd, StepLoad, TraceScenario,
+};
 pub use arrivals::{poisson_times, thinned_poisson_times};
 pub use diurnal::DiurnalProfile;
 pub use queries::{per_isn_arrivals, Query, QueryGenerator};

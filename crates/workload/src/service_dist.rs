@@ -48,11 +48,7 @@ pub fn xapian_like_samples(rng: &mut SimRng, n: usize) -> Vec<f64> {
 }
 
 /// As [`xapian_like_samples`] with explicit parameters.
-pub fn xapian_like_samples_with(
-    rng: &mut SimRng,
-    n: usize,
-    p: &XapianLikeParams,
-) -> Vec<f64> {
+pub fn xapian_like_samples_with(rng: &mut SimRng, n: usize, p: &XapianLikeParams) -> Vec<f64> {
     (0..n)
         .map(|_| {
             let (median, sigma) = if rng.bernoulli(p.fast_weight) {

@@ -149,7 +149,10 @@ mod tests {
         std::fs::write(&path, "not-a-number\n").unwrap();
         assert!(load_service_log(&path).is_err());
         std::fs::write(&path, "0.5\n").unwrap();
-        assert!(load_query_trace(&path).is_err(), "missing aggregator column");
+        assert!(
+            load_query_trace(&path).is_err(),
+            "missing aggregator column"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

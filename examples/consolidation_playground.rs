@@ -12,8 +12,8 @@
 
 use eprons_repro::net::flow::FlowSet;
 use eprons_repro::net::{
-    ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator,
-    NetworkPowerModel, PathMilpConsolidator,
+    ConsolidationConfig, Consolidator, FlowClass, FlowId, GreedyConsolidator, NetworkPowerModel,
+    PathMilpConsolidator,
 };
 use eprons_repro::topo::FatTree;
 
@@ -26,13 +26,43 @@ fn main() {
     let ft = FatTree::new(4, 1000.0);
     let mut flows = FlowSet::new();
     // Two latency-tolerant elephants…
-    flows.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
-    flows.add(ft.host(2, 0, 0), ft.host(3, 0, 0), 600.0, FlowClass::LatencyTolerant);
+    flows.add(
+        ft.host(0, 0, 0),
+        ft.host(1, 0, 0),
+        900.0,
+        FlowClass::LatencyTolerant,
+    );
+    flows.add(
+        ft.host(2, 0, 0),
+        ft.host(3, 0, 0),
+        600.0,
+        FlowClass::LatencyTolerant,
+    );
     // …and four latency-sensitive query flows.
-    flows.add(ft.host(0, 0, 1), ft.host(1, 0, 1), 20.0, FlowClass::LatencySensitive);
-    flows.add(ft.host(0, 1, 0), ft.host(1, 1, 0), 20.0, FlowClass::LatencySensitive);
-    flows.add(ft.host(2, 0, 1), ft.host(3, 0, 1), 20.0, FlowClass::LatencySensitive);
-    flows.add(ft.host(2, 1, 0), ft.host(0, 1, 1), 20.0, FlowClass::LatencySensitive);
+    flows.add(
+        ft.host(0, 0, 1),
+        ft.host(1, 0, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    flows.add(
+        ft.host(0, 1, 0),
+        ft.host(1, 1, 0),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    flows.add(
+        ft.host(2, 0, 1),
+        ft.host(3, 0, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    flows.add(
+        ft.host(2, 1, 0),
+        ft.host(0, 1, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
 
     let cfg = ConsolidationConfig::with_k(k);
     let power = NetworkPowerModel::default();

@@ -22,6 +22,7 @@ fn main() {
         peak_utilization: 0.5,
         seed: 77,
         warm_start: true,
+        ..DayConfig::default()
     };
 
     println!("simulating one diurnal day (hourly epochs)\n");

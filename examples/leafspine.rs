@@ -26,7 +26,12 @@ fn main() {
 
     // One elephant plus a sheaf of query flows crossing leaves.
     let mut flows = FlowSet::new();
-    flows.add(ls.host(0, 0), ls.host(1, 0), 850.0, FlowClass::LatencyTolerant);
+    flows.add(
+        ls.host(0, 0),
+        ls.host(1, 0),
+        850.0,
+        FlowClass::LatencyTolerant,
+    );
     for i in 0..6 {
         flows.add(
             ls.host(i % 4, 1 + i % 3),
@@ -37,7 +42,10 @@ fn main() {
     }
 
     let power = NetworkPowerModel::default();
-    println!("{:>4} {:>16} {:>12} {:>18}", "K", "active-switches", "net-power-W", "spines-on");
+    println!(
+        "{:>4} {:>16} {:>12} {:>18}",
+        "K", "active-switches", "net-power-W", "spines-on"
+    );
     for k in [1.0, 2.0, 4.0, 6.0] {
         let cfg = ConsolidationConfig::with_k(k);
         match GreedyConsolidator.consolidate(&ls, &flows, &cfg) {

@@ -9,9 +9,7 @@
 //! consolidation at K=2) and the unmanaged baseline on the same workload,
 //! and prints the power split, tail latencies, and savings.
 
-use eprons_repro::core::{
-    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
-};
+use eprons_repro::core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
 
 fn main() {
     let cfg = ClusterConfig::default();
@@ -41,7 +39,10 @@ fn main() {
     let report = |name: &str, r: &eprons_repro::core::ClusterRunResult| {
         println!("{name}:");
         println!("  servers          {:7.1} W", r.breakdown.server_w);
-        println!("  network          {:7.1} W ({} switches on)", r.breakdown.network_w, r.active_switches);
+        println!(
+            "  network          {:7.1} W ({} switches on)",
+            r.breakdown.network_w, r.active_switches
+        );
         println!("  total            {:7.1} W", r.breakdown.total_w());
         println!(
             "  e2e p95 / miss   {:5.2} ms / {:.1}%  (SLA {:.0} ms @ 95th)",

@@ -11,8 +11,8 @@
 
 use eprons_repro::server::policy::DvfsPolicy;
 use eprons_repro::server::{
-    coresim::poisson_trace, simulate_core, AvgVpPolicy, CoreSimConfig, MaxFreqPolicy,
-    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+    coresim::poisson_trace, simulate_core, AvgVpPolicy, CoreSimConfig, MaxFreqPolicy, MaxVpPolicy,
+    ServiceModel, TimeTraderPolicy, VpEngine,
 };
 use eprons_repro::sim::SimRng;
 

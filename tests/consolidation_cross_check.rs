@@ -28,8 +28,18 @@ fn exact_models_agree_on_small_instances() {
     let ft = FatTree::new(2, 1000.0);
     let cfg = ConsolidationConfig::with_k(1.0);
     let mut fs = FlowSet::new();
-    fs.add(ft.hosts()[0], ft.hosts()[1], 300.0, FlowClass::LatencySensitive);
-    fs.add(ft.hosts()[1], ft.hosts()[0], 200.0, FlowClass::LatencyTolerant);
+    fs.add(
+        ft.hosts()[0],
+        ft.hosts()[1],
+        300.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ft.hosts()[1],
+        ft.hosts()[0],
+        200.0,
+        FlowClass::LatencyTolerant,
+    );
     let arc = power_of(&ArcMilpConsolidator::default(), &ft, &fs, &cfg).unwrap();
     let path = power_of(&PathMilpConsolidator::default(), &ft, &fs, &cfg).unwrap();
     assert!((arc - path).abs() < 1e-6, "arc {arc} vs path {path}");
@@ -61,7 +71,10 @@ fn exact_never_worse_than_greedy_on_random_instances() {
         let greedy = power_of(&GreedyConsolidator, &ft, &fs, &cfg);
         match (exact, greedy) {
             (Some(e), Some(g)) => {
-                assert!(e <= g + 1e-6, "seed {seed}: exact {e} worse than greedy {g}")
+                assert!(
+                    e <= g + 1e-6,
+                    "seed {seed}: exact {e} worse than greedy {g}"
+                )
             }
             (Some(_), None) => {} // greedy may fail where exact succeeds
             (None, Some(_)) => {
@@ -77,9 +90,24 @@ fn paper_fig2_exact_numbers() {
     // The Fig. 2 instance end-to-end through the facade crate.
     let ft = FatTree::new(4, 1000.0);
     let mut fs = FlowSet::new();
-    fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
-    fs.add(ft.host(0, 0, 1), ft.host(1, 0, 1), 20.0, FlowClass::LatencySensitive);
-    fs.add(ft.host(0, 1, 0), ft.host(1, 1, 0), 20.0, FlowClass::LatencySensitive);
+    fs.add(
+        ft.host(0, 0, 0),
+        ft.host(1, 0, 0),
+        900.0,
+        FlowClass::LatencyTolerant,
+    );
+    fs.add(
+        ft.host(0, 0, 1),
+        ft.host(1, 0, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ft.host(0, 1, 0),
+        ft.host(1, 1, 0),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
     let switches: Vec<usize> = [1.0, 2.0, 3.0]
         .iter()
         .map(|&k| {

@@ -12,10 +12,16 @@ use eprons_repro::workload::{poisson_times, xapian_like_samples, QueryGenerator}
 fn workload_generators_are_seed_pure() {
     let mut a = SimRng::seed_from_u64(5);
     let mut b = SimRng::seed_from_u64(5);
-    assert_eq!(poisson_times(&mut a, 100.0, 10.0), poisson_times(&mut b, 100.0, 10.0));
+    assert_eq!(
+        poisson_times(&mut a, 100.0, 10.0),
+        poisson_times(&mut b, 100.0, 10.0)
+    );
     let mut a = SimRng::seed_from_u64(6);
     let mut b = SimRng::seed_from_u64(6);
-    assert_eq!(xapian_like_samples(&mut a, 500), xapian_like_samples(&mut b, 500));
+    assert_eq!(
+        xapian_like_samples(&mut a, 500),
+        xapian_like_samples(&mut b, 500)
+    );
     let g = QueryGenerator::new(16);
     let mut a = SimRng::seed_from_u64(7);
     let mut b = SimRng::seed_from_u64(7);
@@ -45,6 +51,7 @@ fn day_simulation_is_seed_pure() {
         peak_utilization: 0.4,
         seed: 321,
         warm_start: true,
+        ..DayConfig::default()
     };
     let a = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
     let b = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &day);
@@ -66,6 +73,7 @@ fn different_seeds_give_different_days() {
         peak_utilization: 0.4,
         seed,
         warm_start: true,
+        ..DayConfig::default()
     };
     let a = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &mk(1));
     let b = simulate_day(&cfg, &DayStrategy::NoPowerManagement, &mk(2));

@@ -2,9 +2,7 @@
 //! servers → accounting) reproduces the paper's qualitative results.
 
 use eprons_repro::core::optimizer::{aggregation_candidates, optimize_total_power};
-use eprons_repro::core::{
-    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
-};
+use eprons_repro::core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
 use eprons_repro::topo::AggregationLevel;
 
 fn base() -> ClusterRun {
@@ -29,18 +27,10 @@ fn scheme_power_ordering_matches_fig12() {
         ServerScheme::RubikPlus,
         ServerScheme::EpronsServer,
     ] {
-        let r = run_cluster(
-            &cfg,
-            &ClusterRun {
-                scheme,
-                ..base()
-            },
-        )
-        .unwrap();
+        let r = run_cluster(&cfg, &ClusterRun { scheme, ..base() }).unwrap();
         results.push((scheme, r));
     }
-    let power =
-        |s: ServerScheme| results.iter().find(|(x, _)| *x == s).unwrap().1.cpu_power_w;
+    let power = |s: ServerScheme| results.iter().find(|(x, _)| *x == s).unwrap().1.cpu_power_w;
     // The paper's Fig. 12(a) ordering.
     assert!(power(ServerScheme::EpronsServer) < power(ServerScheme::RubikPlus) + 1e-9);
     assert!(power(ServerScheme::RubikPlus) < power(ServerScheme::Rubik) + 1e-9);

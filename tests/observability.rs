@@ -23,6 +23,7 @@ fn day_run_journals_the_control_loop() {
         peak_utilization: 0.5,
         seed: 99,
         warm_start: true,
+        ..DayConfig::default()
     };
     let recs = simulate_day(
         &cfg,
@@ -61,7 +62,10 @@ fn day_run_journals_the_control_loop() {
     );
     // The winner is always actually measured, so at least one candidate
     // per epoch runs the full evaluation.
-    assert!(evaluated >= epochs, "expected >= 1 evaluation per epoch, got {evaluated}");
+    assert!(
+        evaluated >= epochs,
+        "expected >= 1 evaluation per epoch, got {evaluated}"
+    );
     // And the lower layers reported in: the cluster tagged each evaluated
     // candidate's run, consolidation passes ran, and every ISN's DVFS run
     // aggregated its frequency transitions.

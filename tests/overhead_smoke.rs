@@ -12,9 +12,24 @@ use eprons_repro::topo::FatTree;
 
 fn fig2_flows(ft: &FatTree) -> FlowSet {
     let mut fs = FlowSet::new();
-    fs.add(ft.host(0, 0, 0), ft.host(1, 0, 0), 900.0, FlowClass::LatencyTolerant);
-    fs.add(ft.host(0, 0, 1), ft.host(1, 0, 1), 20.0, FlowClass::LatencySensitive);
-    fs.add(ft.host(0, 1, 0), ft.host(1, 1, 0), 20.0, FlowClass::LatencySensitive);
+    fs.add(
+        ft.host(0, 0, 0),
+        ft.host(1, 0, 0),
+        900.0,
+        FlowClass::LatencyTolerant,
+    );
+    fs.add(
+        ft.host(0, 0, 1),
+        ft.host(1, 0, 1),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
+    fs.add(
+        ft.host(0, 1, 0),
+        ft.host(1, 1, 0),
+        20.0,
+        FlowClass::LatencySensitive,
+    );
     fs
 }
 
@@ -36,7 +51,10 @@ fn disabled_telemetry_records_nothing_and_stays_cheap() {
     obs::reset();
     time_consolidations(50); // warm up
     let off = time_consolidations(500);
-    assert!(obs::journal().is_empty(), "disabled telemetry must not journal");
+    assert!(
+        obs::journal().is_empty(),
+        "disabled telemetry must not journal"
+    );
     assert!(obs::registry().snapshot().counters.is_empty());
 
     obs::set_enabled(true);

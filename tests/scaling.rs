@@ -3,9 +3,7 @@
 //! emulation-resource constraint, §V-A: "the MiniNet network could be
 //! extended to a cluster of servers").
 
-use eprons_repro::core::{
-    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
-};
+use eprons_repro::core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
 use eprons_repro::net::flow::FlowSet;
 use eprons_repro::net::{ConsolidationConfig, Consolidator, FlowClass, GreedyConsolidator};
 use eprons_repro::sim::SimRng;

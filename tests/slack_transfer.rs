@@ -2,9 +2,7 @@
 //! the network budget a request did not spend becomes server compute
 //! budget (paper §IV), and only for the slack-aware schemes.
 
-use eprons_repro::core::{
-    run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme,
-};
+use eprons_repro::core::{run_cluster, ClusterConfig, ClusterRun, ConsolidationSpec, ServerScheme};
 use eprons_repro::server::request::budget_with_network_slack;
 use eprons_repro::topo::AggregationLevel;
 
