@@ -197,7 +197,7 @@ fn main() {
     // built once, ever), the bound-pruned sweep skipping dominated
     // candidates, and the previous sweep's winner as the ordering hint —
     // the same spec the cold sweep picks, by the determinism contract.
-    let warm_ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+    let warm_ctx = ScenarioContext::for_template(&cfg, &template);
     let mut warm_hint: Option<ConsolidationSpec> = None;
     r.bench("optimize_total_power/agg_ladder/serial_warm", || {
         let choice =
@@ -215,7 +215,7 @@ fn main() {
     let parallel_budget = host_threads;
     let parallel_skip = if host_threads > 1 {
         set_thread_budget(Some(parallel_budget));
-        let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template));
+        let ctx = ScenarioContext::for_template(&cfg, &template);
         let mut hint: Option<ConsolidationSpec> = None;
         r.bench("optimize_total_power/agg_ladder/parallel_warm", || {
             let choice = optimize_in_context_pruned(&ctx, template.scheme, &candidates, &[], hint)

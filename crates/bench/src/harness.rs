@@ -27,13 +27,20 @@ pub struct Sample {
 
 impl Sample {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("iters".into(), Json::Num(self.iters as f64)),
             ("mean_s".into(), Json::Num(self.mean_s)),
             ("min_s".into(), Json::Num(self.min_s)),
             ("max_s".into(), Json::Num(self.max_s)),
-        ])
+        ];
+        // A one-shot measurement has no spread: mean == min == max by
+        // construction. Flag it so consumers (the CI smoke check) don't
+        // treat the degenerate ordering as suspicious.
+        if self.iters == 1 {
+            fields.push(("single_sample".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -173,6 +180,20 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[0].get("name").unwrap().as_str(), Some("a"));
         assert!(arr[1].get("mean_s").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn single_sample_flag_marks_one_shot_runs() {
+        let mut r = Runner::new(0.0, 1);
+        r.bench("one-shot", || ());
+        let j = r.to_json();
+        let s = &j.as_arr().unwrap()[0];
+        assert_eq!(s.get("single_sample").unwrap().as_bool(), Some(true));
+
+        let mut r = Runner::new(0.0, 2);
+        r.bench("multi", || ());
+        let j = r.to_json();
+        assert!(j.as_arr().unwrap()[0].get("single_sample").is_none());
     }
 
     #[test]

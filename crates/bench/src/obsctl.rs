@@ -26,7 +26,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 use eprons_core::report::{
-    journal_epoch_table, journal_kind_table, journal_online_table, journal_pods_table, Table,
+    journal_daycache_table, journal_epoch_table, journal_kind_table, journal_online_table,
+    journal_pods_table, Table,
 };
 use eprons_obs::{Event, JournalEntry, Snapshot};
 
@@ -242,6 +243,11 @@ pub fn summarize(entries: &[JournalEntry]) -> String {
     if !online_table.is_empty() {
         out.push('\n');
         out.push_str(&online_table.to_string());
+    }
+    let daycache_table = journal_daycache_table(entries);
+    if !daycache_table.is_empty() {
+        out.push('\n');
+        out.push_str(&daycache_table.to_string());
     }
     for e in entries {
         if let Event::DayEnergy {

@@ -24,7 +24,7 @@ use eprons_topo::AggregationLevel;
 
 use crate::accounting::PowerBreakdown;
 use crate::config::ClusterConfig;
-use crate::scenario::{ScenarioContext, ScenarioSpec};
+use crate::scenario::ScenarioContext;
 
 /// The server power-management scheme under test (Fig. 12's lines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -251,7 +251,7 @@ pub fn run_cluster(
     cfg: &ClusterConfig,
     run: &ClusterRun,
 ) -> Result<ClusterRunResult, ClusterError> {
-    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(run));
+    let ctx = ScenarioContext::for_template(cfg, run);
     ctx.evaluate(run.scheme, run.consolidation)
 }
 

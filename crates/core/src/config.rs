@@ -133,6 +133,47 @@ impl OnlineConfig {
     }
 }
 
+/// Day-scoped evaluation semantics: one scenario context per *day*
+/// instead of one per epoch.
+///
+/// Under day scope the controller evaluates every epoch at a **constant
+/// master seed** (the day seed, instead of a per-epoch derivation) and
+/// quantizes demand onto the warm-start grid (5 % utilization steps), so
+/// adjacent epochs at the same operating point present bit-identical
+/// scenario specs. That is what makes cross-epoch reuse sound *and*
+/// profitable: the [`crate::scenario::DayContext`] revives whole
+/// contexts (plan cache included), the pod-solve cache survives demand
+/// changes behind its flow fingerprint, and the server-eval memo in
+/// `eprons-server` short-circuits repeated per-ISN DVFS runs.
+///
+/// These semantics hold for the *rebuild baseline too*: a day-scoped
+/// run with `incremental: false` rebuilds the context every epoch but
+/// visits the same operating points, so the incremental path is
+/// bit-identical to it (the replay harness pins
+/// `day_total_energy_j` via `f64::to_bits`). `None` on
+/// [`crate::DayConfig::day_scope`] keeps the legacy per-epoch-seed
+/// behavior and every historical golden.
+#[derive(Debug, Clone)]
+pub struct DayScopeConfig {
+    /// Reuse contexts/caches across epochs (`true`) or rebuild per epoch
+    /// while keeping day-scope semantics (`false`, the baseline the
+    /// speedup is measured against).
+    pub incremental: bool,
+    /// Most contexts the day cache may hold (LRU beyond this).
+    pub max_slots: usize,
+}
+
+impl Default for DayScopeConfig {
+    fn default() -> Self {
+        DayScopeConfig {
+            incremental: true,
+            // A day visits one operating point per distinct (quantized
+            // load, quantized background) pair — a few dozen at most.
+            max_slots: 32,
+        }
+    }
+}
+
 /// Which consolidation architecture `GreedyK` network plans run.
 ///
 /// `Monolithic` is the flat greedy over all flows — the differential

@@ -38,10 +38,10 @@ use eprons_workload::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
 
 use crate::accounting::PowerBreakdown;
 use crate::cluster::{ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
-use crate::config::{ClusterConfig, DeferralConfig, HysteresisConfig, OnlineConfig};
+use crate::config::{ClusterConfig, DayScopeConfig, DeferralConfig, HysteresisConfig, OnlineConfig};
 use crate::optimizer::{optimize_in_context, optimize_in_context_pruned};
 use crate::parallel::parallel_map;
-use crate::scenario::{ScenarioContext, ScenarioSpec};
+use crate::scenario::{DayContext, ScenarioContext, ScenarioSpec};
 
 /// The three Fig. 15 contenders.
 #[derive(Debug, Clone)]
@@ -141,6 +141,12 @@ pub struct DayConfig {
     /// `None` keeps the epoch-batch loop; `Some` forces sequential
     /// epochs with cross-epoch state.
     pub online: Option<OnlineConfig>,
+    /// Day-scoped evaluation semantics: constant master seed across the
+    /// day's epochs and demand quantized onto the warm-start grid, which
+    /// makes cross-epoch context/cache reuse sound (see
+    /// [`DayScopeConfig`]). `None` keeps the legacy per-epoch-seed
+    /// behavior bit for bit.
+    pub day_scope: Option<DayScopeConfig>,
 }
 
 impl Default for DayConfig {
@@ -154,8 +160,16 @@ impl Default for DayConfig {
             search_trace: TraceScenario::Diurnal(DiurnalProfile::search_load()),
             background_trace: TraceScenario::Diurnal(DiurnalProfile::background_traffic()),
             online: None,
+            day_scope: None,
         }
     }
+}
+
+/// The warm-start demand grid (5 % utilization steps). Day-scoped runs
+/// snap every epoch's demand onto it so adjacent epochs at the same
+/// operating point present bit-identical scenario specs.
+fn quantize_demand(x: f64) -> f64 {
+    (x / 0.05).round() * 0.05
 }
 
 /// Cross-epoch hysteresis state: the configuration that was live when
@@ -443,9 +457,25 @@ pub fn simulate_day_with_failures(
                       load: f64,
                       bg: f64,
                       warm_hint: Option<ConsolidationSpec>,
-                      hyst: Option<&mut HysteresisState>|
+                      hyst: Option<&mut HysteresisState>,
+                      day_ctx: Option<&DayContext>|
      -> (DayRecord, ConsolidationSpec) {
         let mut epoch_span = eprons_obs::Span::enter_under(day_span_id, "epoch");
+        // Day scope: a constant master seed and grid-quantized demand, so
+        // epochs at the same operating point present bit-identical specs.
+        // The utilization floor rises to one grid step (a zero-query
+        // epoch has no tail to measure); quantization applies on the
+        // rebuild baseline exactly as on the incremental path, which is
+        // what makes the two bit-comparable.
+        let day_scoped = day.day_scope.is_some();
+        let (util, bg) = if day_scoped {
+            (
+                quantize_demand((day.peak_utilization * load).max(0.02)).max(0.05),
+                quantize_demand(bg),
+            )
+        } else {
+            ((day.peak_utilization * load).max(0.02), bg)
+        };
         if obs_on {
             eprons_obs::record(eprons_obs::Event::EpochStart {
                 epoch: e as u64,
@@ -454,7 +484,6 @@ pub fn simulate_day_with_failures(
                 background_util: bg,
             });
         }
-        let util = (day.peak_utilization * load).max(0.02);
         let template = ClusterRun {
             scheme: ServerScheme::EpronsServer,
             consolidation: ConsolidationSpec::AllOn,
@@ -462,7 +491,11 @@ pub fn simulate_day_with_failures(
             background_util: bg,
             duration_s: day.sim_seconds,
             warmup_s: 0.0,
-            seed: day.seed ^ (e as u64).wrapping_mul(0x9E37_79B9),
+            seed: if day_scoped {
+                day.seed
+            } else {
+                day.seed ^ (e as u64).wrapping_mul(0x9E37_79B9)
+            },
         };
         let run = match strategy {
             DayStrategy::NoPowerManagement => ClusterRun {
@@ -485,10 +518,15 @@ pub fn simulate_day_with_failures(
         let mut mask: Vec<NodeId> = schedule.failed_at(start).into_iter().map(NodeId).collect();
         let mut failed_switches: Vec<usize> = mask.iter().map(|n| n.0).collect();
 
-        // One scenario build per epoch; the optimizer's candidate ladder
-        // shares it, so each candidate pays only consolidation + latency
-        // sampling + DVFS simulation.
-        let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(&run));
+        // One scenario context per epoch; the optimizer's candidate
+        // ladder shares it, so each candidate pays only consolidation +
+        // latency sampling + DVFS simulation. Incremental day-scoped
+        // runs go further and fetch the context from the day cache,
+        // reviving earlier epochs' contexts (plan cache included).
+        let ctx = match day_ctx {
+            Some(dc) => dc.context_for(&ScenarioSpec::of_run(&run)),
+            None => ScenarioContext::for_template(cfg, &run),
+        };
         let (mut result, mut base_feasible, mut degradation, mut spec): (
             ClusterRunResult,
             bool,
@@ -915,6 +953,28 @@ pub fn simulate_day_with_failures(
     // the thread budget in every mode, and each mode's timeline is a
     // deterministic pure function of its inputs.
     let warm = day.warm_start && matches!(strategy, DayStrategy::Eprons { .. });
+    // Day-scoped incremental machinery: the day-level context cache and
+    // the process-wide server-eval memo, both scoped to this day. Only
+    // the sequential modes reuse contexts — the cold parallel branch
+    // rebuilds per epoch (that rebuild *is* the baseline the replay
+    // harness measures the incremental path against).
+    let incremental = day.day_scope.as_ref().is_some_and(|ds| ds.incremental);
+    let day_cache = day
+        .day_scope
+        .as_ref()
+        .filter(|ds| ds.incremental)
+        .map(|ds| DayContext::new(cfg, ds.max_slots));
+    // Counter snapshot so the day-end report shows this day's result-
+    // memo traffic, not the process total.
+    let eval_hits_0 = eprons_obs::registry().counter("core.evalcache.hits").get();
+    let eval_miss_0 = eprons_obs::registry()
+        .counter("core.evalcache.misses")
+        .get();
+    if incremental {
+        eprons_server::clear_serveval_memo();
+        eprons_server::set_serveval_memo_enabled(true);
+        crate::scenario::set_eval_cache_enabled(true);
+    }
     let records: Vec<DayRecord> = if let Some(online) = day.online.clone() {
         let epoch_s = day.epoch_minutes as f64 * 60.0;
         let mut hyst = online
@@ -937,7 +997,8 @@ pub fn simulate_day_with_failures(
                     drained_mbps_min: 0.0,
                 },
             };
-            let (mut rec, spec) = eval_epoch(e, minute, load, step.bg, hint, hyst.as_mut());
+            let (mut rec, spec) =
+                eval_epoch(e, minute, load, step.bg, hint, hyst.as_mut(), day_cache.as_ref());
             rec.deferred_mbps_min = step.enqueued_mbps_min;
             rec.drained_mbps_min = step.drained_mbps_min;
             if let Some(h) = hyst.as_mut() {
@@ -979,16 +1040,52 @@ pub fn simulate_day_with_failures(
                     reg.counter("core.warmstart.misses").inc();
                 }
             }
-            let (rec, spec) = eval_epoch(e, minute, load, predicted_bg[e], hint, None);
+            let (rec, spec) =
+                eval_epoch(e, minute, load, predicted_bg[e], hint, None, day_cache.as_ref());
             prev = Some((spec, fp));
             out.push(rec);
         }
         out
     } else {
         parallel_map(&inputs, |&(e, minute, load)| {
-            eval_epoch(e, minute, load, predicted_bg[e], None, None).0
+            eval_epoch(e, minute, load, predicted_bg[e], None, None, None).0
         })
     };
+    if incremental {
+        eprons_server::set_serveval_memo_enabled(false);
+        crate::scenario::set_eval_cache_enabled(false);
+        if obs_on {
+            if let Some(dc) = &day_cache {
+                let s = dc.stats();
+                eprons_obs::record(eprons_obs::Event::DayCacheReport {
+                    cache: "core.daycache".to_string(),
+                    hits: s.hits,
+                    misses: s.misses,
+                    evictions: s.evictions,
+                    bytes: s.bytes,
+                });
+                eprons_obs::record(eprons_obs::Event::DayCacheReport {
+                    cache: "core.evalcache".to_string(),
+                    hits: eprons_obs::registry().counter("core.evalcache.hits").get()
+                        - eval_hits_0,
+                    misses: eprons_obs::registry()
+                        .counter("core.evalcache.misses")
+                        .get()
+                        - eval_miss_0,
+                    evictions: 0,
+                    bytes: dc.eval_footprint_bytes(),
+                });
+            }
+            let m = eprons_server::serveval_memo_stats();
+            eprons_obs::record(eprons_obs::Event::DayCacheReport {
+                cache: "server.serveval".to_string(),
+                hits: m.hits,
+                misses: m.misses,
+                evictions: 0,
+                bytes: m.bytes,
+            });
+        }
+    }
 
     if obs_on {
         // Epoch-boundary churn: rebuild each epoch's NetworkState from its

@@ -41,8 +41,8 @@ pub use accounting::PowerBreakdown;
 pub use cluster::ClusterError;
 pub use cluster::{run_cluster, ClusterRun, ClusterRunResult, ConsolidationSpec, ServerScheme};
 pub use config::{
-    ClusterConfig, ConsolidateStrategy, DeferralConfig, FailurePolicyConfig, HysteresisConfig,
-    OnlineConfig,
+    ClusterConfig, ConsolidateStrategy, DayScopeConfig, DeferralConfig, FailurePolicyConfig,
+    HysteresisConfig, OnlineConfig,
 };
 pub use controller::{
     day_churn, day_churn_count, day_total_energy_j, day_transition_energy_j, simulate_day,
@@ -50,6 +50,7 @@ pub use controller::{
 };
 pub use eprons_net::failure::{DegradationStage, FailureEvent, FailureEventKind, FailureSchedule};
 pub use eprons_workload::adversarial::{FlashCrowd, StepLoad, TraceScenario};
+pub use eprons_workload::replay::ReplayTrace;
 pub use optimizer::{
     adaptive_k, adaptive_k_in_context, adaptive_k_in_context_hinted, candidate_power_floor_w,
     optimize_in_context, optimize_in_context_masked, optimize_in_context_pruned,
@@ -57,6 +58,6 @@ pub use optimizer::{
 };
 pub use parallel::{parallel_map, parallel_map_range, set_thread_budget, thread_budget};
 pub use scenario::{
-    plan_cache_enabled, set_plan_cache_enabled, NetworkPlan, ScenarioContext, ScenarioSpec,
-    ServerEvaluation,
+    eval_cache_enabled, plan_cache_enabled, set_eval_cache_enabled, set_plan_cache_enabled,
+    DayCacheStats, DayContext, NetworkPlan, ScenarioContext, ScenarioSpec, ServerEvaluation,
 };

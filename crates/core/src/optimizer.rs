@@ -22,7 +22,7 @@ use eprons_topo::{AggregationLevel, LinkId, MultipathTopology, NodeId};
 
 use crate::cluster::{ClusterError, ClusterRun, ClusterRunResult, ConsolidationSpec};
 use crate::config::ClusterConfig;
-use crate::scenario::{scheme_idle_floor_w, ScenarioContext, ScenarioSpec};
+use crate::scenario::{scheme_idle_floor_w, ScenarioContext};
 
 /// The optimizer's selection.
 #[derive(Debug, Clone)]
@@ -108,7 +108,7 @@ pub fn optimize_total_power_traced(
     if candidates.is_empty() {
         return (None, Vec::new());
     }
-    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(template));
+    let ctx = ScenarioContext::for_template(cfg, template);
     optimize_in_context(&ctx, template.scheme, candidates)
 }
 
@@ -380,8 +380,8 @@ pub fn optimize_in_context_pruned(
         .iter()
         .map(|&spec| match spec {
             ConsolidationSpec::GreedyK(_) => *greedy_floor
-                .get_or_insert_with(|| candidate_power_floor_w(ctx, scheme, spec, excluded)),
-            _ => candidate_power_floor_w(ctx, scheme, spec, excluded),
+                .get_or_insert_with(|| ctx.floor_cached(scheme, spec, excluded)),
+            _ => ctx.floor_cached(scheme, spec, excluded),
         })
         .collect();
     drop(bounds_span);
@@ -515,7 +515,7 @@ pub fn scale_factor_candidates(k_max: usize) -> Vec<ConsolidationSpec> {
 /// converges with fewer measurements at the cost of possibly stopping one
 /// step early on non-monotone instances.
 pub fn adaptive_k(cfg: &ClusterConfig, template: &ClusterRun, k_max: usize) -> Option<JointChoice> {
-    let ctx = ScenarioContext::build(cfg, &ScenarioSpec::of_run(template));
+    let ctx = ScenarioContext::for_template(cfg, template);
     adaptive_k_in_context(&ctx, template.scheme, k_max)
 }
 
@@ -684,7 +684,7 @@ mod tests {
         // it commits after the first feasible K instead of measuring the
         // entire ladder.
         let cfg = ClusterConfig::default();
-        let ctx = ScenarioContext::build(&cfg, &ScenarioSpec::of_run(&template()));
+        let ctx = ScenarioContext::for_template(&cfg, &template());
         let full = optimize_in_context(
             &ctx,
             ServerScheme::EpronsServer,

@@ -187,6 +187,44 @@ pub fn journal_pods_table(entries: &[eprons_obs::JournalEntry]) -> Table {
     t
 }
 
+/// Tabulates the day-scoped cache reports of a journal: one row per
+/// [`eprons_obs::Event::DayCacheReport`] with the cache's day-long
+/// hit/miss/eviction counters, its hit rate, and the approximate bytes
+/// it held when the day closed. Empty (no rows) when the run never
+/// used day-scoped incremental evaluation.
+pub fn journal_daycache_table(entries: &[eprons_obs::JournalEntry]) -> Table {
+    let mut t = Table::new(
+        "day-scope caches",
+        &["cache", "hits", "misses", "evictions", "hit rate", "bytes"],
+    );
+    for e in entries {
+        if let eprons_obs::Event::DayCacheReport {
+            cache,
+            hits,
+            misses,
+            evictions,
+            bytes,
+        } = &e.event
+        {
+            let total = hits + misses;
+            let rate = if total > 0 {
+                format!("{:.1}%", *hits as f64 / total as f64 * 100.0)
+            } else {
+                "-".to_string()
+            };
+            t.row(&[
+                cache.clone(),
+                hits.to_string(),
+                misses.to_string(),
+                evictions.to_string(),
+                rate,
+                bytes.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Tabulates the online-controller activity of a journal: hysteresis
 /// holds (with the transition energy they avoided paying) and the
 /// deferral queue's megabit-minute ledger (enqueued, drained, dropped).

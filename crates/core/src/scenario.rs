@@ -32,8 +32,10 @@
 //! call. `crates/core/tests/determinism.rs` pins this with a golden
 //! equality test over every `ServerScheme` × `AggregationLevel` pair.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use eprons_net::consolidate::pod::{
@@ -47,8 +49,9 @@ use eprons_net::{
 use eprons_server::policy::DvfsPolicy;
 use eprons_server::request::budget_with_network_slack;
 use eprons_server::{
-    simulate_core, ArrivalSpec, AvgVpPolicy, CoreSimConfig, DeepSleepPolicy, MaxFreqPolicy,
-    MaxVpPolicy, ServiceModel, TimeTraderPolicy, VpEngine,
+    service_fingerprint, serveval_memo_enabled, simulate_core_memoized, ArrivalSpec, AvgVpPolicy,
+    CoreSimConfig, DeepSleepPolicy, MaxFreqPolicy, MaxVpPolicy, ServiceModel, TimeTraderPolicy,
+    VpEngine,
 };
 use eprons_sim::SimRng;
 use eprons_topo::{AggregationLevel, FatTree, NodeId};
@@ -80,6 +83,44 @@ pub fn plan_cache_enabled() -> bool {
     PLAN_CACHE_ENABLED.load(Ordering::Relaxed)
 }
 
+/// Process-wide switch for the per-context *result* memo: the full
+/// [`ClusterRunResult`] of one (scheme, candidate, mask) evaluation. Off
+/// by default — a result cache only pays when the same operating point
+/// recurs against the same context, which is exactly the day-scoped
+/// incremental replay ([`crate::DayContext`] revives a slot's context,
+/// and with it every result already evaluated at that operating point).
+/// The day controller turns it on around an incremental day and back off
+/// after. Like the plan memo it is invisible to results: an evaluation is
+/// a pure function of (context, scheme, candidate, mask), so a hit
+/// returns the bit-identical result a re-run would produce.
+static EVAL_CACHE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the evaluation-result memo process-wide
+/// (default: off). Results never change — only whether repeated
+/// evaluations of the same (scheme, candidate, mask) against one context
+/// pay stages 2–4 again.
+pub fn set_eval_cache_enabled(on: bool) {
+    EVAL_CACHE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the evaluation-result memo is currently serving hits.
+pub fn eval_cache_enabled() -> bool {
+    EVAL_CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Index of a scheme for cache keying (fieldless enum — every scheme
+/// parameter lives in [`ClusterConfig`], fixed per context).
+fn scheme_index(scheme: ServerScheme) -> u8 {
+    match scheme {
+        ServerScheme::NoPowerManagement => 0,
+        ServerScheme::Rubik => 1,
+        ServerScheme::RubikPlus => 2,
+        ServerScheme::TimeTrader => 3,
+        ServerScheme::EpronsServer => 4,
+        ServerScheme::DeepSleep => 5,
+    }
+}
+
 /// Memo key for one stage-2 plan: the candidate collapsed to raw bits
 /// (discriminant + level index / `K` bits), the effective consolidation
 /// architecture (only `GreedyK` plans depend on it — normalized to 0
@@ -104,6 +145,20 @@ fn plan_key(spec: ConsolidationSpec, strategy: ConsolidateStrategy, mask: &[Node
     };
     (tag, bits, strat, mask.iter().map(|n| n.0).collect())
 }
+
+/// Memo key for one full evaluation result: the scheme index over the
+/// plan key (everything else an evaluation depends on is context state).
+type EvalKey = (u8, PlanKey);
+
+/// Memo value for one full evaluation: the result, or the error the
+/// evaluation deterministically fails with.
+type EvalOutcome = Result<ClusterRunResult, ClusterError>;
+
+/// Memo key for one candidate power floor: (scheme, candidate tag,
+/// candidate bits, mask). `GreedyK` collapses its `K` bits to 0 — the
+/// bound counts mandatory elements only, so every rung of a K ladder
+/// shares one floor (mirroring the optimizer's per-ladder sharing).
+type FloorKey = (u8, u8, u64, Vec<usize>);
 
 /// The axes a [`ScenarioContext`] is keyed by: everything in a
 /// [`ClusterRun`] except the per-candidate network configuration and the
@@ -140,18 +195,36 @@ impl ScenarioSpec {
 /// (via `Arc`) by every candidate evaluation against it.
 #[derive(Debug)]
 pub(crate) struct ScenarioData {
-    pub(crate) ft: FatTree,
+    /// Behind an `Arc` (like `arena`) so [`ScenarioContext::rebind_demand`]
+    /// can share the topology across the demand-rebound contexts of one
+    /// day instead of rebuilding or deep-copying it per epoch.
+    pub(crate) ft: Arc<FatTree>,
     /// Per-pair candidate paths, enumerated once. Every consolidator the
     /// candidate ladder runs asks the same path questions; the arena
     /// answers from the table instead of re-walking the graph per
     /// candidate (it returns exactly what `ft` would, so results are
     /// unchanged).
-    pub(crate) arena: PathArena<FatTree>,
+    pub(crate) arena: Arc<PathArena<FatTree>>,
     /// Memoized stage-2 plans keyed by (candidate, mask). A plan is a
     /// pure function of those inputs given this context (the latency RNG
     /// is cloned per build), so serving a cached `Arc` is bit-identical
     /// to rebuilding. Shared across context clones via the `Arc` above.
     pub(crate) plan_cache: Mutex<HashMap<PlanKey, Arc<NetworkPlan>>>,
+    /// Memoized stage-2–4 outcomes keyed by (scheme, candidate, mask) —
+    /// the whole [`ClusterRunResult`] of one operating-point evaluation,
+    /// or the [`ClusterError`] it failed with. Failures are cached
+    /// deliberately: an unroutable candidate (e.g. GreedyK(2) at a peak
+    /// slot) pays the full consolidation attempt before it is rejected,
+    /// and the day loop retries it every epoch otherwise. Only consulted
+    /// while [`eval_cache_enabled`] (incremental days); a pure function
+    /// of its key given this context, so hits are bit-identical to
+    /// re-runs.
+    pub(crate) eval_cache: Mutex<HashMap<EvalKey, Arc<EvalOutcome>>>,
+    /// Memoized candidate power floors (pure, always on): the optimizer
+    /// recomputes its pruning bounds every search otherwise, and at
+    /// k ≥ 16 the GreedyK mandatory-element walk is the search's largest
+    /// serial cost on a warm context.
+    pub(crate) floor_cache: Mutex<HashMap<FloorKey, f64>>,
     pub(crate) hosts: Vec<NodeId>,
     pub(crate) service: Arc<ServiceModel>,
     pub(crate) mean_service_s: f64,
@@ -169,10 +242,12 @@ pub(crate) struct ScenarioData {
     /// the latency-sampling hot loop indexes it ~n² times per plan.
     pub(crate) pair_flow: Vec<FlowId>,
     /// Round-0 pod-solve cache for the pod-decomposed consolidator,
-    /// shared across the candidate ladder and failure masks (sound: the
-    /// context's flow set is immutable, which is exactly the cache's
-    /// validity condition).
-    pub(crate) pod_cache: PodSolveCache,
+    /// shared across the candidate ladder and failure masks, and — via
+    /// [`ScenarioContext::rebind_demand`] — across the contexts of one
+    /// day. Sound because the cache key carries a fingerprint of the
+    /// flow set: entries are only served to passes over identical flows,
+    /// even when rebound contexts carry different background demand.
+    pub(crate) pod_cache: Arc<PodSolveCache>,
     /// Per-server DVFS-simulation seeds, drawn serially in index order.
     pub(crate) server_seeds: Vec<u64>,
     /// The *unconsumed* network-latency RNG (stream 4 of the master).
@@ -299,9 +374,11 @@ impl ScenarioContext {
             cfg: cfg.clone(),
             spec: spec.clone(),
             data: Arc::new(ScenarioData {
-                ft,
-                arena,
+                ft: Arc::new(ft),
+                arena: Arc::new(arena),
                 plan_cache: Mutex::new(HashMap::new()),
+                eval_cache: Mutex::new(HashMap::new()),
+                floor_cache: Mutex::new(HashMap::new()),
                 hosts,
                 service: Arc::new(service),
                 mean_service_s,
@@ -310,8 +387,124 @@ impl ScenarioContext {
                 queries,
                 flows,
                 pair_flow,
-                pod_cache: PodSolveCache::new(),
+                pod_cache: Arc::new(PodSolveCache::new()),
                 server_seeds,
+                net_rng,
+            }),
+        }
+    }
+
+    /// The one shared entry point for deriving a context from a run
+    /// template: `build` against [`ScenarioSpec::of_run`]. Every internal
+    /// per-epoch or per-bench rebuild (optimizer, day controller, perf
+    /// bench) routes through here so call sites cannot silently diverge
+    /// on how the spec is derived from the template.
+    pub fn for_template(cfg: &ClusterConfig, template: &ClusterRun) -> ScenarioContext {
+        ScenarioContext::build(cfg, &ScenarioSpec::of_run(template))
+    }
+
+    /// Rebuilds only the demand-dependent state — query arrivals, the
+    /// flow set, the per-pair flow table — for `spec`, sharing the
+    /// demand-invariant state (topology, path arena, service model,
+    /// per-server seeds, pod-solve cache) with `self`.
+    ///
+    /// Sound only when the master seed is unchanged: the shared state is
+    /// a pure function of `(cfg, seed)`, and the demand streams are
+    /// re-forked from a fresh master in exactly the order
+    /// [`ScenarioContext::build`] forks them, so the rebound context is
+    /// bit-identical to `build(cfg, spec)` (the day-incremental golden
+    /// pins this). A different seed falls back to a full build.
+    ///
+    /// The pod-solve cache is *shared* with `self`: its key carries a
+    /// fingerprint of the flow set, so entries are only ever served to
+    /// consolidation passes over identical flows. The stage-2 plan cache
+    /// starts empty — plans depend on the demand-dependent latency
+    /// sampling.
+    pub fn rebind_demand(&self, spec: &ScenarioSpec) -> ScenarioContext {
+        if spec.seed != self.spec.seed {
+            return ScenarioContext::build(&self.cfg, spec);
+        }
+        let _t = eprons_obs::Timer::scoped("core.scenario.rebind_s");
+        let mut sp = eprons_obs::Span::enter("scenario.rebind");
+        let obs_on = eprons_obs::enabled();
+        let d = &*self.data;
+
+        // Re-fork the demand streams in build order from a fresh master.
+        // `fork` advances the parent, so the *sequence* of forks — not
+        // the salt alone — is what reproduces `build`'s streams bit for
+        // bit; the service and server-seed streams are drawn and
+        // discarded because their products are shared.
+        let mut master = SimRng::seed_from_u64(spec.seed);
+        let _service_rng = master.fork(1);
+        let mut query_rng = master.fork(2);
+        let mut bg_rng = master.fork(3);
+        let net_rng = master.fork(4);
+        let _server_seed_rng = master.fork(5);
+
+        let n = d.hosts.len();
+        let warmup_s = spec.warmup_s.max(0.0);
+        let horizon_s = warmup_s + spec.duration_s;
+        let rate = self
+            .cfg
+            .query_rate_for_utilization(spec.server_utilization, d.mean_service_s);
+        let queries = QueryGenerator::new(n).generate(&mut query_rng, rate, horizon_s);
+
+        let mut flows = FlowSet::new();
+        if spec.background_util > 0.0 {
+            for bf in background_flows(
+                &d.ft,
+                &mut bg_rng,
+                spec.background_util,
+                self.cfg.link_capacity_mbps,
+            ) {
+                flows.add(bf.src, bf.dst, bf.demand_mbps, FlowClass::LatencyTolerant);
+            }
+        }
+        let mut pair_flow: Vec<FlowId> = vec![FlowId(usize::MAX); n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let id = flows.add(
+                        d.hosts[a],
+                        d.hosts[b],
+                        self.cfg.query_flow_mbps,
+                        FlowClass::LatencySensitive,
+                    );
+                    pair_flow[a * n + b] = id;
+                }
+            }
+        }
+
+        if obs_on {
+            eprons_obs::registry()
+                .counter("core.scenario.rebinds")
+                .inc();
+            sp.note(format!(
+                "servers={n} queries={} flows={}",
+                queries.len(),
+                flows.len()
+            ));
+        }
+
+        ScenarioContext {
+            cfg: self.cfg.clone(),
+            spec: spec.clone(),
+            data: Arc::new(ScenarioData {
+                ft: Arc::clone(&d.ft),
+                arena: Arc::clone(&d.arena),
+                plan_cache: Mutex::new(HashMap::new()),
+                eval_cache: Mutex::new(HashMap::new()),
+                floor_cache: Mutex::new(HashMap::new()),
+                hosts: d.hosts.clone(),
+                service: Arc::clone(&d.service),
+                mean_service_s: d.mean_service_s,
+                warmup_s,
+                horizon_s,
+                queries,
+                flows,
+                pair_flow,
+                pod_cache: Arc::clone(&d.pod_cache),
+                server_seeds: d.server_seeds.clone(),
                 net_rng,
             }),
         }
@@ -394,9 +587,63 @@ impl ScenarioContext {
                 seed: self.spec.seed,
             });
         }
-        let plan = self.plan_masked(consolidation, excluded)?;
-        let eval = ServerEvaluation::run(self, &plan, scheme);
-        let result = crate::accounting::assemble(self, &plan, &eval);
+        // Result memo (incremental days only): the whole evaluation —
+        // including a deterministic failure — is a pure function of
+        // (scheme, candidate, mask) given this context, so a repeat
+        // operating point skips stages 2–4 outright. Errors are cached
+        // too: an infeasible candidate pays its full consolidation
+        // attempt before rejection, and the day loop re-offers it every
+        // epoch. The lock is never held across an evaluation (same
+        // discipline as the plan memo: racing double-evaluations insert
+        // identical bits, harmlessly).
+        let mut cached: Option<EvalOutcome> = None;
+        let mut miss_key: Option<EvalKey> = None;
+        if eval_cache_enabled() {
+            let mut mask = excluded.to_vec();
+            mask.sort_unstable();
+            mask.dedup();
+            let key = (
+                scheme_index(scheme),
+                plan_key(consolidation, self.effective_strategy(), &mask),
+            );
+            let hit = self
+                .data
+                .eval_cache
+                .lock()
+                .expect("eval cache poisoned")
+                .get(&key)
+                .cloned();
+            if obs_on {
+                let name = if hit.is_some() {
+                    "core.evalcache.hits"
+                } else {
+                    "core.evalcache.misses"
+                };
+                eprons_obs::registry().counter(name).inc();
+            }
+            match hit {
+                Some(outcome) => cached = Some((*outcome).clone()),
+                None => miss_key = Some(key),
+            }
+        }
+        let result = match cached {
+            Some(outcome) => outcome?,
+            None => {
+                let outcome: EvalOutcome =
+                    self.plan_masked(consolidation, excluded).map(|plan| {
+                        let eval = ServerEvaluation::run(self, &plan, scheme);
+                        crate::accounting::assemble(self, &plan, &eval)
+                    });
+                if let Some(key) = miss_key {
+                    self.data
+                        .eval_cache
+                        .lock()
+                        .expect("eval cache poisoned")
+                        .insert(key, Arc::new(outcome.clone()));
+                }
+                outcome?
+            }
+        };
         if obs_on {
             let reg = eprons_obs::registry();
             let edges = eprons_obs::DURATION_EDGES_S;
@@ -482,6 +729,55 @@ impl ScenarioContext {
             .len()
     }
 
+    /// Number of full evaluation results currently memoized.
+    pub fn eval_cache_len(&self) -> usize {
+        self.data
+            .eval_cache
+            .lock()
+            .expect("eval cache poisoned")
+            .len()
+    }
+
+    /// [`crate::optimizer::candidate_power_floor_w`] through the
+    /// per-context floor memo. The floor is a pure function of (scheme,
+    /// candidate, mask) given this context's flow set, so caching is
+    /// invisible to the optimizer's pruning decisions; it just stops a
+    /// revived day-cache slot from re-walking the arena for bounds it
+    /// has already computed. `GreedyK` keys collapse `K` (the bound
+    /// counts mandatory elements only, shared by the whole ladder).
+    pub(crate) fn floor_cached(
+        &self,
+        scheme: ServerScheme,
+        spec: ConsolidationSpec,
+        excluded: &[NodeId],
+    ) -> f64 {
+        let (tag, bits) = match spec {
+            ConsolidationSpec::AllOn => (0u8, 0u64),
+            ConsolidationSpec::Level(l) => (1, l as u64),
+            ConsolidationSpec::GreedyK(_) => (2, 0),
+        };
+        let mut mask: Vec<usize> = excluded.iter().map(|n| n.0).collect();
+        mask.sort_unstable();
+        mask.dedup();
+        let key: FloorKey = (scheme_index(scheme), tag, bits, mask);
+        if let Some(&w) = self
+            .data
+            .floor_cache
+            .lock()
+            .expect("floor cache poisoned")
+            .get(&key)
+        {
+            return w;
+        }
+        let w = crate::optimizer::candidate_power_floor_w(self, scheme, spec, excluded);
+        self.data
+            .floor_cache
+            .lock()
+            .expect("floor cache poisoned")
+            .insert(key, w);
+        w
+    }
+
     /// Fans `candidates` out over the thread budget, evaluating each one
     /// against this shared context (the optimizer's inner loop). Results
     /// come back in candidate order.
@@ -511,6 +807,168 @@ impl ScenarioContext {
             }
             (*spec, self.evaluate_masked(scheme, *spec, excluded))
         })
+    }
+}
+
+/// Exact-bit slot key over every [`ScenarioSpec`] axis.
+type SlotKey = (u64, u64, u64, u64, u64);
+
+fn slot_key(spec: &ScenarioSpec) -> SlotKey {
+    (
+        spec.server_utilization.to_bits(),
+        spec.background_util.to_bits(),
+        spec.duration_s.to_bits(),
+        spec.warmup_s.to_bits(),
+        spec.seed,
+    )
+}
+
+/// Day-scoped context cache: at most `max_slots` [`ScenarioContext`]s
+/// keyed by the exact bits of their [`ScenarioSpec`], evicted in
+/// least-recently-used order.
+///
+/// The day controller's sequential epoch loop asks for one context per
+/// evaluated spec; with demand quantized onto the warm-start grid a
+/// 24-epoch day visits only a handful of distinct operating points, so
+/// most epochs *revive* a slot — plan cache included — instead of
+/// rebuilding the world. A miss rebinds demand from the most recent slot
+/// ([`ScenarioContext::rebind_demand`]), which shares the topology,
+/// arena, service model and pod-solve cache, so even misses skip the
+/// expensive invariant build. Either way the returned context is
+/// bit-identical to a fresh [`ScenarioContext::build`].
+#[derive(Debug)]
+pub struct DayContext {
+    cfg: ClusterConfig,
+    max_slots: usize,
+    /// Slots in least-recently-used order (most recent last).
+    slots: Mutex<Vec<(SlotKey, ScenarioContext)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Point-in-time statistics of a [`DayContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayCacheStats {
+    /// Contexts currently held.
+    pub slots: usize,
+    /// Requests served by reviving a held slot.
+    pub hits: u64,
+    /// Requests that built or rebound a context.
+    pub misses: u64,
+    /// Slots dropped to stay within the bound.
+    pub evictions: u64,
+    /// Approximate bytes of demand-dependent state across held slots
+    /// (the shared base — arena, service model — is excluded: it exists
+    /// once regardless of slot count).
+    pub bytes: u64,
+}
+
+impl DayContext {
+    /// An empty day cache for `cfg`, holding at most `max_slots`
+    /// contexts (at least 1).
+    pub fn new(cfg: &ClusterConfig, max_slots: usize) -> DayContext {
+        DayContext {
+            cfg: cfg.clone(),
+            max_slots: max_slots.max(1),
+            slots: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The context for `spec`: a revived slot (plan cache and all) on a
+    /// hit; on a miss, a demand rebind from the most recent slot — or a
+    /// full build for the very first one — inserted before returning.
+    pub fn context_for(&self, spec: &ScenarioSpec) -> ScenarioContext {
+        let key = slot_key(spec);
+        let obs_on = eprons_obs::enabled();
+        // Built inside the lock: the day loop is sequential, and holding
+        // it keeps a racing duplicate build from double-inserting.
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = slots.iter().position(|(k, _)| *k == key) {
+            let slot = slots.remove(i);
+            let ctx = slot.1.clone();
+            slots.push(slot);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if obs_on {
+                eprons_obs::registry().counter("core.daycache.hits").inc();
+            }
+            return ctx;
+        }
+        let ctx = match slots.last() {
+            Some((_, base)) => base.rebind_demand(spec),
+            None => ScenarioContext::build(&self.cfg, spec),
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if obs_on {
+            eprons_obs::registry()
+                .counter("core.daycache.misses")
+                .inc();
+        }
+        slots.push((key, ctx.clone()));
+        if slots.len() > self.max_slots {
+            slots.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if obs_on {
+                eprons_obs::registry()
+                    .counter("core.daycache.evictions")
+                    .inc();
+            }
+        }
+        ctx
+    }
+
+    /// Approximate bytes held by the evaluation-result memos across all
+    /// live slots (each entry is one [`ClusterRunResult`] — or a cached
+    /// failure — plus its active-switch id vector).
+    pub fn eval_footprint_bytes(&self) -> u64 {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut bytes = 0usize;
+        for (_, ctx) in slots.iter() {
+            let evals = ctx
+                .data
+                .eval_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for outcome in evals.values() {
+                bytes += std::mem::size_of::<EvalOutcome>()
+                    + match &**outcome {
+                        Ok(r) => r.active_switch_ids.len() * std::mem::size_of::<usize>(),
+                        Err(_) => 0,
+                    };
+            }
+        }
+        bytes as u64
+    }
+
+    /// Current cache statistics (slot count, hit/miss/eviction totals,
+    /// approximate bytes held).
+    pub fn stats(&self) -> DayCacheStats {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut bytes = 0usize;
+        for (_, ctx) in slots.iter() {
+            let d = &*ctx.data;
+            bytes += d.queries.len() * std::mem::size_of::<Query>()
+                + d.flows.len() * std::mem::size_of::<eprons_net::Flow>()
+                + d.pair_flow.len() * std::mem::size_of::<FlowId>();
+            let plans = d.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+            for plan in plans.values() {
+                bytes += plan
+                    .net_lat
+                    .iter()
+                    .map(|v| v.len() * std::mem::size_of::<(usize, f64, f64)>())
+                    .sum::<usize>();
+            }
+        }
+        DayCacheStats {
+            slots: slots.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: bytes as u64,
+        }
     }
 }
 
@@ -804,6 +1262,21 @@ impl ServerEvaluation {
         if obs_on {
             eval_span.note(format!("scheme={} servers={n}", scheme.name()));
         }
+        // Day-scoped runs route each shard through the process-wide
+        // server-eval memo. The fingerprint covers the inputs the memo
+        // key cannot see through the call signature: the service model
+        // and the policy's identity — the scheme plus the TimeTrader
+        // target, the only scheme parameter that varies per plan.
+        let memo_on = serveval_memo_enabled();
+        let extern_fp = if memo_on {
+            let mut h = DefaultHasher::new();
+            service_fingerprint(&d.service).hash(&mut h);
+            scheme.name().hash(&mut h);
+            timetrader_target.to_bits().hash(&mut h);
+            h.finish()
+        } else {
+            0
+        };
         // Shards run on worker threads whose span stacks are empty, so
         // each attaches to the evaluation span by id.
         let eval_span_id = eval_span.id();
@@ -825,13 +1298,23 @@ impl ServerEvaluation {
                 ServerScheme::EpronsServer => Box::new(AvgVpPolicy::eprons()),
                 ServerScheme::DeepSleep => Box::new(DeepSleepPolicy::new()),
             };
-            let r = simulate_core(
+            let (r, memo_hit) = simulate_core_memoized(
                 policy.as_mut(),
                 &mut engine,
                 arrivals,
                 &core_cfg,
                 d.server_seeds[s],
+                extern_fp,
             );
+            if memo_on && eprons_obs::enabled() {
+                eprons_obs::registry()
+                    .counter(if memo_hit {
+                        "core.serveval.hits"
+                    } else {
+                        "core.serveval.misses"
+                    })
+                    .inc();
+            }
             let end = r.sim_end_s.max(d.horizon_s);
             let span = end - d.warmup_s;
             let trailing_idle_w = policy

@@ -30,7 +30,9 @@
 //! globally sorted flow list, and every tie-break is by ordinal — no
 //! iteration over hash maps anywhere on the decision path.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 use eprons_topo::{FatTree, MultipathTopology, PathRef};
@@ -95,21 +97,26 @@ pub struct PodOutcome {
 pub type PodRunner<'a> =
     &'a (dyn Fn(usize, &(dyn Fn(usize) -> PodOutcome + Sync)) -> Vec<PodOutcome> + Sync);
 
-/// A [`PodSolveCache`] key: `(scale-K bits, pod, stitch-usable group
-/// bitmask, sorted excluded node ids inside the pod)`.
-type PodSolveKey = (u64, usize, u32, Vec<u32>);
+/// A [`PodSolveCache`] key: `(flow-set fingerprint, scale-K bits, pod,
+/// stitch-usable group bitmask, sorted excluded node ids inside the
+/// pod)`.
+type PodSolveKey = (u64, u64, usize, u32, Vec<u32>);
 
-/// Cache of round-0 pod solves keyed by `(scale K, pod, stitch-usable
-/// group bitmask, pod-local failure mask)`. Valid only across calls
-/// with an identical flow set and consolidation config modulo
-/// `scale_k`/`excluded` — e.g. within one scenario context, where
-/// pod-masked repair re-solves just the failed pod and every other pod
-/// hits the cache. The group bitmask is in the key because the round-0
-/// floors reserve capacity only across stitch-usable groups: one dead
-/// core leaves its group usable (the bitmask — and thus every cached
-/// solve — is untouched, only the stitch re-runs), while losing a whole
-/// core group reshapes the floors of *every* pod and must re-solve.
-/// Push-back re-solves (floored) are never cached.
+/// Cache of round-0 pod solves keyed by `(flow-set fingerprint,
+/// scale K, pod, stitch-usable group bitmask, pod-local failure mask)`.
+/// The fingerprint hashes every flow's endpoints, demand bits, and
+/// class, so a cache may be shared across contexts whose flow sets
+/// differ (e.g. the epochs of a day-scoped incremental run, where
+/// background demand — and with it the flow set — drifts): entries are
+/// only ever served to a pass over the identical flow set. The config
+/// must still match modulo `scale_k`/`excluded`, which is true within
+/// one day (the `ClusterConfig` is fixed). The group bitmask is in the
+/// key because the round-0 floors reserve capacity only across
+/// stitch-usable groups: one dead core leaves its group usable (the
+/// bitmask — and thus every cached solve — is untouched, only the
+/// stitch re-runs), while losing a whole core group reshapes the floors
+/// of *every* pod and must re-solve. Push-back re-solves (floored) are
+/// never cached.
 #[derive(Debug, Default)]
 pub struct PodSolveCache {
     inner: Mutex<HashMap<PodSolveKey, Arc<PodSolve>>>,
@@ -235,6 +242,25 @@ struct Prep {
     core_ex: Vec<bool>,
     /// Per pod: the sorted excluded node ids inside it (cache key part).
     pod_mask: Vec<Vec<u32>>,
+    /// Fingerprint of the flow set (cache key part).
+    flows_fp: u64,
+}
+
+/// Order-sensitive fingerprint of a flow set: endpoints, exact demand
+/// bits, and class of every flow, hashed with the (deterministically
+/// keyed) [`DefaultHasher`]. Two passes see the same fingerprint iff
+/// they consolidate the same flows, which is what makes a
+/// [`PodSolveCache`] safely shareable across scenario contexts.
+pub fn flow_set_fingerprint(flows: &FlowSet) -> u64 {
+    let mut h = DefaultHasher::new();
+    flows.len().hash(&mut h);
+    for f in flows.flows() {
+        f.src.0.hash(&mut h);
+        f.dst.0.hash(&mut h);
+        f.demand_mbps.to_bits().hash(&mut h);
+        matches!(f.class, crate::flow::FlowClass::LatencySensitive).hash(&mut h);
+    }
+    h.finish()
 }
 
 struct Fallback(&'static str);
@@ -344,6 +370,7 @@ fn prepare(ft: &FatTree, flows: &FlowSet, cfg: &ConsolidationConfig) -> Result<P
         agg_ex,
         core_ex,
         pod_mask,
+        flows_fp: flow_set_fingerprint(flows),
     })
 }
 
@@ -799,6 +826,7 @@ fn try_decomposed(
             .iter()
             .fold(0u32, |m, &g| m | (1 << g));
         let key = (
+            prep.flows_fp,
             cfg.scale_k.to_bits(),
             p,
             groups_bits,

@@ -45,8 +45,8 @@ pub use consolidate::{
     greedy::GreedyConsolidator,
     path::PathMilpConsolidator,
     pod::{
-        consolidate_pod_decomposed, PodDecompOptions, PodDecompReport, PodDecompStats, PodOutcome,
-        PodRunner, PodSolve, PodSolveCache,
+        consolidate_pod_decomposed, flow_set_fingerprint, PodDecompOptions, PodDecompReport,
+        PodDecompStats, PodOutcome, PodRunner, PodSolve, PodSolveCache,
     },
     Assignment, ConsolidationConfig, ConsolidationError, Consolidator,
 };

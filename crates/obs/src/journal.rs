@@ -261,6 +261,19 @@ pub enum Event {
         dropped_mbps_min: f64,
         queue_mbps_min: f64,
     },
+    /// End-of-day report from one cross-epoch cache of a day-scoped
+    /// incremental run (`cache` names it: `core.daycache` for the
+    /// scenario-context cache, `server.serveval` for the per-ISN
+    /// server-evaluation memo). Counters cover the whole day; `bytes` is
+    /// the approximate heap held when the day closed. `obsctl summarize`
+    /// renders one table row per report.
+    DayCacheReport {
+        cache: String,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -293,6 +306,7 @@ impl Event {
             Event::HysteresisHold { .. } => "HysteresisHold",
             Event::DeferralEnqueued { .. } => "DeferralEnqueued",
             Event::DeferralDrained { .. } => "DeferralDrained",
+            Event::DayCacheReport { .. } => "DayCacheReport",
         }
     }
 
@@ -580,6 +594,19 @@ impl Event {
                 ("dropped_mbps_min", n(*dropped_mbps_min)),
                 ("queue_mbps_min", n(*queue_mbps_min)),
             ]),
+            Event::DayCacheReport {
+                cache,
+                hits,
+                misses,
+                evictions,
+                bytes,
+            } => f(vec![
+                ("cache", s(cache)),
+                ("hits", u(*hits)),
+                ("misses", u(*misses)),
+                ("evictions", u(*evictions)),
+                ("bytes", u(*bytes)),
+            ]),
         }
     }
 
@@ -784,6 +811,13 @@ impl Event {
                 drained_mbps_min: fn_("drained_mbps_min")?,
                 dropped_mbps_min: fn_("dropped_mbps_min")?,
                 queue_mbps_min: fn_("queue_mbps_min")?,
+            },
+            "DayCacheReport" => Event::DayCacheReport {
+                cache: fs("cache")?,
+                hits: fu("hits")?,
+                misses: fu("misses")?,
+                evictions: fu("evictions")?,
+                bytes: fu("bytes")?,
             },
             other => return Err(format!("unknown event kind '{other}'")),
         })
@@ -1123,6 +1157,13 @@ mod tests {
                 drained_mbps_min: 900.0,
                 dropped_mbps_min: 0.0,
                 queue_mbps_min: 900.0,
+            },
+            Event::DayCacheReport {
+                cache: "core.daycache".into(),
+                hits: 130,
+                misses: 14,
+                evictions: 2,
+                bytes: 18_874_368,
             },
         ]
     }

@@ -1,0 +1,257 @@
+//! Process-wide memo over [`simulate_core`] — the per-ISN server
+//! evaluation.
+//!
+//! One day-scoped cluster evaluation runs the DVFS event loop once per
+//! server per candidate per epoch, yet across a day most of those runs
+//! repeat: with demand quantized onto the warm-start grid, adjacent
+//! epochs at the same operating point feed each server the *identical*
+//! arrival trace, config, and seed. `simulate_core` is a pure function
+//! of those inputs (the only RNG is seeded from `seed`; the engine's
+//! convolution caches are bit-invisible by the [`crate::vp`] contract),
+//! so its result can be memoized on an exact-bit fingerprint and
+//! returned by reference — a hit is bit-identical to a fresh run by
+//! construction.
+//!
+//! The memo is **disabled by default** and switched on by the
+//! day-scoped controller: hits skip the event loop's side telemetry
+//! (`server.dvfs.transitions`, `FreqTransition` events), which is only
+//! acceptable when the caller opted into incremental evaluation.
+//! `eprons-core` layers its own `core.serveval.{hits,misses}` counters
+//! on top of the returned hit flag.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::coresim::{simulate_core, CoreSimConfig, CoreSimResult};
+use crate::policy::DvfsPolicy;
+use crate::request::ArrivalSpec;
+use crate::vp::VpEngine;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct MemoState {
+    map: HashMap<u64, Arc<CoreSimResult>>,
+    hits: u64,
+    misses: u64,
+    bytes: usize,
+}
+
+static MEMO: OnceLock<Mutex<MemoState>> = OnceLock::new();
+
+fn memo() -> &'static Mutex<MemoState> {
+    MEMO.get_or_init(|| {
+        Mutex::new(MemoState {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            bytes: 0,
+        })
+    })
+}
+
+/// Approximate heap footprint of one cached result (the four per-request
+/// vectors dominate).
+fn result_bytes(r: &CoreSimResult) -> usize {
+    std::mem::size_of::<CoreSimResult>()
+        + (r.latencies.capacity() + r.budgets.capacity() + r.arrivals.capacity()) * 8
+        + r.tags.capacity() * 8
+}
+
+/// Turns the server-evaluation memo on or off (process-wide). Off, the
+/// memoized entry point degenerates to a plain [`simulate_core`] call
+/// with full telemetry.
+pub fn set_serveval_memo_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the server-evaluation memo is currently on.
+pub fn serveval_memo_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Drops every memoized result and zeroes the hit/miss statistics. The
+/// day controller clears at day start so the statistics — and the
+/// "once per distinct operating point per *day*" bound — are per-day.
+pub fn clear_serveval_memo() {
+    let mut m = memo().lock().unwrap_or_else(|e| e.into_inner());
+    m.map.clear();
+    m.hits = 0;
+    m.misses = 0;
+    m.bytes = 0;
+}
+
+/// Point-in-time statistics of the server-evaluation memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServevalMemoStats {
+    /// Distinct operating points held.
+    pub entries: usize,
+    /// Lookups served from the memo since the last clear.
+    pub hits: u64,
+    /// Lookups that ran the event loop since the last clear.
+    pub misses: u64,
+    /// Approximate bytes held by the cached results.
+    pub bytes: u64,
+}
+
+/// Current memo statistics.
+pub fn serveval_memo_stats() -> ServevalMemoStats {
+    let m = memo().lock().unwrap_or_else(|e| e.into_inner());
+    ServevalMemoStats {
+        entries: m.map.len(),
+        hits: m.hits,
+        misses: m.misses,
+        bytes: m.bytes as u64,
+    }
+}
+
+/// The memo key: an exact-bit hash over everything [`simulate_core`]
+/// reads — the arrival trace (times, budgets, tags), the sim config
+/// (ladder, power model, decision overhead, measurement window), the
+/// work-sampling seed, and `extern_fp`, the caller's fingerprint of the
+/// inputs the signature cannot see (service model and policy identity;
+/// `eprons-core` hashes the scheme plus its TimeTrader target into it).
+pub fn serveval_key(
+    extern_fp: u64,
+    arrivals: &[ArrivalSpec],
+    cfg: &CoreSimConfig,
+    seed: u64,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    extern_fp.hash(&mut h);
+    seed.hash(&mut h);
+    cfg.ladder.len().hash(&mut h);
+    for i in 0..cfg.ladder.len() {
+        cfg.ladder.at(i).to_bits().hash(&mut h);
+    }
+    cfg.power.leak_w.to_bits().hash(&mut h);
+    cfg.power.cubic_coeff.to_bits().hash(&mut h);
+    cfg.power.idle_w.to_bits().hash(&mut h);
+    cfg.power.cores.hash(&mut h);
+    cfg.power.static_w.to_bits().hash(&mut h);
+    cfg.decision_overhead_s.to_bits().hash(&mut h);
+    cfg.measure_from_s.to_bits().hash(&mut h);
+    arrivals.len().hash(&mut h);
+    for a in arrivals {
+        a.arrival_s.to_bits().hash(&mut h);
+        a.budget_s.to_bits().hash(&mut h);
+        a.tag.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// [`simulate_core`] behind the process-wide memo. Returns the result
+/// and whether it was served from the memo. With the memo disabled the
+/// run is never cached and the flag is always `false`.
+///
+/// The caller owes the same preconditions as [`simulate_core`] plus one
+/// more: `extern_fp` must change whenever the service model behind
+/// `engine` or the behavior of `policy` changes, or a stale result will
+/// be served (see [`serveval_key`]).
+pub fn simulate_core_memoized(
+    policy: &mut dyn DvfsPolicy,
+    engine: &mut VpEngine,
+    arrivals: &[ArrivalSpec],
+    cfg: &CoreSimConfig,
+    seed: u64,
+    extern_fp: u64,
+) -> (Arc<CoreSimResult>, bool) {
+    if !serveval_memo_enabled() {
+        return (
+            Arc::new(simulate_core(policy, engine, arrivals, cfg, seed)),
+            false,
+        );
+    }
+    let key = serveval_key(extern_fp, arrivals, cfg, seed);
+    {
+        let mut m = memo().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = m.map.get(&key).cloned() {
+            m.hits += 1;
+            return (hit, true);
+        }
+        m.misses += 1;
+    }
+    // Computed outside the lock: distinct keys may simulate in parallel,
+    // and a double-compute race on the same key inserts bit-identical
+    // values either way (pure function of the key's preimage).
+    let r = Arc::new(simulate_core(policy, engine, arrivals, cfg, seed));
+    let mut m = memo().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(prior) = m.map.get(&key) {
+        return (Arc::clone(prior), false);
+    }
+    m.bytes += result_bytes(&r);
+    m.map.insert(key, Arc::clone(&r));
+    (r, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AvgVpPolicy;
+    use crate::service::ServiceModel;
+    use crate::vp::service_fingerprint;
+    use eprons_sim::SimRng;
+
+    fn arrivals() -> Vec<ArrivalSpec> {
+        let mut rng = SimRng::seed_from_u64(7);
+        crate::coresim::poisson_trace(&mut rng, 60.0, 5.0, 0.030)
+    }
+
+    fn service() -> ServiceModel {
+        let mut rng = SimRng::seed_from_u64(3);
+        ServiceModel::synthetic_xapian(&mut rng, 5_000, 80)
+    }
+
+    /// Memoized hits return the bit-identical result a fresh run
+    /// produces, and the stats ledger adds up.
+    #[test]
+    fn hit_is_bit_identical_and_counted() {
+        let svc = service();
+        let fp = service_fingerprint(&svc);
+        let cfg = CoreSimConfig::default();
+        let arr = arrivals();
+        let run = |on: bool| {
+            set_serveval_memo_enabled(on);
+            let mut engine = VpEngine::new(svc.clone());
+            let mut policy = AvgVpPolicy::eprons();
+            simulate_core_memoized(&mut policy, &mut engine, &arr, &cfg, 11, fp)
+        };
+        clear_serveval_memo();
+        let (cold, h0) = run(false);
+        assert!(!h0);
+        let (miss, h1) = run(true);
+        let (hit, h2) = run(true);
+        set_serveval_memo_enabled(false);
+        assert!(!h1 && h2);
+        assert!(Arc::ptr_eq(&miss, &hit), "hit must share the cached run");
+        assert_eq!(cold.energy_j.to_bits(), hit.energy_j.to_bits());
+        assert_eq!(cold.latencies, hit.latencies);
+        let s = serveval_memo_stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 1, 1));
+        assert!(s.bytes > 0);
+        clear_serveval_memo();
+        let s = serveval_memo_stats();
+        assert_eq!((s.entries, s.hits, s.misses, s.bytes), (0, 0, 0, 0));
+    }
+
+    /// Any perturbation of the key's preimage must miss: different seed,
+    /// different budget, different extern fingerprint.
+    #[test]
+    fn key_separates_operating_points() {
+        let cfg = CoreSimConfig::default();
+        let arr = arrivals();
+        let base = serveval_key(1, &arr, &cfg, 5);
+        assert_ne!(base, serveval_key(1, &arr, &cfg, 6));
+        assert_ne!(base, serveval_key(2, &arr, &cfg, 5));
+        let mut shifted = arr.clone();
+        shifted[0].budget_s += 1e-9;
+        assert_ne!(base, serveval_key(1, &shifted, &cfg, 5));
+        let wider = CoreSimConfig {
+            measure_from_s: cfg.measure_from_s + 1.0,
+            ..cfg.clone()
+        };
+        assert_ne!(base, serveval_key(1, &arr, &wider, 5));
+    }
+}

@@ -14,6 +14,7 @@
 use eprons_sim::SimRng;
 
 use crate::diurnal::{DiurnalProfile, MINUTES_PER_DAY};
+use crate::replay::ReplayTrace;
 
 /// A flash crowd riding on a diurnal base: demand ramps up linearly over
 /// `ramp_minutes`, holds at `base + surge` for `hold_minutes`, and decays
@@ -138,6 +139,9 @@ pub enum TraceScenario {
     FlashCrowd(FlashCrowd),
     /// A step load.
     Step(StepLoad),
+    /// A committed per-minute trace, replayed verbatim (noise-free: the
+    /// recorded day already contains whatever noise production had).
+    Replay(ReplayTrace),
 }
 
 impl TraceScenario {
@@ -147,6 +151,7 @@ impl TraceScenario {
             TraceScenario::Diurnal(_) => "diurnal",
             TraceScenario::FlashCrowd(_) => "flash-crowd",
             TraceScenario::Step(_) => "step",
+            TraceScenario::Replay(_) => "replay",
         }
     }
 
@@ -156,6 +161,7 @@ impl TraceScenario {
             TraceScenario::Diurnal(p) => p.value_at(minute),
             TraceScenario::FlashCrowd(f) => f.value_at(minute),
             TraceScenario::Step(s) => s.value_at(minute),
+            TraceScenario::Replay(t) => t.value_at(minute),
         }
     }
 
@@ -176,6 +182,8 @@ impl TraceScenario {
                     (s.value_at(m as f64) + noise).clamp(0.0, 1.0)
                 })
                 .collect(),
+            // Verbatim and RNG-free: the recorded day *is* the sample.
+            TraceScenario::Replay(t) => t.minutes().to_vec(),
         }
     }
 }

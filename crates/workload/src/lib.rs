@@ -29,6 +29,7 @@ pub mod arrivals;
 pub mod background;
 pub mod diurnal;
 pub mod queries;
+pub mod replay;
 pub mod service_dist;
 pub mod trace;
 
@@ -38,4 +39,5 @@ pub use adversarial::{
 pub use arrivals::{poisson_times, thinned_poisson_times};
 pub use diurnal::DiurnalProfile;
 pub use queries::{per_isn_arrivals, Query, QueryGenerator};
+pub use replay::ReplayTrace;
 pub use service_dist::xapian_like_samples;
